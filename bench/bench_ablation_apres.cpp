@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Ablation study of the APRES design choices DESIGN.md calls out:
+ *
+ *  - LAWS hit-group promotion on/off,
+ *  - LAWS miss-group demotion on/off,
+ *  - SAP prefetch-target promotion on/off (the LAWS/SAP cooperation),
+ *  - LAWS group-size cap (uncapped vs the 8-warp pipeline argument of
+ *    Section IV),
+ *  - SAP prefetch-table size (10 entries per Table II vs smaller),
+ *  - the prefetch MSHR saturation gate.
+ *
+ * Run on the memory-intensive applications; IPC normalized to full
+ * APRES.
+ */
+
+#include "bench_util.hpp"
+
+using namespace apres;
+using namespace apres::bench;
+
+namespace {
+
+GpuConfig
+apresConfig()
+{
+    GpuConfig cfg;
+    cfg.useApres();
+    return cfg;
+}
+
+} // namespace
+
+int
+main()
+{
+    const double scale = benchScale();
+
+    std::vector<NamedConfig> variants;
+    variants.push_back({"full", apresConfig()});
+
+    {
+        NamedConfig v{"-hitProm", apresConfig()};
+        v.config.laws.promoteOnHit = false;
+        variants.push_back(v);
+    }
+    {
+        NamedConfig v{"-missDem", apresConfig()};
+        v.config.laws.demoteOnMiss = false;
+        variants.push_back(v);
+    }
+    {
+        NamedConfig v{"-pfProm", apresConfig()};
+        v.config.laws.promotePrefetchTargets = false;
+        variants.push_back(v);
+    }
+    {
+        NamedConfig v{"cap8", apresConfig()};
+        v.config.laws.groupCap = 8;
+        variants.push_back(v);
+    }
+    {
+        NamedConfig v{"pt2", apresConfig()};
+        v.config.sap.ptEntries = 2;
+        variants.push_back(v);
+    }
+    {
+        NamedConfig v{"-gate", apresConfig()};
+        v.config.sm.prefetchMshrGate = 1.0; // gate disabled
+        variants.push_back(v);
+    }
+
+    std::cout << "=== APRES ablations (IPC normalized to full APRES, "
+                 "memory-intensive apps) ===\n\n";
+    std::vector<std::string> headers;
+    for (std::size_t i = 1; i < variants.size(); ++i)
+        headers.push_back(variants[i].label);
+    printHeader("app", headers);
+
+    std::vector<std::vector<double>> per_variant(variants.size() - 1);
+    for (const std::string& name : allWorkloadNames()) {
+        if (!isMemoryIntensive(name))
+            continue;
+        const Workload wl = makeWorkload(name, scale);
+        const RunResult full = runBench(variants[0].config, wl.kernel);
+        std::vector<double> row;
+        for (std::size_t i = 1; i < variants.size(); ++i) {
+            const RunResult r = runBench(variants[i].config, wl.kernel);
+            row.push_back(r.ipc / full.ipc);
+            per_variant[i - 1].push_back(row.back());
+        }
+        printRow(name, row);
+    }
+
+    std::vector<double> gm;
+    for (const auto& values : per_variant)
+        gm.push_back(geomean(values));
+    std::cout << '\n';
+    printRow("GM", gm);
+    return 0;
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * CCWS controller sensitivity: sweep the lost-locality score gain, the
+ * throttle scale and the active-warp floor on the two cache-sensitive
+ * applications where throttling matters most (KM, SPMV), plus SRAD as
+ * the over-throttling canary.
+ *
+ * The integral controller's defaults (bonus 96, cap 288, scale 48,
+ * floor 12) sit where KM keeps most of its gain without SRAD
+ * collapsing; this bench documents that trade-off.
+ */
+
+#include "bench_util.hpp"
+
+using namespace apres;
+using namespace apres::bench;
+
+int
+main()
+{
+    const double scale = benchScale();
+    const char* apps[] = {"KM", "SPMV", "SRAD"};
+
+    struct Variant
+    {
+        const char* label;
+        int bonus;
+        int cap;
+        int throttleScale;
+        int minActive;
+    };
+    const Variant variants[] = {
+        {"default", 96, 288, 48, 12},
+        {"gain/2", 48, 288, 48, 12},
+        {"gain*2", 192, 288, 48, 12},
+        {"scale*2", 96, 288, 96, 12},
+        {"floor6", 96, 288, 48, 6},
+        {"floor20", 96, 288, 48, 20},
+        {"cap/2", 96, 144, 48, 12},
+    };
+
+    std::cout << "=== CCWS controller sensitivity (IPC vs LRR baseline) "
+                 "===\n\n";
+    std::vector<std::string> headers;
+    for (const Variant& v : variants)
+        headers.emplace_back(v.label);
+    printHeader("app", headers);
+
+    for (const char* app : apps) {
+        const Workload wl = makeWorkload(app, scale);
+        const RunResult base = runBench(baselineConfig(), wl.kernel);
+        std::vector<double> row;
+        for (const Variant& v : variants) {
+            GpuConfig cfg;
+            cfg.scheduler = SchedulerKind::kCcws;
+            cfg.ccws.scoreBonus = v.bonus;
+            cfg.ccws.scoreCap = v.cap;
+            cfg.ccws.throttleScale = v.throttleScale;
+            cfg.ccws.minActiveWarps = v.minActive;
+            const RunResult r = runBench(cfg, wl.kernel);
+            row.push_back(r.ipc / base.ipc);
+        }
+        printRow(app, row);
+    }
+    return 0;
+}

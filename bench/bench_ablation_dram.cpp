@@ -1,0 +1,62 @@
+/**
+ * @file
+ * DRAM-model ablation: the flat service-rate channel (the reference
+ * configuration, matched to Table III's aggregate bandwidth) vs the
+ * bank/row-buffer extension, under the baseline and under APRES.
+ *
+ * The row-buffer model rewards sequential streams (row hits) and
+ * punishes scattered ones, so it shifts the balance between the
+ * thrash-dominated and stream-dominated applications; the reference
+ * results in EXPERIMENTS.md use the flat model.
+ */
+
+#include "bench_util.hpp"
+
+using namespace apres;
+using namespace apres::bench;
+
+int
+main()
+{
+    const double scale = benchScale();
+
+    GpuConfig base_flat = baselineConfig();
+    GpuConfig base_rows = baselineConfig();
+    base_rows.mem.dram.rowBufferModel = true;
+    GpuConfig apres_flat = baselineConfig();
+    apres_flat.useApres();
+    GpuConfig apres_rows = apres_flat;
+    apres_rows.mem.dram.rowBufferModel = true;
+
+    std::cout << "=== DRAM model ablation: flat channel vs bank/row "
+                 "buffer ===\n"
+                 "(IPC normalized to the flat-channel baseline; rowHit% "
+                 "from the row model)\n\n";
+    printHeader("app", {"B.rows", "APRES.flat", "APRES.rows", "rowHit%"});
+
+    for (const std::string& name : allWorkloadNames()) {
+        if (!isMemoryIntensive(name))
+            continue;
+        const Workload wl = makeWorkload(name, scale);
+        const RunResult rbf = runBench(base_flat, wl.kernel);
+        const RunResult rbr = runBench(base_rows, wl.kernel);
+        const RunResult raf = runBench(apres_flat, wl.kernel);
+
+        Gpu gpu(apres_rows, wl.kernel);
+        const RunResult rar = gpu.run();
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        for (int p = 0; p < apres_rows.mem.numPartitions; ++p) {
+            hits += gpu.memorySystem().dram(p).stats().rowHits;
+            misses += gpu.memorySystem().dram(p).stats().rowMisses;
+        }
+        const double hit_pct = hits + misses
+            ? 100.0 * static_cast<double>(hits) /
+                  static_cast<double>(hits + misses)
+            : 0.0;
+
+        printRow(name, {rbr.ipc / rbf.ipc, raf.ipc / rbf.ipc,
+                        rar.ipc / rbf.ipc, hit_pct});
+    }
+    return 0;
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Figure 3: speedups of the existing scheduler x prefetcher
+ * combinations — {PA, GTO, MASCAR, CCWS} x {STR, SLD} — normalized to
+ * the LRR baseline.
+ *
+ * Paper reference points: CCWS+STR is the best existing combination
+ * (+17.5%); SLD trails STR everywhere except under PA because its
+ * macro blocks only cover strides below 256 B while Table I's strides
+ * are usually far larger.
+ */
+
+#include "bench_util.hpp"
+
+using namespace apres;
+using namespace apres::bench;
+
+int
+main()
+{
+    const double scale = benchScale();
+    const std::vector<NamedConfig> configs = {
+        makeConfig(SchedulerKind::kPa, PrefetcherKind::kStr),
+        makeConfig(SchedulerKind::kPa, PrefetcherKind::kSld),
+        makeConfig(SchedulerKind::kGto, PrefetcherKind::kStr),
+        makeConfig(SchedulerKind::kGto, PrefetcherKind::kSld),
+        makeConfig(SchedulerKind::kMascar, PrefetcherKind::kStr),
+        makeConfig(SchedulerKind::kMascar, PrefetcherKind::kSld),
+        makeConfig(SchedulerKind::kCcws, PrefetcherKind::kStr),
+        makeConfig(SchedulerKind::kCcws, PrefetcherKind::kSld),
+    };
+
+    std::cout << "=== Figure 3: existing scheduling x prefetching combos "
+                 "(IPC vs LRR) ===\n\n";
+    std::vector<std::string> headers;
+    for (const NamedConfig& c : configs)
+        headers.push_back(c.label);
+    printHeader("app", headers);
+
+    std::vector<std::vector<double>> per_config(configs.size());
+    for (const std::string& name : allWorkloadNames()) {
+        const Workload wl = makeWorkload(name, scale);
+        const RunResult base = runBench(baselineConfig(), wl.kernel);
+        std::vector<double> row;
+        for (std::size_t i = 0; i < configs.size(); ++i) {
+            const RunResult r = runBench(configs[i].config, wl.kernel);
+            row.push_back(r.ipc / base.ipc);
+            per_config[i].push_back(row.back());
+        }
+        printRow(name, row);
+    }
+
+    std::vector<double> gm;
+    for (const auto& values : per_config)
+        gm.push_back(geomean(values));
+    std::cout << '\n';
+    printRow("GM", gm);
+    return 0;
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Figure 4: early-eviction ratio of the STR prefetcher under the four
+ * existing schedulers, over the memory-intensive applications.
+ *
+ * Early eviction = a correctly predicted prefetched line evicted
+ * before its demand access arrives (Section III-C). Paper reference
+ * points: CCWS+STR 13.0%, PA+STR 14.2%, GTO+STR 16.0%, MASCAR+STR
+ * 15.2% — the headroom APRES's cooperative scheduling reclaims.
+ */
+
+#include "bench_util.hpp"
+
+using namespace apres;
+using namespace apres::bench;
+
+int
+main()
+{
+    const double scale = benchScale();
+    const std::vector<NamedConfig> configs = {
+        makeConfig(SchedulerKind::kPa, PrefetcherKind::kStr),
+        makeConfig(SchedulerKind::kGto, PrefetcherKind::kStr),
+        makeConfig(SchedulerKind::kMascar, PrefetcherKind::kStr),
+        makeConfig(SchedulerKind::kCcws, PrefetcherKind::kStr),
+    };
+
+    std::cout << "=== Figure 4: early eviction ratio of STR prefetching "
+                 "===\n\n";
+    std::vector<std::string> headers;
+    for (const NamedConfig& c : configs)
+        headers.push_back(c.label);
+    printHeader("app", headers);
+
+    std::vector<std::vector<double>> per_config(configs.size());
+    for (const std::string& name : allWorkloadNames()) {
+        if (!isMemoryIntensive(name))
+            continue;
+        const Workload wl = makeWorkload(name, scale);
+        std::vector<double> row;
+        for (std::size_t i = 0; i < configs.size(); ++i) {
+            const RunResult r = runBench(configs[i].config, wl.kernel);
+            row.push_back(r.earlyEvictionRatio());
+            per_config[i].push_back(row.back());
+        }
+        printRow(name, row);
+    }
+
+    std::cout << '\n';
+    std::vector<double> avg;
+    for (const auto& values : per_config) {
+        double sum = 0.0;
+        for (const double v : values)
+            sum += v;
+        avg.push_back(values.empty() ? 0.0 : sum / values.size());
+    }
+    printRow("AVG", avg);
+    return 0;
+}

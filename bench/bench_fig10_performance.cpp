@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Figure 10: IPC of CCWS, LAWS, CCWS+STR, LAWS+STR and APRES,
+ * normalized to the LRR baseline, per benchmark plus the geometric
+ * means per category and overall.
+ *
+ * Paper reference points: CCWS +12.8%, LAWS +14.0%, CCWS+STR +17.5%,
+ * LAWS+STR +18.8%, APRES +24.2% over all 15 benchmarks; APRES +31.7%
+ * on the memory-intensive set; KM is the one cache-sensitive app
+ * where CCWS(+STR) beats APRES.
+ */
+
+#include <map>
+
+#include "bench_util.hpp"
+
+using namespace apres;
+using namespace apres::bench;
+
+int
+main()
+{
+    const double scale = benchScale();
+    const std::vector<NamedConfig> configs = {
+        makeConfig(SchedulerKind::kCcws, PrefetcherKind::kNone),
+        makeConfig(SchedulerKind::kLaws, PrefetcherKind::kNone),
+        makeConfig(SchedulerKind::kCcws, PrefetcherKind::kStr),
+        makeConfig(SchedulerKind::kLaws, PrefetcherKind::kStr),
+        makeConfig(SchedulerKind::kLaws, PrefetcherKind::kSap), // APRES
+    };
+
+    std::cout << "=== Figure 10: IPC normalized to baseline (LRR) ===\n\n";
+    std::vector<std::string> headers;
+    for (const NamedConfig& c : configs)
+        headers.push_back(c.label);
+    printHeader("app", headers);
+
+    std::map<std::string, std::vector<double>> by_category;
+    std::vector<std::vector<double>> all(configs.size());
+    std::vector<std::vector<double>> memint(configs.size());
+
+    for (const std::string& name : allWorkloadNames()) {
+        const Workload wl = makeWorkload(name, scale);
+        const RunResult base = runBench(baselineConfig(), wl.kernel);
+        std::vector<double> row;
+        for (std::size_t i = 0; i < configs.size(); ++i) {
+            const RunResult r = runBench(configs[i].config, wl.kernel);
+            const double speedup = r.ipc / base.ipc;
+            row.push_back(speedup);
+            all[i].push_back(speedup);
+            if (isMemoryIntensive(name))
+                memint[i].push_back(speedup);
+        }
+        printRow(name, row);
+    }
+
+    std::vector<double> gm_all;
+    std::vector<double> gm_mem;
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        gm_all.push_back(geomean(all[i]));
+        gm_mem.push_back(geomean(memint[i]));
+    }
+    std::cout << '\n';
+    printRow("GM-all", gm_all);
+    printRow("GM-mem", gm_mem);
+    return 0;
+}

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Figure 12: early-eviction ratio, CCWS+STR vs APRES.
+ *
+ * Paper reference points: 13.0% (CCWS+STR) vs 8.6% (APRES) on
+ * average — the cooperative LAWS/SAP loop merges the targeted warps'
+ * demands into the prefetch MSHRs before the lines can be evicted.
+ */
+
+#include "bench_util.hpp"
+
+using namespace apres;
+using namespace apres::bench;
+
+int
+main()
+{
+    const double scale = benchScale();
+    const NamedConfig ccws_str =
+        makeConfig(SchedulerKind::kCcws, PrefetcherKind::kStr);
+    const NamedConfig apres_cfg =
+        makeConfig(SchedulerKind::kLaws, PrefetcherKind::kSap);
+
+    std::cout << "=== Figure 12: early eviction ratio ===\n\n";
+    printHeader("app", {"CCWS+STR", "APRES"});
+
+    double sum_s = 0.0;
+    double sum_a = 0.0;
+    int n = 0;
+    for (const std::string& name : allWorkloadNames()) {
+        const Workload wl = makeWorkload(name, scale);
+        const RunResult rs = runBench(ccws_str.config, wl.kernel);
+        const RunResult ra = runBench(apres_cfg.config, wl.kernel);
+        printRow(name, {rs.earlyEvictionRatio(), ra.earlyEvictionRatio()});
+        sum_s += rs.earlyEvictionRatio();
+        sum_a += ra.earlyEvictionRatio();
+        ++n;
+    }
+    std::cout << '\n';
+    printRow("AVG", {sum_s / n, sum_a / n});
+    return 0;
+}

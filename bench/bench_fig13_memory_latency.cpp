@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Figure 13: average memory latency of CCWS+STR and APRES, normalized
+ * to the LRR baseline.
+ *
+ * Paper reference points: APRES cuts average memory latency by 16.5%
+ * vs the baseline and 9.7% vs CCWS+STR; the reduction tracks the
+ * cache-hit gains (a less congested memory system queues less).
+ */
+
+#include "bench_util.hpp"
+
+using namespace apres;
+using namespace apres::bench;
+
+int
+main()
+{
+    const double scale = benchScale();
+    const NamedConfig ccws_str =
+        makeConfig(SchedulerKind::kCcws, PrefetcherKind::kStr);
+    const NamedConfig apres_cfg =
+        makeConfig(SchedulerKind::kLaws, PrefetcherKind::kSap);
+
+    std::cout << "=== Figure 13: average memory latency (normalized to "
+                 "baseline) ===\n\n";
+    printHeader("app", {"CCWS+STR", "APRES"});
+
+    std::vector<double> s_vals;
+    std::vector<double> a_vals;
+    for (const std::string& name : allWorkloadNames()) {
+        const Workload wl = makeWorkload(name, scale);
+        const RunResult rb = runBench(baselineConfig(), wl.kernel);
+        const RunResult rs = runBench(ccws_str.config, wl.kernel);
+        const RunResult ra = runBench(apres_cfg.config, wl.kernel);
+        const double s = rs.avgLoadLatency / rb.avgLoadLatency;
+        const double a = ra.avgLoadLatency / rb.avgLoadLatency;
+        printRow(name, {s, a});
+        s_vals.push_back(s);
+        a_vals.push_back(a);
+    }
+    std::cout << '\n';
+    printRow("GM", {geomean(s_vals), geomean(a_vals)});
+    return 0;
+}

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Figure 14: SM<->memory data traffic of CCWS+STR and APRES,
+ * normalized to the LRR baseline.
+ *
+ * Paper reference points: traffic stays roughly flat (CCWS+STR -3.8%,
+ * APRES -2.1%) because both prefetchers only fire on confirmed
+ * strides; BP is the paper's outlier at +16.4% without a performance
+ * penalty.
+ */
+
+#include "bench_util.hpp"
+
+using namespace apres;
+using namespace apres::bench;
+
+int
+main()
+{
+    const double scale = benchScale();
+    const NamedConfig ccws_str =
+        makeConfig(SchedulerKind::kCcws, PrefetcherKind::kStr);
+    const NamedConfig apres_cfg =
+        makeConfig(SchedulerKind::kLaws, PrefetcherKind::kSap);
+
+    std::cout << "=== Figure 14: data traffic (normalized to baseline) "
+                 "===\n\n";
+    printHeader("app", {"CCWS+STR", "APRES"});
+
+    std::vector<double> s_vals;
+    std::vector<double> a_vals;
+    for (const std::string& name : allWorkloadNames()) {
+        const Workload wl = makeWorkload(name, scale);
+        const RunResult rb = runBench(baselineConfig(), wl.kernel);
+        const RunResult rs = runBench(ccws_str.config, wl.kernel);
+        const RunResult ra = runBench(apres_cfg.config, wl.kernel);
+        const auto base =
+            static_cast<double>(rb.traffic.interconnectBytes());
+        const double s = rs.traffic.interconnectBytes() / base;
+        const double a = ra.traffic.interconnectBytes() / base;
+        printRow(name, {s, a});
+        s_vals.push_back(s);
+        a_vals.push_back(a);
+    }
+    std::cout << '\n';
+    printRow("GM", {geomean(s_vals), geomean(a_vals)});
+    return 0;
+}

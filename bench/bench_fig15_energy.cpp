@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Figure 15: dynamic energy of APRES normalized to the LRR baseline
+ * (with CCWS+STR as the secondary comparison).
+ *
+ * Paper reference points: APRES saves 10.8% dynamic energy on average
+ * (>15% on BFS, KM, SP); ST is the worst case (+<10%) where
+ * ineffective prefetches add traffic; the APRES structures themselves
+ * stay below 3% of total energy.
+ */
+
+#include "bench_util.hpp"
+
+using namespace apres;
+using namespace apres::bench;
+
+int
+main()
+{
+    const double scale = benchScale();
+    const NamedConfig ccws_str =
+        makeConfig(SchedulerKind::kCcws, PrefetcherKind::kStr);
+    const NamedConfig apres_cfg =
+        makeConfig(SchedulerKind::kLaws, PrefetcherKind::kSap);
+
+    std::cout << "=== Figure 15: dynamic energy (normalized to baseline) "
+                 "===\n\n";
+    printHeader("app", {"CCWS+STR", "APRES", "A.structs%"});
+
+    std::vector<double> s_vals;
+    std::vector<double> a_vals;
+    for (const std::string& name : allWorkloadNames()) {
+        const Workload wl = makeWorkload(name, scale);
+        const RunResult rb = runBench(baselineConfig(), wl.kernel);
+        const RunResult rs = runBench(ccws_str.config, wl.kernel);
+        const RunResult ra = runBench(apres_cfg.config, wl.kernel);
+        const double s = rs.energy.total() / rb.energy.total();
+        const double a = ra.energy.total() / rb.energy.total();
+        printRow(name,
+                 {s, a, 100.0 * ra.energy.structureFraction()});
+        s_vals.push_back(s);
+        a_vals.push_back(a);
+    }
+    std::cout << '\n';
+    printRow("GM", {geomean(s_vals), geomean(a_vals), 0.0});
+    return 0;
+}

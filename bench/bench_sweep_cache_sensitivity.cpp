@@ -1,0 +1,46 @@
+/**
+ * @file
+ * L1 capacity sweep: IPC at 16 KB / 32 KB / 64 KB / 256 KB / 1 MB,
+ * normalized to the 32 KB baseline — the sensitivity analysis behind
+ * Table IV's three categories (cache-sensitive apps respond strongly,
+ * cache-insensitive and compute-intensive ones barely).
+ */
+
+#include "bench_util.hpp"
+
+using namespace apres;
+using namespace apres::bench;
+
+int
+main()
+{
+    const double scale = benchScale();
+    const std::vector<std::uint64_t> sizes = {
+        16 * 1024, 32 * 1024, 64 * 1024, 256 * 1024, 1024 * 1024,
+    };
+
+    std::cout << "=== L1 capacity sweep (IPC normalized to 32 KB) ===\n\n";
+    printHeader("app", {"16K", "32K", "64K", "256K", "1M", "category"});
+
+    for (const std::string& name : allWorkloadNames()) {
+        const Workload wl = makeWorkload(name, scale);
+
+        GpuConfig ref = baselineConfig();
+        const RunResult base = runBench(ref, wl.kernel);
+
+        std::vector<double> row;
+        for (const std::uint64_t size : sizes) {
+            GpuConfig cfg = baselineConfig();
+            cfg.sm.l1.sizeBytes = size;
+            const RunResult r = runBench(cfg, wl.kernel);
+            row.push_back(r.ipc / base.ipc);
+        }
+        // Encode the category as a number for the fixed-width printer:
+        // 0 = cache-sensitive, 1 = cache-insensitive, 2 = compute.
+        row.push_back(static_cast<double>(static_cast<int>(wl.category)));
+        printRow(name, row);
+    }
+    std::cout << "\n(category: 0=cache-sensitive 1=cache-insensitive "
+                 "2=compute-intensive)\n";
+    return 0;
+}

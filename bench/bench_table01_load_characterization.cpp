@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Table I: per-static-load characterization of the memory-intensive
+ * applications — %Load, #L/#R, L1 miss rate, dominant inter-warp
+ * stride and its share — combining the oracle address-stream replay
+ * (static columns) with a baseline timing run (miss rates).
+ */
+
+#include <iomanip>
+
+#include "bench_util.hpp"
+#include "workloads/characterize.hpp"
+
+using namespace apres;
+using namespace apres::bench;
+
+int
+main()
+{
+    const double scale = benchScale();
+    std::cout << "=== Table I: characteristics of frequently executed "
+                 "loads ===\n\n";
+    std::cout << std::left << std::setw(7) << "app" << std::setw(8) << "PC"
+              << std::right << std::setw(9) << "%Load" << std::setw(9)
+              << "#L/#R" << std::setw(10) << "miss" << std::setw(12)
+              << "stride" << std::setw(10) << "%stride" << '\n';
+
+    for (const std::string& name : allWorkloadNames()) {
+        if (!isMemoryIntensive(name))
+            continue;
+        const Workload wl = makeWorkload(name, scale);
+
+        // Timing run for the per-PC miss rates: the baseline GPU.
+        Gpu gpu(baselineConfig(), wl.kernel);
+        gpu.run();
+        std::unordered_map<Pc, PcLoadStats> per_pc;
+        for (int s = 0; s < baselineConfig().numSms; ++s) {
+            for (const auto& [pc, stat] : gpu.sm(s).lsuStats().perPc) {
+                per_pc[pc].accesses += stat.accesses;
+                per_pc[pc].hits += stat.hits;
+            }
+        }
+
+        // Oracle replay for the contention-free columns.
+        const auto profiles = characterizeKernel(wl.kernel);
+
+        bool first = true;
+        for (const LoadProfile& p : profiles) {
+            std::cout << std::left << std::setw(7) << (first ? name : "")
+                      << "0x" << std::hex << std::setw(6) << p.pc
+                      << std::dec << std::right << std::fixed
+                      << std::setw(8) << std::setprecision(1)
+                      << 100.0 * p.loadShare << "%" << std::setw(9)
+                      << std::setprecision(2) << p.uniqueLinesPerRef
+                      << std::setw(10) << std::setprecision(2)
+                      << per_pc[p.pc].missRate() << std::setw(12)
+                      << p.dominantStride << std::setw(9)
+                      << std::setprecision(1)
+                      << 100.0 * p.dominantStrideShare << "%" << '\n';
+            first = false;
+        }
+    }
+    return 0;
+}

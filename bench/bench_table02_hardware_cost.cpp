@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Table II: the hardware cost of APRES, recomputed from the structure
+ * dimensions the paper itemizes. Expected total: 724 bytes per SM,
+ * ~2% of the 32 KB L1.
+ */
+
+#include <iomanip>
+#include <iostream>
+
+#include "apres/hardware_cost.hpp"
+
+using namespace apres;
+
+int
+main()
+{
+    const HardwareCostParams params;
+    const HardwareCost cost = computeHardwareCost(params);
+
+    std::cout << "=== Table II: hardware cost of APRES ===\n\n";
+    std::cout << "LAWS:\n"
+              << "  LLT  (4B x " << params.warpsPerSm
+              << " warps)          = " << cost.lltBytes << " B\n"
+              << "  WGT  (" << params.warpsPerSm << "b x "
+              << params.wgtEntries << " entries)        = " << cost.wgtBytes
+              << " B\n"
+              << "SAP:\n"
+              << "  DRQ  (8B x " << params.drqEntries
+              << " entries)        = " << cost.drqBytes << " B\n"
+              << "  WQ   (1B x " << params.wqEntries
+              << " entries)        = " << cost.wqBytes << " B\n"
+              << "  PT   ((4+1+8+8)B x " << params.ptEntries
+              << ")       = " << cost.ptBytes << " B\n\n"
+              << "LAWS subtotal = " << cost.lawsBytes() << " B\n"
+              << "SAP subtotal  = " << cost.sapBytes() << " B\n"
+              << "Total         = " << cost.totalBytes()
+              << " B  (paper: 724 B)\n\n"
+              << "Fraction of a 32 KB L1: " << std::fixed
+              << std::setprecision(2)
+              << 100.0 * cost.fractionOfL1(32 * 1024)
+              << "% (paper, CACTI-based: 2.06%)\n";
+    return 0;
+}

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Bench helper implementation.
+ */
+
+#include "bench_util.hpp"
+
+#include <cstdlib>
+
+namespace apres::bench {
+
+double
+benchScale()
+{
+    if (const char* env = std::getenv("APRES_BENCH_SCALE"))
+        return std::atof(env);
+    return 1.0;
+}
+
+GpuConfig
+baselineConfig()
+{
+    return GpuConfig{}; // defaults are Table III
+}
+
+NamedConfig
+makeConfig(SchedulerKind sched, PrefetcherKind pf)
+{
+    NamedConfig named;
+    named.config.scheduler = sched;
+    named.config.prefetcher = pf;
+    named.label = named.config.label();
+    return named;
+}
+
+double
+geomean(const std::vector<double>& values)
+{
+    if (values.empty())
+        return 1.0;
+    double log_sum = 0.0;
+    for (const double v : values)
+        log_sum += std::log(v);
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+void
+printHeader(const std::string& first, const std::vector<std::string>& columns)
+{
+    std::cout << std::left << std::setw(8) << first << std::right;
+    for (const std::string& c : columns)
+        std::cout << std::setw(12) << c;
+    std::cout << '\n';
+}
+
+void
+printRow(const std::string& first, const std::vector<double>& values,
+         int precision)
+{
+    std::cout << std::left << std::setw(8) << first << std::right
+              << std::fixed << std::setprecision(precision);
+    for (const double v : values)
+        std::cout << std::setw(12) << v;
+    std::cout << '\n';
+}
+
+RunResult
+runBench(const GpuConfig& config, const Kernel& kernel)
+{
+    return simulate(config, kernel);
+}
+
+} // namespace apres::bench

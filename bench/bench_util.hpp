@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Shared helpers for the paper-reproduction benches: config builders
+ * for the evaluated scheduler/prefetcher combinations, geometric-mean
+ * aggregation, and fixed-width table printing.
+ */
+
+#ifndef APRES_BENCH_BENCH_UTIL_HPP
+#define APRES_BENCH_BENCH_UTIL_HPP
+
+#include <cmath>
+#include <iomanip>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "sim/gpu.hpp"
+#include "workloads/workload.hpp"
+
+namespace apres::bench {
+
+/** Trip-count multiplier; override with APRES_BENCH_SCALE. */
+double benchScale();
+
+/** A config under evaluation, with its display label. */
+struct NamedConfig
+{
+    std::string label;
+    GpuConfig config;
+};
+
+/** Build a config for one scheduler/prefetcher pair. */
+NamedConfig makeConfig(SchedulerKind sched, PrefetcherKind pf);
+
+/** The paper's baseline (LRR, no prefetching, Table III sizes). */
+GpuConfig baselineConfig();
+
+/** Geometric mean; empty input yields 1. */
+double geomean(const std::vector<double>& values);
+
+/** Print a table header: first column wide, rest fixed width. */
+void printHeader(const std::string& first,
+                 const std::vector<std::string>& columns);
+
+/** Print one row of doubles with @p precision decimals. */
+void printRow(const std::string& first, const std::vector<double>& values,
+              int precision = 3);
+
+/** Run @p kernel under @p config at the bench scale. */
+RunResult runBench(const GpuConfig& config, const Kernel& kernel);
+
+} // namespace apres::bench
+
+#endif // APRES_BENCH_BENCH_UTIL_HPP

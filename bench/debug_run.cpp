@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Diagnostic driver: run one (workload, scheduler, prefetcher) combo
+ * and dump the full StatSet plus DRAM channel state.
+ *
+ * Usage: debug_run WORKLOAD SCHED PF [scale]
+ *   SCHED in {lrr,gto,ccws,mascar,pa,laws}; PF in {none,str,sld,sap}
+ */
+
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "bench_util.hpp"
+#include "common/log.hpp"
+
+using namespace apres;
+using namespace apres::bench;
+
+namespace {
+
+SchedulerKind
+parseSched(const std::string& s)
+{
+    if (s == "lrr") return SchedulerKind::kLrr;
+    if (s == "gto") return SchedulerKind::kGto;
+    if (s == "ccws") return SchedulerKind::kCcws;
+    if (s == "mascar") return SchedulerKind::kMascar;
+    if (s == "pa") return SchedulerKind::kPa;
+    if (s == "laws") return SchedulerKind::kLaws;
+    fatal("unknown scheduler: " + s);
+}
+
+PrefetcherKind
+parsePf(const std::string& s)
+{
+    if (s == "none") return PrefetcherKind::kNone;
+    if (s == "str") return PrefetcherKind::kStr;
+    if (s == "sld") return PrefetcherKind::kSld;
+    if (s == "sap") return PrefetcherKind::kSap;
+    fatal("unknown prefetcher: " + s);
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    if (argc < 4) {
+        std::cerr << "usage: debug_run WORKLOAD SCHED PF [scale]\n";
+        return 1;
+    }
+    const std::string name = argv[1];
+    GpuConfig cfg;
+    cfg.scheduler = parseSched(argv[2]);
+    cfg.prefetcher = parsePf(argv[3]);
+    const double scale = argc > 4 ? std::atof(argv[4]) : benchScale();
+
+    // Sensitivity knobs for experiments.
+    if (const char* e = std::getenv("APRES_MSHRS"))
+        cfg.sm.l1.numMshrs = static_cast<std::uint32_t>(std::atoi(e));
+    if (const char* e = std::getenv("APRES_NUM_SMS"))
+        cfg.numSms = std::atoi(e);
+    if (const char* e = std::getenv("APRES_L1_BYTES"))
+        cfg.sm.l1.sizeBytes = std::strtoull(e, nullptr, 10);
+    if (const char* e = std::getenv("APRES_LSU_Q"))
+        cfg.sm.lsu.queueCapacity = std::atoi(e);
+    if (const char* e = std::getenv("APRES_DRAM_INTERVAL"))
+        cfg.mem.dram.serviceInterval = std::strtoull(e, nullptr, 10);
+    if (const char* e = std::getenv("APRES_CCWS_BONUS"))
+        cfg.ccws.scoreBonus = std::atoi(e);
+    if (const char* e = std::getenv("APRES_CCWS_CAP"))
+        cfg.ccws.scoreCap = std::atoi(e);
+    if (const char* e = std::getenv("APRES_CCWS_SCALE"))
+        cfg.ccws.throttleScale = std::atoi(e);
+    if (const char* e = std::getenv("APRES_CCWS_DECAY"))
+        cfg.ccws.decayPeriod = std::atoi(e);
+    if (const char* e = std::getenv("APRES_CCWS_MIN"))
+        cfg.ccws.minActiveWarps = std::atoi(e);
+    if (const char* e = std::getenv("APRES_CCWS_VTA"))
+        cfg.ccws.vtaEntries = std::atoi(e);
+    if (const char* e = std::getenv("APRES_LAWS_PROMOTE"))
+        cfg.laws.promoteOnHit = std::atoi(e) != 0;
+    if (const char* e = std::getenv("APRES_LAWS_DEMOTE"))
+        cfg.laws.demoteOnMiss = std::atoi(e) != 0;
+    if (const char* e = std::getenv("APRES_LAWS_PFPROMOTE"))
+        cfg.laws.promotePrefetchTargets = std::atoi(e) != 0;
+    if (const char* e = std::getenv("APRES_LAWS_GROUPCAP"))
+        cfg.laws.groupCap = std::atoi(e);
+
+    const Workload wl = makeWorkload(name, scale);
+    Gpu gpu(cfg, wl.kernel);
+
+    // Optional phase profile: IPC per 2000-cycle window (sm 0 only
+    // would need SM stats; use GPU-wide instruction deltas).
+    const bool profile = std::getenv("APRES_PROFILE") != nullptr;
+    RunResult r;
+    if (profile) {
+        std::uint64_t last_instr = 0;
+        while (!gpu.done() && gpu.now() < cfg.maxCycles) {
+            gpu.step(2000);
+            const RunResult snap = gpu.collect();
+            std::cerr << "cycle " << gpu.now() << " ipc "
+                      << (snap.instructions - last_instr) / 2000.0 << '\n';
+            last_instr = snap.instructions;
+        }
+        r = gpu.collect();
+        r.completed = gpu.done();
+    } else {
+        r = gpu.run();
+    }
+
+    std::cout << "== " << name << " under " << cfg.label() << " ==\n";
+    r.toStatSet().dump(std::cout);
+
+    for (int p = 0; p < cfg.mem.numPartitions; ++p) {
+        const DramStats& d = gpu.memorySystem().dram(p).stats();
+        std::cout << "dram" << p << ".requests = " << d.requests
+                  << "  avgQueueDelay = " << d.avgQueueDelay() << '\n';
+    }
+
+    // Per-warp issue distribution of SM 0 (scheduler fairness view).
+    if (std::getenv("APRES_WARPSTATS")) {
+        const Sm& sm0 = gpu.sm(0);
+        std::uint64_t lo = ~0ull;
+        std::uint64_t hi = 0;
+        for (int w = 0; w < sm0.numWarps(); ++w) {
+            const auto n = sm0.warpState(w).instructionsIssued;
+            lo = std::min(lo, n);
+            hi = std::max(hi, n);
+            std::cout << "warp" << w << ".instructions = " << n << '\n';
+        }
+        std::cout << "warpstats.spread = " << (hi - lo) << '\n';
+    }
+    return 0;
+}

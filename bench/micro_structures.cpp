@@ -1,0 +1,155 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator's hot structures:
+ * cache access/fill, coalescing, the LAWS queue operations, SAP and
+ * STR table lookups, address generation and the RNG.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "apres/laws.hpp"
+#include "apres/sap.hpp"
+#include "common/rng.hpp"
+#include "core/prefetcher.hpp"
+#include "isa/address_gen.hpp"
+#include "mem/cache.hpp"
+#include "mem/coalescer.hpp"
+#include "prefetch/str.hpp"
+#include "sim/gpu.hpp"
+#include "workloads/workload.hpp"
+
+namespace apres {
+namespace {
+
+void
+BM_RngNext(benchmark::State& state)
+{
+    Rng rng(1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(rng.next());
+}
+BENCHMARK(BM_RngNext);
+
+void
+BM_Mix64(benchmark::State& state)
+{
+    std::uint64_t i = 0;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(mix64(++i));
+}
+BENCHMARK(BM_Mix64);
+
+void
+BM_AddressGenStrided(benchmark::State& state)
+{
+    StridedGen gen(0x1000, 4352, 4352 * 48);
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        const AddrCtx ctx{0, static_cast<WarpId>(i % 48), i / 48};
+        benchmark::DoNotOptimize(gen.base(ctx));
+        ++i;
+    }
+}
+BENCHMARK(BM_AddressGenStrided);
+
+void
+BM_AddressGenIrregular(benchmark::State& state)
+{
+    IrregularGen gen(0x1000, 2 * 1024 * 1024, 8, 2, 7, 2);
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        const AddrCtx ctx{0, static_cast<WarpId>(i % 48), i / 48};
+        benchmark::DoNotOptimize(gen.base(ctx));
+        ++i;
+    }
+}
+BENCHMARK(BM_AddressGenIrregular);
+
+void
+BM_CoalesceCoalesced(benchmark::State& state)
+{
+    Coalescer c(128);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(c.coalesce(0x1000, 4));
+}
+BENCHMARK(BM_CoalesceCoalesced);
+
+void
+BM_CoalesceScattered(benchmark::State& state)
+{
+    Coalescer c(128);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(c.coalesce(0x1000, 128));
+}
+BENCHMARK(BM_CoalesceScattered);
+
+void
+BM_CacheHit(benchmark::State& state)
+{
+    CacheConfig cfg;
+    Cache cache("b", cfg);
+    MemRequest req;
+    req.lineAddr = 0x1000;
+    cache.access(req);
+    cache.fill(0x1000);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(cache.access(req));
+}
+BENCHMARK(BM_CacheHit);
+
+void
+BM_CacheMissFillCycle(benchmark::State& state)
+{
+    CacheConfig cfg;
+    Cache cache("b", cfg);
+    Addr line = 0;
+    for (auto _ : state) {
+        MemRequest req;
+        req.lineAddr = line;
+        benchmark::DoNotOptimize(cache.access(req));
+        cache.fill(line);
+        line += 128;
+    }
+}
+BENCHMARK(BM_CacheMissFillCycle);
+
+void
+BM_StrOnAccess(benchmark::State& state)
+{
+    StrPrefetcher str;
+    class NullIssuer : public PrefetchIssuer
+    {
+      public:
+        bool issuePrefetch(Addr, Pc, WarpId) override { return false; }
+    } issuer;
+    Addr addr = 0x1000;
+    for (auto _ : state) {
+        LoadAccessInfo info;
+        info.pc = 0x100;
+        info.baseAddr = addr;
+        info.baseLineAddr = addr & ~Addr{127};
+        str.onAccess(info, issuer);
+        addr += 4352;
+    }
+}
+BENCHMARK(BM_StrOnAccess);
+
+void
+BM_SimulatedKiloCycles(benchmark::State& state)
+{
+    // End-to-end simulator throughput: cost of 1000 GPU cycles of KM
+    // under APRES on a 4-SM configuration.
+    const Workload wl = makeWorkload("KM", 1.0);
+    GpuConfig cfg;
+    cfg.useApres();
+    cfg.numSms = 4;
+    Gpu gpu(cfg, wl.kernel);
+    for (auto _ : state)
+        gpu.step(1000);
+}
+BENCHMARK(BM_SimulatedKiloCycles)->Unit(benchmark::kMillisecond);
+
+} // namespace
+} // namespace apres
+
+BENCHMARK_MAIN();

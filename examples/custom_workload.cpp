@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Example: build a custom kernel with the public KernelBuilder /
+ * AddressGen API, characterize its static loads (the Table I
+ * methodology), and measure how much APRES helps it.
+ *
+ * The kernel models a gather-reduce: a hot lookup table (high
+ * locality), a strided input stream (prefetchable), and an indirect
+ * gather (irregular), chained like real index arithmetic.
+ */
+
+#include <iomanip>
+#include <iostream>
+
+#include "sim/gpu.hpp"
+#include "workloads/characterize.hpp"
+
+using namespace apres;
+
+int
+main()
+{
+    // ---- 1. Describe the kernel. -----------------------------------
+    KernelBuilder b("gather-reduce");
+
+    // A strided row index stream: adjacent warps 1 KB apart, fresh
+    // rows every iteration — zero reuse but a perfect inter-warp
+    // stride for SAP/STR.
+    const int idx = b.load(std::make_unique<StridedGen>(
+                               /*base=*/0x1000'0000, /*warp_stride=*/1024,
+                               /*iter_stride=*/1024 * 48),
+                           /*lane_stride=*/4, /*pc=*/0x40);
+
+    // The gathered values: irregular, but groups of 8 warps share
+    // lines (graph-style locality). Address depends on the index load.
+    const int x = b.alu({idx}, 1);
+    const int val = b.load(std::make_unique<IrregularGen>(
+                               /*base=*/0x2000'0000,
+                               /*footprint=*/1 * 1024 * 1024,
+                               /*share_warps=*/8, /*share_iters=*/2,
+                               /*seed=*/42),
+                           4, 0x48, x);
+
+    // A small coefficient table that lives in the L1.
+    const int y = b.alu({val}, 1);
+    const int coef = b.load(std::make_unique<ZipfGen>(
+                                /*base=*/0x3000'0000, /*num_lines=*/96,
+                                /*alpha=*/1.0, /*seed=*/7),
+                            4, 0x50, y);
+
+    // Reduce and write back.
+    const int acc = b.alu({coef}, 2);
+    b.store(std::make_unique<StridedGen>(0x4000'0000, 128, 128 * 48), acc);
+
+    const Kernel kernel = b.build(/*trip_count=*/64);
+
+    // ---- 2. Characterize the static loads (Table I style). ---------
+    std::cout << "Static load characterization:\n";
+    for (const LoadProfile& p : characterizeKernel(kernel)) {
+        std::cout << "  pc=0x" << std::hex << p.pc << std::dec
+                  << std::fixed << std::setprecision(2)
+                  << "  #L/#R=" << p.uniqueLinesPerRef
+                  << "  stride=" << p.dominantStride << " ("
+                  << std::setprecision(0)
+                  << 100.0 * p.dominantStrideShare << "% of pairs)\n";
+    }
+
+    // ---- 3. Simulate under the baseline and under APRES. -----------
+    GpuConfig base; // Table III defaults, LRR
+    const RunResult rb = simulate(base, kernel);
+
+    GpuConfig apres_cfg;
+    apres_cfg.useApres();
+    const RunResult ra = simulate(apres_cfg, kernel);
+
+    std::cout << std::setprecision(3) << "\nbaseline : IPC " << rb.ipc
+              << ", L1 hit " << std::setprecision(1)
+              << 100.0 * rb.l1HitRate() << "%, load latency "
+              << std::setprecision(0) << rb.avgLoadLatency << "\n"
+              << "APRES    : IPC " << std::setprecision(3) << ra.ipc
+              << ", L1 hit " << std::setprecision(1)
+              << 100.0 * ra.l1HitRate() << "%, load latency "
+              << std::setprecision(0) << ra.avgLoadLatency << "\n"
+              << "speedup  : " << std::setprecision(2) << ra.ipc / rb.ipc
+              << "x\n\nAPRES internals: " << ra.laws.groupsFormed
+              << " groups formed, " << ra.sap.strideMatches
+              << " stride matches, " << ra.prefetchesIssued
+              << " prefetches issued, early eviction ratio "
+              << std::setprecision(3) << ra.earlyEvictionRatio() << "\n";
+    return 0;
+}

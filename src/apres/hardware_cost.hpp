@@ -1,0 +1,82 @@
+/**
+ * @file
+ * APRES hardware cost model (Table II).
+ *
+ * Pure arithmetic over the structure dimensions the paper itemizes:
+ * LLT (4 B per warp), WGT (one warp-bit-vector per entry), DRQ (8 B
+ * addresses), WQ (1 B warp IDs) and PT (4 B PC + 1 B warp + 8 B
+ * address + 8 B stride per entry). With the default parameters
+ * (48 warps, 3 WGT entries, 32 DRQ, 48 WQ, 10 PT) the total is the
+ * paper's 724 bytes per SM.
+ */
+
+#ifndef APRES_APRES_HARDWARE_COST_HPP
+#define APRES_APRES_HARDWARE_COST_HPP
+
+#include <cstdint>
+
+#include "common/bitutils.hpp"
+
+namespace apres {
+
+/** Structure dimensions of one APRES instance. */
+struct HardwareCostParams
+{
+    int warpsPerSm = 48;
+    int wgtEntries = 3;
+    int drqEntries = 32;
+    int wqEntries = 48;
+    int ptEntries = 10;
+};
+
+/** Per-structure and total storage in bytes. */
+struct HardwareCost
+{
+    std::uint64_t lltBytes = 0;
+    std::uint64_t wgtBytes = 0;
+    std::uint64_t drqBytes = 0;
+    std::uint64_t wqBytes = 0;
+    std::uint64_t ptBytes = 0;
+
+    /** LAWS portion (LLT + WGT). */
+    std::uint64_t lawsBytes() const { return lltBytes + wgtBytes; }
+
+    /** SAP portion (DRQ + WQ + PT). */
+    std::uint64_t sapBytes() const { return drqBytes + wqBytes + ptBytes; }
+
+    /** Full APRES storage per SM. */
+    std::uint64_t totalBytes() const { return lawsBytes() + sapBytes(); }
+
+    /** Overhead relative to an L1 of @p l1_bytes (paper: 2.06%). */
+    double
+    fractionOfL1(std::uint64_t l1_bytes) const
+    {
+        return l1_bytes ? static_cast<double>(totalBytes()) /
+                              static_cast<double>(l1_bytes)
+                        : 0.0;
+    }
+};
+
+/** Compute Table II from structure dimensions. */
+inline HardwareCost
+computeHardwareCost(const HardwareCostParams& params = {})
+{
+    HardwareCost cost;
+    // LLT: one 4-byte PC per warp.
+    cost.lltBytes = 4ull * params.warpsPerSm;
+    // WGT: one warp bit-vector per entry (48 warps -> 6 bytes).
+    cost.wgtBytes =
+        divCeil(static_cast<std::uint64_t>(params.warpsPerSm), 8) *
+        params.wgtEntries;
+    // DRQ: 8-byte addresses.
+    cost.drqBytes = 8ull * params.drqEntries;
+    // WQ: 1-byte warp IDs.
+    cost.wqBytes = 1ull * params.wqEntries;
+    // PT: 4 B PC + 1 B warp ID + 8 B address + 8 B stride per entry.
+    cost.ptBytes = (4ull + 1 + 8 + 8) * params.ptEntries;
+    return cost;
+}
+
+} // namespace apres
+
+#endif // APRES_APRES_HARDWARE_COST_HPP

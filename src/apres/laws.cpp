@@ -1,0 +1,197 @@
+/**
+ * @file
+ * LAWS implementation.
+ */
+
+#include "laws.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+namespace apres {
+
+void
+LawsScheduler::attach(SmContext& sm_ref)
+{
+    sm = &sm_ref;
+    llt = LastLoadTable(sm->numWarps());
+    queue.clear();
+    for (int w = 0; w < sm->numWarps(); ++w)
+        queue.push_back(w);
+}
+
+WarpId
+LawsScheduler::pick(Cycle now, const std::vector<WarpId>& ready)
+{
+    (void)now;
+    if (ready.empty())
+        return kInvalidWarp;
+    // Greedy: the first ready warp in queue priority order.
+    for (const WarpId w : queue) {
+        if (std::find(ready.begin(), ready.end(), w) != ready.end())
+            return w;
+    }
+    return kInvalidWarp;
+}
+
+void
+LawsScheduler::notifyLoadIssued(WarpId warp, Pc pc, Cycle now)
+{
+    (void)now;
+    // Group every warp whose LLPC matches the issuing warp's previous
+    // load (Section IV-A / Fig. 8); then advance the warp's LLPC.
+    const Pc llpc = llt.get(warp);
+    std::uint64_t members = llt.matchMask(llpc);
+    members |= std::uint64_t{1} << warp; // the issuing warp belongs too
+    // Optional group-size cap (Section IV argues ~8 leading warps
+    // bound the working set; the default keeps the paper's uncapped
+    // grouping).
+    if (cfg.groupCap < 64) {
+        int kept = 0;
+        for (int w = 0; w < 64; ++w) {
+            if (!(members & (std::uint64_t{1} << w)))
+                continue;
+            if (kept >= cfg.groupCap)
+                members &= ~(std::uint64_t{1} << w);
+            else
+                ++kept;
+        }
+    }
+    wgt.insert(warp, pc, members);
+    ++stats_.groupsFormed;
+    llt.set(warp, pc);
+}
+
+void
+LawsScheduler::moveToHead(std::uint64_t member_mask)
+{
+    if (member_mask == 0)
+        return;
+    // Skip the reshuffle when the group already leads: for loads that
+    // hit on every execution the same group would otherwise be
+    // re-promoted at every access, and the constant reordering only
+    // perturbs the pipeline without changing which warps lead.
+    const int member_count = std::popcount(member_mask);
+    int position = 0;
+    int found_in_head = 0;
+    for (const WarpId w : queue) {
+        if (position >= 2 * member_count)
+            break;
+        if (member_mask & (std::uint64_t{1} << w))
+            ++found_in_head;
+        ++position;
+    }
+    if (found_in_head == member_count)
+        return;
+
+    std::vector<WarpId> promoted;
+    promoted.reserve(static_cast<std::size_t>(std::popcount(member_mask)));
+    for (auto it = queue.begin(); it != queue.end();) {
+        if (member_mask & (std::uint64_t{1} << *it)) {
+            promoted.push_back(*it);
+            it = queue.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    stats_.warpsPrioritized += promoted.size();
+    queue.insert(queue.begin(), promoted.begin(), promoted.end());
+}
+
+void
+LawsScheduler::moveToTail(std::uint64_t member_mask)
+{
+    if (member_mask == 0)
+        return;
+    std::vector<WarpId> demoted;
+    demoted.reserve(static_cast<std::size_t>(std::popcount(member_mask)));
+    for (auto it = queue.begin(); it != queue.end();) {
+        if (member_mask & (std::uint64_t{1} << *it)) {
+            demoted.push_back(*it);
+            it = queue.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    queue.insert(queue.end(), demoted.begin(), demoted.end());
+}
+
+void
+LawsScheduler::notifyAccessResult(const LoadAccessInfo& info)
+{
+    const std::uint64_t members = wgt.take(info.warp, info.pc);
+    if (members == 0)
+        return; // group replaced before the outcome arrived
+
+    if (info.hit) {
+        // High-locality load: the whole group is expected to hit; run
+        // it immediately so the shared lines stay resident.
+        ++stats_.groupHits;
+        if (cfg.promoteOnHit)
+            moveToHead(members);
+        pendingMiss.valid = false;
+        return;
+    }
+
+    // Streaming load: demote the group, and stage it for SAP, which
+    // may promote the prefetch targets right back (Section IV-B).
+    ++stats_.groupMisses;
+    if (cfg.demoteOnMiss)
+        moveToTail(members);
+    pendingMiss.valid = true;
+    pendingMiss.owner = info.warp;
+    pendingMiss.pc = info.pc;
+    pendingMiss.members = members & ~(std::uint64_t{1} << info.warp);
+}
+
+LawsScheduler::PendingGroupMiss
+LawsScheduler::takePendingGroupMiss(WarpId warp, Pc pc)
+{
+    PendingGroupMiss result;
+    if (pendingMiss.valid && pendingMiss.owner == warp &&
+        pendingMiss.pc == pc) {
+        result = pendingMiss;
+        pendingMiss.valid = false;
+    }
+    return result;
+}
+
+void
+LawsScheduler::prioritizeWarps(const std::vector<WarpId>& warps)
+{
+    if (!cfg.promotePrefetchTargets)
+        return;
+    std::uint64_t mask = 0;
+    for (const WarpId w : warps)
+        mask |= std::uint64_t{1} << w;
+    stats_.prefetchTargetPromotions += warps.size();
+    moveToHead(mask);
+}
+
+void
+LawsScheduler::notifyWarpFinished(WarpId warp)
+{
+    const auto it = std::find(queue.begin(), queue.end(), warp);
+    if (it != queue.end())
+        queue.erase(it);
+}
+
+void
+LawsScheduler::notifyWarpRelaunched(WarpId warp)
+{
+    // A refilled slot carries a fresh block: it rejoins at the tail,
+    // like a newly launched warp.
+    const auto it = std::find(queue.begin(), queue.end(), warp);
+    if (it != queue.end())
+        queue.erase(it);
+    queue.push_back(warp);
+}
+
+std::vector<WarpId>
+LawsScheduler::queueOrder() const
+{
+    return {queue.begin(), queue.end()};
+}
+
+} // namespace apres

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Last Load Table (LLT) — Section IV-A.
+ *
+ * One entry per warp, holding the PC of the last global load that warp
+ * issued (its LLPC). LAWS groups warps whose LLPC matches the issuing
+ * warp's: they executed the same static load last and are therefore
+ * expected to execute the next load of that path within a short time
+ * window. Hardware cost: 4 bytes x 48 warps (Table II).
+ */
+
+#ifndef APRES_APRES_LLT_HPP
+#define APRES_APRES_LLT_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace apres {
+
+/**
+ * Per-warp last-load-PC table.
+ */
+class LastLoadTable
+{
+  public:
+    /** @param num_warps warp contexts per SM. */
+    explicit LastLoadTable(int num_warps)
+        : llpc(static_cast<std::size_t>(num_warps), kInvalidPc)
+    {
+    }
+
+    /** LLPC of @p warp (kInvalidPc before its first load). */
+    Pc get(WarpId warp) const { return llpc.at(static_cast<std::size_t>(warp)); }
+
+    /** Record @p pc as the last load PC of @p warp. */
+    void
+    set(WarpId warp, Pc pc)
+    {
+        llpc.at(static_cast<std::size_t>(warp)) = pc;
+    }
+
+    /**
+     * All warps whose LLPC equals @p pc, as a bitmask (bit w = warp
+     * w). Returns 0 when @p pc is kInvalidPc.
+     */
+    std::uint64_t
+    matchMask(Pc pc) const
+    {
+        if (pc == kInvalidPc)
+            return 0;
+        std::uint64_t mask = 0;
+        for (std::size_t w = 0; w < llpc.size() && w < 64; ++w) {
+            if (llpc[w] == pc)
+                mask |= std::uint64_t{1} << w;
+        }
+        return mask;
+    }
+
+    /** Number of entries. */
+    int size() const { return static_cast<int>(llpc.size()); }
+
+  private:
+    std::vector<Pc> llpc;
+};
+
+} // namespace apres
+
+#endif // APRES_APRES_LLT_HPP

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * SAP implementation.
+ */
+
+#include "sap.hpp"
+
+#include <cassert>
+
+namespace apres {
+
+SapPrefetcher::SapPrefetcher(LawsScheduler& laws_ref, const SapConfig& config)
+    : laws(laws_ref), cfg(config)
+{
+    assert(cfg.ptEntries >= 1);
+    pt.resize(static_cast<std::size_t>(cfg.ptEntries));
+}
+
+SapPrefetcher::PtEntry&
+SapPrefetcher::lookup(Pc pc)
+{
+    PtEntry* victim = &pt[0];
+    for (PtEntry& entry : pt) {
+        if (entry.valid && entry.pc == pc)
+            return entry;
+        if (!entry.valid) {
+            victim = &entry;
+        } else if (victim->valid && entry.lastUse < victim->lastUse) {
+            victim = &entry;
+        }
+    }
+    *victim = PtEntry{};
+    victim->valid = true;
+    victim->pc = pc;
+    return *victim;
+}
+
+void
+SapPrefetcher::onAccess(const LoadAccessInfo& info, PrefetchIssuer& issuer)
+{
+    PtEntry& entry = lookup(info.pc);
+    entry.lastUse = ++useClock;
+
+    // Current inter-warp stride from the two most recent accesses of
+    // this static load (exact division required: a fractional stride
+    // cannot predict other warps' addresses).
+    bool cur_valid = false;
+    std::int64_t cur_stride = 0;
+    if (entry.lastAddr != kInvalidAddr && entry.lastWarp != info.warp) {
+        const std::int64_t addr_delta =
+            static_cast<std::int64_t>(info.baseAddr) -
+            static_cast<std::int64_t>(entry.lastAddr);
+        const std::int64_t warp_delta = info.warp - entry.lastWarp;
+        if (addr_delta % warp_delta == 0) {
+            cur_stride = addr_delta / warp_delta;
+            cur_valid = true;
+        }
+    }
+
+    // A grouped miss staged by LAWS for this (warp, pc)?
+    const LawsScheduler::PendingGroupMiss group =
+        laws.takePendingGroupMiss(info.warp, info.pc);
+
+    const bool stride_match =
+        cur_valid && entry.strideValid && cur_stride == entry.stride;
+
+    if (group.valid) {
+        ++stats_.groupMissesReceived;
+        if (stride_match) {
+            ++stats_.strideMatches;
+            // DRQ holds one address; WQ holds the member warps. Issue
+            // one prefetch per member, capped by the WQ capacity. A
+            // zero stride (the BFS-style shared-address loads of
+            // Table I) predicts the very line that just missed: no
+            // new request is needed, but promoting the member warps
+            // makes their demands merge into the outstanding MSHR —
+            // the paper's other path to the same cache line.
+            std::vector<WarpId> targets;
+            int enqueued = 0;
+            for (int w = 0; w < 64 && enqueued < cfg.wqEntries; ++w) {
+                if (!(group.members & (std::uint64_t{1} << w)))
+                    continue;
+                ++enqueued;
+                targets.push_back(w);
+                if (cur_stride == 0)
+                    continue;
+                ++stats_.prefetchesGenerated;
+                const auto target = static_cast<Addr>(
+                    static_cast<std::int64_t>(info.baseAddr) +
+                    (w - info.warp) * cur_stride);
+                if (issuer.issuePrefetch(target, info.pc, w))
+                    ++stats_.prefetchesIssued;
+            }
+            // Cooperative half: LAWS promotes the targeted warps so
+            // their demands merge with the in-flight (pre)fetches.
+            if (!targets.empty())
+                laws.prioritizeWarps(targets);
+        } else {
+            ++stats_.strideMismatches;
+        }
+    }
+
+    // Train the PT. Warps from different loop iterations interleave
+    // in the access stream, so a single outlier pair must not destroy
+    // an established stride: confidence hysteresis replaces the
+    // stored stride only after repeated disagreement, and inexact
+    // divisions (cross-iteration pairs) are ignored entirely.
+    if (cur_valid) {
+        if (entry.strideValid && cur_stride == entry.stride) {
+            if (entry.confidence < kMaxConfidence)
+                ++entry.confidence;
+        } else if (entry.confidence > 0) {
+            --entry.confidence;
+        } else {
+            entry.stride = cur_stride;
+            entry.strideValid = true;
+            entry.confidence = 1;
+        }
+    }
+    entry.lastAddr = info.baseAddr;
+    entry.lastWarp = info.warp;
+}
+
+} // namespace apres

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * SAP: Scheduling-Aware Prefetcher (Section IV-B).
+ *
+ * SAP owns three structures (Table II):
+ *  - PT, a 10-entry Prefetch Table keyed by load PC holding the last
+ *    issuing warp ID, its memory address, and the inter-warp stride
+ *    computed from the two most recent accesses;
+ *  - WQ, the 48-entry Warp Queue of group-member warp IDs received
+ *    from LAWS on a grouped miss;
+ *  - DRQ, the 32-entry Demand Request Queue holding the missing
+ *    access's (lowest-lane) address.
+ *
+ * On a grouped demand miss SAP computes the current inter-warp stride
+ * `(addr - PT.lastAddr) / (warp - PT.lastWarp)` and prefetches only
+ * when it matches the stored stride; the target for each group warp w
+ * is `addr + (w - warp) * stride` (the Fig. 9 walk-through). Issued
+ * target warps are reported back to LAWS for head-of-queue promotion,
+ * so their demands merge into the prefetch MSHRs instead of arriving
+ * after the line was evicted.
+ */
+
+#ifndef APRES_APRES_SAP_HPP
+#define APRES_APRES_SAP_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "apres/laws.hpp"
+#include "core/prefetcher.hpp"
+
+namespace apres {
+
+/** SAP sizing (defaults = Table II). */
+struct SapConfig
+{
+    int ptEntries = 10;  ///< prefetch table entries
+    int wqEntries = 48;  ///< warp queue capacity
+    int drqEntries = 32; ///< demand request queue capacity
+};
+
+/** SAP counters. */
+struct SapStats
+{
+    std::uint64_t groupMissesReceived = 0;
+    std::uint64_t strideMatches = 0;
+    std::uint64_t strideMismatches = 0;
+    std::uint64_t prefetchesGenerated = 0;
+    std::uint64_t prefetchesIssued = 0; ///< accepted by the L1/memsys
+};
+
+/**
+ * The SAP prefetcher. Requires a LAWS scheduler on the same SM.
+ */
+class SapPrefetcher final : public Prefetcher
+{
+  public:
+    /**
+     * @param laws   the LAWS instance on this SM (outlives SAP)
+     * @param config structure sizing
+     */
+    explicit SapPrefetcher(LawsScheduler& laws, const SapConfig& config = {});
+
+    void onAccess(const LoadAccessInfo& info, PrefetchIssuer& issuer) override;
+
+    const char* name() const override { return "SAP"; }
+
+    /** Counters. */
+    const SapStats& stats() const { return stats_; }
+
+  private:
+    /** Replacement hysteresis ceiling for PT stride confidence. */
+    static constexpr int kMaxConfidence = 3;
+
+    struct PtEntry
+    {
+        bool valid = false;
+        Pc pc = kInvalidPc;
+        WarpId lastWarp = kInvalidWarp;
+        Addr lastAddr = kInvalidAddr;
+        std::int64_t stride = 0;
+        bool strideValid = false;
+        int confidence = 0;
+        std::uint64_t lastUse = 0;
+    };
+
+    PtEntry& lookup(Pc pc);
+
+    LawsScheduler& laws;
+    SapConfig cfg;
+    std::vector<PtEntry> pt;
+    std::uint64_t useClock = 0;
+    SapStats stats_;
+};
+
+} // namespace apres
+
+#endif // APRES_APRES_SAP_HPP

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Warp Group Table (WGT) — Section IV-A.
+ *
+ * Three entries (one per pipeline stage between issue and execute, so
+ * every in-flight load's group survives until its cache outcome is
+ * known). Each entry stores the issuing warp, the load PC and a warp
+ * bit-vector of group members. Entries are looked up by (warp, pc)
+ * when the LSU reports the load's hit/miss and are invalidated after
+ * the group has been prioritized (Section IV-A). Hardware cost:
+ * 48 bits x 3 entries (Table II).
+ */
+
+#ifndef APRES_APRES_WGT_HPP
+#define APRES_APRES_WGT_HPP
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace apres {
+
+/**
+ * Fixed-capacity warp group table.
+ */
+class WarpGroupTable
+{
+  public:
+    /** Number of entries (pipeline-depth sized, per the paper). */
+    static constexpr int kEntries = 3;
+
+    /** One group record. */
+    struct Entry
+    {
+        bool valid = false;
+        WarpId owner = kInvalidWarp; ///< warp that issued the load
+        Pc pc = kInvalidPc;          ///< PC of the issued load
+        std::uint64_t members = 0;   ///< bit w set = warp w in group
+        std::uint64_t allocTick = 0; ///< age for replacement
+    };
+
+    /**
+     * Insert a group, replacing the oldest entry when full. A prior
+     * entry with the same (owner, pc) is overwritten in place.
+     */
+    void
+    insert(WarpId owner, Pc pc, std::uint64_t members)
+    {
+        Entry* slot = &entries[0];
+        for (Entry& e : entries) {
+            if (e.valid && e.owner == owner && e.pc == pc) {
+                slot = &e;
+                break;
+            }
+            if (!e.valid) {
+                slot = &e;
+            } else if (slot->valid && e.allocTick < slot->allocTick) {
+                slot = &e;
+            }
+        }
+        slot->valid = true;
+        slot->owner = owner;
+        slot->pc = pc;
+        slot->members = members;
+        slot->allocTick = ++tick;
+    }
+
+    /**
+     * Find and invalidate the group of (owner, pc).
+     * @return the member mask, or 0 when no entry matched (e.g. the
+     *         entry was replaced before the load's outcome arrived)
+     */
+    std::uint64_t
+    take(WarpId owner, Pc pc)
+    {
+        for (Entry& e : entries) {
+            if (e.valid && e.owner == owner && e.pc == pc) {
+                e.valid = false;
+                return e.members;
+            }
+        }
+        return 0;
+    }
+
+    /** Number of valid entries (for tests). */
+    int
+    validCount() const
+    {
+        int n = 0;
+        for (const Entry& e : entries)
+            n += e.valid ? 1 : 0;
+        return n;
+    }
+
+  private:
+    std::array<Entry, kEntries> entries{};
+    std::uint64_t tick = 0;
+};
+
+} // namespace apres
+
+#endif // APRES_APRES_WGT_HPP

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Small bit-manipulation helpers used across the memory system.
+ */
+
+#ifndef APRES_COMMON_BITUTILS_HPP
+#define APRES_COMMON_BITUTILS_HPP
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+
+#include "types.hpp"
+
+namespace apres {
+
+/** True iff @p v is a power of two (and non-zero). */
+constexpr bool
+isPowerOfTwo(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** log2 of a power-of-two value. */
+constexpr unsigned
+log2Exact(std::uint64_t v)
+{
+    return static_cast<unsigned>(std::countr_zero(v));
+}
+
+/** Align @p addr down to a multiple of the power-of-two @p align. */
+constexpr Addr
+alignDown(Addr addr, std::uint64_t align)
+{
+    return addr & ~(align - 1);
+}
+
+/** Align @p addr up to a multiple of the power-of-two @p align. */
+constexpr Addr
+alignUp(Addr addr, std::uint64_t align)
+{
+    return (addr + align - 1) & ~(align - 1);
+}
+
+/** Ceiling division for unsigned integers. */
+constexpr std::uint64_t
+divCeil(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace apres
+
+#endif // APRES_COMMON_BITUTILS_HPP

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * CSV writer implementation.
+ */
+
+#include "csv.hpp"
+
+#include <iomanip>
+#include <limits>
+
+namespace apres {
+
+void
+CsvWriter::write(std::ostream& os) const
+{
+    if (rows.empty())
+        return;
+    os << labelColumn;
+    for (const auto& [key, value] : rows.front().second.entries())
+        os << ',' << key;
+    os << '\n';
+    os << std::setprecision(std::numeric_limits<double>::max_digits10);
+    for (const auto& [label, stats] : rows) {
+        os << label;
+        // Iterate the first row's keys so columns stay aligned even if
+        // a later row carries extras.
+        for (const auto& [key, value] : rows.front().second.entries())
+            os << ',' << stats.get(key);
+        os << '\n';
+    }
+}
+
+} // namespace apres

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Tiny CSV writer for simulation results.
+ *
+ * Rows are StatSet snapshots; the header is the union of keys seen by
+ * the first row (later rows must carry the same keys, which RunResult
+ * snapshots always do). Values are written with full double precision
+ * so downstream tooling can recompute ratios exactly.
+ */
+
+#ifndef APRES_COMMON_CSV_HPP
+#define APRES_COMMON_CSV_HPP
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace apres {
+
+/**
+ * Accumulates labelled StatSet rows and writes them as CSV.
+ */
+class CsvWriter
+{
+  public:
+    /** @param label_column name of the first (label) column. */
+    explicit CsvWriter(std::string label_column = "label")
+        : labelColumn(std::move(label_column))
+    {
+    }
+
+    /** Append one row. */
+    void
+    addRow(const std::string& label, const StatSet& stats)
+    {
+        rows.emplace_back(label, stats);
+    }
+
+    /** Number of accumulated rows. */
+    std::size_t size() const { return rows.size(); }
+
+    /** Write header + all rows. */
+    void write(std::ostream& os) const;
+
+  private:
+    std::string labelColumn;
+    std::vector<std::pair<std::string, StatSet>> rows;
+};
+
+} // namespace apres
+
+#endif // APRES_COMMON_CSV_HPP

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Logging implementation.
+ */
+
+#include "log.hpp"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace apres {
+
+namespace {
+
+LogLevel g_level = LogLevel::kWarn;
+
+const char*
+levelTag(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::kDebug: return "debug";
+      case LogLevel::kInfo:  return "info";
+      case LogLevel::kWarn:  return "warn";
+      case LogLevel::kNone:  return "none";
+    }
+    return "?";
+}
+
+} // namespace
+
+LogLevel
+logLevel()
+{
+    return g_level;
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    g_level = level;
+}
+
+void
+logMessage(LogLevel level, const std::string& msg)
+{
+    if (level < g_level)
+        return;
+    std::cerr << "[apres:" << levelTag(level) << "] " << msg << '\n';
+}
+
+void
+fatal(const std::string& msg)
+{
+    std::cerr << "[apres:fatal] " << msg << '\n';
+    std::exit(1);
+}
+
+} // namespace apres

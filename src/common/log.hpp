@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Minimal severity-gated logging for the simulator.
+ *
+ * Logging is off (kWarn) by default so tests and benches stay quiet;
+ * examples raise the level to narrate what the pipeline is doing.
+ * fatal() mirrors gem5's convention: an unrecoverable *user* error
+ * (bad configuration) that terminates with a message, while internal
+ * invariant violations use assert().
+ */
+
+#ifndef APRES_COMMON_LOG_HPP
+#define APRES_COMMON_LOG_HPP
+
+#include <sstream>
+#include <string>
+
+namespace apres {
+
+/** Log severity, in increasing order of importance. */
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kNone = 3 };
+
+/** Global log threshold; messages below it are dropped. */
+LogLevel logLevel();
+
+/** Set the global log threshold. */
+void setLogLevel(LogLevel level);
+
+/** Emit one message at @p level (appends a newline). */
+void logMessage(LogLevel level, const std::string& msg);
+
+/** Print @p msg to stderr and terminate with exit code 1. */
+[[noreturn]] void fatal(const std::string& msg);
+
+namespace detail {
+
+/** Fold a pack of streamable values into one string. */
+template <typename... Args>
+std::string
+concat(const Args&... args)
+{
+    std::ostringstream oss;
+    (oss << ... << args);
+    return oss.str();
+}
+
+} // namespace detail
+
+/** Convenience: debug-level message from streamable pieces. */
+template <typename... Args>
+void
+logDebug(const Args&... args)
+{
+    if (logLevel() <= LogLevel::kDebug)
+        logMessage(LogLevel::kDebug, detail::concat(args...));
+}
+
+/** Convenience: info-level message from streamable pieces. */
+template <typename... Args>
+void
+logInfo(const Args&... args)
+{
+    if (logLevel() <= LogLevel::kInfo)
+        logMessage(LogLevel::kInfo, detail::concat(args...));
+}
+
+/** Convenience: warning-level message from streamable pieces. */
+template <typename... Args>
+void
+logWarn(const Args&... args)
+{
+    if (logLevel() <= LogLevel::kWarn)
+        logMessage(LogLevel::kWarn, detail::concat(args...));
+}
+
+} // namespace apres
+
+#endif // APRES_COMMON_LOG_HPP

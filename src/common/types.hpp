@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every apres-sim module.
+ *
+ * All simulator time is expressed in SM core cycles (@ref apres::Cycle)
+ * and all memory addresses are byte addresses in the GPU global address
+ * space (@ref apres::Addr). Warp, lane and SM identifiers are small
+ * integers; distinct aliases keep interfaces self-documenting.
+ */
+
+#ifndef APRES_COMMON_TYPES_HPP
+#define APRES_COMMON_TYPES_HPP
+
+#include <cstdint>
+#include <limits>
+
+namespace apres {
+
+/** Simulation time in SM core clock cycles. */
+using Cycle = std::uint64_t;
+
+/** Byte address in the GPU global memory address space. */
+using Addr = std::uint64_t;
+
+/** Program counter of a static instruction inside a kernel. */
+using Pc = std::uint32_t;
+
+/** Warp identifier within one SM (0 .. maxWarpsPerSm-1). */
+using WarpId = std::int32_t;
+
+/** Lane (thread slot) identifier within a warp (0 .. warpSize-1). */
+using LaneId = std::int32_t;
+
+/** Streaming Multiprocessor identifier. */
+using SmId = std::int32_t;
+
+/** Sentinel for "no warp". */
+inline constexpr WarpId kInvalidWarp = -1;
+
+/** Sentinel for "no address". */
+inline constexpr Addr kInvalidAddr = std::numeric_limits<Addr>::max();
+
+/** Sentinel for "no PC". */
+inline constexpr Pc kInvalidPc = std::numeric_limits<Pc>::max();
+
+/** Number of threads per warp (NVIDIA-style SIMT width). */
+inline constexpr int kWarpSize = 32;
+
+} // namespace apres
+
+#endif // APRES_COMMON_TYPES_HPP

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Hardware prefetcher interface.
+ *
+ * Prefetchers observe the demand access stream (post-coalescing, one
+ * event per warp load, carrying the lowest-lane address as in the
+ * paper's SAP) and may issue line prefetches through the
+ * PrefetchIssuer the SM provides. Issued prefetches allocate L1 MSHRs
+ * and travel through L2/DRAM like demand misses; the cache model
+ * accounts usefulness and early evictions.
+ */
+
+#ifndef APRES_CORE_PREFETCHER_HPP
+#define APRES_CORE_PREFETCHER_HPP
+
+#include "common/types.hpp"
+#include "core/scheduler.hpp"
+
+namespace apres {
+
+/**
+ * Callback the SM hands to prefetchers for issuing requests.
+ */
+class PrefetchIssuer
+{
+  public:
+    virtual ~PrefetchIssuer() = default;
+
+    /**
+     * Issue a prefetch for the line containing @p addr.
+     *
+     * @param addr        target byte address
+     * @param pc          static load the prediction derives from
+     * @param target_warp warp expected to consume the line
+     * @return true when the prefetch entered the memory system (false:
+     *         dropped on hit/pending/MSHR-full)
+     */
+    virtual bool issuePrefetch(Addr addr, Pc pc, WarpId target_warp) = 0;
+};
+
+/**
+ * Abstract prefetcher.
+ */
+class Prefetcher
+{
+  public:
+    virtual ~Prefetcher() = default;
+
+    /** Bind to the owning SM (optional state sizing). */
+    virtual void attach(SmContext& sm) { (void)sm; }
+
+    /**
+     * Observe one demand access result and optionally prefetch.
+     */
+    virtual void onAccess(const LoadAccessInfo& info,
+                          PrefetchIssuer& issuer) = 0;
+
+    /** Prefetcher name for reports. */
+    virtual const char* name() const = 0;
+};
+
+} // namespace apres
+
+#endif // APRES_CORE_PREFETCHER_HPP

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Shared-memory (scratchpad) timing helpers.
+ *
+ * The baseline SM (paper §II, Fig. 1) carries a software-managed
+ * scratchpad next to the L1. Scratchpad accesses never touch the cache
+ * hierarchy; their cost is a fixed pipeline latency plus bank-conflict
+ * serialization: the 32 banks are interleaved at 4-byte words, and
+ * lanes that hit the same bank at *different* words serialize, while
+ * lanes reading the same word broadcast for free.
+ */
+
+#ifndef APRES_CORE_SHARED_MEMORY_HPP
+#define APRES_CORE_SHARED_MEMORY_HPP
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace apres {
+
+/** Shared-memory timing parameters. */
+struct SharedMemConfig
+{
+    Cycle baseLatency = 24;  ///< conflict-free load-to-use latency
+    int numBanks = 32;       ///< word-interleaved banks
+    std::uint32_t wordBytes = 4;
+};
+
+/**
+ * Bank-conflict degree of one warp access: the largest number of
+ * distinct words any single bank must serve. 1 = conflict-free (or
+ * full broadcast); N = N-way serialization.
+ */
+inline int
+sharedConflictDegree(Addr base, int lane_stride, int active_lanes,
+                     const SharedMemConfig& cfg = {})
+{
+    // Count distinct words per bank. With <= 32 lanes and <= 32 banks
+    // a fixed-size scan is cheaper than hashing.
+    std::array<Addr, kWarpSize> words_seen{};
+    std::array<int, 64> per_bank{};
+    int degree = 1;
+    int num_words = 0;
+    for (int lane = 0; lane < active_lanes; ++lane) {
+        const Addr addr = base +
+            static_cast<Addr>(static_cast<std::int64_t>(lane) * lane_stride);
+        const Addr word = addr / cfg.wordBytes;
+        bool seen = false;
+        for (int w = 0; w < num_words; ++w) {
+            if (words_seen[static_cast<std::size_t>(w)] == word) {
+                seen = true; // broadcast: same word costs nothing extra
+                break;
+            }
+        }
+        if (seen)
+            continue;
+        words_seen[static_cast<std::size_t>(num_words)] = word;
+        ++num_words;
+        const auto bank = static_cast<std::size_t>(
+            word % static_cast<Addr>(cfg.numBanks));
+        degree = std::max(degree, ++per_bank[bank]);
+    }
+    return degree;
+}
+
+/** Total cycles until a shared access's result is ready. */
+inline Cycle
+sharedAccessLatency(Addr base, int lane_stride, int active_lanes,
+                    const SharedMemConfig& cfg = {})
+{
+    return cfg.baseLatency +
+        static_cast<Cycle>(
+            sharedConflictDegree(base, lane_stride, active_lanes, cfg) - 1);
+}
+
+} // namespace apres
+
+#endif // APRES_CORE_SHARED_MEMORY_HPP

@@ -1,0 +1,277 @@
+/**
+ * @file
+ * SM implementation.
+ */
+
+#include "sm.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <string>
+
+#include "common/bitutils.hpp"
+#include "core/shared_memory.hpp"
+
+namespace apres {
+
+Sm::Sm(SmId sm_id, const SmConfig& config, const Kernel& kernel,
+       Scheduler& scheduler_ref, Prefetcher* prefetcher_ptr,
+       MemorySystem& memsys_ref)
+    : smId(sm_id), cfg(config), kernel_(kernel), scheduler(scheduler_ref),
+      prefetcher(prefetcher_ptr), memsys(memsys_ref),
+      l1_("sm" + std::to_string(sm_id) + ".l1", config.l1),
+      lsu_(sm_id, config.lsu, *this, l1_, memsys_ref)
+{
+    assert(cfg.warpsPerSm >= 1);
+    assert(cfg.warpsPerBlock >= 1);
+    assert(cfg.jobsPerWarp >= 1);
+    warps.resize(static_cast<std::size_t>(cfg.warpsPerSm));
+    for (int w = 0; w < cfg.warpsPerSm; ++w) {
+        WarpRuntime& warp = warps[static_cast<std::size_t>(w)];
+        warp.id = w;
+        warp.regReadyAt.assign(static_cast<std::size_t>(kernel.numRegs()),
+                               0);
+        warp.iterEnd = kernel.tripCount();
+        warp.jobsRemaining = cfg.jobsPerWarp;
+        warp.ageStamp = ++jobSeq;
+    }
+    barrierArrivals.assign(
+        static_cast<std::size_t>(divCeil(cfg.warpsPerSm, cfg.warpsPerBlock)),
+        0);
+    memsys.registerClient(smId, this);
+    scheduler.attach(*this);
+    if (prefetcher)
+        prefetcher->attach(*this);
+}
+
+const WarpRuntime&
+Sm::warpState(WarpId warp) const
+{
+    return warps.at(static_cast<std::size_t>(warp));
+}
+
+bool
+Sm::nextIsMemory(WarpId warp) const
+{
+    const WarpRuntime& w = warpState(warp);
+    if (w.finished)
+        return false;
+    return kernel_.at(static_cast<std::size_t>(w.pcIndex)).isMemory();
+}
+
+bool
+Sm::warpReady(const WarpRuntime& warp, Cycle now) const
+{
+    if (warp.finished || warp.atBarrier)
+        return false;
+    const Instruction& instr =
+        kernel_.at(static_cast<std::size_t>(warp.pcIndex));
+    if (instr.isMemory() && !lsu_.canAccept())
+        return false;
+    for (const int src : instr.src) {
+        if (!warp.regReady(src, now))
+            return false;
+    }
+    // WAW: a destination still owed by an outstanding producer blocks
+    // re-issue (loads in a loop reuse their destination register).
+    if (!warp.regReady(instr.dst, now))
+        return false;
+    return true;
+}
+
+void
+Sm::collectReady(Cycle now, std::vector<WarpId>& out) const
+{
+    out.clear();
+    for (const WarpRuntime& warp : warps) {
+        if (warpReady(warp, now))
+            out.push_back(warp.id);
+    }
+}
+
+void
+Sm::arriveBarrier(WarpId warp)
+{
+    const std::size_t block =
+        static_cast<std::size_t>(warp) / cfg.warpsPerBlock;
+    // Finished warps never arrive: count live members instead.
+    const int first = static_cast<int>(block) * cfg.warpsPerBlock;
+    const int last = std::min(first + cfg.warpsPerBlock, cfg.warpsPerSm);
+    int live = 0;
+    for (int w = first; w < last; ++w) {
+        if (!warps[static_cast<std::size_t>(w)].finished)
+            ++live;
+    }
+    if (++barrierArrivals[block] >= live) {
+        barrierArrivals[block] = 0;
+        for (int w = first; w < last; ++w)
+            warps[static_cast<std::size_t>(w)].atBarrier = false;
+    }
+}
+
+void
+Sm::issue(WarpId warp_id, Cycle now)
+{
+    WarpRuntime& warp = warps[static_cast<std::size_t>(warp_id)];
+    const Instruction& instr =
+        kernel_.at(static_cast<std::size_t>(warp.pcIndex));
+
+    ++stats_.issuedInstructions;
+    ++warp.instructionsIssued;
+    warp.lastIssueCycle = now;
+    scheduler.notifyIssue(warp_id, instr, now);
+
+    switch (instr.op) {
+      case Opcode::kAlu:
+      case Opcode::kSfu:
+        warp.regReadyAt[static_cast<std::size_t>(instr.dst)] =
+            now + static_cast<Cycle>(instr.latency);
+        ++warp.pcIndex;
+        break;
+
+      case Opcode::kLoad: {
+        const AddrCtx ctx{smId, warp_id, warp.iter};
+        const Addr base = kernel_.addrGen(instr.addrGenId).base(ctx);
+        warp.regReadyAt[static_cast<std::size_t>(instr.dst)] = kNeverReady;
+        ++warp.outstandingLoads;
+        lsu_.pushLoad(warp_id, instr.pc, base, instr.laneStride, instr.dst,
+                      now, instr.activeLanes);
+        ++stats_.issuedLoads;
+        scheduler.notifyLoadIssued(warp_id, instr.pc, now);
+        ++warp.pcIndex;
+        break;
+      }
+
+      case Opcode::kStore: {
+        const AddrCtx ctx{smId, warp_id, warp.iter};
+        const Addr base = kernel_.addrGen(instr.addrGenId).base(ctx);
+        lsu_.pushStore(warp_id, instr.pc, base, instr.laneStride, now,
+                       instr.activeLanes);
+        ++stats_.issuedStores;
+        ++warp.pcIndex;
+        break;
+      }
+
+      case Opcode::kSharedLoad: {
+        const AddrCtx ctx{smId, warp_id, warp.iter};
+        const Addr base = kernel_.addrGen(instr.addrGenId).base(ctx);
+        const Cycle latency = sharedAccessLatency(
+            base, instr.laneStride, instr.activeLanes, cfg.sharedMem);
+        warp.regReadyAt[static_cast<std::size_t>(instr.dst)] =
+            now + latency;
+        ++stats_.sharedAccesses;
+        stats_.sharedConflictCycles +=
+            latency - cfg.sharedMem.baseLatency;
+        ++warp.pcIndex;
+        break;
+      }
+
+      case Opcode::kBranch:
+        ++warp.iter;
+        if (warp.iter < warp.iterEnd) {
+            warp.pcIndex = instr.branchTarget;
+        } else {
+            ++warp.pcIndex;
+        }
+        break;
+
+      case Opcode::kBarrier:
+        warp.atBarrier = true;
+        ++warp.pcIndex;
+        arriveBarrier(warp_id);
+        break;
+
+      case Opcode::kExit:
+        if (--warp.jobsRemaining > 0) {
+            // Refill the slot with the next block: restart the kernel
+            // with iterations continuing, rejoining as the youngest.
+            warp.pcIndex = 0;
+            warp.iterEnd = warp.iter + kernel_.tripCount();
+            warp.ageStamp = ++jobSeq;
+            scheduler.notifyWarpRelaunched(warp_id);
+        } else {
+            warp.finished = true;
+            scheduler.notifyWarpFinished(warp_id);
+        }
+        break;
+    }
+}
+
+void
+Sm::tick(Cycle now)
+{
+    now_ = now;
+    ++stats_.cycles;
+
+    lsu_.tick(now);
+
+    collectReady(now, readyScratch);
+    if (readyScratch.empty()) {
+        ++stats_.idleCycles;
+        return;
+    }
+    const WarpId picked = scheduler.pick(now, readyScratch);
+    if (picked == kInvalidWarp) {
+        ++stats_.idleCycles;
+        return;
+    }
+    issue(picked, now);
+}
+
+bool
+Sm::done() const
+{
+    for (const WarpRuntime& warp : warps) {
+        if (!warp.finished)
+            return false;
+    }
+    return lsu_.idle();
+}
+
+void
+Sm::onAccessResult(const LoadAccessInfo& info)
+{
+    scheduler.notifyAccessResult(info);
+    if (prefetcher)
+        prefetcher->onAccess(info, *this);
+}
+
+void
+Sm::onLoadComplete(WarpId warp_id, int dst_reg, Cycle now)
+{
+    WarpRuntime& warp = warps[static_cast<std::size_t>(warp_id)];
+    warp.regReadyAt[static_cast<std::size_t>(dst_reg)] = now;
+    assert(warp.outstandingLoads > 0);
+    --warp.outstandingLoads;
+}
+
+void
+Sm::memResponse(const MemRequest& req, Cycle now)
+{
+    lsu_.memResponse(req, now);
+}
+
+bool
+Sm::issuePrefetch(Addr addr, Pc pc, WarpId target_warp)
+{
+    ++stats_.prefetchesRequested;
+    // Saturation gate: do not displace demand bandwidth.
+    if (static_cast<double>(l1_.mshrsInUse()) >=
+        cfg.prefetchMshrGate * l1_.config().numMshrs) {
+        return false;
+    }
+    MemRequest req;
+    req.lineAddr = alignDown(addr, l1_.config().lineSize);
+    req.sm = smId;
+    req.warp = target_warp;
+    req.pc = pc;
+    req.isPrefetch = true;
+    req.issued = now_;
+    if (l1_.prefetch(req) != PrefetchOutcome::kIssued)
+        return false;
+    memsys.submitRead(req, now_);
+    ++stats_.prefetchesIssued;
+    return true;
+}
+
+} // namespace apres

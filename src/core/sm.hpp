@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Streaming Multiprocessor model.
+ *
+ * One SM owns 48 warp contexts, a scoreboard, one warp scheduler, an
+ * optional prefetcher, a private L1 data cache and an LSU. Each cycle
+ * it computes the ready-warp set, lets the scheduler pick one warp and
+ * issues a single instruction (Section II's baseline issue model).
+ *
+ * The SM is also the integration point of the APRES feedback loops: it
+ * forwards LSU access results to the scheduler (LAWS group
+ * prioritization, CCWS scoring) and to the prefetcher (STR/SLD/SAP),
+ * and exposes the PrefetchIssuer the prefetchers inject requests
+ * through.
+ */
+
+#ifndef APRES_CORE_SM_HPP
+#define APRES_CORE_SM_HPP
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/lsu.hpp"
+#include "core/shared_memory.hpp"
+#include "core/prefetcher.hpp"
+#include "core/scheduler.hpp"
+#include "core/warp.hpp"
+#include "isa/kernel.hpp"
+#include "mem/cache.hpp"
+#include "mem/memory_system.hpp"
+
+namespace apres {
+
+/** Static configuration of one SM. */
+struct SmConfig
+{
+    int warpsPerSm = 48;    ///< concurrent warp contexts (Table III)
+    int warpsPerBlock = 48; ///< barrier scope (blocks of warps)
+    /**
+     * Kernel instances (blocks) run per warp slot. GPUs launch more
+     * blocks than fit; finished warps are refilled, which keeps SMs
+     * occupied and rotates scheduler age priorities.
+     */
+    int jobsPerWarp = 4;
+    /**
+     * Prefetches are dropped while L1 MSHR occupancy is at or above
+     * this fraction: when the memory system is saturated, a prefetch
+     * can only displace demand bandwidth (the adaptive issue policy
+     * Section V-E credits for keeping traffic flat).
+     */
+    double prefetchMshrGate = 0.85;
+    CacheConfig l1;         ///< L1 data cache geometry
+    LsuConfig lsu;          ///< LSU sizing and hit latency
+    SharedMemConfig sharedMem; ///< scratchpad timing
+};
+
+/** Per-SM counters. */
+struct SmStats
+{
+    std::uint64_t cycles = 0;
+    std::uint64_t issuedInstructions = 0;
+    std::uint64_t issuedLoads = 0;
+    std::uint64_t issuedStores = 0;
+    std::uint64_t idleCycles = 0;      ///< no warp could issue
+    std::uint64_t prefetchesRequested = 0;
+    std::uint64_t prefetchesIssued = 0;///< accepted into the memory system
+    std::uint64_t sharedAccesses = 0;  ///< scratchpad warp accesses
+    std::uint64_t sharedConflictCycles = 0; ///< bank-conflict stalls
+
+    /** Instructions per cycle of this SM. */
+    double
+    ipc() const
+    {
+        return cycles ? static_cast<double>(issuedInstructions) /
+                            static_cast<double>(cycles)
+                      : 0.0;
+    }
+};
+
+/**
+ * Read-only view of SM state offered to schedulers and prefetchers.
+ */
+class SmContext
+{
+  public:
+    virtual ~SmContext() = default;
+
+    /** This SM's ID. */
+    virtual SmId id() const = 0;
+
+    /** Number of warp contexts. */
+    virtual int numWarps() const = 0;
+
+    /** Runtime state of warp @p warp. */
+    virtual const WarpRuntime& warpState(WarpId warp) const = 0;
+
+    /** The kernel all warps execute. */
+    virtual const Kernel& kernel() const = 0;
+
+    /** This SM's L1 data cache (for saturation heuristics). */
+    virtual const Cache& l1() const = 0;
+
+    /** Depth of the LSU's op queue. */
+    virtual std::size_t lsuQueueDepth() const = 0;
+
+    /** True when @p warp's next instruction is a load or store. */
+    virtual bool nextIsMemory(WarpId warp) const = 0;
+
+    /**
+     * Mutable L1, for schedulers that install cache observers (CCWS
+     * hooks the eviction stream to feed its victim tag arrays).
+     */
+    virtual Cache& l1Mutable() = 0;
+};
+
+/**
+ * The SM model.
+ */
+class Sm final : public SmContext,
+                 public LsuOwner,
+                 public MemClient,
+                 public PrefetchIssuer
+{
+  public:
+    /**
+     * @param sm_id      this SM's ID (also its MemClient slot)
+     * @param config     SM sizing
+     * @param kernel     kernel executed by all warps (outlives the SM)
+     * @param scheduler  warp scheduler (owned by caller, outlives SM)
+     * @param prefetcher optional prefetcher, may be nullptr
+     * @param memsys     shared memory side (outlives the SM)
+     */
+    Sm(SmId sm_id, const SmConfig& config, const Kernel& kernel,
+       Scheduler& scheduler, Prefetcher* prefetcher, MemorySystem& memsys);
+
+    /** Advance one cycle. */
+    void tick(Cycle now);
+
+    /** True when all warps finished and no memory op is in flight. */
+    bool done() const;
+
+    // SmContext
+    SmId id() const override { return smId; }
+    int numWarps() const override { return cfg.warpsPerSm; }
+    const WarpRuntime& warpState(WarpId warp) const override;
+    const Kernel& kernel() const override { return kernel_; }
+    const Cache& l1() const override { return l1_; }
+    std::size_t lsuQueueDepth() const override { return lsu_.queueDepth(); }
+    bool nextIsMemory(WarpId warp) const override;
+    Cache& l1Mutable() override { return l1_; }
+
+    // LsuOwner
+    void onAccessResult(const LoadAccessInfo& info) override;
+    void onLoadComplete(WarpId warp, int dst_reg, Cycle now) override;
+
+    // MemClient
+    void memResponse(const MemRequest& req, Cycle now) override;
+
+    // PrefetchIssuer
+    bool issuePrefetch(Addr addr, Pc pc, WarpId target_warp) override;
+
+    /** LSU counters. */
+    const LsuStats& lsuStats() const { return lsu_.stats(); }
+
+    /** SM counters. */
+    const SmStats& stats() const { return stats_; }
+
+  private:
+    void collectReady(Cycle now, std::vector<WarpId>& out) const;
+    bool warpReady(const WarpRuntime& warp, Cycle now) const;
+    void issue(WarpId warp, Cycle now);
+    void arriveBarrier(WarpId warp);
+
+    SmId smId;
+    SmConfig cfg;
+    const Kernel& kernel_;
+    Scheduler& scheduler;
+    Prefetcher* prefetcher;
+    MemorySystem& memsys;
+    Cache l1_;
+    Lsu lsu_;
+    std::vector<WarpRuntime> warps;
+    std::vector<int> barrierArrivals; // per block
+    std::vector<WarpId> readyScratch;
+    std::uint64_t jobSeq = 0;
+    Cycle now_ = 0;
+    SmStats stats_;
+};
+
+} // namespace apres
+
+#endif // APRES_CORE_SM_HPP

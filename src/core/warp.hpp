@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Per-warp architectural and scoreboard state.
+ */
+
+#ifndef APRES_CORE_WARP_HPP
+#define APRES_CORE_WARP_HPP
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace apres {
+
+/** Scoreboard sentinel: register waits on an outstanding load. */
+inline constexpr Cycle kNeverReady = std::numeric_limits<Cycle>::max();
+
+/**
+ * Runtime state of one warp on an SM.
+ *
+ * The scoreboard is a per-register ready cycle: ALU results become
+ * ready a fixed latency after issue, while load destinations are
+ * pinned at @ref kNeverReady until the LSU reports data return.
+ */
+struct WarpRuntime
+{
+    WarpId id = kInvalidWarp;
+
+    /** Index of the next instruction in the kernel's code vector. */
+    int pcIndex = 0;
+
+    /** Current loop iteration (increments at the back-edge branch). */
+    std::uint64_t iter = 0;
+
+    /**
+     * Iteration bound of the current job (block). The back-edge falls
+     * through once iter reaches this; iterations continue counting
+     * across jobs so address streams keep advancing.
+     */
+    std::uint64_t iterEnd = 0;
+
+    /**
+     * Remaining kernel instances (thread blocks) this warp slot will
+     * run. GPUs oversubscribe blocks: a finished warp's slot is
+     * refilled by a new block until the grid drains, which keeps the
+     * SM occupied and makes "oldest warp" a rotating property.
+     */
+    int jobsRemaining = 1;
+
+    /**
+     * Launch order of the current job; schedulers using "oldest warp"
+     * order by this, so refilled slots rejoin as the youngest.
+     */
+    std::uint64_t ageStamp = 0;
+
+    /** True once the warp executed kExit with no jobs remaining. */
+    bool finished = false;
+
+    /** True while parked at a barrier. */
+    bool atBarrier = false;
+
+    /** Cycle at which each architectural register becomes readable. */
+    std::vector<Cycle> regReadyAt;
+
+    /** Number of loads in flight for this warp. */
+    int outstandingLoads = 0;
+
+    /** Dynamic instructions issued by this warp. */
+    std::uint64_t instructionsIssued = 0;
+
+    /** Cycle of the last instruction issue (scheduler tie-breaks). */
+    Cycle lastIssueCycle = 0;
+
+    /** True when a register is ready at @p now. kNoReg is ready. */
+    bool
+    regReady(int reg, Cycle now) const
+    {
+        return reg < 0 || regReadyAt[static_cast<std::size_t>(reg)] <= now;
+    }
+};
+
+} // namespace apres
+
+#endif // APRES_CORE_WARP_HPP

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Event-based dynamic energy model (GPUWattch substitution).
+ *
+ * Figure 15 of the paper reports *relative dynamic energy*, which is
+ * dominated by event counts: executed instructions, cache accesses,
+ * DRAM transfers and execution time. This model charges a fixed energy
+ * per event class (values are in the vicinity of published 40 nm GPU
+ * numbers, but only their ratios matter for the reproduced figure) and
+ * adds the APRES/prefetcher table overhead explicitly — the paper
+ * reports it below 3% of total energy, which the defaults reproduce.
+ */
+
+#ifndef APRES_ENERGY_ENERGY_MODEL_HPP
+#define APRES_ENERGY_ENERGY_MODEL_HPP
+
+#include <cstdint>
+
+namespace apres {
+
+/** Per-event dynamic energies in picojoules. */
+struct EnergyParams
+{
+    double aluOp = 25.0;          ///< per issued ALU/SFU instruction
+    double registerAccess = 8.0;  ///< per instruction (RF read+write)
+    double l1Access = 60.0;       ///< per L1 line access (hit or probe)
+    double l2Access = 180.0;      ///< per L2 access
+    double dramAccess = 2200.0;   ///< per DRAM line transfer
+    double structureAccess = 3.0; ///< APRES/STR/SLD table event
+    /**
+     * Per SM per cycle: clock distribution, pipeline latches and the
+     * leakage-like time-proportional component. GPUWattch attributes
+     * 30-40% of GPU energy to time-proportional terms, which is what
+     * makes execution-time reductions an energy win (Fig. 15).
+     */
+    double smCyclePipeline = 100.0;
+};
+
+/** Event counts extracted from a simulation run. */
+struct EnergyInputs
+{
+    std::uint64_t instructions = 0;     ///< total issued instructions
+    std::uint64_t l1Accesses = 0;       ///< demand + store + prefetch probes
+    std::uint64_t l2Accesses = 0;       ///< reads + stores at L2
+    std::uint64_t dramAccesses = 0;     ///< line transfers at DRAM
+    std::uint64_t structureAccesses = 0;///< scheduler/prefetch table events
+    std::uint64_t smCycles = 0;         ///< cycles summed over SMs
+};
+
+/** Dynamic energy split by component, in picojoules. */
+struct EnergyBreakdown
+{
+    double core = 0.0;       ///< ALU + register file
+    double l1 = 0.0;
+    double l2 = 0.0;
+    double dram = 0.0;
+    double structures = 0.0; ///< APRES / prefetcher additions
+    double pipeline = 0.0;   ///< per-cycle clocking
+
+    /** Total dynamic energy in picojoules. */
+    double
+    total() const
+    {
+        return core + l1 + l2 + dram + structures + pipeline;
+    }
+
+    /** Fraction contributed by the added hardware structures. */
+    double
+    structureFraction() const
+    {
+        const double t = total();
+        return t > 0.0 ? structures / t : 0.0;
+    }
+};
+
+/** Charge the inputs against the per-event parameters. */
+inline EnergyBreakdown
+computeEnergy(const EnergyInputs& in, const EnergyParams& p = {})
+{
+    EnergyBreakdown out;
+    out.core = static_cast<double>(in.instructions) *
+        (p.aluOp + p.registerAccess);
+    out.l1 = static_cast<double>(in.l1Accesses) * p.l1Access;
+    out.l2 = static_cast<double>(in.l2Accesses) * p.l2Access;
+    out.dram = static_cast<double>(in.dramAccesses) * p.dramAccess;
+    out.structures =
+        static_cast<double>(in.structureAccesses) * p.structureAccess;
+    out.pipeline = static_cast<double>(in.smCycles) * p.smCyclePipeline;
+    return out;
+}
+
+} // namespace apres
+
+#endif // APRES_ENERGY_ENERGY_MODEL_HPP

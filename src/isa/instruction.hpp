@@ -1,0 +1,89 @@
+/**
+ * @file
+ * The compact kernel instruction set executed by simulated warps.
+ *
+ * apres-sim does not interpret PTX; the timing behaviour APRES depends
+ * on (issue order, register dependencies, load PCs, per-lane
+ * addresses) is fully captured by this small IR. Every instruction
+ * carries the static PC that the warp schedulers and prefetchers key
+ * their tables on.
+ */
+
+#ifndef APRES_ISA_INSTRUCTION_HPP
+#define APRES_ISA_INSTRUCTION_HPP
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace apres {
+
+/** Operation classes distinguished by the timing model. */
+enum class Opcode : std::uint8_t {
+    kAlu,     ///< integer/float arithmetic; fixed writeback latency
+    kSfu,     ///< special function (longer latency ALU)
+    kLoad,    ///< global-memory load through L1
+    kStore,   ///< global-memory store (write-through, no-allocate)
+    kSharedLoad, ///< scratchpad access (no cache; bank conflicts)
+    kBranch,  ///< loop back-edge; re-executes the body until trip count
+    kBarrier, ///< block-wide synchronization
+    kExit,    ///< terminates the warp
+};
+
+/** Maximum number of source registers per instruction. */
+inline constexpr int kMaxSrcRegs = 3;
+
+/** Register index sentinel meaning "unused". */
+inline constexpr int kNoReg = -1;
+
+/**
+ * One static instruction of a kernel.
+ *
+ * Instructions are stored in program order; @ref pc is the byte
+ * address used by PC-indexed hardware structures (LLT, STR table, SAP
+ * PT) and is unique per static instruction.
+ */
+struct Instruction
+{
+    Opcode op = Opcode::kAlu;
+
+    /** Static program counter (byte address within the kernel). */
+    Pc pc = 0;
+
+    /** Destination register, or kNoReg. */
+    int dst = kNoReg;
+
+    /** Source registers; unused slots hold kNoReg. */
+    std::array<int, kMaxSrcRegs> src = {kNoReg, kNoReg, kNoReg};
+
+    /** Writeback latency in cycles for ALU/SFU results. */
+    int latency = 8;
+
+    /** For kLoad/kStore: index into the kernel's address generators. */
+    int addrGenId = -1;
+
+    /**
+     * For kLoad/kStore: byte distance between consecutive lanes'
+     * addresses. 4 = fully coalesced word accesses (one 128 B line per
+     * warp), 128 = fully uncoalesced (32 lines per warp).
+     */
+    int laneStride = 4;
+
+    /**
+     * For kLoad/kStore: number of active lanes (1..kWarpSize). Models
+     * static control divergence: partially-populated warps issue
+     * fewer lane addresses and coalesce into fewer line requests.
+     */
+    int activeLanes = kWarpSize;
+
+    /** For kBranch: target instruction *index* of the loop head. */
+    int branchTarget = -1;
+
+    /** True for operations handled by the load-store unit. */
+    bool isMemory() const { return op == Opcode::kLoad || op == Opcode::kStore; }
+};
+
+} // namespace apres
+
+#endif // APRES_ISA_INSTRUCTION_HPP

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Kernel builder implementation.
+ */
+
+#include "kernel.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace apres {
+
+int
+Kernel::numLoads() const
+{
+    int n = 0;
+    for (const auto& instr : code_)
+        if (instr.op == Opcode::kLoad)
+            ++n;
+    return n;
+}
+
+std::uint64_t
+Kernel::dynamicInstructionsPerWarp() const
+{
+    // The body (everything except the trailing kExit) executes
+    // tripCount times; kExit executes once.
+    assert(!code_.empty());
+    const std::uint64_t body = code_.size() - 1;
+    return body * tripCount_ + 1;
+}
+
+KernelBuilder::KernelBuilder(std::string name)
+{
+    kernel.name_ = std::move(name);
+}
+
+int
+KernelBuilder::freshReg()
+{
+    return kernel.numRegs_++;
+}
+
+Pc
+KernelBuilder::nextPc(Pc explicit_pc)
+{
+    if (explicit_pc != kInvalidPc) {
+        autoPc = explicit_pc + 8;
+        return explicit_pc;
+    }
+    const Pc pc = autoPc;
+    autoPc += 8;
+    return pc;
+}
+
+int
+KernelBuilder::addGen(AddressGenPtr gen)
+{
+    assert(gen != nullptr);
+    kernel.addrGens_.push_back(std::move(gen));
+    return static_cast<int>(kernel.addrGens_.size()) - 1;
+}
+
+int
+KernelBuilder::load(AddressGenPtr gen, int lane_stride, Pc pc, int src_reg,
+                    int active_lanes)
+{
+    assert(!built);
+    assert(active_lanes >= 1 && active_lanes <= kWarpSize);
+    Instruction instr;
+    instr.op = Opcode::kLoad;
+    instr.pc = nextPc(pc);
+    instr.src[0] = src_reg;
+    instr.dst = freshReg();
+    instr.addrGenId = addGen(std::move(gen));
+    instr.laneStride = lane_stride;
+    instr.activeLanes = active_lanes;
+    kernel.code_.push_back(instr);
+    return instr.dst;
+}
+
+int
+KernelBuilder::alu(const std::vector<int>& srcs, int count, int latency)
+{
+    assert(!built);
+    assert(count >= 1);
+    assert(srcs.size() <= static_cast<std::size_t>(kMaxSrcRegs));
+    int last = kNoReg;
+    for (int i = 0; i < count; ++i) {
+        Instruction instr;
+        instr.op = Opcode::kAlu;
+        instr.pc = nextPc(kInvalidPc);
+        instr.latency = latency;
+        if (i == 0) {
+            for (std::size_t s = 0; s < srcs.size(); ++s)
+                instr.src[s] = srcs[s];
+        } else {
+            instr.src[0] = last;
+        }
+        instr.dst = freshReg();
+        last = instr.dst;
+        kernel.code_.push_back(instr);
+    }
+    return last;
+}
+
+int
+KernelBuilder::sfu(const std::vector<int>& srcs, int latency)
+{
+    assert(!built);
+    Instruction instr;
+    instr.op = Opcode::kSfu;
+    instr.pc = nextPc(kInvalidPc);
+    instr.latency = latency;
+    for (std::size_t s = 0; s < srcs.size(); ++s)
+        instr.src[s] = srcs[s];
+    instr.dst = freshReg();
+    kernel.code_.push_back(instr);
+    return instr.dst;
+}
+
+int
+KernelBuilder::sharedLoad(AddressGenPtr gen, int lane_stride, int src_reg,
+                          int active_lanes)
+{
+    assert(!built);
+    assert(active_lanes >= 1 && active_lanes <= kWarpSize);
+    Instruction instr;
+    instr.op = Opcode::kSharedLoad;
+    instr.pc = nextPc(kInvalidPc);
+    instr.src[0] = src_reg;
+    instr.dst = freshReg();
+    instr.addrGenId = addGen(std::move(gen));
+    instr.laneStride = lane_stride;
+    instr.activeLanes = active_lanes;
+    kernel.code_.push_back(instr);
+    return instr.dst;
+}
+
+void
+KernelBuilder::store(AddressGenPtr gen, int src, int lane_stride, Pc pc,
+                     int active_lanes)
+{
+    assert(!built);
+    assert(active_lanes >= 1 && active_lanes <= kWarpSize);
+    Instruction instr;
+    instr.op = Opcode::kStore;
+    instr.pc = nextPc(pc);
+    instr.src[0] = src;
+    instr.addrGenId = addGen(std::move(gen));
+    instr.laneStride = lane_stride;
+    instr.activeLanes = active_lanes;
+    kernel.code_.push_back(instr);
+}
+
+void
+KernelBuilder::barrier()
+{
+    assert(!built);
+    Instruction instr;
+    instr.op = Opcode::kBarrier;
+    instr.pc = nextPc(kInvalidPc);
+    kernel.code_.push_back(instr);
+}
+
+Kernel
+KernelBuilder::build(std::uint64_t trip_count)
+{
+    assert(!built);
+    assert(trip_count >= 1);
+    assert(!kernel.code_.empty() && "kernel body must not be empty");
+    built = true;
+
+    Instruction branch;
+    branch.op = Opcode::kBranch;
+    branch.pc = nextPc(kInvalidPc);
+    branch.branchTarget = 0;
+    kernel.code_.push_back(branch);
+
+    Instruction exit_instr;
+    exit_instr.op = Opcode::kExit;
+    exit_instr.pc = nextPc(kInvalidPc);
+    kernel.code_.push_back(exit_instr);
+
+    kernel.tripCount_ = trip_count;
+    return std::move(kernel);
+}
+
+} // namespace apres

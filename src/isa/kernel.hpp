@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Kernel representation and a fluent builder.
+ *
+ * A kernel is a single loop body (the common shape of the evaluated
+ * GPU benchmarks: each warp iterates over its share of the data).
+ * The builder appends instructions in program order, wires register
+ * dependencies, and finalizes the loop with a back-edge branch and an
+ * exit instruction.
+ */
+
+#ifndef APRES_ISA_KERNEL_HPP
+#define APRES_ISA_KERNEL_HPP
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "isa/address_gen.hpp"
+#include "isa/instruction.hpp"
+
+namespace apres {
+
+/**
+ * A complete kernel: static code, per-load address generators, and
+ * the loop trip count each warp executes.
+ */
+class Kernel
+{
+  public:
+    /** Kernel name (used in reports). */
+    const std::string& name() const { return name_; }
+
+    /** Static instruction sequence (loop body + branch + exit). */
+    const std::vector<Instruction>& code() const { return code_; }
+
+    /** Instruction at @p index. */
+    const Instruction& at(std::size_t index) const { return code_.at(index); }
+
+    /** Address generator for load/store @p gen_id. */
+    const AddressGen& addrGen(int gen_id) const
+    {
+        return *addrGens_.at(static_cast<std::size_t>(gen_id));
+    }
+
+    /** Loop iterations each warp executes. */
+    std::uint64_t tripCount() const { return tripCount_; }
+
+    /** Number of architectural registers referenced. */
+    int numRegs() const { return numRegs_; }
+
+    /** Number of static loads in the body. */
+    int numLoads() const;
+
+    /** Dynamic instruction count executed by one warp. */
+    std::uint64_t dynamicInstructionsPerWarp() const;
+
+  private:
+    friend class KernelBuilder;
+
+    std::string name_;
+    std::vector<Instruction> code_;
+    std::vector<AddressGenPtr> addrGens_;
+    std::uint64_t tripCount_ = 1;
+    int numRegs_ = 0;
+};
+
+/**
+ * Fluent builder for kernels.
+ *
+ * Each load allocates a fresh destination register that later ALU
+ * instructions may consume, which is how use-dependences (and thus
+ * memory stalls) are expressed.
+ */
+class KernelBuilder
+{
+  public:
+    explicit KernelBuilder(std::string name);
+
+    /**
+     * Append a global load.
+     *
+     * @param gen         address pattern of this static load
+     * @param lane_stride byte distance between lanes (4 = coalesced)
+     * @param pc          explicit PC, or kInvalidPc for auto-assign
+     * @param src_reg     register the address computation consumes
+     *                    (kNoReg = independent). Chaining loads behind
+     *                    their producers models index/pointer
+     *                    dependences and bounds per-warp MLP, which is
+     *                    what leaves MSHR headroom for prefetching.
+     * @return destination register holding the loaded value
+     */
+    int load(AddressGenPtr gen, int lane_stride = 4, Pc pc = kInvalidPc,
+             int src_reg = kNoReg, int active_lanes = kWarpSize);
+
+    /**
+     * Append a chain of @p count dependent ALU instructions.
+     *
+     * The first instruction consumes @p srcs; each subsequent one
+     * consumes its predecessor.
+     * @return destination register of the last instruction
+     */
+    int alu(const std::vector<int>& srcs, int count = 1, int latency = 8);
+
+    /** Append one long-latency SFU instruction consuming @p srcs. */
+    int sfu(const std::vector<int>& srcs, int latency = 20);
+
+    /**
+     * Append a shared-memory (scratchpad) load. Never touches the
+     * cache hierarchy; costs the shared-memory latency plus bank
+     * conflict serialization derived from the lane stride.
+     */
+    int sharedLoad(AddressGenPtr gen, int lane_stride = 4,
+                   int src_reg = kNoReg, int active_lanes = kWarpSize);
+
+    /** Append a global store of register @p src through @p gen. */
+    void store(AddressGenPtr gen, int src, int lane_stride = 4,
+               Pc pc = kInvalidPc, int active_lanes = kWarpSize);
+
+    /** Append a block-wide barrier. */
+    void barrier();
+
+    /**
+     * Finalize: appends the loop branch and exit, and moves the kernel
+     * out. The builder must not be reused afterwards.
+     *
+     * @param trip_count loop iterations per warp (>= 1)
+     */
+    Kernel build(std::uint64_t trip_count);
+
+  private:
+    int freshReg();
+    Pc nextPc(Pc explicit_pc);
+    int addGen(AddressGenPtr gen);
+
+    Kernel kernel;
+    Pc autoPc = 0;
+    bool built = false;
+};
+
+} // namespace apres
+
+#endif // APRES_ISA_KERNEL_HPP

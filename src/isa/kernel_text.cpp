@@ -1,0 +1,338 @@
+/**
+ * @file
+ * Kernel text format: parser, writer, and the AddressGen factory.
+ */
+
+#include "kernel_text.hpp"
+
+#include <fstream>
+#include <map>
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "common/log.hpp"
+#include "isa/address_gen.hpp"
+
+namespace apres {
+
+namespace {
+
+/** key=value map from the tail of a generator/instruction line. */
+class Params
+{
+  public:
+    Params(std::istringstream& in, const std::string& context)
+        : context_(context)
+    {
+        std::string token;
+        while (in >> token) {
+            const auto eq = token.find('=');
+            if (eq == std::string::npos || eq == 0)
+                fatal(context + ": expected key=value, got '" + token + "'");
+            values[token.substr(0, eq)] = token.substr(eq + 1);
+        }
+    }
+
+    bool has(const std::string& key) const { return values.count(key) != 0; }
+
+    std::uint64_t
+    getU64(const std::string& key, std::uint64_t fallback) const
+    {
+        const auto it = values.find(key);
+        if (it == values.end())
+            return fallback;
+        return std::strtoull(it->second.c_str(), nullptr, 0);
+    }
+
+    std::uint64_t
+    requireU64(const std::string& key) const
+    {
+        if (!has(key))
+            fatal(context_ + ": missing required key '" + key + "'");
+        return getU64(key, 0);
+    }
+
+    std::int64_t
+    getI64(const std::string& key, std::int64_t fallback) const
+    {
+        const auto it = values.find(key);
+        if (it == values.end())
+            return fallback;
+        return std::strtoll(it->second.c_str(), nullptr, 0);
+    }
+
+    double
+    getDouble(const std::string& key, double fallback) const
+    {
+        const auto it = values.find(key);
+        if (it == values.end())
+            return fallback;
+        return std::atof(it->second.c_str());
+    }
+
+    /** Register-valued key: accepts both `r3` and bare `3`. */
+    int
+    getReg(const std::string& key) const
+    {
+        const auto it = values.find(key);
+        if (it == values.end())
+            fatal(context_ + ": missing required key '" + key + "'");
+        const std::string& v = it->second;
+        return std::atoi(v[0] == 'r' ? v.c_str() + 1 : v.c_str());
+    }
+
+  private:
+    std::string context_;
+    std::map<std::string, std::string> values;
+};
+
+/** Parse an `r<N>` register name. */
+int
+parseReg(const std::string& token, const std::string& context)
+{
+    if (token.size() < 2 || token[0] != 'r')
+        fatal(context + ": expected register rN, got '" + token + "'");
+    return std::atoi(token.c_str() + 1);
+}
+
+} // namespace
+
+AddressGenPtr
+parseAddressGen(const std::string& text)
+{
+    std::istringstream in(text);
+    std::string kind;
+    in >> kind;
+    Params p(in, "generator '" + kind + "'");
+
+    if (kind == "uniform") {
+        return std::make_unique<UniformGen>(p.requireU64("addr"));
+    }
+    if (kind == "window") {
+        return std::make_unique<SharedWindowGen>(
+            p.requireU64("base"), p.requireU64("footprint"),
+            p.getI64("iter", 0), p.getI64("skew", 0), p.getI64("sm", 0));
+    }
+    if (kind == "strided") {
+        return std::make_unique<StridedGen>(
+            p.requireU64("base"), p.getI64("warp", 0), p.getI64("iter", 0),
+            p.getI64("sm", 0));
+    }
+    if (kind == "irregular") {
+        return std::make_unique<IrregularGen>(
+            p.requireU64("base"), p.requireU64("lines") * 128,
+            static_cast<int>(p.getU64("sharewarps", 1)),
+            static_cast<int>(p.getU64("shareiters", 1)),
+            p.getU64("seed", 1),
+            static_cast<int>(p.getU64("lag", 0)));
+    }
+    if (kind == "zipf") {
+        return std::make_unique<ZipfGen>(
+            p.requireU64("base"),
+            static_cast<std::size_t>(p.requireU64("lines")),
+            p.getDouble("alpha", 1.0), p.getU64("seed", 1));
+    }
+    fatal("unknown address generator kind: '" + kind + "'");
+}
+
+Kernel
+parseKernelText(std::istream& input)
+{
+    std::string name = "kernel";
+    std::uint64_t trips = 1;
+    std::vector<AddressGenPtr> gens;
+    std::unique_ptr<KernelBuilder> builder;
+    std::map<int, int> reg_map; // file register -> builder register
+
+    const auto mapped = [&](int file_reg, const std::string& ctx) {
+        if (file_reg < 0)
+            return kNoReg;
+        const auto it = reg_map.find(file_reg);
+        if (it == reg_map.end())
+            fatal(ctx + ": register r" + std::to_string(file_reg) +
+                  " used before definition");
+        return it->second;
+    };
+
+    std::string line;
+    int line_no = 0;
+    while (std::getline(input, line)) {
+        ++line_no;
+        const auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line.erase(hash);
+        std::istringstream in(line);
+        std::string op;
+        if (!(in >> op))
+            continue;
+        const std::string ctx = "line " + std::to_string(line_no);
+
+        if (op == "kernel") {
+            if (!(in >> name >> trips) || trips < 1)
+                fatal(ctx + ": expected 'kernel NAME TRIPS'");
+            builder = std::make_unique<KernelBuilder>(name);
+        } else if (!builder) {
+            fatal(ctx + ": '" + op + "' before the kernel header");
+        } else if (op == "gen") {
+            int id = 0;
+            if (!(in >> id) || id != static_cast<int>(gens.size()))
+                fatal(ctx + ": generators must be numbered in order");
+            std::string rest;
+            std::getline(in, rest);
+            gens.push_back(parseAddressGen(rest));
+        } else if (op == "load") {
+            std::string reg_token;
+            if (!(in >> reg_token))
+                fatal(ctx + ": expected 'load rN key=value...'");
+            const int file_reg = parseReg(reg_token, ctx);
+            Params p(in, ctx);
+            const auto gen_id = p.requireU64("gen");
+            if (gen_id >= gens.size() || gens[gen_id] == nullptr)
+                fatal(ctx + ": generator " + std::to_string(gen_id) +
+                      " not defined (each may be used once)");
+            const int dep =
+                p.has("dep") ? mapped(p.getReg("dep"), ctx) : kNoReg;
+            const int reg = builder->load(
+                std::move(gens[gen_id]),
+                static_cast<int>(p.getU64("lanestride", 4)),
+                static_cast<Pc>(p.getU64("pc", kInvalidPc)), dep,
+                static_cast<int>(p.getU64("lanes", kWarpSize)));
+            reg_map[file_reg] = reg;
+        } else if (op == "alu" || op == "sfu") {
+            std::string dst_token;
+            if (!(in >> dst_token))
+                fatal(ctx + ": expected '" + op + " rDST [rSRC...]'");
+            const int file_dst = parseReg(dst_token, ctx);
+            std::vector<int> srcs;
+            int latency = op == "alu" ? 8 : 20;
+            std::string token;
+            while (in >> token) {
+                if (token.rfind("lat=", 0) == 0)
+                    latency = std::atoi(token.c_str() + 4);
+                else
+                    srcs.push_back(mapped(parseReg(token, ctx), ctx));
+            }
+            const int reg = op == "alu" ? builder->alu(srcs, 1, latency)
+                                        : builder->sfu(srcs, latency);
+            reg_map[file_dst] = reg;
+        } else if (op == "sload") {
+            std::string reg_token;
+            if (!(in >> reg_token))
+                fatal(ctx + ": expected 'sload rN key=value...'");
+            const int file_reg = parseReg(reg_token, ctx);
+            Params p(in, ctx);
+            const auto gen_id = p.requireU64("gen");
+            if (gen_id >= gens.size() || gens[gen_id] == nullptr)
+                fatal(ctx + ": generator " + std::to_string(gen_id) +
+                      " not defined (each may be used once)");
+            const int dep =
+                p.has("dep") ? mapped(p.getReg("dep"), ctx) : kNoReg;
+            const int reg = builder->sharedLoad(
+                std::move(gens[gen_id]),
+                static_cast<int>(p.getU64("lanestride", 4)), dep,
+                static_cast<int>(p.getU64("lanes", kWarpSize)));
+            reg_map[file_reg] = reg;
+        } else if (op == "store") {
+            Params p(in, ctx);
+            const auto gen_id = p.requireU64("gen");
+            if (gen_id >= gens.size() || gens[gen_id] == nullptr)
+                fatal(ctx + ": generator " + std::to_string(gen_id) +
+                      " not defined (each may be used once)");
+            const int src =
+                p.has("src") ? mapped(p.getReg("src"), ctx) : kNoReg;
+            builder->store(std::move(gens[gen_id]), src,
+                           static_cast<int>(p.getU64("lanestride", 4)),
+                           static_cast<Pc>(p.getU64("pc", kInvalidPc)),
+                           static_cast<int>(p.getU64("lanes", kWarpSize)));
+        } else if (op == "barrier") {
+            builder->barrier();
+        } else {
+            fatal(ctx + ": unknown directive '" + op + "'");
+        }
+    }
+
+    if (!builder)
+        fatal("kernel text: missing 'kernel NAME TRIPS' header");
+    return builder->build(trips);
+}
+
+Kernel
+parseKernelText(const std::string& text)
+{
+    std::istringstream in(text);
+    return parseKernelText(in);
+}
+
+Kernel
+loadKernelFile(const std::string& path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open kernel file: " + path);
+    return parseKernelText(in);
+}
+
+void
+writeKernelText(const Kernel& kernel, std::ostream& output)
+{
+    output << "kernel " << kernel.name() << ' ' << kernel.tripCount()
+           << '\n';
+    // Generators first, numbered in addrGen order.
+    int num_gens = 0;
+    for (const Instruction& instr : kernel.code()) {
+        if (instr.addrGenId >= 0)
+            num_gens = std::max(num_gens, instr.addrGenId + 1);
+    }
+    for (int g = 0; g < num_gens; ++g)
+        output << "gen " << g << ' ' << kernel.addrGen(g).serialize()
+               << '\n';
+
+    for (const Instruction& instr : kernel.code()) {
+        switch (instr.op) {
+          case Opcode::kSharedLoad:
+            output << "sload r" << instr.dst << " gen=" << instr.addrGenId
+                   << " lanestride=" << instr.laneStride
+                   << " lanes=" << instr.activeLanes;
+            if (instr.src[0] != kNoReg)
+                output << " dep=r" << instr.src[0];
+            output << '\n';
+            break;
+          case Opcode::kLoad:
+            output << "load r" << instr.dst << " pc=0x" << std::hex
+                   << instr.pc << std::dec << " gen=" << instr.addrGenId
+                   << " lanestride=" << instr.laneStride
+                   << " lanes=" << instr.activeLanes;
+            if (instr.src[0] != kNoReg)
+                output << " dep=r" << instr.src[0];
+            output << '\n';
+            break;
+          case Opcode::kAlu:
+          case Opcode::kSfu:
+            output << (instr.op == Opcode::kAlu ? "alu r" : "sfu r")
+                   << instr.dst;
+            for (const int src : instr.src) {
+                if (src != kNoReg)
+                    output << " r" << src;
+            }
+            output << " lat=" << instr.latency << '\n';
+            break;
+          case Opcode::kStore:
+            output << "store gen=" << instr.addrGenId
+                   << " lanestride=" << instr.laneStride
+                   << " lanes=" << instr.activeLanes;
+            if (instr.src[0] != kNoReg)
+                output << " src=r" << instr.src[0];
+            output << '\n';
+            break;
+          case Opcode::kBarrier:
+            output << "barrier\n";
+            break;
+          case Opcode::kBranch:
+          case Opcode::kExit:
+            break; // implicit in the format
+        }
+    }
+}
+
+} // namespace apres

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Declarative text format for kernels.
+ *
+ * Lets users define workloads as data instead of C++ — the natural
+ * interchange format for "bring your own access pattern" studies.
+ * Example:
+ *
+ * ```
+ * # gather-reduce, 64 iterations per block
+ * kernel gather 64
+ * gen 0 strided base=268435456 warp=1024 iter=49152 sm=0
+ * gen 1 zipf base=536870912 lines=96 alpha=1.0 seed=7
+ * load r0 pc=0x40 gen=0
+ * alu r1 r0 lat=8
+ * load r2 pc=0x48 gen=1 dep=r0 lanestride=4 lanes=32
+ * alu r3 r2 lat=8
+ * store gen=0 src=r3
+ * ```
+ *
+ * `writeKernelText()` emits this form for any Kernel (round-trip safe);
+ * `parseKernelText()` builds the Kernel back. Registers are named
+ * `r<N>` in definition order; `dep=` chains a load's address
+ * computation behind a producer; `alu` lines take 1-3 sources.
+ * Malformed input terminates via fatal() with a line diagnostic (user
+ * error, per the logging conventions).
+ */
+
+#ifndef APRES_ISA_KERNEL_TEXT_HPP
+#define APRES_ISA_KERNEL_TEXT_HPP
+
+#include <iosfwd>
+#include <string>
+
+#include "isa/kernel.hpp"
+
+namespace apres {
+
+/** Parse a kernel definition from @p input. */
+Kernel parseKernelText(std::istream& input);
+
+/** Convenience: parse from a string. */
+Kernel parseKernelText(const std::string& text);
+
+/** Load a kernel definition from a file (fatal() if unreadable). */
+Kernel loadKernelFile(const std::string& path);
+
+/** Emit the canonical text form of @p kernel. */
+void writeKernelText(const Kernel& kernel, std::ostream& output);
+
+} // namespace apres
+
+#endif // APRES_ISA_KERNEL_TEXT_HPP

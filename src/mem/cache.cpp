@@ -1,0 +1,352 @@
+/**
+ * @file
+ * Cache model implementation.
+ */
+
+#include "cache.hpp"
+
+#include <cassert>
+#include <utility>
+
+#include "common/bitutils.hpp"
+
+namespace apres {
+
+CacheStats&
+CacheStats::operator+=(const CacheStats& other)
+{
+    demandAccesses += other.demandAccesses;
+    demandHits += other.demandHits;
+    demandMisses += other.demandMisses;
+    hitAfterHit += other.hitAfterHit;
+    hitAfterMiss += other.hitAfterMiss;
+    coldMisses += other.coldMisses;
+    capacityConflictMisses += other.capacityConflictMisses;
+    mshrMerges += other.mshrMerges;
+    mshrFullEvents += other.mshrFullEvents;
+    storeAccesses += other.storeAccesses;
+    storeHits += other.storeHits;
+    fills += other.fills;
+    evictions += other.evictions;
+    prefetchesAccepted += other.prefetchesAccepted;
+    prefetchDropHit += other.prefetchDropHit;
+    prefetchDropPending += other.prefetchDropPending;
+    prefetchDropMshrFull += other.prefetchDropMshrFull;
+    prefetchFills += other.prefetchFills;
+    usefulPrefetches += other.usefulPrefetches;
+    demandMergedIntoPrefetch += other.demandMergedIntoPrefetch;
+    earlyEvictions += other.earlyEvictions;
+    uselessPrefetchEvictions += other.uselessPrefetchEvictions;
+    return *this;
+}
+
+double
+CacheStats::missRate() const
+{
+    return demandAccesses
+        ? static_cast<double>(demandMisses) /
+              static_cast<double>(demandAccesses)
+        : 0.0;
+}
+
+std::uint64_t
+CacheStats::correctPrefetches() const
+{
+    return usefulPrefetches + demandMergedIntoPrefetch + earlyEvictions;
+}
+
+double
+CacheStats::earlyEvictionRatio() const
+{
+    const std::uint64_t correct = correctPrefetches();
+    return correct ? static_cast<double>(earlyEvictions) /
+                         static_cast<double>(correct)
+                   : 0.0;
+}
+
+Cache::Cache(std::string name, const CacheConfig& config)
+    : name_(std::move(name)), cfg(config)
+{
+    assert(isPowerOfTwo(cfg.lineSize));
+    assert(cfg.ways >= 1);
+    assert(cfg.sizeBytes >= static_cast<std::uint64_t>(cfg.lineSize) * cfg.ways);
+    sets_ = static_cast<std::uint32_t>(cfg.sizeBytes /
+                                       (static_cast<std::uint64_t>(cfg.lineSize)
+                                        * cfg.ways));
+    assert(isPowerOfTwo(sets_) && "sets must be a power of two");
+    lines.resize(static_cast<std::size_t>(sets_) * cfg.ways);
+}
+
+std::uint32_t
+Cache::setIndex(Addr line_addr) const
+{
+    std::uint64_t line = line_addr / cfg.lineSize;
+    if (cfg.hashSetIndex) {
+        const unsigned shift = log2Exact(sets_);
+        // Fold three higher bit-groups onto the index bits.
+        line ^= (line >> shift) ^ (line >> (2 * shift)) ^
+            (line >> (3 * shift));
+    }
+    return static_cast<std::uint32_t>(line % sets_);
+}
+
+Cache::Line*
+Cache::findLine(Addr line_addr)
+{
+    const std::uint32_t set = setIndex(line_addr);
+    Line* base = &lines[static_cast<std::size_t>(set) * cfg.ways];
+    for (std::uint32_t w = 0; w < cfg.ways; ++w) {
+        if (base[w].valid && base[w].addr == line_addr)
+            return &base[w];
+    }
+    return nullptr;
+}
+
+const Cache::Line*
+Cache::findLine(Addr line_addr) const
+{
+    return const_cast<Cache*>(this)->findLine(line_addr);
+}
+
+Cache::Line&
+Cache::victimLine(std::uint32_t set)
+{
+    Line* base = &lines[static_cast<std::size_t>(set) * cfg.ways];
+    // Invalid ways are always preferred, for every policy.
+    for (std::uint32_t w = 0; w < cfg.ways; ++w) {
+        if (!base[w].valid)
+            return base[w];
+    }
+    if (cfg.replacement == ReplacementPolicy::kRandom) {
+        // xorshift64: deterministic, seeded per cache.
+        randomState ^= randomState << 13;
+        randomState ^= randomState >> 7;
+        randomState ^= randomState << 17;
+        return base[randomState % cfg.ways];
+    }
+    // kLru and kFifo both evict the smallest timestamp; they differ in
+    // whether hits refresh it (see recordDemandHit / fill).
+    Line* victim = &base[0];
+    for (std::uint32_t w = 0; w < cfg.ways; ++w) {
+        if (base[w].lastUse < victim->lastUse)
+            victim = &base[w];
+    }
+    return *victim;
+}
+
+std::uint64_t
+Cache::warpBit(WarpId warp)
+{
+    if (warp < 0 || warp >= 64)
+        return 0;
+    return std::uint64_t{1} << warp;
+}
+
+void
+Cache::recordDemandHit(Line& line, WarpId warp)
+{
+    ++stats_.demandHits;
+    if (lastDemandWasHit)
+        ++stats_.hitAfterHit;
+    else
+        ++stats_.hitAfterMiss;
+    lastDemandWasHit = true;
+    if (cfg.replacement != ReplacementPolicy::kFifo)
+        line.lastUse = ++useClock;
+    line.toucherMask |= warpBit(warp);
+    if (line.prefetched && !line.demandTouched)
+        ++stats_.usefulPrefetches;
+    line.demandTouched = true;
+}
+
+void
+Cache::classifyMiss(Addr line_addr)
+{
+    if (everResident.count(line_addr))
+        ++stats_.capacityConflictMisses;
+    else
+        ++stats_.coldMisses;
+    // A correctly predicted prefetch whose line was evicted before the
+    // demand arrived: the paper's "early eviction" (Section III-C).
+    const auto it = earlyEvictedLines.find(line_addr);
+    if (it != earlyEvictedLines.end()) {
+        ++stats_.earlyEvictions;
+        // Reclassify: the eviction was provisionally counted useless.
+        --stats_.uselessPrefetchEvictions;
+        earlyEvictedLines.erase(it);
+    }
+}
+
+void
+Cache::evict(Line& line)
+{
+    if (!line.valid)
+        return;
+    ++stats_.evictions;
+    if (line.prefetched && !line.demandTouched) {
+        // Provisionally useless; reclassified as an early eviction if
+        // a demand miss for this line shows up later.
+        ++stats_.uselessPrefetchEvictions;
+        earlyEvictedLines.insert(line.addr);
+    }
+    if (evictionListener)
+        evictionListener(line.addr, line.toucherMask);
+    line.valid = false;
+}
+
+void
+Cache::setEvictionListener(EvictionListener listener)
+{
+    evictionListener = std::move(listener);
+}
+
+AccessOutcome
+Cache::access(const MemRequest& req)
+{
+    assert(!req.isWrite && !req.isPrefetch);
+    ++stats_.demandAccesses;
+
+    if (Line* line = findLine(req.lineAddr)) {
+        recordDemandHit(*line, req.warp);
+        return AccessOutcome::kHit;
+    }
+
+    // Outstanding miss for the same line: merge.
+    const auto it = mshrs.find(req.lineAddr);
+    if (it != mshrs.end()) {
+        MshrEntry& entry = it->second;
+        if (entry.waiters.size() >= cfg.maxMergesPerMshr) {
+            ++stats_.mshrFullEvents;
+            --stats_.demandAccesses; // the access will be replayed
+            return AccessOutcome::kMshrFull;
+        }
+        ++stats_.demandMisses;
+        lastDemandWasHit = false;
+        classifyMiss(req.lineAddr);
+        ++stats_.mshrMerges;
+        if (entry.prefetchOnly) {
+            ++stats_.demandMergedIntoPrefetch;
+            entry.prefetchOnly = false;
+        }
+        entry.waiters.push_back(req);
+        return AccessOutcome::kMergedMshr;
+    }
+
+    if (mshrsFull()) {
+        ++stats_.mshrFullEvents;
+        --stats_.demandAccesses; // the access will be replayed
+        return AccessOutcome::kMshrFull;
+    }
+
+    ++stats_.demandMisses;
+    lastDemandWasHit = false;
+    classifyMiss(req.lineAddr);
+    MshrEntry entry;
+    entry.prefetchOnly = false;
+    entry.waiters.push_back(req);
+    mshrs.emplace(req.lineAddr, std::move(entry));
+    return AccessOutcome::kMiss;
+}
+
+PrefetchOutcome
+Cache::prefetch(const MemRequest& req)
+{
+    assert(req.isPrefetch);
+    if (findLine(req.lineAddr) != nullptr) {
+        ++stats_.prefetchDropHit;
+        return PrefetchOutcome::kDroppedHit;
+    }
+    if (mshrs.count(req.lineAddr)) {
+        ++stats_.prefetchDropPending;
+        return PrefetchOutcome::kDroppedPending;
+    }
+    if (mshrsFull()) {
+        ++stats_.prefetchDropMshrFull;
+        return PrefetchOutcome::kDroppedMshrFull;
+    }
+    ++stats_.prefetchesAccepted;
+    MshrEntry entry;
+    entry.prefetchOnly = true;
+    mshrs.emplace(req.lineAddr, std::move(entry));
+    return PrefetchOutcome::kIssued;
+}
+
+bool
+Cache::storeAccess(const MemRequest& req)
+{
+    assert(req.isWrite);
+    ++stats_.storeAccesses;
+    if (Line* line = findLine(req.lineAddr)) {
+        // Write-through: update in place, keep resident.
+        line->lastUse = ++useClock;
+        line->demandTouched = true;
+        ++stats_.storeHits;
+        return true;
+    }
+    // No-allocate on store miss.
+    return false;
+}
+
+Cache::FillResult
+Cache::fill(Addr line_addr)
+{
+    FillResult result;
+    const auto it = mshrs.find(line_addr);
+    if (it != mshrs.end()) {
+        result.waiters = std::move(it->second.waiters);
+        result.prefetchOnly = it->second.prefetchOnly;
+        mshrs.erase(it);
+    }
+
+    // Allocate-on-fill. The line may already be resident if a fill
+    // races a previous one for the same address (possible when a line
+    // was filled, evicted and re-fetched); refresh it in place then.
+    if (Line* existing = findLine(line_addr)) {
+        existing->lastUse = ++useClock;
+        return result;
+    }
+
+    Line& victim = victimLine(setIndex(line_addr));
+    evict(victim);
+
+    ++stats_.fills;
+    victim.addr = line_addr;
+    victim.valid = true;
+    victim.prefetched = result.prefetchOnly;
+    victim.demandTouched = !result.prefetchOnly;
+    victim.lastUse = ++useClock;
+    victim.toucherMask = 0;
+    for (const MemRequest& waiter : result.waiters)
+        victim.toucherMask |= warpBit(waiter.warp);
+    if (result.prefetchOnly)
+        ++stats_.prefetchFills;
+    everResident.insert(line_addr);
+    return result;
+}
+
+bool
+Cache::contains(Addr line_addr) const
+{
+    return findLine(line_addr) != nullptr;
+}
+
+bool
+Cache::isPending(Addr line_addr) const
+{
+    return mshrs.count(line_addr) != 0;
+}
+
+void
+Cache::reset()
+{
+    for (auto& line : lines)
+        line = Line{};
+    mshrs.clear();
+    everResident.clear();
+    earlyEvictedLines.clear();
+    useClock = 0;
+    lastDemandWasHit = false;
+    stats_ = CacheStats{};
+}
+
+} // namespace apres

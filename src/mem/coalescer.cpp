@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Coalescer implementation.
+ */
+
+#include "coalescer.hpp"
+
+#include <cassert>
+
+#include "common/bitutils.hpp"
+
+namespace apres {
+
+Coalescer::Coalescer(std::uint32_t line_size) : lineBytes(line_size)
+{
+    assert(isPowerOfTwo(line_size));
+}
+
+std::vector<Addr>
+Coalescer::coalesce(Addr base, int lane_stride, int active_lanes) const
+{
+    assert(active_lanes >= 1 && active_lanes <= kWarpSize);
+    std::vector<Addr> lines;
+    lines.reserve(4);
+    for (int lane = 0; lane < active_lanes; ++lane) {
+        const Addr lane_addr =
+            base + static_cast<Addr>(static_cast<std::int64_t>(lane) *
+                                     lane_stride);
+        const Addr line = lineOf(lane_addr);
+        bool seen = false;
+        for (const Addr l : lines) {
+            if (l == line) {
+                seen = true;
+                break;
+            }
+        }
+        if (!seen)
+            lines.push_back(line);
+    }
+    return lines;
+}
+
+} // namespace apres

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Warp-level memory access coalescer.
+ *
+ * GPUs merge the per-lane addresses of one warp access into the
+ * minimal set of cache-line requests. The coalescer reproduces that:
+ * given a base address and a lane stride it returns the unique
+ * 128 B-aligned line addresses, preserving first-touch lane order
+ * (lowest lane first, which SAP's demand-request queue relies on).
+ */
+
+#ifndef APRES_MEM_COALESCER_HPP
+#define APRES_MEM_COALESCER_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace apres {
+
+/**
+ * Stateless coalescing helper.
+ */
+class Coalescer
+{
+  public:
+    /** @param line_size cache line size in bytes (power of two). */
+    explicit Coalescer(std::uint32_t line_size);
+
+    /**
+     * Coalesce a warp access.
+     *
+     * @param base        address of lane 0
+     * @param lane_stride byte distance between consecutive lanes
+     * @param active_lanes number of active lanes (1..kWarpSize)
+     * @return unique line addresses in first-touch order
+     */
+    std::vector<Addr> coalesce(Addr base, int lane_stride,
+                               int active_lanes = kWarpSize) const;
+
+    /** Line size used. */
+    std::uint32_t lineSize() const { return lineBytes; }
+
+    /** Align @p addr to the line containing it. */
+    Addr lineOf(Addr addr) const { return addr & ~static_cast<Addr>(lineBytes - 1); }
+
+  private:
+    std::uint32_t lineBytes;
+};
+
+} // namespace apres
+
+#endif // APRES_MEM_COALESCER_HPP

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Shared memory-side hierarchy: L2 partitions + DRAM channels.
+ *
+ * The memory system sits below the per-SM L1s. L1 misses (demand or
+ * prefetch) are submitted with submitRead(); responses are delivered
+ * to the owning SM's MemClient when tick() passes their ready cycle.
+ * Stores are write-through from L1 and fire-and-forget here.
+ *
+ * Topology follows Table III: the 768 KB L2 is split into 6 partitions
+ * (128 KB, 8-way each), one per DRAM channel; lines map to partitions
+ * by hashing the line address.
+ */
+
+#ifndef APRES_MEM_MEMORY_SYSTEM_HPP
+#define APRES_MEM_MEMORY_SYSTEM_HPP
+
+#include <cstdint>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/types.hpp"
+#include "mem/cache.hpp"
+#include "mem/dram.hpp"
+#include "mem/request.hpp"
+
+namespace apres {
+
+/** Receiver of memory responses (one per SM; typically the SM). */
+class MemClient
+{
+  public:
+    virtual ~MemClient() = default;
+
+    /** Called when data for @p req arrives back at the SM. */
+    virtual void memResponse(const MemRequest& req, Cycle now) = 0;
+};
+
+/** Configuration of the shared memory side. */
+struct MemSystemConfig
+{
+    int numPartitions = 6;            ///< L2/DRAM partitions (Table III)
+    CacheConfig l2Partition{
+        .sizeBytes = 768 * 1024 / 6,  ///< 128 KB per partition
+        .ways = 8,
+        .lineSize = 128,
+        .numMshrs = 256,
+        .maxMergesPerMshr = 64,
+    };
+    Cycle l2HitLatency = 200;         ///< SM-to-data round trip on L2 hit
+    DramConfig dram;                  ///< per-partition DRAM timing
+};
+
+/** Interconnect/DRAM traffic counters in bytes. */
+struct TrafficStats
+{
+    std::uint64_t requestBytesToL2 = 0; ///< miss request headers (32 B each)
+    std::uint64_t fillBytesToL1 = 0;    ///< line fills L2 -> SM
+    std::uint64_t storeBytesToL2 = 0;   ///< write-through store data
+    std::uint64_t fillBytesFromDram = 0;///< DRAM -> L2 fills
+    std::uint64_t storeBytesToDram = 0; ///< store misses written through
+
+    /** Total bytes crossing the SM<->L2 interconnect (Fig. 14). */
+    std::uint64_t
+    interconnectBytes() const
+    {
+        return requestBytesToL2 + fillBytesToL1 + storeBytesToL2;
+    }
+};
+
+/**
+ * The shared L2 + DRAM model.
+ */
+class MemorySystem
+{
+  public:
+    explicit MemorySystem(const MemSystemConfig& config);
+
+    /** Register the response receiver for SM @p sm. */
+    void registerClient(SmId sm, MemClient* client);
+
+    /**
+     * Submit an L1 read miss (demand or prefetch).
+     * A response is delivered to the owning SM's client later.
+     */
+    void submitRead(const MemRequest& req, Cycle now);
+
+    /** Submit a write-through store (no response). */
+    void submitWrite(const MemRequest& req, Cycle now);
+
+    /** Deliver all responses with ready cycle <= @p now. */
+    void tick(Cycle now);
+
+    /** True when no responses are in flight. */
+    bool idle() const { return events.empty(); }
+
+    /** Earliest pending response cycle (kNever when idle). */
+    Cycle nextEventCycle() const;
+
+    /** Partition a line address maps to. */
+    int partitionOf(Addr line_addr) const;
+
+    /** L2 partition caches (index 0..numPartitions-1). */
+    const Cache& l2(int partition) const { return *l2s.at(partition); }
+
+    /** DRAM channel of @p partition. */
+    const DramPartition& dram(int partition) const
+    {
+        return drams.at(static_cast<std::size_t>(partition));
+    }
+
+    /** Byte traffic counters. */
+    const TrafficStats& traffic() const { return traffic_; }
+
+    /** Aggregated L2 stats across partitions. */
+    CacheStats l2StatsTotal() const;
+
+    /** Reset caches, channels and counters (for config sweeps). */
+    void reset();
+
+  private:
+    /** A scheduled completion. */
+    struct Event
+    {
+        Cycle ready = 0;
+        std::uint64_t seq = 0;  ///< FIFO tie-break for equal cycles
+        MemRequest req;
+        bool fillsL2 = false;   ///< response must fill the L2 partition
+
+        bool
+        operator>(const Event& other) const
+        {
+            return ready != other.ready ? ready > other.ready
+                                        : seq > other.seq;
+        }
+    };
+
+    void scheduleEvent(Cycle ready, const MemRequest& req, bool fills_l2);
+    void deliver(const MemRequest& req, Cycle now);
+
+    MemSystemConfig cfg;
+    std::vector<std::unique_ptr<Cache>> l2s;
+    std::vector<DramPartition> drams;
+    std::vector<MemClient*> clients;
+    std::priority_queue<Event, std::vector<Event>, std::greater<>> events;
+    std::uint64_t seqCounter = 0;
+    TrafficStats traffic_;
+};
+
+} // namespace apres
+
+#endif // APRES_MEM_MEMORY_SYSTEM_HPP

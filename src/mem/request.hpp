@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Memory request type exchanged between the LSU, caches and DRAM.
+ */
+
+#ifndef APRES_MEM_REQUEST_HPP
+#define APRES_MEM_REQUEST_HPP
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace apres {
+
+/**
+ * One line-granular memory request.
+ *
+ * Produced by the coalescer (demand) or a prefetcher (prefetch), and
+ * tracked through L1 MSHRs, L2 and DRAM. @ref token ties a demand
+ * request back to the warp-level load it belongs to so the LSU can
+ * release the destination register once all of the load's line
+ * requests complete.
+ */
+struct MemRequest
+{
+    /** 128 B-aligned line address. */
+    Addr lineAddr = kInvalidAddr;
+
+    /** SM that issued the request. */
+    SmId sm = 0;
+
+    /** SM-local warp that issued the request (kInvalidWarp for none). */
+    WarpId warp = kInvalidWarp;
+
+    /** Static PC of the originating load/store. */
+    Pc pc = kInvalidPc;
+
+    /** True for stores (write-through, no response expected). */
+    bool isWrite = false;
+
+    /** True for prefetcher-generated requests. */
+    bool isPrefetch = false;
+
+    /**
+     * True when the request bypasses the L1 (adaptive bypass for
+     * streaming loads): the response completes the load directly
+     * without filling or disturbing the L1.
+     */
+    bool bypassL1 = false;
+
+    /** Cycle the request entered the memory system. */
+    Cycle issued = 0;
+
+    /** LSU token of the owning warp-load (0 when not applicable). */
+    std::uint64_t token = 0;
+};
+
+} // namespace apres
+
+#endif // APRES_MEM_REQUEST_HPP

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * STR implementation.
+ */
+
+#include "str.hpp"
+
+#include <cassert>
+
+namespace apres {
+
+StrPrefetcher::StrPrefetcher(const StrConfig& config) : cfg(config)
+{
+    assert(cfg.tableEntries >= 1);
+    assert(cfg.degree >= 1);
+    assert(cfg.trainThreshold >= 1);
+    table.resize(static_cast<std::size_t>(cfg.tableEntries));
+}
+
+StrPrefetcher::Entry&
+StrPrefetcher::lookup(Pc pc)
+{
+    Entry* victim = &table[0];
+    for (Entry& entry : table) {
+        if (entry.valid && entry.pc == pc)
+            return entry;
+        if (!entry.valid) {
+            victim = &entry;
+        } else if (victim->valid && entry.lastUse < victim->lastUse) {
+            victim = &entry;
+        }
+    }
+    *victim = Entry{};
+    victim->valid = true;
+    victim->pc = pc;
+    return *victim;
+}
+
+void
+StrPrefetcher::onAccess(const LoadAccessInfo& info, PrefetchIssuer& issuer)
+{
+    Entry& entry = lookup(info.pc);
+    entry.lastUse = ++useClock;
+
+    if (entry.lastAddr == kInvalidAddr) {
+        entry.lastAddr = info.baseAddr;
+        return;
+    }
+
+    // Confidence hysteresis: interleaved loop iterations inject
+    // outlier deltas into the per-PC stream; an established stride is
+    // replaced only after repeated disagreement.
+    const std::int64_t stride =
+        static_cast<std::int64_t>(info.baseAddr) -
+        static_cast<std::int64_t>(entry.lastAddr);
+    if (stride != 0 && stride == entry.stride) {
+        if (entry.confidence < cfg.trainThreshold + 2)
+            ++entry.confidence;
+    } else if (entry.confidence > 0) {
+        --entry.confidence;
+    } else {
+        entry.stride = stride;
+        entry.confidence = 1;
+    }
+    entry.lastAddr = info.baseAddr;
+
+    if (entry.confidence >= cfg.trainThreshold) {
+        for (int d = 1; d <= cfg.degree; ++d) {
+            const auto target = static_cast<Addr>(
+                static_cast<std::int64_t>(info.baseAddr) + entry.stride * d);
+            issuer.issuePrefetch(target, info.pc, info.warp);
+        }
+    }
+}
+
+} // namespace apres

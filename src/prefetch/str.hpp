@@ -1,0 +1,65 @@
+/**
+ * @file
+ * STR: per-PC stride prefetcher (Section III-C; Lee et al. MICRO 2010,
+ * Sethia et al. PACT 2013 style).
+ *
+ * A small table indexed by load PC records the last observed address
+ * and the stride between consecutive dynamic executions of that static
+ * load. Under round-robin-like scheduling consecutive executions come
+ * from consecutive warps, so the detected stride is exactly the
+ * inter-warp stride of Table I — and unlike macro-block schemes it can
+ * be arbitrarily large. Once a stride repeats, the prefetcher issues
+ * @ref StrConfig::degree requests ahead of the stream.
+ */
+
+#ifndef APRES_PREFETCH_STR_HPP
+#define APRES_PREFETCH_STR_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "core/prefetcher.hpp"
+
+namespace apres {
+
+/** STR tuning knobs. */
+struct StrConfig
+{
+    int tableEntries = 16;  ///< PC-indexed entries
+    int degree = 8;         ///< prefetches per trigger
+    int trainThreshold = 2; ///< stride repeats before prefetching
+};
+
+/**
+ * Per-PC stride prefetcher.
+ */
+class StrPrefetcher final : public Prefetcher
+{
+  public:
+    explicit StrPrefetcher(const StrConfig& config = {});
+
+    void onAccess(const LoadAccessInfo& info, PrefetchIssuer& issuer) override;
+
+    const char* name() const override { return "STR"; }
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        Pc pc = kInvalidPc;
+        Addr lastAddr = kInvalidAddr;
+        std::int64_t stride = 0;
+        int confidence = 0;
+        std::uint64_t lastUse = 0;
+    };
+
+    Entry& lookup(Pc pc);
+
+    StrConfig cfg;
+    std::vector<Entry> table;
+    std::uint64_t useClock = 0;
+};
+
+} // namespace apres
+
+#endif // APRES_PREFETCH_STR_HPP

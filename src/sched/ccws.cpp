@@ -1,0 +1,172 @@
+/**
+ * @file
+ * CCWS implementation.
+ */
+
+#include "ccws.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace apres {
+
+CcwsScheduler::CcwsScheduler(const CcwsConfig& config) : cfg(config)
+{
+    assert(cfg.vtaEntries >= 1);
+    assert(cfg.throttleScale >= 1);
+    assert(cfg.minActiveWarps >= 1);
+}
+
+void
+CcwsScheduler::attach(SmContext& sm_ref)
+{
+    sm = &sm_ref;
+    vtas.assign(static_cast<std::size_t>(sm->numWarps()), {});
+    scores.assign(static_cast<std::size_t>(sm->numWarps()), 0);
+    sm->l1Mutable().setEvictionListener(
+        [this](Addr line, std::uint64_t mask) { onEviction(line, mask); });
+}
+
+void
+CcwsScheduler::onEviction(Addr line_addr, std::uint64_t toucher_mask)
+{
+    // Record the victim tag in the VTA of every warp that touched the
+    // line: if that warp re-references it soon, locality was lost.
+    for (std::size_t w = 0; w < vtas.size() && w < 64; ++w) {
+        if (!(toucher_mask & (std::uint64_t{1} << w)))
+            continue;
+        std::deque<Addr>& vta = vtas[w];
+        vta.push_back(line_addr);
+        if (static_cast<int>(vta.size()) > cfg.vtaEntries)
+            vta.pop_front();
+    }
+    if (cfg.sharedVta && toucher_mask != 0 &&
+        sharedVtaSet.insert(line_addr).second) {
+        sharedVtaFifo.push_back(line_addr);
+        if (static_cast<int>(sharedVtaFifo.size()) > cfg.sharedVtaEntries) {
+            sharedVtaSet.erase(sharedVtaFifo.front());
+            sharedVtaFifo.pop_front();
+        }
+    }
+}
+
+void
+CcwsScheduler::notifyAccessResult(const LoadAccessInfo& info)
+{
+    if (info.hit)
+        return;
+    std::deque<Addr>& vta = vtas[static_cast<std::size_t>(info.warp)];
+    const auto it = std::find(vta.begin(), vta.end(), info.baseLineAddr);
+    if (it != vta.end()) {
+        vta.erase(it);
+        bump(info.warp);
+        return;
+    }
+    if (cfg.sharedVta) {
+        const auto shared_it = sharedVtaSet.find(info.baseLineAddr);
+        if (shared_it != sharedVtaSet.end()) {
+            // Inter-warp lost locality: any warp would have hit had
+            // the line survived.
+            sharedVtaSet.erase(shared_it);
+            const auto fifo_it = std::find(sharedVtaFifo.begin(),
+                                           sharedVtaFifo.end(),
+                                           info.baseLineAddr);
+            if (fifo_it != sharedVtaFifo.end())
+                sharedVtaFifo.erase(fifo_it);
+            bump(info.warp);
+        }
+    }
+}
+
+void
+CcwsScheduler::bump(WarpId warp)
+{
+    std::int64_t& s = scores[static_cast<std::size_t>(warp)];
+    s = std::min<std::int64_t>(s + cfg.scoreBonus, cfg.scoreCap);
+    ++events;
+}
+
+void
+CcwsScheduler::decay(Cycle now)
+{
+    if (now < lastDecay + static_cast<Cycle>(cfg.decayPeriod))
+        return;
+    // Integral controller with anti-windup: slow linear decay makes
+    // the throttle hover exactly at the level where lost-locality
+    // events just keep occurring (the fit/thrash boundary), while the
+    // per-warp score cap bounds how long recovery takes once the
+    // working set fits.
+    const auto delta = static_cast<std::int64_t>(
+        (now - lastDecay) / static_cast<Cycle>(cfg.decayPeriod));
+    lastDecay = now;
+    for (std::int64_t& s : scores)
+        s = std::max<std::int64_t>(0, s - delta);
+}
+
+std::int64_t
+CcwsScheduler::totalScore() const
+{
+    std::int64_t total = 0;
+    for (const std::int64_t s : scores)
+        total += s;
+    return total;
+}
+
+int
+CcwsScheduler::activeLimit() const
+{
+    const int num_warps = static_cast<int>(scores.size());
+    const auto throttled =
+        static_cast<int>(totalScore() / cfg.throttleScale);
+    const int floor_warps = std::min(cfg.minActiveWarps, num_warps);
+    return std::max(floor_warps, num_warps - throttled);
+}
+
+WarpId
+CcwsScheduler::pick(Cycle now, const std::vector<WarpId>& ready)
+{
+    decay(now);
+    if (ready.empty())
+        return kInvalidWarp;
+
+    // Eligible warps: the `activeLimit()` oldest running warps by
+    // block launch order. Throttling suspends the youngest warps
+    // first, shrinking the combined working set.
+    const int limit = activeLimit();
+    eligibleScratch.clear();
+    for (int w = 0; w < sm->numWarps(); ++w) {
+        if (!sm->warpState(w).finished)
+            eligibleScratch.push_back(w);
+    }
+    std::sort(eligibleScratch.begin(), eligibleScratch.end(),
+              [this](WarpId a, WarpId b) {
+                  return sm->warpState(a).ageStamp <
+                      sm->warpState(b).ageStamp;
+              });
+    if (static_cast<int>(eligibleScratch.size()) > limit)
+        eligibleScratch.resize(static_cast<std::size_t>(limit));
+
+    const auto eligible = [this](WarpId w) {
+        return std::find(eligibleScratch.begin(), eligibleScratch.end(),
+                         w) != eligibleScratch.end();
+    };
+
+    // Greedy-then-oldest among eligible warps.
+    if (greedyWarp != kInvalidWarp && eligible(greedyWarp)) {
+        for (const WarpId w : ready) {
+            if (w == greedyWarp)
+                return w;
+        }
+    }
+    for (const WarpId candidate : eligibleScratch) {
+        if (std::find(ready.begin(), ready.end(), candidate) !=
+            ready.end()) {
+            greedyWarp = candidate;
+            return candidate;
+        }
+    }
+    // All ready warps are throttled: intentional stall.
+    return kInvalidWarp;
+}
+
+} // namespace apres

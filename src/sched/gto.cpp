@@ -1,0 +1,33 @@
+/**
+ * @file
+ * GTO implementation.
+ */
+
+#include "gto.hpp"
+
+namespace apres {
+
+WarpId
+GtoScheduler::pick(Cycle now, const std::vector<WarpId>& ready)
+{
+    (void)now;
+    if (ready.empty())
+        return kInvalidWarp;
+    if (greedyWarp != kInvalidWarp) {
+        for (const WarpId w : ready) {
+            if (w == greedyWarp)
+                return w;
+        }
+    }
+    // Greedy warp stalled: the oldest ready warp (earliest block
+    // launch) becomes the new greedy warp.
+    WarpId oldest = ready.front();
+    for (const WarpId w : ready) {
+        if (sm->warpState(w).ageStamp < sm->warpState(oldest).ageStamp)
+            oldest = w;
+    }
+    greedyWarp = oldest;
+    return greedyWarp;
+}
+
+} // namespace apres

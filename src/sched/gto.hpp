@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Greedy-Then-Oldest warp scheduler.
+ *
+ * Keeps issuing from the same warp until it stalls, then falls back to
+ * the oldest ready warp (lowest ID, since all warps launch together).
+ * GTO creates a natural leader/laggard split that reduces cache
+ * contention relative to LRR.
+ */
+
+#ifndef APRES_SCHED_GTO_HPP
+#define APRES_SCHED_GTO_HPP
+
+#include "core/scheduler.hpp"
+#include "core/sm.hpp"
+
+namespace apres {
+
+/**
+ * Greedy-then-oldest scheduler.
+ */
+class GtoScheduler final : public Scheduler
+{
+  public:
+    void attach(SmContext& sm) override { this->sm = &sm; }
+
+    WarpId pick(Cycle now, const std::vector<WarpId>& ready) override;
+
+    void
+    notifyWarpFinished(WarpId warp) override
+    {
+        if (warp == greedyWarp)
+            greedyWarp = kInvalidWarp;
+    }
+
+    const char* name() const override { return "GTO"; }
+
+  private:
+    SmContext* sm = nullptr;
+    WarpId greedyWarp = kInvalidWarp;
+};
+
+} // namespace apres
+
+#endif // APRES_SCHED_GTO_HPP

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * LRR implementation.
+ */
+
+#include "lrr.hpp"
+
+namespace apres {
+
+WarpId
+LrrScheduler::pick(Cycle now, const std::vector<WarpId>& ready)
+{
+    (void)now;
+    if (ready.empty())
+        return kInvalidWarp;
+    // ready is sorted ascending: pick the first ID strictly greater
+    // than the last issued warp, wrapping to the front.
+    for (const WarpId w : ready) {
+        if (w > lastIssued) {
+            lastIssued = w;
+            return w;
+        }
+    }
+    lastIssued = ready.front();
+    return ready.front();
+}
+
+} // namespace apres

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Loose Round-Robin warp scheduler — the paper's baseline.
+ *
+ * All ready warps have equal priority; the scheduler issues from the
+ * first ready warp after the one issued last cycle, wrapping around
+ * warp IDs (Section II). LRR tends to advance all warps in lockstep,
+ * which makes every warp reach the long-latency loads at roughly the
+ * same time — the behaviour APRES sets out to fix.
+ */
+
+#ifndef APRES_SCHED_LRR_HPP
+#define APRES_SCHED_LRR_HPP
+
+#include "core/scheduler.hpp"
+#include "core/sm.hpp"
+
+namespace apres {
+
+/**
+ * Loose round-robin scheduler.
+ */
+class LrrScheduler final : public Scheduler
+{
+  public:
+    void attach(SmContext& sm) override { numWarps = sm.numWarps(); }
+
+    WarpId pick(Cycle now, const std::vector<WarpId>& ready) override;
+
+    const char* name() const override { return "LRR"; }
+
+  private:
+    int numWarps = 0;
+    WarpId lastIssued = -1;
+};
+
+} // namespace apres
+
+#endif // APRES_SCHED_LRR_HPP

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * MASCAR implementation.
+ */
+
+#include "mascar.hpp"
+
+namespace apres {
+
+MascarScheduler::MascarScheduler(const MascarConfig& config) : cfg(config) {}
+
+void
+MascarScheduler::updateSaturation()
+{
+    const double occupancy =
+        static_cast<double>(sm->l1().mshrsInUse()) /
+        static_cast<double>(sm->l1().config().numMshrs);
+    if (!inSaturation && occupancy >= cfg.saturateHigh)
+        inSaturation = true;
+    else if (inSaturation && occupancy <= cfg.saturateLow)
+        inSaturation = false;
+}
+
+WarpId
+MascarScheduler::pick(Cycle now, const std::vector<WarpId>& ready)
+{
+    (void)now;
+    if (ready.empty())
+        return kInvalidWarp;
+    updateSaturation();
+
+    if (!inSaturation) {
+        // GTO behaviour when memory keeps up.
+        if (greedyWarp != kInvalidWarp) {
+            for (const WarpId w : ready) {
+                if (w == greedyWarp)
+                    return w;
+            }
+        }
+        greedyWarp = ready.front();
+        return greedyWarp;
+    }
+
+    // Saturation: only the owner warp may issue memory instructions.
+    if (ownerWarp == kInvalidWarp ||
+        sm->warpState(ownerWarp).finished) {
+        // Adopt the oldest ready warp with a pending memory op; if no
+        // warp wants memory, any ready warp may own.
+        ownerWarp = kInvalidWarp;
+        for (const WarpId w : ready) {
+            if (sm->nextIsMemory(w)) {
+                ownerWarp = w;
+                break;
+            }
+        }
+        if (ownerWarp == kInvalidWarp)
+            ownerWarp = ready.front();
+    }
+
+    // Owner first (it may issue anything).
+    for (const WarpId w : ready) {
+        if (w == ownerWarp)
+            return w;
+    }
+    // Otherwise: compute-only issue from the remaining warps.
+    for (const WarpId w : ready) {
+        if (!sm->nextIsMemory(w))
+            return w;
+    }
+    // Every ready warp wants memory and none is the owner: stall so
+    // the queues drain.
+    return kInvalidWarp;
+}
+
+} // namespace apres

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * MASCAR: Memory-Aware Scheduling and Cache Access Re-execution
+ * (Sethia et al., HPCA 2015) — scheduling half.
+ *
+ * MASCAR observes that when the memory subsystem saturates, issuing
+ * memory instructions from many warps only lengthens the queues. In
+ * *memory-saturation mode* it grants a single "owner" warp exclusive
+ * permission to issue memory operations while the remaining warps may
+ * only issue compute, overlapping the owner's misses with useful work.
+ * Out of saturation it behaves greedily like GTO.
+ */
+
+#ifndef APRES_SCHED_MASCAR_HPP
+#define APRES_SCHED_MASCAR_HPP
+
+#include "core/scheduler.hpp"
+#include "core/sm.hpp"
+
+namespace apres {
+
+/** MASCAR tuning knobs. */
+struct MascarConfig
+{
+    /** MSHR occupancy fraction that enters saturation mode. */
+    double saturateHigh = 0.9;
+    /** MSHR occupancy fraction that leaves saturation mode. */
+    double saturateLow = 0.6;
+};
+
+/**
+ * MASCAR scheduler.
+ */
+class MascarScheduler final : public Scheduler
+{
+  public:
+    explicit MascarScheduler(const MascarConfig& config = {});
+
+    void attach(SmContext& sm) override { this->sm = &sm; }
+
+    WarpId pick(Cycle now, const std::vector<WarpId>& ready) override;
+
+    void
+    notifyWarpFinished(WarpId warp) override
+    {
+        if (warp == ownerWarp)
+            ownerWarp = kInvalidWarp;
+        if (warp == greedyWarp)
+            greedyWarp = kInvalidWarp;
+    }
+
+    const char* name() const override { return "MASCAR"; }
+
+    /** True while in memory-saturation mode (for tests). */
+    bool saturated() const { return inSaturation; }
+
+  private:
+    void updateSaturation();
+
+    MascarConfig cfg;
+    SmContext* sm = nullptr;
+    bool inSaturation = false;
+    WarpId ownerWarp = kInvalidWarp;
+    WarpId greedyWarp = kInvalidWarp;
+};
+
+} // namespace apres
+
+#endif // APRES_SCHED_MASCAR_HPP

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * PA two-level scheduler implementation.
+ */
+
+#include "pa_twolevel.hpp"
+
+#include <cassert>
+
+#include "common/bitutils.hpp"
+
+namespace apres {
+
+PaScheduler::PaScheduler(const PaConfig& config) : cfg(config)
+{
+    assert(cfg.groupSize >= 1);
+}
+
+void
+PaScheduler::attach(SmContext& sm)
+{
+    numGroups = static_cast<int>(
+        divCeil(static_cast<std::uint64_t>(sm.numWarps()),
+                static_cast<std::uint64_t>(cfg.groupSize)));
+}
+
+WarpId
+PaScheduler::pick(Cycle now, const std::vector<WarpId>& ready)
+{
+    (void)now;
+    if (ready.empty())
+        return kInvalidWarp;
+
+    // Try the active group first, then rotate through the others.
+    for (int probe = 0; probe < numGroups; ++probe) {
+        const int g = (group + probe) % numGroups;
+        // Round-robin inside the group: first ready warp after the
+        // last issued one, wrapping.
+        WarpId first_in_group = kInvalidWarp;
+        for (const WarpId w : ready) {
+            if (groupOf(w) != g)
+                continue;
+            if (first_in_group == kInvalidWarp)
+                first_in_group = w;
+            if (g == group && w > lastInGroup) {
+                lastInGroup = w;
+                return w;
+            }
+            if (g != group) {
+                group = g;
+                lastInGroup = w;
+                return w;
+            }
+        }
+        if (g == group && first_in_group != kInvalidWarp) {
+            lastInGroup = first_in_group;
+            return first_in_group;
+        }
+    }
+    return kInvalidWarp;
+}
+
+} // namespace apres

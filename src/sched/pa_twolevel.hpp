@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Prefetch-Aware two-level warp scheduler (Jog et al., ISCA 2013).
+ *
+ * Warps are statically partitioned into fetch groups of
+ * @ref PaConfig::groupSize consecutive IDs. The scheduler round-robins
+ * *within* the active group and only switches groups when the active
+ * group has no ready warp (all stalled on memory). Keeping
+ * non-consecutive groups apart in time creates the timeliness window
+ * the paired prefetcher exploits: group g's demand accesses train the
+ * stride tables whose prefetches land just before group g+1 issues the
+ * same loads.
+ */
+
+#ifndef APRES_SCHED_PA_TWOLEVEL_HPP
+#define APRES_SCHED_PA_TWOLEVEL_HPP
+
+#include "core/scheduler.hpp"
+#include "core/sm.hpp"
+
+namespace apres {
+
+/** PA two-level scheduler knobs. */
+struct PaConfig
+{
+    int groupSize = 8; ///< warps per fetch group
+};
+
+/**
+ * Prefetch-aware two-level scheduler.
+ */
+class PaScheduler final : public Scheduler
+{
+  public:
+    explicit PaScheduler(const PaConfig& config = {});
+
+    void attach(SmContext& sm) override;
+
+    WarpId pick(Cycle now, const std::vector<WarpId>& ready) override;
+
+    const char* name() const override { return "PA"; }
+
+    /** Currently active fetch group (for tests). */
+    int activeGroup() const { return group; }
+
+  private:
+    int groupOf(WarpId warp) const { return warp / cfg.groupSize; }
+
+    PaConfig cfg;
+    int numGroups = 1;
+    int group = 0;
+    WarpId lastInGroup = -1;
+};
+
+} // namespace apres
+
+#endif // APRES_SCHED_PA_TWOLEVEL_HPP

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Top-level GPU configuration (Table III defaults).
+ */
+
+#ifndef APRES_SIM_CONFIG_HPP
+#define APRES_SIM_CONFIG_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "apres/laws.hpp"
+#include "apres/sap.hpp"
+#include "core/sm.hpp"
+#include "energy/energy_model.hpp"
+#include "mem/memory_system.hpp"
+#include "prefetch/sld.hpp"
+#include "prefetch/str.hpp"
+#include "sched/ccws.hpp"
+#include "sched/mascar.hpp"
+#include "sched/pa_twolevel.hpp"
+
+namespace apres {
+
+/** Available warp scheduling policies. */
+enum class SchedulerKind { kLrr, kGto, kCcws, kMascar, kPa, kLaws };
+
+/** Available prefetchers. */
+enum class PrefetcherKind { kNone, kStr, kSld, kSap };
+
+/** Human-readable name of a scheduler kind. */
+const char* schedulerName(SchedulerKind kind);
+
+/** Human-readable name of a prefetcher kind. */
+const char* prefetcherName(PrefetcherKind kind);
+
+/**
+ * Complete configuration of one simulation.
+ *
+ * Defaults reproduce the paper's Table III: 15 SMs, 48 warps per SM,
+ * 32 KB 8-way L1 with 128 B lines and 64 MSHRs, 768 KB 8-way L2 over
+ * 6 partitions at 200 cycles, 440-cycle DRAM.
+ */
+struct GpuConfig
+{
+    int numSms = 15;
+    SmConfig sm;                 ///< includes the L1 geometry
+    MemSystemConfig mem;
+    SchedulerKind scheduler = SchedulerKind::kLrr;
+    PrefetcherKind prefetcher = PrefetcherKind::kNone;
+
+    CcwsConfig ccws;
+    LawsConfig laws;
+    MascarConfig mascar;
+    PaConfig pa;
+    StrConfig str;
+    SldConfig sld;
+    SapConfig sap;
+    EnergyParams energy;
+
+    /** Hard stop for non-terminating configurations. */
+    std::uint64_t maxCycles = 50'000'000;
+
+    /** Shorthand: "APRES" = LAWS scheduling + SAP prefetching. */
+    void
+    useApres()
+    {
+        scheduler = SchedulerKind::kLaws;
+        prefetcher = PrefetcherKind::kSap;
+    }
+
+    /** "SCHED+PF" label for reports. */
+    std::string label() const;
+};
+
+} // namespace apres
+
+#endif // APRES_SIM_CONFIG_HPP

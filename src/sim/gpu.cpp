@@ -1,0 +1,324 @@
+/**
+ * @file
+ * Gpu implementation: construction (scheduler/prefetcher factory),
+ * run loop, and result collection.
+ */
+
+#include "gpu.hpp"
+
+#include <cassert>
+
+#include "apres/sap.hpp"
+#include "common/log.hpp"
+#include "prefetch/sld.hpp"
+#include "prefetch/str.hpp"
+#include "sched/ccws.hpp"
+#include "sched/gto.hpp"
+#include "sched/lrr.hpp"
+#include "sched/mascar.hpp"
+#include "sched/pa_twolevel.hpp"
+
+namespace apres {
+
+const char*
+schedulerName(SchedulerKind kind)
+{
+    switch (kind) {
+      case SchedulerKind::kLrr:    return "LRR";
+      case SchedulerKind::kGto:    return "GTO";
+      case SchedulerKind::kCcws:   return "CCWS";
+      case SchedulerKind::kMascar: return "MASCAR";
+      case SchedulerKind::kPa:     return "PA";
+      case SchedulerKind::kLaws:   return "LAWS";
+    }
+    return "?";
+}
+
+const char*
+prefetcherName(PrefetcherKind kind)
+{
+    switch (kind) {
+      case PrefetcherKind::kNone: return "none";
+      case PrefetcherKind::kStr:  return "STR";
+      case PrefetcherKind::kSld:  return "SLD";
+      case PrefetcherKind::kSap:  return "SAP";
+    }
+    return "?";
+}
+
+std::string
+GpuConfig::label() const
+{
+    if (scheduler == SchedulerKind::kLaws &&
+        prefetcher == PrefetcherKind::kSap) {
+        return "APRES";
+    }
+    std::string out = schedulerName(scheduler);
+    if (prefetcher != PrefetcherKind::kNone) {
+        out += '+';
+        out += prefetcherName(prefetcher);
+    }
+    return out;
+}
+
+namespace {
+
+std::unique_ptr<Scheduler>
+makeScheduler(const GpuConfig& cfg)
+{
+    switch (cfg.scheduler) {
+      case SchedulerKind::kLrr:
+        return std::make_unique<LrrScheduler>();
+      case SchedulerKind::kGto:
+        return std::make_unique<GtoScheduler>();
+      case SchedulerKind::kCcws:
+        return std::make_unique<CcwsScheduler>(cfg.ccws);
+      case SchedulerKind::kMascar:
+        return std::make_unique<MascarScheduler>(cfg.mascar);
+      case SchedulerKind::kPa:
+        return std::make_unique<PaScheduler>(cfg.pa);
+      case SchedulerKind::kLaws:
+        return std::make_unique<LawsScheduler>(cfg.laws);
+    }
+    fatal("unknown scheduler kind");
+}
+
+std::unique_ptr<Prefetcher>
+makePrefetcher(const GpuConfig& cfg, Scheduler& sched)
+{
+    switch (cfg.prefetcher) {
+      case PrefetcherKind::kNone:
+        return nullptr;
+      case PrefetcherKind::kStr:
+        return std::make_unique<StrPrefetcher>(cfg.str);
+      case PrefetcherKind::kSld:
+        return std::make_unique<SldPrefetcher>(cfg.sld);
+      case PrefetcherKind::kSap: {
+        auto* laws = dynamic_cast<LawsScheduler*>(&sched);
+        if (laws == nullptr) {
+            fatal("the SAP prefetcher requires the LAWS scheduler "
+                  "(APRES = LAWS+SAP)");
+        }
+        return std::make_unique<SapPrefetcher>(*laws, cfg.sap);
+      }
+    }
+    fatal("unknown prefetcher kind");
+}
+
+} // namespace
+
+Gpu::Gpu(const GpuConfig& config, const Kernel& kernel_ref)
+    : cfg(config), kernel(kernel_ref)
+{
+    assert(cfg.numSms >= 1);
+    memsys = std::make_unique<MemorySystem>(cfg.mem);
+    for (int s = 0; s < cfg.numSms; ++s) {
+        schedulers.push_back(makeScheduler(cfg));
+        prefetchers.push_back(makePrefetcher(cfg, *schedulers.back()));
+        sms.push_back(std::make_unique<Sm>(s, cfg.sm, kernel,
+                                           *schedulers.back(),
+                                           prefetchers.back().get(),
+                                           *memsys));
+    }
+}
+
+Gpu::~Gpu() = default;
+
+bool
+Gpu::done() const
+{
+    for (const auto& sm : sms) {
+        if (!sm->done())
+            return false;
+    }
+    return memsys->idle();
+}
+
+void
+Gpu::step(Cycle cycles)
+{
+    const Cycle end = cycle + cycles;
+    while (cycle < end) {
+        memsys->tick(cycle);
+        for (auto& sm : sms)
+            sm->tick(cycle);
+        ++cycle;
+    }
+}
+
+RunResult
+Gpu::run()
+{
+    while (cycle < cfg.maxCycles && !done())
+        step(1);
+    RunResult result = collect();
+    result.completed = done();
+    if (!result.completed) {
+        logWarn("simulation hit maxCycles=", cfg.maxCycles,
+                " before the kernel drained");
+    }
+    return result;
+}
+
+RunResult
+Gpu::collect() const
+{
+    RunResult r;
+    r.cycles = cycle;
+
+    double load_sum = 0.0;
+    std::uint64_t load_n = 0;
+    double miss_sum = 0.0;
+    std::uint64_t miss_n = 0;
+    for (const auto& sm : sms) {
+        r.instructions += sm->stats().issuedInstructions;
+        r.l1 += sm->l1().stats();
+        r.prefetchesRequested += sm->stats().prefetchesRequested;
+        r.prefetchesIssued += sm->stats().prefetchesIssued;
+        r.idleCycles += sm->stats().idleCycles;
+        const LsuStats& lsu = sm->lsuStats();
+        r.mshrReplays += lsu.mshrReplays;
+        load_sum += lsu.loadLatency.sum();
+        load_n += lsu.loadLatency.count();
+        miss_sum += lsu.missLatency.sum();
+        miss_n += lsu.missLatency.count();
+    }
+    for (std::size_t i = 0; i < schedulers.size(); ++i) {
+        if (const auto* ccws =
+                dynamic_cast<const CcwsScheduler*>(schedulers[i].get())) {
+            r.ccwsActiveLimitSum += ccws->activeLimit();
+            r.ccwsScoreSum += static_cast<double>(ccws->totalScore());
+            r.ccwsEvents += ccws->lostLocalityEvents();
+        }
+        if (const auto* laws =
+                dynamic_cast<const LawsScheduler*>(schedulers[i].get())) {
+            r.laws.groupsFormed += laws->stats().groupsFormed;
+            r.laws.groupHits += laws->stats().groupHits;
+            r.laws.groupMisses += laws->stats().groupMisses;
+            r.laws.warpsPrioritized += laws->stats().warpsPrioritized;
+            r.laws.prefetchTargetPromotions +=
+                laws->stats().prefetchTargetPromotions;
+        }
+        if (const auto* sap =
+                dynamic_cast<const SapPrefetcher*>(prefetchers[i].get())) {
+            r.sap.groupMissesReceived += sap->stats().groupMissesReceived;
+            r.sap.strideMatches += sap->stats().strideMatches;
+            r.sap.strideMismatches += sap->stats().strideMismatches;
+            r.sap.prefetchesGenerated += sap->stats().prefetchesGenerated;
+            r.sap.prefetchesIssued += sap->stats().prefetchesIssued;
+        }
+    }
+    r.ipc = r.cycles ? static_cast<double>(r.instructions) /
+                           static_cast<double>(r.cycles)
+                     : 0.0;
+    r.l2 = memsys->l2StatsTotal();
+    r.traffic = memsys->traffic();
+    r.avgLoadLatency = load_n ? load_sum / static_cast<double>(load_n) : 0.0;
+    r.avgMissLatency = miss_n ? miss_sum / static_cast<double>(miss_n) : 0.0;
+
+    std::uint64_t dram_requests = 0;
+    for (int p = 0; p < cfg.mem.numPartitions; ++p)
+        dram_requests += memsys->dram(p).stats().requests;
+
+    EnergyInputs ei;
+    ei.instructions = r.instructions;
+    ei.l1Accesses = r.l1.demandAccesses + r.l1.storeAccesses +
+        r.l1.prefetchesAccepted + r.l1.fills;
+    ei.l2Accesses = r.l2.demandAccesses + r.l2.storeAccesses + r.l2.fills;
+    ei.dramAccesses = dram_requests;
+    // Structure events: one table access per load observed by a
+    // prefetcher plus one per LAWS grouping operation; approximated by
+    // loads issued when any of the structures is active.
+    std::uint64_t loads = 0;
+    for (const auto& sm : sms)
+        loads += sm->stats().issuedLoads;
+    const bool has_structures =
+        cfg.prefetcher != PrefetcherKind::kNone ||
+        cfg.scheduler == SchedulerKind::kLaws ||
+        cfg.scheduler == SchedulerKind::kCcws;
+    ei.structureAccesses =
+        has_structures ? loads + r.prefetchesRequested : 0;
+    ei.smCycles = static_cast<std::uint64_t>(cfg.numSms) * r.cycles;
+    r.energy = computeEnergy(ei, cfg.energy);
+    return r;
+}
+
+double
+RunResult::l1HitRate() const
+{
+    return l1.demandAccesses
+        ? static_cast<double>(l1.demandHits) /
+              static_cast<double>(l1.demandAccesses)
+        : 0.0;
+}
+
+StatSet
+RunResult::toStatSet() const
+{
+    StatSet s;
+    s.set("sim.cycles", static_cast<double>(cycles));
+    s.set("sim.instructions", static_cast<double>(instructions));
+    s.set("sim.ipc", ipc);
+    s.set("sim.completed", completed ? 1.0 : 0.0);
+
+    s.set("l1.accesses", static_cast<double>(l1.demandAccesses));
+    s.set("l1.hits", static_cast<double>(l1.demandHits));
+    s.set("l1.misses", static_cast<double>(l1.demandMisses));
+    s.set("l1.missRate", l1.missRate());
+    s.set("l1.hitAfterHit", static_cast<double>(l1.hitAfterHit));
+    s.set("l1.hitAfterMiss", static_cast<double>(l1.hitAfterMiss));
+    s.set("l1.coldMisses", static_cast<double>(l1.coldMisses));
+    s.set("l1.capacityConflictMisses",
+          static_cast<double>(l1.capacityConflictMisses));
+    s.set("l1.mshrMerges", static_cast<double>(l1.mshrMerges));
+    s.set("l1.earlyEvictions", static_cast<double>(l1.earlyEvictions));
+    s.set("l1.earlyEvictionRatio", l1.earlyEvictionRatio());
+    s.set("l1.usefulPrefetches", static_cast<double>(l1.usefulPrefetches));
+    s.set("l1.prefetchFills", static_cast<double>(l1.prefetchFills));
+
+    s.set("l2.accesses", static_cast<double>(l2.demandAccesses));
+    s.set("l2.missRate", l2.missRate());
+
+    s.set("mem.avgLoadLatency", avgLoadLatency);
+    s.set("mem.avgMissLatency", avgMissLatency);
+    s.set("mem.interconnectBytes",
+          static_cast<double>(traffic.interconnectBytes()));
+    s.set("mem.dramFillBytes",
+          static_cast<double>(traffic.fillBytesFromDram));
+
+    s.set("prefetch.requested", static_cast<double>(prefetchesRequested));
+    s.set("prefetch.issued", static_cast<double>(prefetchesIssued));
+
+    s.set("sm.idleCycles", static_cast<double>(idleCycles));
+    s.set("lsu.mshrReplays", static_cast<double>(mshrReplays));
+
+    s.set("ccws.activeLimitSum", ccwsActiveLimitSum);
+    s.set("ccws.scoreSum", ccwsScoreSum);
+    s.set("ccws.events", static_cast<double>(ccwsEvents));
+    s.set("laws.groupsFormed", static_cast<double>(laws.groupsFormed));
+    s.set("laws.groupHits", static_cast<double>(laws.groupHits));
+    s.set("laws.groupMisses", static_cast<double>(laws.groupMisses));
+    s.set("laws.warpsPrioritized",
+          static_cast<double>(laws.warpsPrioritized));
+    s.set("sap.groupMissesReceived",
+          static_cast<double>(sap.groupMissesReceived));
+    s.set("sap.strideMatches", static_cast<double>(sap.strideMatches));
+    s.set("sap.strideMismatches",
+          static_cast<double>(sap.strideMismatches));
+    s.set("sap.prefetchesIssued",
+          static_cast<double>(sap.prefetchesIssued));
+
+    s.set("energy.total", energy.total());
+    s.set("energy.dram", energy.dram);
+    s.set("energy.structures", energy.structures);
+    return s;
+}
+
+RunResult
+simulate(const GpuConfig& config, const Kernel& kernel)
+{
+    Gpu gpu(config, kernel);
+    return gpu.run();
+}
+
+} // namespace apres

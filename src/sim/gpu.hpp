@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Top-level GPU simulator: N SMs over a shared memory system.
+ *
+ * A Gpu instance is built from a GpuConfig and a Kernel, runs the
+ * kernel to completion (or to the cycle cap) and returns a RunResult
+ * with every statistic the paper's evaluation plots: IPC, the L1
+ * hit/miss breakdown, prefetch effectiveness and early evictions,
+ * memory latency, interconnect traffic and dynamic energy.
+ */
+
+#ifndef APRES_SIM_GPU_HPP
+#define APRES_SIM_GPU_HPP
+
+#include <memory>
+#include <vector>
+
+#include "apres/laws.hpp"
+#include "apres/sap.hpp"
+#include "common/stats.hpp"
+#include "core/sm.hpp"
+#include "energy/energy_model.hpp"
+#include "isa/kernel.hpp"
+#include "mem/memory_system.hpp"
+#include "sim/config.hpp"
+
+namespace apres {
+
+/** Everything a finished simulation reports. */
+struct RunResult
+{
+    bool completed = false;      ///< false when maxCycles hit first
+    Cycle cycles = 0;
+    std::uint64_t instructions = 0;
+    double ipc = 0.0;            ///< GPU-wide instructions per cycle
+
+    CacheStats l1;               ///< summed over SMs
+    CacheStats l2;               ///< summed over partitions
+    TrafficStats traffic;
+
+    double avgLoadLatency = 0.0; ///< per warp-load completion latency
+    double avgMissLatency = 0.0; ///< per line miss round trip
+
+    std::uint64_t prefetchesRequested = 0;
+    std::uint64_t prefetchesIssued = 0;
+
+    std::uint64_t idleCycles = 0;   ///< summed over SMs
+    std::uint64_t mshrReplays = 0;  ///< LSU retries on MSHR-full
+
+    LawsStats laws; ///< summed over SMs (zero unless LAWS runs)
+    SapStats sap;   ///< summed over SMs (zero unless SAP runs)
+
+    double ccwsActiveLimitSum = 0.0; ///< end-of-run limit, summed over SMs
+    double ccwsScoreSum = 0.0;       ///< end-of-run score, summed over SMs
+    std::uint64_t ccwsEvents = 0;    ///< lost-locality detections
+
+    EnergyBreakdown energy;
+
+    /** L1 demand hit rate. */
+    double l1HitRate() const;
+
+    /** Early eviction ratio (Fig. 4 / Fig. 12 definition). */
+    double earlyEvictionRatio() const { return l1.earlyEvictionRatio(); }
+
+    /** Flatten everything into dotted-name scalars. */
+    StatSet toStatSet() const;
+};
+
+/**
+ * The simulator.
+ */
+class Gpu
+{
+  public:
+    /**
+     * @param config simulation configuration (copied)
+     * @param kernel kernel run by every SM (must outlive the Gpu)
+     */
+    Gpu(const GpuConfig& config, const Kernel& kernel);
+    ~Gpu();
+
+    Gpu(const Gpu&) = delete;
+    Gpu& operator=(const Gpu&) = delete;
+
+    /** Run to completion (or the cycle cap) and collect results. */
+    RunResult run();
+
+    /** Advance exactly @p cycles (for incremental-driving tests). */
+    void step(Cycle cycles);
+
+    /** True when all SMs drained. */
+    bool done() const;
+
+    /** Current cycle. */
+    Cycle now() const { return cycle; }
+
+    /** The configured cycle cap. */
+    Cycle maxCycles() const { return cfg.maxCycles; }
+
+    /** Collect results at the current point in time. */
+    RunResult collect() const;
+
+    /** SM @p index (for white-box tests). */
+    const Sm& sm(int index) const { return *sms.at(static_cast<std::size_t>(index)); }
+
+    /** The shared memory side. */
+    const MemorySystem& memorySystem() const { return *memsys; }
+
+  private:
+    GpuConfig cfg;
+    const Kernel& kernel;
+    std::unique_ptr<MemorySystem> memsys;
+    std::vector<std::unique_ptr<Scheduler>> schedulers;
+    std::vector<std::unique_ptr<Prefetcher>> prefetchers;
+    std::vector<std::unique_ptr<Sm>> sms;
+    Cycle cycle = 0;
+};
+
+/** Convenience: configure, run, return results. */
+RunResult simulate(const GpuConfig& config, const Kernel& kernel);
+
+} // namespace apres
+
+#endif // APRES_SIM_GPU_HPP

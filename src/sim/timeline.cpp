@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Timeline recorder implementation.
+ */
+
+#include "timeline.hpp"
+
+#include <cassert>
+#include <string>
+
+namespace apres {
+
+RunResult
+TimelineRecorder::record(Gpu& gpu)
+{
+    assert(interval_ >= 1);
+    std::uint64_t last_instr = 0;
+    std::uint64_t last_accesses = 0;
+    std::uint64_t last_misses = 0;
+    std::uint64_t last_prefetches = 0;
+
+    while (!gpu.done() && gpu.now() < gpu.maxCycles()) {
+        gpu.step(interval_);
+        const RunResult snap = gpu.collect();
+
+        TimelineSample sample;
+        sample.cycleEnd = gpu.now();
+        sample.intervalIpc =
+            static_cast<double>(snap.instructions - last_instr) /
+            static_cast<double>(interval_);
+        const std::uint64_t accesses =
+            snap.l1.demandAccesses - last_accesses;
+        const std::uint64_t misses = snap.l1.demandMisses - last_misses;
+        sample.intervalMissRate = accesses
+            ? static_cast<double>(misses) / static_cast<double>(accesses)
+            : 0.0;
+        sample.intervalPrefetches =
+            snap.prefetchesIssued - last_prefetches;
+        sample.cumulativeIpc = snap.ipc;
+        samples_.push_back(sample);
+
+        last_instr = snap.instructions;
+        last_accesses = snap.l1.demandAccesses;
+        last_misses = snap.l1.demandMisses;
+        last_prefetches = snap.prefetchesIssued;
+    }
+
+    RunResult result = gpu.collect();
+    result.completed = gpu.done();
+    return result;
+}
+
+void
+TimelineRecorder::toCsv(CsvWriter& csv) const
+{
+    for (const TimelineSample& s : samples_) {
+        StatSet row;
+        row.set("cycleEnd", static_cast<double>(s.cycleEnd));
+        row.set("intervalIpc", s.intervalIpc);
+        row.set("intervalMissRate", s.intervalMissRate);
+        row.set("intervalPrefetches",
+                static_cast<double>(s.intervalPrefetches));
+        row.set("cumulativeIpc", s.cumulativeIpc);
+        csv.addRow(std::to_string(s.cycleEnd), row);
+    }
+}
+
+} // namespace apres

@@ -1,0 +1,229 @@
+/**
+ * @file
+ * apres_sim — the command-line front end of the simulator.
+ *
+ * Runs one or more (workload, scheduler, prefetcher) combinations and
+ * reports the full statistics as text or CSV.
+ *
+ *   apres_sim --workload KM --sched laws --pf sap
+ *   apres_sim --workload all --sched ccws --pf str --csv results.csv
+ *   apres_sim --workload SRAD --sched lrr --l1-bytes 1048576 --sms 4
+ *
+ * Run `apres_sim --help` for the full option list.
+ */
+
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/csv.hpp"
+#include "isa/kernel_text.hpp"
+#include "common/log.hpp"
+#include "sim/gpu.hpp"
+#include "sim/timeline.hpp"
+#include "workloads/workload.hpp"
+
+using namespace apres;
+
+namespace {
+
+void
+printHelp()
+{
+    std::cout <<
+        "apres_sim - APRES (ISCA 2016) GPU timing simulator\n\n"
+        "usage: apres_sim [options]\n\n"
+        "workload selection:\n"
+        "  --workload NAME   Table IV abbreviation, or 'all' (default KM)\n"
+        "  --kernel-file F   run a declarative .kt kernel file instead\n"
+        "  --scale F         trip-count multiplier (default 1.0)\n\n"
+        "policy selection:\n"
+        "  --sched S         lrr|gto|ccws|mascar|pa|laws (default lrr)\n"
+        "  --pf P            none|str|sld|sap (default none)\n"
+        "  --apres           shorthand for --sched laws --pf sap\n\n"
+        "machine configuration (Table III defaults):\n"
+        "  --sms N           number of SMs (default 15)\n"
+        "  --warps N         warps per SM (default 48)\n"
+        "  --jobs N          blocks per warp slot (default 4)\n"
+        "  --l1-bytes N      L1 capacity (default 32768)\n"
+        "  --mshrs N         L1 MSHR entries (default 64)\n"
+        "  --replacement P   L1 victim policy: lru|fifo|random\n"
+        "  --dram-interval N cycles per DRAM line transfer (default 6)\n"
+        "  --dram-rows       enable the bank/row-buffer DRAM model\n"
+        "  --bypass          enable adaptive L1 bypass for streams\n"
+        "  --max-cycles N    simulation cap (default 50000000)\n\n"
+        "output:\n"
+        "  --csv FILE        append rows as CSV instead of text\n"
+        "  --timeline FILE   write per-interval samples as CSV\n"
+        "  --interval N      timeline sampling interval (default 2000)\n"
+        "  --quiet           print only 'workload config ipc'\n"
+        "  --help            this text\n";
+}
+
+SchedulerKind
+parseSched(const std::string& s)
+{
+    if (s == "lrr") return SchedulerKind::kLrr;
+    if (s == "gto") return SchedulerKind::kGto;
+    if (s == "ccws") return SchedulerKind::kCcws;
+    if (s == "mascar") return SchedulerKind::kMascar;
+    if (s == "pa") return SchedulerKind::kPa;
+    if (s == "laws") return SchedulerKind::kLaws;
+    fatal("unknown scheduler: " + s + " (try --help)");
+}
+
+PrefetcherKind
+parsePf(const std::string& s)
+{
+    if (s == "none") return PrefetcherKind::kNone;
+    if (s == "str") return PrefetcherKind::kStr;
+    if (s == "sld") return PrefetcherKind::kSld;
+    if (s == "sap") return PrefetcherKind::kSap;
+    fatal("unknown prefetcher: " + s + " (try --help)");
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::string workload = "KM";
+    std::string kernel_file;
+    double scale = 1.0;
+    GpuConfig cfg;
+    std::string csv_path;
+    std::string timeline_path;
+    Cycle timeline_interval = 2000;
+    bool quiet = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                fatal("option " + arg + " needs a value");
+            return argv[++i];
+        };
+        if (arg == "--help" || arg == "-h") {
+            printHelp();
+            return 0;
+        } else if (arg == "--workload") {
+            workload = next();
+        } else if (arg == "--kernel-file") {
+            kernel_file = next();
+        } else if (arg == "--scale") {
+            scale = std::atof(next().c_str());
+        } else if (arg == "--sched") {
+            cfg.scheduler = parseSched(next());
+        } else if (arg == "--pf") {
+            cfg.prefetcher = parsePf(next());
+        } else if (arg == "--apres") {
+            cfg.useApres();
+        } else if (arg == "--sms") {
+            cfg.numSms = std::atoi(next().c_str());
+        } else if (arg == "--warps") {
+            cfg.sm.warpsPerSm = std::atoi(next().c_str());
+            cfg.sm.warpsPerBlock = cfg.sm.warpsPerSm;
+        } else if (arg == "--jobs") {
+            cfg.sm.jobsPerWarp = std::atoi(next().c_str());
+        } else if (arg == "--l1-bytes") {
+            cfg.sm.l1.sizeBytes = std::strtoull(next().c_str(), nullptr, 10);
+        } else if (arg == "--mshrs") {
+            cfg.sm.l1.numMshrs =
+                static_cast<std::uint32_t>(std::atoi(next().c_str()));
+        } else if (arg == "--replacement") {
+            const std::string p = next();
+            if (p == "lru")
+                cfg.sm.l1.replacement = ReplacementPolicy::kLru;
+            else if (p == "fifo")
+                cfg.sm.l1.replacement = ReplacementPolicy::kFifo;
+            else if (p == "random")
+                cfg.sm.l1.replacement = ReplacementPolicy::kRandom;
+            else
+                fatal("unknown replacement policy: " + p);
+        } else if (arg == "--dram-interval") {
+            cfg.mem.dram.serviceInterval =
+                std::strtoull(next().c_str(), nullptr, 10);
+        } else if (arg == "--dram-rows") {
+            cfg.mem.dram.rowBufferModel = true;
+        } else if (arg == "--bypass") {
+            cfg.sm.lsu.adaptiveBypass = true;
+        } else if (arg == "--max-cycles") {
+            cfg.maxCycles = std::strtoull(next().c_str(), nullptr, 10);
+        } else if (arg == "--csv") {
+            csv_path = next();
+        } else if (arg == "--timeline") {
+            timeline_path = next();
+        } else if (arg == "--interval") {
+            timeline_interval = std::strtoull(next().c_str(), nullptr, 10);
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else {
+            fatal("unknown option: " + arg + " (try --help)");
+        }
+    }
+
+    struct Job
+    {
+        std::string label;
+        Kernel kernel;
+    };
+    std::vector<Job> jobs;
+    if (!kernel_file.empty()) {
+        Job job;
+        job.kernel = loadKernelFile(kernel_file);
+        job.label = job.kernel.name();
+        jobs.push_back(std::move(job));
+    } else if (workload == "all") {
+        for (const std::string& name : allWorkloadNames())
+            jobs.push_back({name, makeWorkload(name, scale).kernel});
+    } else {
+        jobs.push_back({workload, makeWorkload(workload, scale).kernel});
+    }
+
+    CsvWriter csv("workload");
+    CsvWriter timeline_csv("cycle");
+    for (const Job& job : jobs) {
+        const std::string& name = job.label;
+        RunResult r;
+        if (!timeline_path.empty()) {
+            Gpu gpu(cfg, job.kernel);
+            TimelineRecorder recorder(timeline_interval);
+            r = recorder.record(gpu);
+            recorder.toCsv(timeline_csv);
+        } else {
+            r = simulate(cfg, job.kernel);
+        }
+        if (!csv_path.empty()) {
+            csv.addRow(name + ":" + cfg.label(), r.toStatSet());
+        } else if (quiet) {
+            std::cout << name << ' ' << cfg.label() << ' ' << r.ipc
+                      << '\n';
+        } else {
+            std::cout << "== " << name << " under " << cfg.label()
+                      << " ==\n";
+            r.toStatSet().dump(std::cout);
+            std::cout << '\n';
+        }
+    }
+
+    if (!csv_path.empty()) {
+        std::ofstream out(csv_path);
+        if (!out)
+            fatal("cannot open " + csv_path);
+        csv.write(out);
+        std::cout << "wrote " << csv.size() << " rows to " << csv_path
+                  << '\n';
+    }
+    if (!timeline_path.empty()) {
+        std::ofstream out(timeline_path);
+        if (!out)
+            fatal("cannot open " + timeline_path);
+        timeline_csv.write(out);
+        std::cout << "wrote " << timeline_csv.size()
+                  << " timeline samples to " << timeline_path << '\n';
+    }
+    return 0;
+}

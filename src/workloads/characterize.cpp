@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Oracle characterization implementation.
+ */
+
+#include "characterize.hpp"
+
+#include <algorithm>
+#include <map>
+#include <unordered_set>
+
+#include "mem/coalescer.hpp"
+
+namespace apres {
+
+std::vector<LoadProfile>
+characterizeKernel(const Kernel& kernel, const CharacterizeOptions& options)
+{
+    std::vector<LoadProfile> profiles;
+    const Coalescer coalescer(options.lineSize);
+    const std::uint64_t iters =
+        std::min<std::uint64_t>(options.maxIters, kernel.tripCount());
+
+    std::uint64_t total_refs = 0;
+
+    for (const Instruction& instr : kernel.code()) {
+        if (instr.op != Opcode::kLoad)
+            continue;
+        const AddressGen& gen = kernel.addrGen(instr.addrGenId);
+
+        LoadProfile p;
+        p.pc = instr.pc;
+        std::unordered_set<Addr> lines;
+        std::map<std::int64_t, std::uint64_t> strides;
+        std::uint64_t stride_samples = 0;
+
+        for (int sm = 0; sm < options.numSms; ++sm) {
+            for (std::uint64_t it = 0; it < iters; ++it) {
+                Addr prev_base = kInvalidAddr;
+                for (int w = 0; w < options.numWarps; ++w) {
+                    const AddrCtx ctx{sm, w, it};
+                    const Addr base = gen.base(ctx);
+                    for (const Addr line :
+                         coalescer.coalesce(base, instr.laneStride)) {
+                        lines.insert(line);
+                        ++p.references;
+                    }
+                    if (prev_base != kInvalidAddr) {
+                        // Paper: stride = address delta / warp-ID
+                        // delta; consecutive warps give delta 1.
+                        strides[static_cast<std::int64_t>(base) -
+                                static_cast<std::int64_t>(prev_base)]++;
+                        ++stride_samples;
+                    }
+                    prev_base = base;
+                }
+            }
+        }
+
+        p.uniqueLines = lines.size();
+        p.uniqueLinesPerRef = p.references
+            ? static_cast<double>(p.uniqueLines) /
+                  static_cast<double>(p.references)
+            : 0.0;
+        if (stride_samples) {
+            const auto dominant = std::max_element(
+                strides.begin(), strides.end(),
+                [](const auto& a, const auto& b) {
+                    return a.second < b.second;
+                });
+            p.dominantStride = dominant->first;
+            p.dominantStrideShare = static_cast<double>(dominant->second) /
+                static_cast<double>(stride_samples);
+        }
+        total_refs += p.references;
+        profiles.push_back(std::move(p));
+    }
+
+    for (LoadProfile& p : profiles) {
+        p.loadShare = total_refs
+            ? static_cast<double>(p.references) /
+                  static_cast<double>(total_refs)
+            : 0.0;
+    }
+    return profiles;
+}
+
+} // namespace apres

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Oracle per-load characterization (Table I's static columns).
+ *
+ * Replays each static load's address stream functionally (no timing)
+ * to compute exactly the metrics of Table I that do not depend on
+ * cache contention: the fraction of references per load (%Load), the
+ * unique-lines-per-reference ratio (#L/#R), and the dominant
+ * inter-warp stride with its share of all observed strides (%Stride).
+ * The contention-dependent miss rate comes from the timing simulation
+ * (LsuStats::perPc).
+ */
+
+#ifndef APRES_WORKLOADS_CHARACTERIZE_HPP
+#define APRES_WORKLOADS_CHARACTERIZE_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/kernel.hpp"
+
+namespace apres {
+
+/** Static characterization of one load (Table I row, minus miss rate). */
+struct LoadProfile
+{
+    Pc pc = kInvalidPc;
+    std::uint64_t references = 0;   ///< coalesced line requests
+    std::uint64_t uniqueLines = 0;
+    double loadShare = 0.0;         ///< %Load
+    double uniqueLinesPerRef = 0.0; ///< #L/#R
+    std::int64_t dominantStride = 0;
+    double dominantStrideShare = 0.0; ///< %Stride
+};
+
+/** Characterization knobs. */
+struct CharacterizeOptions
+{
+    int numWarps = 48;       ///< warps replayed per SM
+    int numSms = 1;          ///< SMs replayed
+    std::uint64_t maxIters = 128; ///< iterations sampled per warp
+    std::uint32_t lineSize = 128;
+};
+
+/**
+ * Profile every static load of @p kernel.
+ * @return one LoadProfile per load, in program order
+ */
+std::vector<LoadProfile> characterizeKernel(
+    const Kernel& kernel, const CharacterizeOptions& options = {});
+
+} // namespace apres
+
+#endif // APRES_WORKLOADS_CHARACTERIZE_HPP

@@ -1,0 +1,351 @@
+/**
+ * @file
+ * Unit tests for the APRES core: LLT, WGT, the LAWS scheduler and the
+ * SAP prefetcher, including the paper's own worked examples (Fig. 8,
+ * Fig. 9) and the Table II hardware cost.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apres/hardware_cost.hpp"
+#include "apres/laws.hpp"
+#include "apres/sap.hpp"
+#include "fake_sm.hpp"
+
+namespace apres {
+namespace {
+
+TEST(Llt, TracksLastLoadPc)
+{
+    LastLoadTable llt(4);
+    EXPECT_EQ(llt.get(2), kInvalidPc);
+    llt.set(2, 0x10);
+    EXPECT_EQ(llt.get(2), 0x10u);
+    llt.set(2, 0x20);
+    EXPECT_EQ(llt.get(2), 0x20u);
+}
+
+TEST(Llt, MatchMaskFindsPeers)
+{
+    // The Fig. 8 example: warps 0, 2 and 3 share LLPC 0x10.
+    LastLoadTable llt(4);
+    llt.set(0, 0x10);
+    llt.set(1, 0x20);
+    llt.set(2, 0x10);
+    llt.set(3, 0x10);
+    EXPECT_EQ(llt.matchMask(0x10), 0b1101u);
+    EXPECT_EQ(llt.matchMask(0x20), 0b0010u);
+    EXPECT_EQ(llt.matchMask(0x30), 0u);
+    EXPECT_EQ(llt.matchMask(kInvalidPc), 0u);
+}
+
+TEST(Wgt, InsertAndTake)
+{
+    WarpGroupTable wgt;
+    wgt.insert(0, 0x20, 0b1101);
+    EXPECT_EQ(wgt.validCount(), 1);
+    EXPECT_EQ(wgt.take(0, 0x20), 0b1101u);
+    // Taking invalidates.
+    EXPECT_EQ(wgt.take(0, 0x20), 0u);
+    EXPECT_EQ(wgt.validCount(), 0);
+}
+
+TEST(Wgt, ReplacesOldestWhenFull)
+{
+    WarpGroupTable wgt; // 3 entries (pipeline depth, Table II)
+    wgt.insert(0, 0x10, 0b0001);
+    wgt.insert(1, 0x10, 0b0010);
+    wgt.insert(2, 0x10, 0b0100);
+    wgt.insert(3, 0x10, 0b1000); // evicts the (0, 0x10) entry
+    EXPECT_EQ(wgt.take(0, 0x10), 0u);
+    EXPECT_EQ(wgt.take(3, 0x10), 0b1000u);
+}
+
+TEST(Wgt, SameKeyOverwritesInPlace)
+{
+    WarpGroupTable wgt;
+    wgt.insert(0, 0x10, 0b0001);
+    wgt.insert(0, 0x10, 0b0011);
+    EXPECT_EQ(wgt.validCount(), 1);
+    EXPECT_EQ(wgt.take(0, 0x10), 0b0011u);
+}
+
+LoadAccessInfo
+result(WarpId warp, Pc pc, Addr addr, bool hit)
+{
+    LoadAccessInfo info;
+    info.warp = warp;
+    info.pc = pc;
+    info.baseAddr = addr;
+    info.baseLineAddr = addr & ~Addr{127};
+    info.hit = hit;
+    return info;
+}
+
+TEST(Laws, GroupsByLlpcAndPromotesOnHit)
+{
+    FakeSm sm(12);
+    LawsScheduler laws;
+    laws.attach(sm);
+
+    // Warps 8..11 execute load X (0x10): they share LLPC 0x10 and sit
+    // at the back of the queue.
+    for (int w = 8; w < 12; ++w)
+        laws.notifyLoadIssued(w, 0x10, 0);
+    // Warp 8 issues load Y (0x20): group = {8..11}.
+    laws.notifyLoadIssued(8, 0x20, 10);
+    EXPECT_EQ(laws.stats().groupsFormed, 5u);
+
+    // Y hits: the group moves to the queue head.
+    laws.notifyAccessResult(result(8, 0x20, 0x1000, true));
+    EXPECT_EQ(laws.stats().groupHits, 1u);
+    EXPECT_GT(laws.stats().warpsPrioritized, 0u);
+    const auto order = laws.queueOrder();
+    EXPECT_GE(order[0], 8);
+    EXPECT_GE(order[1], 8);
+    EXPECT_GE(order[2], 8);
+    EXPECT_GE(order[3], 8);
+}
+
+TEST(Laws, DemotesGroupOnMiss)
+{
+    FakeSm sm(6);
+    LawsScheduler laws;
+    laws.attach(sm);
+    for (int w = 0; w < 6; ++w)
+        laws.notifyLoadIssued(w, 0x10, 0);
+
+    // Make warps 0..2 a distinct group: they advance to load 0x20.
+    for (int w = 0; w < 3; ++w)
+        laws.notifyLoadIssued(w, 0x20, 5);
+
+    // Warp 3 issues 0x20; its group = warps still at LLPC 0x10 (3,4,5).
+    laws.notifyLoadIssued(3, 0x20, 10);
+    laws.notifyAccessResult(result(3, 0x20, 0x5000, false));
+    EXPECT_EQ(laws.stats().groupMisses, 1u);
+    // The demoted warps sit at the queue tail.
+    const auto order = laws.queueOrder();
+    ASSERT_EQ(order.size(), 6u);
+    // Warps 3,4,5 (the group) must occupy the last three positions.
+    for (std::size_t i = 3; i < 6; ++i)
+        EXPECT_GE(order[i], 3);
+}
+
+TEST(Laws, PickFollowsQueueOrder)
+{
+    FakeSm sm(4);
+    LawsScheduler laws;
+    laws.attach(sm);
+    EXPECT_EQ(laws.pick(0, {1, 2, 3}), 1); // 0 not ready -> next in queue
+    EXPECT_EQ(laws.pick(1, {0, 3}), 0);
+}
+
+TEST(Laws, PendingGroupMissConsumedOnce)
+{
+    FakeSm sm(6);
+    LawsScheduler laws;
+    laws.attach(sm);
+    for (int w = 0; w < 6; ++w)
+        laws.notifyLoadIssued(w, 0x10, 0);
+    laws.notifyLoadIssued(0, 0x20, 10);
+    laws.notifyAccessResult(result(0, 0x20, 0x5000, false));
+
+    const auto group = laws.takePendingGroupMiss(0, 0x20);
+    EXPECT_TRUE(group.valid);
+    EXPECT_NE(group.members, 0u);
+    EXPECT_FALSE((group.members >> 0) & 1); // owner excluded
+    // Second take returns nothing.
+    EXPECT_FALSE(laws.takePendingGroupMiss(0, 0x20).valid);
+}
+
+TEST(Laws, RelaunchedWarpJoinsTail)
+{
+    FakeSm sm(4);
+    LawsScheduler laws;
+    laws.attach(sm);
+    laws.notifyWarpRelaunched(0);
+    EXPECT_EQ(laws.queueOrder().back(), 0);
+}
+
+TEST(Laws, FinishedWarpLeavesQueue)
+{
+    FakeSm sm(4);
+    LawsScheduler laws;
+    laws.attach(sm);
+    laws.notifyWarpFinished(2);
+    const auto order = laws.queueOrder();
+    EXPECT_EQ(order.size(), 3u);
+    for (const WarpId w : order)
+        EXPECT_NE(w, 2);
+}
+
+TEST(Laws, GroupCapLimitsMembership)
+{
+    FakeSm sm(16);
+    LawsConfig cfg;
+    cfg.groupCap = 4;
+    LawsScheduler laws(cfg);
+    laws.attach(sm);
+    for (int w = 0; w < 16; ++w)
+        laws.notifyLoadIssued(w, 0x10, 0);
+    laws.notifyLoadIssued(0, 0x20, 10);
+    laws.notifyAccessResult(result(0, 0x20, 0x5000, false));
+    const auto group = laws.takePendingGroupMiss(0, 0x20);
+    ASSERT_TRUE(group.valid);
+    EXPECT_LE(std::popcount(group.members), 4);
+}
+
+/**
+ * The paper's Fig. 9 walk-through: PT holds (PC 200, warp 10, addr
+ * 2800, stride 100); warp 2 misses at 2000. Calculated stride
+ * (2000-2800)/(2-10) = 100 matches, so every group warp w gets a
+ * prefetch at 2000 + (w-2)*100 — warp 1's target is 1900.
+ */
+TEST(Sap, Figure9WorkedExample)
+{
+    FakeSm sm(16);
+    LawsScheduler laws;
+    laws.attach(sm);
+    SapPrefetcher sap(laws);
+    RecordingIssuer issuer;
+
+    // Train the PT: warp 10 executed PC 200 at address 2800 after an
+    // earlier execution established stride 100 (warp 5 at 2300).
+    sap.onAccess(result(5, 200, 2300, false), issuer);
+    sap.onAccess(result(10, 200, 2800, false), issuer);
+    ASSERT_TRUE(issuer.requests.empty()); // no group miss staged yet
+
+    // Group {1, 3} is staged by LAWS for warp 2's miss at PC 200.
+    for (const int w : {1, 3})
+        laws.notifyLoadIssued(w, 0x10, 0);
+    laws.notifyLoadIssued(2, 0x10, 0);
+    laws.notifyLoadIssued(2, 200, 5);
+    laws.notifyAccessResult(result(2, 200, 2000, false));
+
+    sap.onAccess(result(2, 200, 2000, false), issuer);
+    ASSERT_EQ(issuer.requests.size(), 2u);
+    EXPECT_EQ(issuer.requests[0].addr, 1900u); // warp 1: 2000 + (1-2)*100
+    EXPECT_EQ(issuer.requests[0].warp, 1);
+    EXPECT_EQ(issuer.requests[1].addr, 2100u); // warp 3: 2000 + (3-2)*100
+    EXPECT_EQ(issuer.requests[1].warp, 3);
+    EXPECT_EQ(sap.stats().strideMatches, 1u);
+}
+
+TEST(Sap, MismatchedStrideSuppressesPrefetch)
+{
+    FakeSm sm(8);
+    LawsScheduler laws;
+    laws.attach(sm);
+    SapPrefetcher sap(laws);
+    RecordingIssuer issuer;
+
+    sap.onAccess(result(0, 200, 1000, false), issuer);
+    sap.onAccess(result(1, 200, 1100, false), issuer); // stride 100
+
+    laws.notifyLoadIssued(3, 0x10, 0);
+    laws.notifyLoadIssued(2, 0x10, 0);
+    laws.notifyLoadIssued(2, 200, 5);
+    laws.notifyAccessResult(result(2, 200, 9999, false));
+    sap.onAccess(result(2, 200, 9999, false), issuer); // stride mismatch
+    EXPECT_TRUE(issuer.requests.empty());
+    EXPECT_EQ(sap.stats().strideMismatches, 1u);
+}
+
+TEST(Sap, InexactDivisionIgnored)
+{
+    FakeSm sm(8);
+    LawsScheduler laws;
+    laws.attach(sm);
+    SapPrefetcher sap(laws);
+    RecordingIssuer issuer;
+
+    // Warp delta 3, address delta 100: not an integral per-warp
+    // stride; the trained stride must survive.
+    sap.onAccess(result(0, 200, 1000, false), issuer);
+    sap.onAccess(result(1, 200, 1100, false), issuer);
+    sap.onAccess(result(4, 200, 1200, false), issuer); // (100)/(3): inexact
+    sap.onAccess(result(5, 200, 1300, false), issuer); // stride 100 again
+    EXPECT_EQ(sap.stats().prefetchesGenerated, 0u); // no group miss yet
+}
+
+TEST(Sap, PrefetchTargetsPromotedInLaws)
+{
+    FakeSm sm(8);
+    LawsScheduler laws;
+    laws.attach(sm);
+    SapPrefetcher sap(laws);
+    RecordingIssuer issuer;
+
+    sap.onAccess(result(0, 200, 1000, false), issuer);
+    sap.onAccess(result(1, 200, 1100, false), issuer);
+
+    for (const int w : {6, 7})
+        laws.notifyLoadIssued(w, 0x10, 0);
+    laws.notifyLoadIssued(2, 0x10, 0);
+    laws.notifyLoadIssued(2, 200, 5);
+    laws.notifyAccessResult(result(2, 200, 1200, false));
+    sap.onAccess(result(2, 200, 1200, false), issuer);
+
+    EXPECT_EQ(issuer.requests.size(), 2u);
+    EXPECT_GT(laws.stats().prefetchTargetPromotions, 0u);
+    // The prefetch-target warps (6, 7) lead the queue.
+    const auto order = laws.queueOrder();
+    EXPECT_TRUE((order[0] == 6 && order[1] == 7) ||
+                (order[0] == 7 && order[1] == 6));
+}
+
+TEST(Sap, ZeroStrideNeverPrefetches)
+{
+    FakeSm sm(8);
+    LawsScheduler laws;
+    laws.attach(sm);
+    SapPrefetcher sap(laws);
+    RecordingIssuer issuer;
+
+    sap.onAccess(result(0, 200, 1000, false), issuer);
+    sap.onAccess(result(1, 200, 1000, false), issuer); // stride 0
+
+    laws.notifyLoadIssued(3, 0x10, 0);
+    laws.notifyLoadIssued(2, 0x10, 0);
+    laws.notifyLoadIssued(2, 200, 5);
+    laws.notifyAccessResult(result(2, 200, 1000, false));
+    sap.onAccess(result(2, 200, 1000, false), issuer);
+    EXPECT_TRUE(issuer.requests.empty());
+}
+
+TEST(HardwareCost, Table2Reproduced)
+{
+    const HardwareCost cost = computeHardwareCost();
+    // Table II: LLT 4Bx48 = 192, WGT 48bx3 = 18, DRQ 8Bx32 = 256,
+    // WQ 1Bx48 = 48, PT (4+1+8+8)Bx10 = 210. Total 724 bytes.
+    EXPECT_EQ(cost.lltBytes, 192u);
+    EXPECT_EQ(cost.wgtBytes, 18u);
+    EXPECT_EQ(cost.drqBytes, 256u);
+    EXPECT_EQ(cost.wqBytes, 48u);
+    EXPECT_EQ(cost.ptBytes, 210u);
+    EXPECT_EQ(cost.lawsBytes(), 210u);
+    EXPECT_EQ(cost.sapBytes(), 514u);
+    EXPECT_EQ(cost.totalBytes(), 724u);
+}
+
+TEST(HardwareCost, FractionOfL1Near2Percent)
+{
+    const HardwareCost cost = computeHardwareCost();
+    // The paper reports ~2.06% of the 32 KB L1 (their CACTI-based
+    // figure includes peripheral overhead; raw storage is ~2.2%).
+    const double fraction = cost.fractionOfL1(32 * 1024);
+    EXPECT_GT(fraction, 0.015);
+    EXPECT_LT(fraction, 0.03);
+}
+
+TEST(HardwareCost, ScalesWithParameters)
+{
+    HardwareCostParams params;
+    params.warpsPerSm = 64;
+    const HardwareCost cost = computeHardwareCost(params);
+    EXPECT_EQ(cost.lltBytes, 256u);
+    EXPECT_EQ(cost.wgtBytes, 24u);
+}
+
+} // namespace
+} // namespace apres

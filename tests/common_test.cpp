@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Unit tests for src/common: RNG determinism, Zipf shape, stats
+ * containers and bit utilities.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/bitutils.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace apres {
+namespace {
+
+TEST(Rng, SameSeedSameStream)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next() ? 1 : 0;
+    EXPECT_LT(same, 5);
+}
+
+TEST(Rng, ReseedRestartsStream)
+{
+    Rng a(7);
+    const std::uint64_t first = a.next();
+    a.next();
+    a.reseed(7);
+    EXPECT_EQ(a.next(), first);
+}
+
+TEST(Rng, BoundedStaysInRange)
+{
+    Rng rng(3);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.nextBounded(17), 17u);
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng rng(9);
+    for (int i = 0; i < 10000; ++i) {
+        const double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, ZeroSeedIsValid)
+{
+    Rng rng(0);
+    EXPECT_NE(rng.next(), rng.next());
+}
+
+TEST(Zipf, SkewConcentratesOnLowRanks)
+{
+    Rng rng(11);
+    ZipfSampler zipf(1000, 1.2);
+    std::uint64_t head = 0;
+    const int draws = 20000;
+    for (int i = 0; i < draws; ++i)
+        head += zipf.sample(rng) < 10 ? 1 : 0;
+    // With alpha=1.2 the top-10 of 1000 should absorb a large share.
+    EXPECT_GT(static_cast<double>(head) / draws, 0.35);
+}
+
+TEST(Zipf, AlphaZeroIsRoughlyUniform)
+{
+    Rng rng(13);
+    ZipfSampler zipf(100, 0.0);
+    std::uint64_t head = 0;
+    const int draws = 50000;
+    for (int i = 0; i < draws; ++i)
+        head += zipf.sample(rng) < 10 ? 1 : 0;
+    const double frac = static_cast<double>(head) / draws;
+    EXPECT_NEAR(frac, 0.10, 0.02);
+}
+
+TEST(RunningStat, MomentsMatchSamples)
+{
+    RunningStat s;
+    s.add(1.0);
+    s.add(2.0);
+    s.add(6.0);
+    EXPECT_EQ(s.count(), 3u);
+    EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 6.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 9.0);
+}
+
+TEST(RunningStat, EmptyIsZero)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 0.0);
+    EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStat, ResetForgetsSamples)
+{
+    RunningStat s;
+    s.add(5.0);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(Histogram, BucketsAndOverflow)
+{
+    Histogram h(10.0, 3); // [0,10) [10,20) [20,30) + overflow
+    h.add(5.0);
+    h.add(15.0);
+    h.add(25.0);
+    h.add(99.0);
+    EXPECT_EQ(h.bucketCount(0), 1u);
+    EXPECT_EQ(h.bucketCount(1), 1u);
+    EXPECT_EQ(h.bucketCount(2), 1u);
+    EXPECT_EQ(h.bucketCount(3), 1u);
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_DOUBLE_EQ(h.bucketFraction(0), 0.25);
+}
+
+TEST(StatSet, SetAccumulateGet)
+{
+    StatSet s;
+    s.set("a", 1.0);
+    s.accumulate("a", 2.0);
+    s.accumulate("b", 5.0);
+    EXPECT_DOUBLE_EQ(s.get("a"), 3.0);
+    EXPECT_DOUBLE_EQ(s.get("b"), 5.0);
+    EXPECT_DOUBLE_EQ(s.get("missing", -1.0), -1.0);
+    EXPECT_TRUE(s.has("a"));
+    EXPECT_FALSE(s.has("c"));
+}
+
+TEST(StatSet, MergeSumsOverlappingKeys)
+{
+    StatSet a;
+    a.set("x", 1.0);
+    a.set("y", 2.0);
+    StatSet b;
+    b.set("y", 3.0);
+    b.set("z", 4.0);
+    a.mergeSum(b);
+    EXPECT_DOUBLE_EQ(a.get("x"), 1.0);
+    EXPECT_DOUBLE_EQ(a.get("y"), 5.0);
+    EXPECT_DOUBLE_EQ(a.get("z"), 4.0);
+}
+
+TEST(StatSet, DumpIsSorted)
+{
+    StatSet s;
+    s.set("b", 2.0);
+    s.set("a", 1.0);
+    std::ostringstream oss;
+    s.dump(oss);
+    EXPECT_EQ(oss.str(), "a = 1\nb = 2\n");
+}
+
+TEST(BitUtils, PowerOfTwoChecks)
+{
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(128));
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_FALSE(isPowerOfTwo(96));
+}
+
+TEST(BitUtils, Log2Exact)
+{
+    EXPECT_EQ(log2Exact(1), 0u);
+    EXPECT_EQ(log2Exact(128), 7u);
+    EXPECT_EQ(log2Exact(1ull << 40), 40u);
+}
+
+TEST(BitUtils, Alignment)
+{
+    EXPECT_EQ(alignDown(130, 128), 128u);
+    EXPECT_EQ(alignDown(128, 128), 128u);
+    EXPECT_EQ(alignUp(129, 128), 256u);
+    EXPECT_EQ(alignUp(128, 128), 128u);
+}
+
+TEST(BitUtils, DivCeil)
+{
+    EXPECT_EQ(divCeil(10, 3), 4u);
+    EXPECT_EQ(divCeil(9, 3), 3u);
+    EXPECT_EQ(divCeil(1, 128), 1u);
+}
+
+TEST(Stats, RatioHandlesZeroDenominator)
+{
+    EXPECT_DOUBLE_EQ(ratio(5.0, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(ratio(6.0, 2.0), 3.0);
+}
+
+} // namespace
+} // namespace apres

@@ -1,0 +1,298 @@
+/**
+ * @file
+ * Integration tests for the SM pipeline: issue, scoreboard, LSU,
+ * barriers, job refill and per-PC accounting, driven through a real
+ * MemorySystem.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/sm.hpp"
+#include "mem/memory_system.hpp"
+#include "sched/lrr.hpp"
+
+namespace apres {
+namespace {
+
+MemSystemConfig
+memCfg()
+{
+    MemSystemConfig cfg;
+    cfg.numPartitions = 2;
+    cfg.l2HitLatency = 50;
+    cfg.dram.baseLatency = 100;
+    cfg.dram.serviceInterval = 2;
+    return cfg;
+}
+
+SmConfig
+smCfg(int warps = 4)
+{
+    SmConfig cfg;
+    cfg.warpsPerSm = warps;
+    cfg.warpsPerBlock = warps;
+    cfg.jobsPerWarp = 1;
+    cfg.lsu.l1HitLatency = 4;
+    cfg.l1.hashSetIndex = false;
+    return cfg;
+}
+
+/** Drive an SM + memory system until drained (or the cycle cap). */
+Cycle
+runToCompletion(Sm& sm, MemorySystem& mem, Cycle cap = 200000)
+{
+    Cycle now = 0;
+    while (!sm.done() && now < cap) {
+        mem.tick(now);
+        sm.tick(now);
+        ++now;
+    }
+    return now;
+}
+
+TEST(SmPipeline, ExecutesExpectedInstructionCount)
+{
+    KernelBuilder b("t");
+    const int r = b.load(std::make_unique<UniformGen>(0x1000));
+    b.alu({r}, 2);
+    Kernel k = b.build(5);
+
+    MemorySystem mem(memCfg());
+    LrrScheduler sched;
+    Sm sm(0, smCfg(4), k, sched, nullptr, mem);
+    const Cycle cycles = runToCompletion(sm, mem);
+    ASSERT_TRUE(sm.done());
+    EXPECT_GT(cycles, 0u);
+    // 4 warps x (4-instruction body x 5 iterations + exit).
+    EXPECT_EQ(sm.stats().issuedInstructions, 4u * (4 * 5 + 1));
+    EXPECT_EQ(sm.stats().issuedLoads, 4u * 5);
+}
+
+TEST(SmPipeline, DependentAluStallsForLoad)
+{
+    // One warp, one load + dependent ALU: the ALU cannot issue before
+    // the load returns (>= DRAM latency on a cold miss).
+    KernelBuilder b("t");
+    const int r = b.load(std::make_unique<UniformGen>(0x1000));
+    b.alu({r}, 1);
+    Kernel k = b.build(1);
+
+    MemSystemConfig mc = memCfg();
+    MemorySystem mem(mc);
+    LrrScheduler sched;
+    Sm sm(0, smCfg(1), k, sched, nullptr, mem);
+    const Cycle cycles = runToCompletion(sm, mem);
+    EXPECT_GE(cycles, mc.dram.baseLatency);
+}
+
+TEST(SmPipeline, IndependentLoadsOverlap)
+{
+    // Two independent loads to different lines take barely longer than
+    // one (latencies overlap).
+    const auto build = [](int loads) {
+        KernelBuilder b("t");
+        int last = kNoReg;
+        for (int i = 0; i < loads; ++i) {
+            last = b.load(std::make_unique<UniformGen>(
+                0x1000 + static_cast<Addr>(i) * 4096));
+        }
+        b.alu({last}, 1);
+        return b.build(1);
+    };
+
+    Kernel one = build(1);
+    Kernel two = build(2);
+    Cycle t1 = 0;
+    Cycle t2 = 0;
+    {
+        MemorySystem mem(memCfg());
+        LrrScheduler sched;
+        Sm sm(0, smCfg(1), one, sched, nullptr, mem);
+        t1 = runToCompletion(sm, mem);
+    }
+    {
+        MemorySystem mem(memCfg());
+        LrrScheduler sched;
+        Sm sm(0, smCfg(1), two, sched, nullptr, mem);
+        t2 = runToCompletion(sm, mem);
+    }
+    EXPECT_LT(t2, t1 + 30);
+}
+
+TEST(SmPipeline, ChainedLoadsSerialize)
+{
+    // A load whose address depends on a previous load pays both
+    // latencies.
+    KernelBuilder b("t");
+    const int r0 = b.load(std::make_unique<UniformGen>(0x1000));
+    const int r1 = b.load(std::make_unique<UniformGen>(0x9000), 4,
+                          kInvalidPc, r0);
+    b.alu({r1}, 1);
+    Kernel k = b.build(1);
+
+    MemSystemConfig mc = memCfg();
+    MemorySystem mem(mc);
+    LrrScheduler sched;
+    Sm sm(0, smCfg(1), k, sched, nullptr, mem);
+    const Cycle cycles = runToCompletion(sm, mem);
+    EXPECT_GE(cycles, 2 * mc.dram.baseLatency);
+}
+
+TEST(SmPipeline, SecondAccessHitsL1)
+{
+    KernelBuilder b("t");
+    const int r = b.load(std::make_unique<UniformGen>(0x1000));
+    b.alu({r}, 1);
+    Kernel k = b.build(4);
+
+    MemorySystem mem(memCfg());
+    LrrScheduler sched;
+    Sm sm(0, smCfg(1), k, sched, nullptr, mem);
+    runToCompletion(sm, mem);
+    EXPECT_EQ(sm.l1().stats().demandMisses, 1u);
+    EXPECT_EQ(sm.l1().stats().demandHits, 3u);
+}
+
+TEST(SmPipeline, UncoalescedLoadProducesManyAccesses)
+{
+    KernelBuilder b("t");
+    const int r = b.load(std::make_unique<UniformGen>(0x1000), 128);
+    b.alu({r}, 1);
+    Kernel k = b.build(1);
+
+    MemorySystem mem(memCfg());
+    LrrScheduler sched;
+    Sm sm(0, smCfg(1), k, sched, nullptr, mem);
+    runToCompletion(sm, mem);
+    // 32 lanes x 128 B apart = 32 distinct lines.
+    EXPECT_EQ(sm.l1().stats().demandAccesses, 32u);
+}
+
+TEST(SmPipeline, BarrierSynchronizesWarps)
+{
+    KernelBuilder b("t");
+    const int r = b.load(std::make_unique<UniformGen>(0x1000));
+    b.alu({r}, 1);
+    b.barrier();
+    Kernel k = b.build(2);
+
+    MemorySystem mem(memCfg());
+    LrrScheduler sched;
+    Sm sm(0, smCfg(4), k, sched, nullptr, mem);
+    runToCompletion(sm, mem);
+    EXPECT_TRUE(sm.done());
+}
+
+TEST(SmPipeline, JobRefillRunsMultipleBlocks)
+{
+    KernelBuilder b("t");
+    const int r = b.load(std::make_unique<UniformGen>(0x1000));
+    b.alu({r}, 1);
+    Kernel k = b.build(3);
+
+    MemorySystem mem(memCfg());
+    LrrScheduler sched;
+    SmConfig cfg = smCfg(2);
+    cfg.jobsPerWarp = 3;
+    Sm sm(0, cfg, k, sched, nullptr, mem);
+    runToCompletion(sm, mem);
+    ASSERT_TRUE(sm.done());
+    // 2 warps x 3 jobs x (3-instr body x 3 iters + exit).
+    EXPECT_EQ(sm.stats().issuedInstructions, 2u * 3 * (3 * 3 + 1));
+}
+
+TEST(SmPipeline, JobRefillContinuesIterations)
+{
+    // With a strided pattern, the refilled job continues the address
+    // stream instead of re-reading the first lines.
+    KernelBuilder b("t");
+    const int r = b.load(std::make_unique<StridedGen>(0x10000, 0, 4096));
+    b.alu({r}, 1);
+    Kernel k = b.build(2);
+
+    MemorySystem mem(memCfg());
+    LrrScheduler sched;
+    SmConfig cfg = smCfg(1);
+    cfg.jobsPerWarp = 2;
+    Sm sm(0, cfg, k, sched, nullptr, mem);
+    runToCompletion(sm, mem);
+    // 4 distinct lines fetched: iterations 0..3 at 4 KB stride.
+    EXPECT_EQ(sm.l1().stats().demandMisses, 4u);
+}
+
+TEST(SmPipeline, PerPcStatsTracked)
+{
+    KernelBuilder b("t");
+    const int r = b.load(std::make_unique<UniformGen>(0x1000), 4, 0x110);
+    b.alu({r}, 1);
+    Kernel k = b.build(4);
+
+    MemorySystem mem(memCfg());
+    LrrScheduler sched;
+    Sm sm(0, smCfg(1), k, sched, nullptr, mem);
+    runToCompletion(sm, mem);
+    const auto& per_pc = sm.lsuStats().perPc;
+    ASSERT_TRUE(per_pc.count(0x110));
+    EXPECT_EQ(per_pc.at(0x110).accesses, 4u);
+    EXPECT_EQ(per_pc.at(0x110).hits, 3u);
+    EXPECT_DOUBLE_EQ(per_pc.at(0x110).missRate(), 0.25);
+}
+
+TEST(SmPipeline, StoresDoNotBlockCompletion)
+{
+    KernelBuilder b("t");
+    const int r = b.load(std::make_unique<UniformGen>(0x1000));
+    b.store(std::make_unique<StridedGen>(0x20000, 128, 4096), r);
+    Kernel k = b.build(3);
+
+    MemorySystem mem(memCfg());
+    LrrScheduler sched;
+    Sm sm(0, smCfg(2), k, sched, nullptr, mem);
+    runToCompletion(sm, mem);
+    EXPECT_TRUE(sm.done());
+    EXPECT_EQ(sm.stats().issuedStores, 2u * 3);
+    EXPECT_GT(sm.l1().stats().storeAccesses, 0u);
+}
+
+TEST(SmPipeline, PrefetchIssuerRespectsMshrGate)
+{
+    KernelBuilder b("t");
+    const int r = b.load(std::make_unique<UniformGen>(0x1000));
+    b.alu({r}, 1);
+    Kernel k = b.build(1);
+
+    MemorySystem mem(memCfg());
+    LrrScheduler sched;
+    SmConfig cfg = smCfg(1);
+    cfg.prefetchMshrGate = 0.0; // gate closed: all prefetches dropped
+    Sm sm(0, cfg, k, sched, nullptr, mem);
+    EXPECT_FALSE(sm.issuePrefetch(0x8000, 0x100, 0));
+    EXPECT_EQ(sm.stats().prefetchesRequested, 1u);
+    EXPECT_EQ(sm.stats().prefetchesIssued, 0u);
+}
+
+TEST(SmPipeline, PrefetchTravelsThroughMemory)
+{
+    KernelBuilder b("t");
+    const int r = b.load(std::make_unique<UniformGen>(0x1000));
+    b.alu({r}, 1);
+    Kernel k = b.build(1);
+
+    MemorySystem mem(memCfg());
+    LrrScheduler sched;
+    Sm sm(0, smCfg(1), k, sched, nullptr, mem);
+    EXPECT_TRUE(sm.issuePrefetch(0x8000, 0x100, 0));
+    Cycle now = 0;
+    while (now < 1000) {
+        mem.tick(now);
+        sm.tick(now);
+        ++now;
+    }
+    EXPECT_TRUE(sm.l1().contains(0x8000));
+    EXPECT_EQ(sm.l1().stats().prefetchFills, 1u);
+}
+
+} // namespace
+} // namespace apres

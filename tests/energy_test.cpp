@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Unit tests for the event-based energy model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "energy/energy_model.hpp"
+
+namespace apres {
+namespace {
+
+TEST(Energy, ZeroInputsZeroEnergy)
+{
+    const EnergyBreakdown e = computeEnergy(EnergyInputs{});
+    EXPECT_DOUBLE_EQ(e.total(), 0.0);
+    EXPECT_DOUBLE_EQ(e.structureFraction(), 0.0);
+}
+
+TEST(Energy, ComponentsChargedIndependently)
+{
+    EnergyParams p;
+    EnergyInputs in;
+    in.dramAccesses = 10;
+    const EnergyBreakdown e = computeEnergy(in, p);
+    EXPECT_DOUBLE_EQ(e.dram, 10 * p.dramAccess);
+    EXPECT_DOUBLE_EQ(e.core, 0.0);
+    EXPECT_DOUBLE_EQ(e.l1, 0.0);
+    EXPECT_DOUBLE_EQ(e.total(), e.dram);
+}
+
+TEST(Energy, CoreChargesAluAndRegisterFile)
+{
+    EnergyParams p;
+    EnergyInputs in;
+    in.instructions = 100;
+    const EnergyBreakdown e = computeEnergy(in, p);
+    EXPECT_DOUBLE_EQ(e.core, 100 * (p.aluOp + p.registerAccess));
+}
+
+TEST(Energy, MonotoneInEveryInput)
+{
+    EnergyInputs base;
+    base.instructions = 1000;
+    base.l1Accesses = 500;
+    base.l2Accesses = 100;
+    base.dramAccesses = 50;
+    base.structureAccesses = 200;
+    base.smCycles = 10000;
+    const double ref = computeEnergy(base).total();
+
+    const auto bump = [&](auto member) {
+        EnergyInputs in = base;
+        in.*member += 1;
+        return computeEnergy(in).total();
+    };
+    EXPECT_GT(bump(&EnergyInputs::instructions), ref);
+    EXPECT_GT(bump(&EnergyInputs::l1Accesses), ref);
+    EXPECT_GT(bump(&EnergyInputs::l2Accesses), ref);
+    EXPECT_GT(bump(&EnergyInputs::dramAccesses), ref);
+    EXPECT_GT(bump(&EnergyInputs::structureAccesses), ref);
+    EXPECT_GT(bump(&EnergyInputs::smCycles), ref);
+}
+
+TEST(Energy, StructureFractionSmallForRealisticMix)
+{
+    // One structure event per load, loads ~20% of instructions: the
+    // paper reports the added blocks below 3% of total energy.
+    EnergyInputs in;
+    in.instructions = 1'000'000;
+    in.l1Accesses = 250'000;
+    in.l2Accesses = 120'000;
+    in.dramAccesses = 80'000;
+    in.structureAccesses = 220'000;
+    in.smCycles = 15 * 800'000;
+    const EnergyBreakdown e = computeEnergy(in);
+    EXPECT_LT(e.structureFraction(), 0.03);
+    EXPECT_GT(e.structureFraction(), 0.0);
+}
+
+TEST(Energy, TimeProportionalTermRewardsSpeedups)
+{
+    // Two runs doing identical work; the faster one spends less.
+    EnergyInputs slow;
+    slow.instructions = 1'000'000;
+    slow.dramAccesses = 100'000;
+    slow.smCycles = 15 * 1'000'000;
+    EnergyInputs fast = slow;
+    fast.smCycles = 15 * 800'000;
+    EXPECT_LT(computeEnergy(fast).total(), computeEnergy(slow).total());
+}
+
+TEST(Energy, CustomParamsRespected)
+{
+    EnergyParams p;
+    p.dramAccess = 1.0;
+    p.smCyclePipeline = 0.0;
+    EnergyInputs in;
+    in.dramAccesses = 7;
+    in.smCycles = 1000;
+    const EnergyBreakdown e = computeEnergy(in, p);
+    EXPECT_DOUBLE_EQ(e.total(), 7.0);
+}
+
+} // namespace
+} // namespace apres

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * A hand-driven SmContext for scheduler/prefetcher unit tests.
+ *
+ * Tests set warp states directly and feed scheduler notifications by
+ * hand, so policies can be verified without running the pipeline.
+ */
+
+#ifndef APRES_TESTS_FAKE_SM_HPP
+#define APRES_TESTS_FAKE_SM_HPP
+
+#include <memory>
+#include <vector>
+
+#include "core/sm.hpp"
+#include "isa/kernel.hpp"
+
+namespace apres {
+
+/** Minimal controllable SmContext. */
+class FakeSm : public SmContext
+{
+  public:
+    explicit FakeSm(int num_warps, CacheConfig l1_config = [] {
+        CacheConfig cfg;
+        cfg.sizeBytes = 2048;
+        cfg.ways = 8;
+        cfg.numMshrs = 8;
+        cfg.hashSetIndex = false;
+        return cfg;
+    }())
+        : l1_("fake.l1", l1_config)
+    {
+        KernelBuilder b("fake");
+        const int r = b.load(std::make_unique<UniformGen>(0x100));
+        b.alu({r}, 1);
+        kernel_ = b.build(4);
+
+        warps.resize(static_cast<std::size_t>(num_warps));
+        for (int w = 0; w < num_warps; ++w) {
+            warps[static_cast<std::size_t>(w)].id = w;
+            warps[static_cast<std::size_t>(w)].ageStamp =
+                static_cast<std::uint64_t>(w) + 1;
+        }
+    }
+
+    SmId id() const override { return 0; }
+    int numWarps() const override { return static_cast<int>(warps.size()); }
+    const WarpRuntime& warpState(WarpId warp) const override
+    {
+        return warps.at(static_cast<std::size_t>(warp));
+    }
+    const Kernel& kernel() const override { return kernel_; }
+    const Cache& l1() const override { return l1_; }
+    std::size_t lsuQueueDepth() const override { return lsuDepth; }
+    bool nextIsMemory(WarpId warp) const override
+    {
+        return memoryNext.size() > static_cast<std::size_t>(warp) &&
+            memoryNext[static_cast<std::size_t>(warp)];
+    }
+    Cache& l1Mutable() override { return l1_; }
+
+    /** Mutable warp state for test setup. */
+    WarpRuntime& warp(WarpId w) { return warps.at(static_cast<std::size_t>(w)); }
+
+    /** Mark whether warp @p w's next instruction is memory. */
+    void
+    setNextIsMemory(WarpId w, bool is_memory)
+    {
+        if (memoryNext.size() <= static_cast<std::size_t>(w))
+            memoryNext.resize(static_cast<std::size_t>(w) + 1, false);
+        memoryNext[static_cast<std::size_t>(w)] = is_memory;
+    }
+
+    std::size_t lsuDepth = 0;
+
+  private:
+    std::vector<WarpRuntime> warps;
+    std::vector<bool> memoryNext;
+    Kernel kernel_;
+    Cache l1_;
+};
+
+/** Prefetch issuer that records requests and accepts them all. */
+class RecordingIssuer : public PrefetchIssuer
+{
+  public:
+    struct Request
+    {
+        Addr addr;
+        Pc pc;
+        WarpId warp;
+    };
+
+    bool
+    issuePrefetch(Addr addr, Pc pc, WarpId target_warp) override
+    {
+        requests.push_back({addr, pc, target_warp});
+        return accept;
+    }
+
+    std::vector<Request> requests;
+    bool accept = true;
+};
+
+} // namespace apres
+
+#endif // APRES_TESTS_FAKE_SM_HPP

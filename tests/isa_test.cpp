@@ -1,0 +1,278 @@
+/**
+ * @file
+ * Unit tests for the kernel IR: address generators and the builder.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "isa/address_gen.hpp"
+#include "isa/kernel.hpp"
+
+namespace apres {
+namespace {
+
+TEST(Mix64, DeterministicAndSpreading)
+{
+    EXPECT_EQ(mix64(42), mix64(42));
+    EXPECT_NE(mix64(42), mix64(43));
+    std::unordered_set<std::uint64_t> seen;
+    for (std::uint64_t i = 0; i < 10000; ++i)
+        seen.insert(mix64(i) % 4096);
+    // Random balls-in-bins coverage: 10k draws into 4096 buckets
+    // reach ~91% of them (4096 * (1 - e^-2.44) ~ 3740).
+    EXPECT_GT(seen.size(), 3500u);
+}
+
+TEST(UniformGen, AlwaysSameAddress)
+{
+    UniformGen gen(0x1000);
+    for (int w = 0; w < 48; ++w) {
+        for (std::uint64_t i = 0; i < 10; ++i)
+            EXPECT_EQ(gen.base({0, w, i}), 0x1000u);
+    }
+}
+
+TEST(SharedWindowGen, StaysInsideWindow)
+{
+    const Addr base = 0x10000;
+    const std::uint64_t footprint = 4096;
+    SharedWindowGen gen(base, footprint, 4352, 26112);
+    for (int w = 0; w < 48; ++w) {
+        for (std::uint64_t i = 0; i < 1000; ++i) {
+            const Addr a = gen.base({0, w, i});
+            EXPECT_GE(a, base);
+            EXPECT_LT(a, base + footprint);
+        }
+    }
+}
+
+TEST(SharedWindowGen, NegativeStrideWrapsPositively)
+{
+    const Addr base = 0x10000;
+    SharedWindowGen gen(base, 4096, -512, -64);
+    for (int w = 0; w < 48; ++w) {
+        for (std::uint64_t i = 0; i < 100; ++i) {
+            const Addr a = gen.base({0, w, i});
+            EXPECT_GE(a, base);
+            EXPECT_LT(a, base + 4096u);
+        }
+    }
+}
+
+TEST(SharedWindowGen, WarpSkewSeparatesWarps)
+{
+    SharedWindowGen gen(0, 1 << 20, 0, 4352);
+    EXPECT_EQ(gen.base({0, 1, 0}) - gen.base({0, 0, 0}), 4352u);
+    EXPECT_EQ(gen.base({0, 7, 3}) - gen.base({0, 6, 3}), 4352u);
+}
+
+TEST(SharedWindowGen, SmOffsetSeparatesSms)
+{
+    SharedWindowGen gen(0x1000, 4096, 128, 0, 1 << 20);
+    EXPECT_EQ(gen.base({1, 0, 0}) - gen.base({0, 0, 0}), 1u << 20);
+}
+
+TEST(SharedWindowGen, WrapsAfterFootprint)
+{
+    SharedWindowGen gen(0, 1024, 128, 0);
+    // 1024/128 = 8 iterations per wrap.
+    EXPECT_EQ(gen.base({0, 0, 0}), gen.base({0, 0, 8}));
+    EXPECT_EQ(gen.base({0, 0, 3}), gen.base({0, 0, 11}));
+}
+
+TEST(StridedGen, LinearInWarpAndIteration)
+{
+    StridedGen gen(0x1000, 2048, 98304);
+    const AddrCtx base_ctx{0, 0, 0};
+    EXPECT_EQ(gen.base(base_ctx), 0x1000u);
+    EXPECT_EQ(gen.base({0, 3, 0}), 0x1000u + 3 * 2048);
+    EXPECT_EQ(gen.base({0, 0, 5}), 0x1000u + 5 * 98304);
+    EXPECT_EQ(gen.base({0, 7, 9}), 0x1000u + 7 * 2048 + 9 * 98304);
+}
+
+TEST(StridedGen, NegativeStrideMatchesNw)
+{
+    // NW's Table I stride: -1966080 between adjacent warps.
+    const Addr base = 0x20'0000'0000ull;
+    StridedGen gen(base, -1966080, -1966080 * 48);
+    const Addr w0 = gen.base({0, 0, 0});
+    const Addr w1 = gen.base({0, 1, 0});
+    EXPECT_EQ(static_cast<std::int64_t>(w1) - static_cast<std::int64_t>(w0),
+              -1966080);
+}
+
+TEST(StridedGen, ReportsWarpStride)
+{
+    StridedGen gen(0, 4352, 0);
+    EXPECT_EQ(gen.warpStrideBytes(), 4352);
+}
+
+TEST(IrregularGen, DeterministicPerContext)
+{
+    IrregularGen gen(0, 1 << 20, 4, 2, 99);
+    EXPECT_EQ(gen.base({0, 5, 17}), gen.base({0, 5, 17}));
+}
+
+TEST(IrregularGen, SharingGroupsAreStriped)
+{
+    // shareWarps=8 over 48 warps -> 6 stripes: the partners of warp w
+    // are w+6, w+12, ... (spread across the ID space so consecutive
+    // warps never share and no inter-warp stride appears).
+    IrregularGen gen(0, 1 << 20, 8, 4, 7);
+    const Addr ref = gen.base({0, 0, 0});
+    for (int w = 6; w < 48; w += 6)
+        EXPECT_EQ(gen.base({0, w, 0}), ref);
+    // Iterations 0..3 share one iteration group.
+    for (std::uint64_t i = 1; i < 4; ++i)
+        EXPECT_EQ(gen.base({0, 0, i}), ref);
+    // Adjacent warps belong to different groups.
+    EXPECT_NE(gen.base({0, 1, 0}), ref);
+}
+
+TEST(IrregularGen, StaysInFootprint)
+{
+    const std::uint64_t footprint = 256 * 1024;
+    IrregularGen gen(0x4000'0000, footprint, 2, 2, 3);
+    for (int w = 0; w < 48; ++w) {
+        for (std::uint64_t i = 0; i < 200; ++i) {
+            const Addr a = gen.base({0, w, i});
+            EXPECT_GE(a, 0x4000'0000u);
+            EXPECT_LT(a, 0x4000'0000u + footprint);
+        }
+    }
+}
+
+TEST(ZipfGen, HotLinesAbsorbMostAccesses)
+{
+    ZipfGen gen(0, 4096, 1.1, 11);
+    std::map<Addr, int> counts;
+    for (int w = 0; w < 48; ++w) {
+        for (std::uint64_t i = 0; i < 500; ++i)
+            counts[gen.base({0, w, i})]++;
+    }
+    // Top-32 lines should hold a large share of the 24000 accesses.
+    std::vector<int> freq;
+    for (const auto& [addr, n] : counts)
+        freq.push_back(n);
+    std::sort(freq.rbegin(), freq.rend());
+    int top = 0;
+    for (std::size_t i = 0; i < 32 && i < freq.size(); ++i)
+        top += freq[i];
+    EXPECT_GT(top, 24000 / 4);
+}
+
+TEST(ZipfGen, LineAligned)
+{
+    ZipfGen gen(0x1000'0000, 512, 0.9, 5);
+    for (std::uint64_t i = 0; i < 100; ++i)
+        EXPECT_EQ(gen.base({0, 0, i}) % 128, 0u);
+}
+
+TEST(KernelBuilder, BuildsLoopWithBranchAndExit)
+{
+    KernelBuilder b("t");
+    const int r = b.load(std::make_unique<UniformGen>(0x100));
+    b.alu({r}, 2);
+    Kernel k = b.build(10);
+
+    ASSERT_EQ(k.code().size(), 5u); // load, alu, alu, branch, exit
+    EXPECT_EQ(k.at(0).op, Opcode::kLoad);
+    EXPECT_EQ(k.at(1).op, Opcode::kAlu);
+    EXPECT_EQ(k.at(2).op, Opcode::kAlu);
+    EXPECT_EQ(k.at(3).op, Opcode::kBranch);
+    EXPECT_EQ(k.at(3).branchTarget, 0);
+    EXPECT_EQ(k.at(4).op, Opcode::kExit);
+    EXPECT_EQ(k.tripCount(), 10u);
+    EXPECT_EQ(k.numLoads(), 1);
+}
+
+TEST(KernelBuilder, RegisterChaining)
+{
+    KernelBuilder b("t");
+    const int r0 = b.load(std::make_unique<UniformGen>(0x100));
+    const int r1 = b.alu({r0}, 1);
+    const int r2 = b.alu({r1}, 1);
+    EXPECT_NE(r0, r1);
+    EXPECT_NE(r1, r2);
+    Kernel k = b.build(1);
+    EXPECT_EQ(k.at(1).src[0], r0);
+    EXPECT_EQ(k.at(2).src[0], r1);
+    EXPECT_EQ(k.numRegs(), 3);
+}
+
+TEST(KernelBuilder, LoadAddressDependency)
+{
+    KernelBuilder b("t");
+    const int r0 = b.load(std::make_unique<UniformGen>(0x100));
+    const int r1 = b.load(std::make_unique<UniformGen>(0x200), 4,
+                          kInvalidPc, r0);
+    (void)r1;
+    Kernel k = b.build(1);
+    EXPECT_EQ(k.at(1).src[0], r0);
+}
+
+TEST(KernelBuilder, ExplicitPcsRespected)
+{
+    KernelBuilder b("t");
+    const int r = b.load(std::make_unique<UniformGen>(0x100), 4, 0x110);
+    b.alu({r}, 1);
+    b.load(std::make_unique<UniformGen>(0x200), 4, 0xF0);
+    Kernel k = b.build(1);
+    EXPECT_EQ(k.at(0).pc, 0x110u);
+    EXPECT_EQ(k.at(2).pc, 0xF0u);
+    // Auto PCs are unique.
+    std::set<Pc> pcs;
+    for (const auto& instr : k.code())
+        pcs.insert(instr.pc);
+    EXPECT_EQ(pcs.size(), k.code().size());
+}
+
+TEST(KernelBuilder, DynamicInstructionCount)
+{
+    KernelBuilder b("t");
+    const int r = b.load(std::make_unique<UniformGen>(0x100));
+    b.alu({r}, 2);
+    Kernel k = b.build(10);
+    // Body (4 instructions incl. branch) x 10 + exit.
+    EXPECT_EQ(k.dynamicInstructionsPerWarp(), 4u * 10 + 1);
+}
+
+TEST(KernelBuilder, StoreHasNoDestination)
+{
+    KernelBuilder b("t");
+    const int r = b.load(std::make_unique<UniformGen>(0x100));
+    b.store(std::make_unique<UniformGen>(0x200), r);
+    Kernel k = b.build(1);
+    EXPECT_EQ(k.at(1).op, Opcode::kStore);
+    EXPECT_EQ(k.at(1).dst, kNoReg);
+    EXPECT_EQ(k.at(1).src[0], r);
+}
+
+TEST(KernelBuilder, SfuLatency)
+{
+    KernelBuilder b("t");
+    const int r = b.load(std::make_unique<UniformGen>(0x100));
+    b.sfu({r}, 20);
+    Kernel k = b.build(1);
+    EXPECT_EQ(k.at(1).op, Opcode::kSfu);
+    EXPECT_EQ(k.at(1).latency, 20);
+}
+
+TEST(Instruction, MemoryClassification)
+{
+    Instruction load;
+    load.op = Opcode::kLoad;
+    Instruction alu;
+    alu.op = Opcode::kAlu;
+    Instruction store;
+    store.op = Opcode::kStore;
+    EXPECT_TRUE(load.isMemory());
+    EXPECT_TRUE(store.isMemory());
+    EXPECT_FALSE(alu.isMemory());
+}
+
+} // namespace
+} // namespace apres

@@ -1,0 +1,279 @@
+/**
+ * @file
+ * Property-style parameterized sweeps (TEST_P): invariants that must
+ * hold across cache geometries, scheduler policies, prefetchers and
+ * workloads.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "mem/cache.hpp"
+#include "sim/gpu.hpp"
+#include "workloads/workload.hpp"
+
+namespace apres {
+namespace {
+
+// --------------------------------------------------------------------
+// Cache geometry sweep: stats invariants hold for every configuration.
+// --------------------------------------------------------------------
+
+class CacheGeometry
+    : public testing::TestWithParam<std::tuple<std::uint64_t, std::uint32_t,
+                                               bool>>
+{
+};
+
+TEST_P(CacheGeometry, InvariantsUnderRandomishWorkload)
+{
+    const auto [size, ways, hashed] = GetParam();
+    CacheConfig cfg;
+    cfg.sizeBytes = size;
+    cfg.ways = ways;
+    cfg.numMshrs = 8;
+    cfg.hashSetIndex = hashed;
+    Cache cache("p", cfg);
+
+    // Deterministic pseudo-random access stream with some reuse.
+    std::uint64_t state = 12345;
+    for (int i = 0; i < 5000; ++i) {
+        state = state * 6364136223846793005ull + 1442695040888963407ull;
+        const Addr line = ((state >> 20) % 512) * 128;
+        MemRequest req;
+        req.lineAddr = line;
+        req.warp = static_cast<WarpId>(state % 48);
+        const AccessOutcome outcome = cache.access(req);
+        if (outcome == AccessOutcome::kMiss)
+            cache.fill(line);
+        else if (outcome == AccessOutcome::kMshrFull)
+            cache.fill(line); // drain to make progress
+    }
+
+    const CacheStats& s = cache.stats();
+    EXPECT_EQ(s.demandHits + s.demandMisses, s.demandAccesses);
+    EXPECT_EQ(s.hitAfterHit + s.hitAfterMiss, s.demandHits);
+    EXPECT_EQ(s.coldMisses + s.capacityConflictMisses, s.demandMisses);
+    EXPECT_LE(s.coldMisses, 512u); // at most one cold miss per line
+    EXPECT_GE(s.fills, s.evictions); // every eviction had a fill
+    EXPECT_LE(cache.mshrsInUse(), cfg.numMshrs);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheGeometry,
+    testing::Combine(testing::Values(2048, 8192, 32 * 1024),
+                     testing::Values(1u, 4u, 8u), testing::Bool()));
+
+// --------------------------------------------------------------------
+// Scheduler sweep: every policy preserves executed work and basic
+// stat coherence on every workload category.
+// --------------------------------------------------------------------
+
+class SchedulerSweep
+    : public testing::TestWithParam<std::tuple<SchedulerKind, std::string>>
+{
+};
+
+TEST_P(SchedulerSweep, WorkPreservedAndStatsCoherent)
+{
+    const auto [sched, app] = GetParam();
+    const Workload wl = makeWorkload(app, 0.05);
+
+    GpuConfig cfg;
+    cfg.numSms = 2;
+    cfg.sm.warpsPerSm = 16;
+    cfg.sm.warpsPerBlock = 16;
+    cfg.sm.jobsPerWarp = 2;
+    cfg.maxCycles = 3'000'000;
+    cfg.scheduler = sched;
+
+    const RunResult r = simulate(cfg, wl.kernel);
+    ASSERT_TRUE(r.completed) << schedulerName(sched) << " on " << app;
+
+    // Work conservation: the dynamic instruction count is a pure
+    // function of the kernel, warps, and jobs.
+    const std::uint64_t expected = 2ull * 16 * 2 *
+        wl.kernel.dynamicInstructionsPerWarp();
+    EXPECT_EQ(r.instructions, expected);
+
+    EXPECT_EQ(r.l1.demandHits + r.l1.demandMisses, r.l1.demandAccesses);
+    EXPECT_EQ(r.l1.coldMisses + r.l1.capacityConflictMisses,
+              r.l1.demandMisses);
+    EXPECT_GT(r.ipc, 0.0);
+    EXPECT_LE(r.ipc, 2.0 + 1e-9); // one issue slot per SM
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PoliciesTimesApps, SchedulerSweep,
+    testing::Combine(testing::Values(SchedulerKind::kLrr,
+                                     SchedulerKind::kGto,
+                                     SchedulerKind::kCcws,
+                                     SchedulerKind::kMascar,
+                                     SchedulerKind::kPa,
+                                     SchedulerKind::kLaws),
+                     testing::Values(std::string("BFS"), std::string("KM"),
+                                     std::string("SRAD"),
+                                     std::string("SP"))),
+    [](const auto& info) {
+        return std::string(schedulerName(std::get<0>(info.param))) + "_" +
+            std::get<1>(info.param);
+    });
+
+// --------------------------------------------------------------------
+// Prefetcher sweep: prefetching affects timing and cache contents but
+// never correctness-critical counters.
+// --------------------------------------------------------------------
+
+class PrefetcherSweep
+    : public testing::TestWithParam<std::tuple<PrefetcherKind, std::string>>
+{
+};
+
+TEST_P(PrefetcherSweep, AccountingConsistent)
+{
+    const auto [pf, app] = GetParam();
+    const Workload wl = makeWorkload(app, 0.05);
+
+    GpuConfig cfg;
+    cfg.numSms = 2;
+    cfg.sm.warpsPerSm = 16;
+    cfg.sm.warpsPerBlock = 16;
+    cfg.sm.jobsPerWarp = 2;
+    cfg.maxCycles = 3'000'000;
+    cfg.scheduler =
+        pf == PrefetcherKind::kSap ? SchedulerKind::kLaws
+                                   : SchedulerKind::kLrr;
+    cfg.prefetcher = pf;
+
+    const RunResult r = simulate(cfg, wl.kernel);
+    ASSERT_TRUE(r.completed);
+
+    // Issued prefetches are bounded by requests, fills by issues.
+    EXPECT_LE(r.prefetchesIssued, r.prefetchesRequested);
+    EXPECT_LE(r.l1.prefetchFills, r.l1.prefetchesAccepted);
+    EXPECT_LE(r.l1.usefulPrefetches,
+              r.l1.prefetchFills + r.l1.demandMergedIntoPrefetch);
+    EXPECT_LE(r.l1.earlyEvictionRatio(), 1.0);
+    // Demand work does not change.
+    const std::uint64_t expected = 2ull * 16 * 2 *
+        wl.kernel.dynamicInstructionsPerWarp();
+    EXPECT_EQ(r.instructions, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PrefetchersTimesApps, PrefetcherSweep,
+    testing::Combine(testing::Values(PrefetcherKind::kNone,
+                                     PrefetcherKind::kStr,
+                                     PrefetcherKind::kSld,
+                                     PrefetcherKind::kSap),
+                     testing::Values(std::string("NW"), std::string("KM"),
+                                     std::string("HISTO"))),
+    [](const auto& info) {
+        return std::string(prefetcherName(std::get<0>(info.param))) + "_" +
+            std::get<1>(info.param);
+    });
+
+// --------------------------------------------------------------------
+// Workload sweep: every app terminates deterministically on the tiny
+// configuration.
+// --------------------------------------------------------------------
+
+class WorkloadSweep : public testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(WorkloadSweep, DeterministicTermination)
+{
+    const Workload wl = makeWorkload(GetParam(), 0.05);
+    GpuConfig cfg;
+    cfg.numSms = 1;
+    cfg.sm.warpsPerSm = 8;
+    cfg.sm.warpsPerBlock = 8;
+    cfg.sm.jobsPerWarp = 1;
+    cfg.maxCycles = 3'000'000;
+    const RunResult a = simulate(cfg, wl.kernel);
+    const RunResult b = simulate(cfg, wl.kernel);
+    ASSERT_TRUE(a.completed);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.l1.demandMisses, b.l1.demandMisses);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, WorkloadSweep,
+                         testing::ValuesIn(allWorkloadNames()),
+                         [](const auto& info) { return info.param; });
+
+// --------------------------------------------------------------------
+// APRES determinism: the full LAWS+SAP feedback loop is reproducible
+// on every workload.
+// --------------------------------------------------------------------
+
+class ApresDeterminism : public testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(ApresDeterminism, BitIdenticalRuns)
+{
+    const Workload wl = makeWorkload(GetParam(), 0.05);
+    GpuConfig cfg;
+    cfg.numSms = 2;
+    cfg.sm.warpsPerSm = 16;
+    cfg.sm.warpsPerBlock = 16;
+    cfg.sm.jobsPerWarp = 2;
+    cfg.useApres();
+    cfg.maxCycles = 3'000'000;
+    const RunResult a = simulate(cfg, wl.kernel);
+    const RunResult b = simulate(cfg, wl.kernel);
+    ASSERT_TRUE(a.completed);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.prefetchesIssued, b.prefetchesIssued);
+    EXPECT_EQ(a.laws.groupsFormed, b.laws.groupsFormed);
+    EXPECT_EQ(a.sap.strideMatches, b.sap.strideMatches);
+    EXPECT_EQ(a.l1.earlyEvictions, b.l1.earlyEvictions);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, ApresDeterminism,
+                         testing::ValuesIn(allWorkloadNames()),
+                         [](const auto& info) { return info.param; });
+
+// --------------------------------------------------------------------
+// Capacity monotonicity: growing the L1 never increases the miss rate
+// (LRU caches of increasing capacity with identical access streams
+// would satisfy inclusion; the pipeline reorders slightly, so allow a
+// small tolerance).
+// --------------------------------------------------------------------
+
+class CapacityMonotonicity : public testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(CapacityMonotonicity, BiggerL1NeverMuchWorse)
+{
+    const Workload wl = makeWorkload(GetParam(), 0.05);
+    GpuConfig cfg;
+    cfg.numSms = 2;
+    cfg.sm.warpsPerSm = 16;
+    cfg.sm.warpsPerBlock = 16;
+    cfg.sm.jobsPerWarp = 1;
+    cfg.maxCycles = 3'000'000;
+
+    double previous = 1.1;
+    for (const std::uint64_t size :
+         {16u * 1024, 64u * 1024, 256u * 1024}) {
+        cfg.sm.l1.sizeBytes = size;
+        const RunResult r = simulate(cfg, wl.kernel);
+        ASSERT_TRUE(r.completed);
+        EXPECT_LE(r.l1.missRate(), previous + 0.02) << size;
+        previous = r.l1.missRate();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(CacheSensitiveApps, CapacityMonotonicity,
+                         testing::Values(std::string("BFS"),
+                                         std::string("MUM"),
+                                         std::string("SPMV"),
+                                         std::string("KM")),
+                         [](const auto& info) { return info.param; });
+
+} // namespace
+} // namespace apres

@@ -1,0 +1,285 @@
+/**
+ * @file
+ * Unit tests for the baseline warp schedulers: LRR, GTO, CCWS, MASCAR
+ * and the PA two-level scheduler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fake_sm.hpp"
+#include "sched/ccws.hpp"
+#include "sched/gto.hpp"
+#include "sched/lrr.hpp"
+#include "sched/mascar.hpp"
+#include "sched/pa_twolevel.hpp"
+
+namespace apres {
+namespace {
+
+TEST(Lrr, RoundRobinOrder)
+{
+    FakeSm sm(4);
+    LrrScheduler lrr;
+    lrr.attach(sm);
+    const std::vector<WarpId> ready = {0, 1, 2, 3};
+    EXPECT_EQ(lrr.pick(0, ready), 0);
+    EXPECT_EQ(lrr.pick(1, ready), 1);
+    EXPECT_EQ(lrr.pick(2, ready), 2);
+    EXPECT_EQ(lrr.pick(3, ready), 3);
+    EXPECT_EQ(lrr.pick(4, ready), 0); // wraps
+}
+
+TEST(Lrr, SkipsUnreadyWarps)
+{
+    FakeSm sm(4);
+    LrrScheduler lrr;
+    lrr.attach(sm);
+    EXPECT_EQ(lrr.pick(0, {0, 2}), 0);
+    EXPECT_EQ(lrr.pick(1, {0, 2}), 2);
+    EXPECT_EQ(lrr.pick(2, {1, 3}), 3);
+}
+
+TEST(Lrr, EmptyReadyReturnsInvalid)
+{
+    FakeSm sm(4);
+    LrrScheduler lrr;
+    lrr.attach(sm);
+    EXPECT_EQ(lrr.pick(0, {}), kInvalidWarp);
+}
+
+TEST(Gto, GreedyUntilStall)
+{
+    FakeSm sm(4);
+    GtoScheduler gto;
+    gto.attach(sm);
+    EXPECT_EQ(gto.pick(0, {0, 1, 2, 3}), 0);
+    EXPECT_EQ(gto.pick(1, {0, 1, 2, 3}), 0); // stays greedy
+    EXPECT_EQ(gto.pick(2, {1, 3}), 1);       // 0 stalled: oldest ready
+    EXPECT_EQ(gto.pick(3, {1, 3}), 1);       // new greedy warp
+}
+
+TEST(Gto, OldestByAgeStampNotId)
+{
+    FakeSm sm(4);
+    // Warp 3 is the oldest block (smallest age stamp).
+    sm.warp(0).ageStamp = 10;
+    sm.warp(1).ageStamp = 9;
+    sm.warp(2).ageStamp = 8;
+    sm.warp(3).ageStamp = 1;
+    GtoScheduler gto;
+    gto.attach(sm);
+    EXPECT_EQ(gto.pick(0, {0, 1, 2, 3}), 3);
+}
+
+TEST(Gto, ForgetsFinishedGreedyWarp)
+{
+    FakeSm sm(4);
+    GtoScheduler gto;
+    gto.attach(sm);
+    EXPECT_EQ(gto.pick(0, {2, 3}), 2);
+    gto.notifyWarpFinished(2);
+    EXPECT_EQ(gto.pick(1, {3}), 3);
+}
+
+LoadAccessInfo
+missAt(WarpId warp, Addr line)
+{
+    LoadAccessInfo info;
+    info.warp = warp;
+    info.baseLineAddr = line;
+    info.hit = false;
+    return info;
+}
+
+TEST(Ccws, NoThrottleWithoutLostLocality)
+{
+    FakeSm sm(8);
+    CcwsScheduler ccws;
+    ccws.attach(sm);
+    EXPECT_EQ(ccws.activeLimit(), 8);
+    EXPECT_EQ(ccws.pick(0, {0, 1, 2}), 0);
+}
+
+TEST(Ccws, VtaHitRaisesScoreAndThrottles)
+{
+    FakeSm sm(48);
+    CcwsConfig cfg;
+    cfg.scoreBonus = 96;
+    cfg.scoreCap = 288;
+    cfg.throttleScale = 48;
+    CcwsScheduler ccws(cfg);
+    ccws.attach(sm);
+
+    // Evict a line touched by warp 5, then let warp 5 miss on it.
+    Cache& l1 = sm.l1Mutable();
+    MemRequest req;
+    req.lineAddr = 0x1000;
+    req.warp = 5;
+    l1.access(req);
+    l1.fill(0x1000);
+    // Overflow the set so 0x1000 is evicted (2 sets, 8 ways).
+    for (int i = 1; i <= 8; ++i) {
+        MemRequest r2;
+        r2.lineAddr = 0x1000 + static_cast<Addr>(i) * 2 * 128;
+        r2.warp = 0;
+        l1.access(r2);
+        l1.fill(r2.lineAddr);
+    }
+    EXPECT_FALSE(l1.contains(0x1000));
+
+    ccws.notifyAccessResult(missAt(5, 0x1000));
+    EXPECT_GT(ccws.totalScore(), 0);
+    EXPECT_EQ(ccws.lostLocalityEvents(), 1u);
+    EXPECT_LT(ccws.activeLimit(), 48);
+}
+
+TEST(Ccws, ScoresDecayOverTime)
+{
+    FakeSm sm(48);
+    CcwsConfig cfg;
+    cfg.decayPeriod = 4;
+    CcwsScheduler ccws(cfg);
+    ccws.attach(sm);
+
+    Cache& l1 = sm.l1Mutable();
+    MemRequest req;
+    req.lineAddr = 0x1000;
+    req.warp = 3;
+    l1.access(req);
+    l1.fill(0x1000);
+    for (int i = 1; i <= 8; ++i) {
+        MemRequest r2;
+        r2.lineAddr = 0x1000 + static_cast<Addr>(i) * 2 * 128;
+        l1.access(r2);
+        l1.fill(r2.lineAddr);
+    }
+    ccws.notifyAccessResult(missAt(3, 0x1000));
+    const auto before = ccws.totalScore();
+    ASSERT_GT(before, 0);
+    // Decay happens inside pick().
+    ccws.pick(100000, {0});
+    EXPECT_LT(ccws.totalScore(), before);
+}
+
+TEST(Ccws, ThrottledWarpsAreNotPicked)
+{
+    FakeSm sm(8);
+    CcwsConfig cfg;
+    cfg.minActiveWarps = 2;
+    cfg.scoreBonus = 1000;
+    cfg.scoreCap = 100000;
+    cfg.throttleScale = 100; // one event throttles 10 slots
+    CcwsScheduler ccws(cfg);
+    ccws.attach(sm);
+
+    Cache& l1 = sm.l1Mutable();
+    MemRequest req;
+    req.lineAddr = 0x2000;
+    req.warp = 0;
+    l1.access(req);
+    l1.fill(0x2000);
+    for (int i = 1; i <= 8; ++i) {
+        MemRequest r2;
+        r2.lineAddr = 0x2000 + static_cast<Addr>(i) * 2 * 128;
+        l1.access(r2);
+        l1.fill(r2.lineAddr);
+    }
+    ccws.notifyAccessResult(missAt(0, 0x2000));
+    EXPECT_EQ(ccws.activeLimit(), 2);
+    // Only the two oldest warps (age stamps 1 and 2 = warps 0, 1) are
+    // eligible.
+    EXPECT_EQ(ccws.pick(0, {2, 3, 4}), kInvalidWarp);
+    EXPECT_EQ(ccws.pick(1, {1, 2, 3}), 1);
+}
+
+TEST(Mascar, GtoLikeWhenUnsaturated)
+{
+    FakeSm sm(8);
+    MascarScheduler mascar;
+    mascar.attach(sm);
+    EXPECT_FALSE(mascar.saturated());
+    EXPECT_EQ(mascar.pick(0, {0, 1, 2}), 0);
+    EXPECT_EQ(mascar.pick(1, {0, 1, 2}), 0);
+}
+
+TEST(Mascar, SaturationRestrictsMemoryIssue)
+{
+    FakeSm sm(8);
+    MascarScheduler mascar;
+    mascar.attach(sm);
+    // Saturate the L1 MSHRs (8 entries in the fake config).
+    Cache& l1 = sm.l1Mutable();
+    for (int i = 0; i < 8; ++i) {
+        MemRequest req;
+        req.lineAddr = static_cast<Addr>(i) * 128;
+        l1.access(req);
+    }
+    sm.setNextIsMemory(0, true);
+    sm.setNextIsMemory(1, true);
+    sm.setNextIsMemory(2, false);
+
+    // Warp 0 becomes the owner (oldest with memory next).
+    EXPECT_EQ(mascar.pick(0, {0, 1, 2}), 0);
+    EXPECT_TRUE(mascar.saturated());
+    // Without the owner ready, compute-only warps may issue.
+    EXPECT_EQ(mascar.pick(1, {1, 2}), 2);
+    // Only memory warps ready, none the owner: stall.
+    EXPECT_EQ(mascar.pick(2, {1}), kInvalidWarp);
+}
+
+TEST(Mascar, HysteresisExitsSaturation)
+{
+    FakeSm sm(8);
+    MascarScheduler mascar;
+    mascar.attach(sm);
+    Cache& l1 = sm.l1Mutable();
+    for (int i = 0; i < 8; ++i) {
+        MemRequest req;
+        req.lineAddr = static_cast<Addr>(i) * 128;
+        l1.access(req);
+    }
+    mascar.pick(0, {0});
+    EXPECT_TRUE(mascar.saturated());
+    // Drain the MSHRs below the low watermark.
+    for (int i = 0; i < 8; ++i)
+        l1.fill(static_cast<Addr>(i) * 128);
+    mascar.pick(1, {0});
+    EXPECT_FALSE(mascar.saturated());
+}
+
+TEST(PaTwoLevel, PrefersActiveGroup)
+{
+    FakeSm sm(16);
+    PaScheduler pa({.groupSize = 8});
+    pa.attach(sm);
+    // Warps 0-7 are group 0; 8-15 group 1.
+    EXPECT_EQ(pa.pick(0, {0, 1, 8, 9}), 0);
+    EXPECT_EQ(pa.pick(1, {0, 1, 8, 9}), 1);
+    EXPECT_EQ(pa.activeGroup(), 0);
+}
+
+TEST(PaTwoLevel, SwitchesGroupWhenActiveStalls)
+{
+    FakeSm sm(16);
+    PaScheduler pa({.groupSize = 8});
+    pa.attach(sm);
+    EXPECT_EQ(pa.pick(0, {0, 8}), 0);
+    // Group 0 fully stalled: switch to group 1.
+    EXPECT_EQ(pa.pick(1, {8, 9}), 8);
+    EXPECT_EQ(pa.activeGroup(), 1);
+    // Round-robin continues inside the new group.
+    EXPECT_EQ(pa.pick(2, {8, 9}), 9);
+}
+
+TEST(PaTwoLevel, RoundRobinWrapsInGroup)
+{
+    FakeSm sm(16);
+    PaScheduler pa({.groupSize = 8});
+    pa.attach(sm);
+    EXPECT_EQ(pa.pick(0, {5, 6}), 5);
+    EXPECT_EQ(pa.pick(1, {5, 6}), 6);
+    EXPECT_EQ(pa.pick(2, {5, 6}), 5);
+}
+
+} // namespace
+} // namespace apres

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * End-to-end simulator tests: determinism, stat invariants, every
+ * scheduler/prefetcher combination, and RunResult reporting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/gpu.hpp"
+#include "workloads/workload.hpp"
+
+namespace apres {
+namespace {
+
+GpuConfig
+smallGpu(SchedulerKind sched = SchedulerKind::kLrr,
+         PrefetcherKind pf = PrefetcherKind::kNone)
+{
+    GpuConfig cfg;
+    cfg.numSms = 2;
+    cfg.sm.warpsPerSm = 16;
+    cfg.sm.warpsPerBlock = 16;
+    cfg.sm.jobsPerWarp = 2;
+    cfg.scheduler = sched;
+    cfg.prefetcher = pf;
+    cfg.maxCycles = 2'000'000;
+    return cfg;
+}
+
+TEST(Sim, CompletesAndReportsBasics)
+{
+    const Workload wl = makeWorkload("SP", 0.1);
+    const RunResult r = simulate(smallGpu(), wl.kernel);
+    EXPECT_TRUE(r.completed);
+    EXPECT_GT(r.cycles, 0u);
+    EXPECT_GT(r.instructions, 0u);
+    EXPECT_GT(r.ipc, 0.0);
+    EXPECT_GT(r.l1.demandAccesses, 0u);
+}
+
+TEST(Sim, DeterministicAcrossRuns)
+{
+    const Workload wl = makeWorkload("BFS", 0.1);
+    const RunResult a = simulate(smallGpu(), wl.kernel);
+    const RunResult b = simulate(smallGpu(), wl.kernel);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.l1.demandHits, b.l1.demandHits);
+    EXPECT_EQ(a.l1.demandMisses, b.l1.demandMisses);
+    EXPECT_EQ(a.traffic.interconnectBytes(), b.traffic.interconnectBytes());
+}
+
+TEST(Sim, HitMissInvariants)
+{
+    const Workload wl = makeWorkload("SPMV", 0.1);
+    const RunResult r = simulate(smallGpu(), wl.kernel);
+    EXPECT_EQ(r.l1.demandHits + r.l1.demandMisses, r.l1.demandAccesses);
+    EXPECT_EQ(r.l1.hitAfterHit + r.l1.hitAfterMiss, r.l1.demandHits);
+    EXPECT_EQ(r.l1.coldMisses + r.l1.capacityConflictMisses,
+              r.l1.demandMisses);
+}
+
+TEST(Sim, AllSchedulerPrefetcherCombosRun)
+{
+    const Workload wl = makeWorkload("LUD", 0.05);
+    const SchedulerKind scheds[] = {
+        SchedulerKind::kLrr,  SchedulerKind::kGto, SchedulerKind::kCcws,
+        SchedulerKind::kMascar, SchedulerKind::kPa, SchedulerKind::kLaws,
+    };
+    const PrefetcherKind pfs[] = {PrefetcherKind::kNone,
+                                  PrefetcherKind::kStr,
+                                  PrefetcherKind::kSld};
+    for (const auto sched : scheds) {
+        for (const auto pf : pfs) {
+            const RunResult r = simulate(smallGpu(sched, pf), wl.kernel);
+            EXPECT_TRUE(r.completed)
+                << schedulerName(sched) << "+" << prefetcherName(pf);
+        }
+    }
+    // SAP additionally requires LAWS.
+    const RunResult apres = simulate(
+        smallGpu(SchedulerKind::kLaws, PrefetcherKind::kSap), wl.kernel);
+    EXPECT_TRUE(apres.completed);
+}
+
+TEST(Sim, SapWithoutLawsIsFatal)
+{
+    const Workload wl = makeWorkload("SP", 0.05);
+    EXPECT_EXIT(
+        simulate(smallGpu(SchedulerKind::kGto, PrefetcherKind::kSap),
+                 wl.kernel),
+        testing::ExitedWithCode(1), "");
+}
+
+TEST(Sim, SameInstructionCountAcrossSchedulers)
+{
+    // Scheduling policy changes timing, never the executed work.
+    const Workload wl = makeWorkload("SRAD", 0.05);
+    const RunResult lrr = simulate(smallGpu(SchedulerKind::kLrr), wl.kernel);
+    const RunResult gto = simulate(smallGpu(SchedulerKind::kGto), wl.kernel);
+    const RunResult laws =
+        simulate(smallGpu(SchedulerKind::kLaws), wl.kernel);
+    EXPECT_EQ(lrr.instructions, gto.instructions);
+    EXPECT_EQ(lrr.instructions, laws.instructions);
+}
+
+TEST(Sim, PrefetchingNeverChangesInstructionCount)
+{
+    const Workload wl = makeWorkload("NW", 0.05);
+    const RunResult base = simulate(smallGpu(), wl.kernel);
+    const RunResult str =
+        simulate(smallGpu(SchedulerKind::kLrr, PrefetcherKind::kStr),
+                 wl.kernel);
+    EXPECT_EQ(base.instructions, str.instructions);
+}
+
+TEST(Sim, ApresLabel)
+{
+    GpuConfig cfg;
+    cfg.useApres();
+    EXPECT_EQ(cfg.label(), "APRES");
+    cfg.scheduler = SchedulerKind::kCcws;
+    cfg.prefetcher = PrefetcherKind::kStr;
+    EXPECT_EQ(cfg.label(), "CCWS+STR");
+    cfg.prefetcher = PrefetcherKind::kNone;
+    EXPECT_EQ(cfg.label(), "CCWS");
+}
+
+TEST(Sim, MaxCyclesCapsRun)
+{
+    const Workload wl = makeWorkload("KM", 1.0);
+    GpuConfig cfg = smallGpu();
+    cfg.maxCycles = 100;
+    const RunResult r = simulate(cfg, wl.kernel);
+    EXPECT_FALSE(r.completed);
+    EXPECT_EQ(r.cycles, 100u);
+}
+
+TEST(Sim, StatSetContainsHeadlineMetrics)
+{
+    const Workload wl = makeWorkload("SP", 0.05);
+    const RunResult r = simulate(smallGpu(), wl.kernel);
+    const StatSet s = r.toStatSet();
+    EXPECT_TRUE(s.has("sim.ipc"));
+    EXPECT_TRUE(s.has("l1.missRate"));
+    EXPECT_TRUE(s.has("mem.avgLoadLatency"));
+    EXPECT_TRUE(s.has("energy.total"));
+    EXPECT_DOUBLE_EQ(s.get("sim.cycles"), static_cast<double>(r.cycles));
+}
+
+TEST(Sim, EnergyPositiveAndStructureOverheadSmall)
+{
+    const Workload wl = makeWorkload("SRAD", 0.1);
+    GpuConfig cfg = smallGpu(SchedulerKind::kLaws, PrefetcherKind::kSap);
+    const RunResult r = simulate(cfg, wl.kernel);
+    EXPECT_GT(r.energy.total(), 0.0);
+    // The paper: APRES's added blocks stay below 3% of total energy.
+    EXPECT_LT(r.energy.structureFraction(), 0.03);
+}
+
+TEST(Sim, StepAndCollectIncremental)
+{
+    const Workload wl = makeWorkload("SP", 0.1);
+    GpuConfig cfg = smallGpu();
+    Gpu gpu(cfg, wl.kernel);
+    gpu.step(100);
+    const RunResult early = gpu.collect();
+    EXPECT_EQ(early.cycles, 100u);
+    gpu.step(100);
+    const RunResult later = gpu.collect();
+    EXPECT_GE(later.instructions, early.instructions);
+}
+
+TEST(Sim, LawsStatsExposedUnderApres)
+{
+    const Workload wl = makeWorkload("SRAD", 0.1);
+    GpuConfig cfg = smallGpu();
+    cfg.useApres();
+    const RunResult r = simulate(cfg, wl.kernel);
+    EXPECT_GT(r.laws.groupsFormed, 0u);
+    EXPECT_GT(r.sap.groupMissesReceived, 0u);
+}
+
+TEST(Sim, LargerL1ReducesMissRate)
+{
+    const Workload wl = makeWorkload("KM", 0.2);
+    GpuConfig small = smallGpu();
+    GpuConfig big = smallGpu();
+    big.sm.l1.sizeBytes = 32 * 1024 * 1024; // the paper's Fig. 2 probe
+    const RunResult r_small = simulate(small, wl.kernel);
+    const RunResult r_big = simulate(big, wl.kernel);
+    EXPECT_LT(r_big.l1.missRate(), r_small.l1.missRate());
+    EXPECT_LE(r_big.cycles, r_small.cycles);
+}
+
+} // namespace
+} // namespace apres

@@ -1,0 +1,248 @@
+/**
+ * @file
+ * Analytic validation: simple kernels whose timing has a closed form.
+ * These pin the simulator's first-order behaviour — issue bandwidth,
+ * dependency latency, memory latency, DRAM bandwidth, hit latency — to
+ * the configured constants, so regressions in the timing model fail
+ * loudly instead of just shifting benchmark numbers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/sm.hpp"
+#include "mem/memory_system.hpp"
+#include "sched/lrr.hpp"
+#include "sim/gpu.hpp"
+
+namespace apres {
+namespace {
+
+/** Independent single-cycle ALU ops: dst is never read. */
+Kernel
+independentAluKernel(int per_iter, std::uint64_t trips)
+{
+    KernelBuilder b("alu");
+    for (int i = 0; i < per_iter; ++i)
+        b.alu({}, 1);
+    return b.build(trips);
+}
+
+MemSystemConfig
+memCfg()
+{
+    MemSystemConfig cfg;
+    cfg.numPartitions = 2;
+    cfg.l2HitLatency = 50;
+    cfg.dram.baseLatency = 200;
+    cfg.dram.serviceInterval = 4;
+    return cfg;
+}
+
+Cycle
+run(Sm& sm, MemorySystem& mem)
+{
+    Cycle now = 0;
+    while (!sm.done() && now < 10'000'000) {
+        mem.tick(now);
+        sm.tick(now);
+        ++now;
+    }
+    return now;
+}
+
+TEST(Validation, IssueBandwidthIsOneInstructionPerCycle)
+{
+    // 8 warps of independent ALU work saturate the single issue slot:
+    // cycles ~= total instructions.
+    const Kernel k = independentAluKernel(8, 50);
+    MemorySystem mem(memCfg());
+    LrrScheduler sched;
+    SmConfig sc;
+    sc.warpsPerSm = 8;
+    sc.warpsPerBlock = 8;
+    sc.jobsPerWarp = 1;
+    Sm sm(0, sc, k, sched, nullptr, mem);
+    const Cycle cycles = run(sm, mem);
+    const auto instructions = sm.stats().issuedInstructions;
+    EXPECT_GE(cycles, instructions);
+    EXPECT_LE(cycles, instructions + 32); // warm-up/drain slack
+}
+
+TEST(Validation, DependencyChainCostsItsLatency)
+{
+    // One warp, one dependent ALU chain: every link costs the full
+    // 8-cycle writeback latency.
+    const int chain = 40;
+    KernelBuilder b("chain");
+    b.alu({}, chain, 8);
+    const Kernel k = b.build(1);
+
+    MemorySystem mem(memCfg());
+    LrrScheduler sched;
+    SmConfig sc;
+    sc.warpsPerSm = 1;
+    sc.warpsPerBlock = 1;
+    sc.jobsPerWarp = 1;
+    Sm sm(0, sc, k, sched, nullptr, mem);
+    const Cycle cycles = run(sm, mem);
+    EXPECT_GE(cycles, static_cast<Cycle>(8 * (chain - 1)));
+    EXPECT_LE(cycles, static_cast<Cycle>(8 * chain + 32));
+}
+
+TEST(Validation, ColdMissCostsDramLatency)
+{
+    // One warp, one load, one dependent consumer: the run cannot beat
+    // the DRAM latency and should not exceed it by much.
+    KernelBuilder b("miss");
+    const int r = b.load(std::make_unique<UniformGen>(0x1000));
+    b.alu({r}, 1);
+    const Kernel k = b.build(1);
+
+    const MemSystemConfig mc = memCfg();
+    MemorySystem mem(mc);
+    LrrScheduler sched;
+    SmConfig sc;
+    sc.warpsPerSm = 1;
+    sc.warpsPerBlock = 1;
+    sc.jobsPerWarp = 1;
+    Sm sm(0, sc, k, sched, nullptr, mem);
+    const Cycle cycles = run(sm, mem);
+    EXPECT_GE(cycles, mc.dram.baseLatency);
+    EXPECT_LE(cycles, mc.dram.baseLatency + 64);
+}
+
+TEST(Validation, L1HitCostsHitLatency)
+{
+    // After the cold miss, each iteration costs the L1 hit latency
+    // plus the dependent ALU, not a memory round trip.
+    KernelBuilder b("hits");
+    const int r = b.load(std::make_unique<UniformGen>(0x1000));
+    b.alu({r}, 1);
+    const std::uint64_t trips = 50;
+    const Kernel k = b.build(trips);
+
+    const MemSystemConfig mc = memCfg();
+    MemorySystem mem(mc);
+    LrrScheduler sched;
+    SmConfig sc;
+    sc.warpsPerSm = 1;
+    sc.warpsPerBlock = 1;
+    sc.jobsPerWarp = 1;
+    sc.lsu.l1HitLatency = 20;
+    Sm sm(0, sc, k, sched, nullptr, mem);
+    const Cycle cycles = run(sm, mem);
+    // Steady-state per-iteration cost: ~hitLatency + small issue
+    // overhead; bound generously on both sides.
+    const Cycle steady = cycles - mc.dram.baseLatency;
+    EXPECT_GE(steady, (trips - 1) * 20);
+    EXPECT_LE(steady, (trips - 1) * 40 + 64);
+}
+
+TEST(Validation, DramBandwidthBoundsStreams)
+{
+    // 16 warps streaming distinct lines: the run cannot beat
+    // lines x serviceInterval / partitions.
+    KernelBuilder b("stream");
+    const int r = b.load(std::make_unique<StridedGen>(0x4000'0000, 8192,
+                                                      8192 * 16));
+    b.alu({r}, 1);
+    const std::uint64_t trips = 64;
+    const Kernel k = b.build(trips);
+
+    const MemSystemConfig mc = memCfg();
+    MemorySystem mem(mc);
+    LrrScheduler sched;
+    SmConfig sc;
+    sc.warpsPerSm = 16;
+    sc.warpsPerBlock = 16;
+    sc.jobsPerWarp = 1;
+    Sm sm(0, sc, k, sched, nullptr, mem);
+    const Cycle cycles = run(sm, mem);
+    const std::uint64_t lines = 16 * trips;
+    const Cycle floor = lines * mc.dram.serviceInterval /
+        static_cast<Cycle>(mc.numPartitions);
+    EXPECT_GE(cycles + mc.dram.baseLatency, floor);
+}
+
+TEST(Validation, TlpHidesMemoryLatency)
+{
+    // The same stream with 1 warp vs 16 warps: parallelism must
+    // shorten the run by several x (latency overlap).
+    const auto build = [] {
+        KernelBuilder b("s");
+        const int r = b.load(std::make_unique<StridedGen>(
+            0x4000'0000, 8192, 8192 * 16));
+        b.alu({r}, 1);
+        return b.build(32);
+    };
+    Cycle one = 0;
+    Cycle sixteen = 0;
+    {
+        const Kernel k = build();
+        MemorySystem mem(memCfg());
+        LrrScheduler sched;
+        SmConfig sc;
+        sc.warpsPerSm = 1;
+        sc.warpsPerBlock = 1;
+        sc.jobsPerWarp = 1;
+        Sm sm(0, sc, k, sched, nullptr, mem);
+        one = run(sm, mem);
+    }
+    {
+        const Kernel k = build();
+        MemorySystem mem(memCfg());
+        LrrScheduler sched;
+        SmConfig sc;
+        sc.warpsPerSm = 16;
+        sc.warpsPerBlock = 16;
+        sc.jobsPerWarp = 1;
+        Sm sm(0, sc, k, sched, nullptr, mem);
+        sixteen = run(sm, mem);
+    }
+    // 16 warps do 16x the work; anything under 4x the single-warp time
+    // demonstrates at least 4x latency overlap.
+    EXPECT_LT(sixteen, one * 4);
+}
+
+TEST(Validation, L2HitLatencyBelowDram)
+{
+    // Two SMs read the same line far apart in time: the second SM's
+    // L1 misses but the shared L2 serves it at l2HitLatency.
+    KernelBuilder b("l2");
+    const int r = b.load(std::make_unique<UniformGen>(0x9000));
+    b.alu({r}, 1);
+    const Kernel k = b.build(1);
+
+    const MemSystemConfig mc = memCfg();
+    MemorySystem mem(mc);
+    LrrScheduler s0;
+    LrrScheduler s1;
+    SmConfig sc;
+    sc.warpsPerSm = 1;
+    sc.warpsPerBlock = 1;
+    sc.jobsPerWarp = 1;
+    Sm sm0(0, sc, k, s0, nullptr, mem);
+    Sm sm1(1, sc, k, s1, nullptr, mem);
+
+    // Run SM0 alone to completion, then start SM1.
+    Cycle now = 0;
+    while (!sm0.done() && now < 100000) {
+        mem.tick(now);
+        sm0.tick(now);
+        ++now;
+    }
+    const Cycle sm1_start = now;
+    while (!sm1.done() && now < 200000) {
+        mem.tick(now);
+        sm1.tick(now);
+        ++now;
+    }
+    const Cycle sm1_cycles = now - sm1_start;
+    EXPECT_GE(sm1_cycles, mc.l2HitLatency);
+    EXPECT_LT(sm1_cycles, mc.dram.baseLatency);
+}
+
+} // namespace
+} // namespace apres
