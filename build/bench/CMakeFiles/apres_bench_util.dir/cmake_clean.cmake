@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apres_bench_util.dir/bench_util.cpp.o"
+  "CMakeFiles/apres_bench_util.dir/bench_util.cpp.o.d"
+  "libapres_bench_util.a"
+  "libapres_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apres_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

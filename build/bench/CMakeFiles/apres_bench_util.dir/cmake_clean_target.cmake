@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libapres_bench_util.a"
+)

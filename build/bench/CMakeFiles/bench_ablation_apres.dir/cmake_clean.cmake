@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_apres.dir/bench_ablation_apres.cpp.o"
+  "CMakeFiles/bench_ablation_apres.dir/bench_ablation_apres.cpp.o.d"
+  "bench_ablation_apres"
+  "bench_ablation_apres.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_apres.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

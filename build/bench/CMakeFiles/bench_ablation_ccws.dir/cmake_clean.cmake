@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_ccws.dir/bench_ablation_ccws.cpp.o"
+  "CMakeFiles/bench_ablation_ccws.dir/bench_ablation_ccws.cpp.o.d"
+  "bench_ablation_ccws"
+  "bench_ablation_ccws.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ccws.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

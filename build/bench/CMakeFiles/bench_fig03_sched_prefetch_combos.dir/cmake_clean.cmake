@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03_sched_prefetch_combos.dir/bench_fig03_sched_prefetch_combos.cpp.o"
+  "CMakeFiles/bench_fig03_sched_prefetch_combos.dir/bench_fig03_sched_prefetch_combos.cpp.o.d"
+  "bench_fig03_sched_prefetch_combos"
+  "bench_fig03_sched_prefetch_combos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_sched_prefetch_combos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

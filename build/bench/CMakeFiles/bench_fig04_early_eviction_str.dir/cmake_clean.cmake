@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_early_eviction_str.dir/bench_fig04_early_eviction_str.cpp.o"
+  "CMakeFiles/bench_fig04_early_eviction_str.dir/bench_fig04_early_eviction_str.cpp.o.d"
+  "bench_fig04_early_eviction_str"
+  "bench_fig04_early_eviction_str.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_early_eviction_str.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

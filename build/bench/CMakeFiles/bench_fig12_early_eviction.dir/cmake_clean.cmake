@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_early_eviction.dir/bench_fig12_early_eviction.cpp.o"
+  "CMakeFiles/bench_fig12_early_eviction.dir/bench_fig12_early_eviction.cpp.o.d"
+  "bench_fig12_early_eviction"
+  "bench_fig12_early_eviction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_early_eviction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sweep_cache_sensitivity.dir/bench_sweep_cache_sensitivity.cpp.o"
+  "CMakeFiles/bench_sweep_cache_sensitivity.dir/bench_sweep_cache_sensitivity.cpp.o.d"
+  "bench_sweep_cache_sensitivity"
+  "bench_sweep_cache_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sweep_cache_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

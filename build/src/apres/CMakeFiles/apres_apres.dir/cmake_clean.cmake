@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apres_apres.dir/laws.cpp.o"
+  "CMakeFiles/apres_apres.dir/laws.cpp.o.d"
+  "CMakeFiles/apres_apres.dir/sap.cpp.o"
+  "CMakeFiles/apres_apres.dir/sap.cpp.o.d"
+  "libapres_apres.a"
+  "libapres_apres.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apres_apres.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apres_common.dir/csv.cpp.o"
+  "CMakeFiles/apres_common.dir/csv.cpp.o.d"
+  "CMakeFiles/apres_common.dir/log.cpp.o"
+  "CMakeFiles/apres_common.dir/log.cpp.o.d"
+  "CMakeFiles/apres_common.dir/rng.cpp.o"
+  "CMakeFiles/apres_common.dir/rng.cpp.o.d"
+  "CMakeFiles/apres_common.dir/stats.cpp.o"
+  "CMakeFiles/apres_common.dir/stats.cpp.o.d"
+  "libapres_common.a"
+  "libapres_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apres_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

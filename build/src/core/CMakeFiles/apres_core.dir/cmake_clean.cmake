@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apres_core.dir/lsu.cpp.o"
+  "CMakeFiles/apres_core.dir/lsu.cpp.o.d"
+  "CMakeFiles/apres_core.dir/sm.cpp.o"
+  "CMakeFiles/apres_core.dir/sm.cpp.o.d"
+  "libapres_core.a"
+  "libapres_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apres_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libapres_core.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apres_isa.dir/address_gen.cpp.o"
+  "CMakeFiles/apres_isa.dir/address_gen.cpp.o.d"
+  "CMakeFiles/apres_isa.dir/kernel.cpp.o"
+  "CMakeFiles/apres_isa.dir/kernel.cpp.o.d"
+  "CMakeFiles/apres_isa.dir/kernel_text.cpp.o"
+  "CMakeFiles/apres_isa.dir/kernel_text.cpp.o.d"
+  "libapres_isa.a"
+  "libapres_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apres_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apres_mem.dir/cache.cpp.o"
+  "CMakeFiles/apres_mem.dir/cache.cpp.o.d"
+  "CMakeFiles/apres_mem.dir/coalescer.cpp.o"
+  "CMakeFiles/apres_mem.dir/coalescer.cpp.o.d"
+  "CMakeFiles/apres_mem.dir/dram.cpp.o"
+  "CMakeFiles/apres_mem.dir/dram.cpp.o.d"
+  "CMakeFiles/apres_mem.dir/memory_system.cpp.o"
+  "CMakeFiles/apres_mem.dir/memory_system.cpp.o.d"
+  "libapres_mem.a"
+  "libapres_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apres_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apres_prefetch.dir/sld.cpp.o"
+  "CMakeFiles/apres_prefetch.dir/sld.cpp.o.d"
+  "CMakeFiles/apres_prefetch.dir/str.cpp.o"
+  "CMakeFiles/apres_prefetch.dir/str.cpp.o.d"
+  "libapres_prefetch.a"
+  "libapres_prefetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apres_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

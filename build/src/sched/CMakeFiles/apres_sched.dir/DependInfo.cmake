@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/ccws.cpp" "src/sched/CMakeFiles/apres_sched.dir/ccws.cpp.o" "gcc" "src/sched/CMakeFiles/apres_sched.dir/ccws.cpp.o.d"
+  "/root/repo/src/sched/gto.cpp" "src/sched/CMakeFiles/apres_sched.dir/gto.cpp.o" "gcc" "src/sched/CMakeFiles/apres_sched.dir/gto.cpp.o.d"
+  "/root/repo/src/sched/lrr.cpp" "src/sched/CMakeFiles/apres_sched.dir/lrr.cpp.o" "gcc" "src/sched/CMakeFiles/apres_sched.dir/lrr.cpp.o.d"
+  "/root/repo/src/sched/mascar.cpp" "src/sched/CMakeFiles/apres_sched.dir/mascar.cpp.o" "gcc" "src/sched/CMakeFiles/apres_sched.dir/mascar.cpp.o.d"
+  "/root/repo/src/sched/pa_twolevel.cpp" "src/sched/CMakeFiles/apres_sched.dir/pa_twolevel.cpp.o" "gcc" "src/sched/CMakeFiles/apres_sched.dir/pa_twolevel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/apres_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/apres_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/apres_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/apres_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

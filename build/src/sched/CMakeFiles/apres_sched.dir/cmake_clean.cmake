@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apres_sched.dir/ccws.cpp.o"
+  "CMakeFiles/apres_sched.dir/ccws.cpp.o.d"
+  "CMakeFiles/apres_sched.dir/gto.cpp.o"
+  "CMakeFiles/apres_sched.dir/gto.cpp.o.d"
+  "CMakeFiles/apres_sched.dir/lrr.cpp.o"
+  "CMakeFiles/apres_sched.dir/lrr.cpp.o.d"
+  "CMakeFiles/apres_sched.dir/mascar.cpp.o"
+  "CMakeFiles/apres_sched.dir/mascar.cpp.o.d"
+  "CMakeFiles/apres_sched.dir/pa_twolevel.cpp.o"
+  "CMakeFiles/apres_sched.dir/pa_twolevel.cpp.o.d"
+  "libapres_sched.a"
+  "libapres_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apres_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apres_sim.dir/gpu.cpp.o"
+  "CMakeFiles/apres_sim.dir/gpu.cpp.o.d"
+  "CMakeFiles/apres_sim.dir/timeline.cpp.o"
+  "CMakeFiles/apres_sim.dir/timeline.cpp.o.d"
+  "libapres_sim.a"
+  "libapres_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apres_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apres_sim_cli.dir/apres_sim_main.cpp.o"
+  "CMakeFiles/apres_sim_cli.dir/apres_sim_main.cpp.o.d"
+  "apres_sim"
+  "apres_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apres_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apres_workloads.dir/benchmarks.cpp.o"
+  "CMakeFiles/apres_workloads.dir/benchmarks.cpp.o.d"
+  "CMakeFiles/apres_workloads.dir/characterize.cpp.o"
+  "CMakeFiles/apres_workloads.dir/characterize.cpp.o.d"
+  "libapres_workloads.a"
+  "libapres_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apres_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apres.dir/apres_test.cpp.o"
+  "CMakeFiles/test_apres.dir/apres_test.cpp.o.d"
+  "test_apres"
+  "test_apres.pdb"
+  "test_apres[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apres.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sched_test.cpp" "tests/CMakeFiles/test_sched.dir/sched_test.cpp.o" "gcc" "tests/CMakeFiles/test_sched.dir/sched_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/apres_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/apres_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/apres_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/prefetch/CMakeFiles/apres_prefetch.dir/DependInfo.cmake"
+  "/root/repo/build/src/apres/CMakeFiles/apres_apres.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/apres_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/apres_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/apres_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/apres_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shared_memory.dir/shared_memory_test.cpp.o"
+  "CMakeFiles/test_shared_memory.dir/shared_memory_test.cpp.o.d"
+  "test_shared_memory"
+  "test_shared_memory.pdb"
+  "test_shared_memory[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shared_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
