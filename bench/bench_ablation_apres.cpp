@@ -32,8 +32,9 @@ apresConfig()
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    const BenchOptions opts = parseBenchArgs(argc, argv);
     const double scale = benchScale();
 
     std::vector<NamedConfig> variants;
@@ -70,6 +71,22 @@ main()
         variants.push_back(v);
     }
 
+    std::vector<std::string> apps;
+    for (const std::string& name : allWorkloadNames()) {
+        if (isMemoryIntensive(name))
+            apps.push_back(name);
+    }
+
+    BenchSweep sweep(opts);
+    std::vector<std::vector<std::size_t>> jobs; // [app][variant]
+    for (const std::string& name : apps) {
+        const auto kernel = loadKernel(name, scale);
+        auto& row = jobs.emplace_back();
+        for (const NamedConfig& v : variants)
+            row.push_back(sweep.add(name + "/" + v.label, v.config, kernel));
+    }
+    sweep.run();
+
     std::cout << "=== APRES ablations (IPC normalized to full APRES, "
                  "memory-intensive apps) ===\n\n";
     std::vector<std::string> headers;
@@ -78,18 +95,15 @@ main()
     printHeader("app", headers);
 
     std::vector<std::vector<double>> per_variant(variants.size() - 1);
-    for (const std::string& name : allWorkloadNames()) {
-        if (!isMemoryIntensive(name))
-            continue;
-        const Workload wl = makeWorkload(name, scale);
-        const RunResult full = runBench(variants[0].config, wl.kernel);
+    for (std::size_t n = 0; n < apps.size(); ++n) {
+        const RunResult& full = sweep.result(jobs[n][0]);
         std::vector<double> row;
         for (std::size_t i = 1; i < variants.size(); ++i) {
-            const RunResult r = runBench(variants[i].config, wl.kernel);
+            const RunResult& r = sweep.result(jobs[n][i]);
             row.push_back(r.ipc / full.ipc);
             per_variant[i - 1].push_back(row.back());
         }
-        printRow(name, row);
+        printRow(apps[n], row);
     }
 
     std::vector<double> gm;

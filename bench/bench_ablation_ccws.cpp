@@ -16,8 +16,9 @@ using namespace apres;
 using namespace apres::bench;
 
 int
-main()
+main(int argc, char** argv)
 {
+    const BenchOptions opts = parseBenchArgs(argc, argv);
     const double scale = benchScale();
     const char* apps[] = {"KM", "SPMV", "SRAD"};
 
@@ -39,17 +40,14 @@ main()
         {"cap/2", 96, 144, 48, 12},
     };
 
-    std::cout << "=== CCWS controller sensitivity (IPC vs LRR baseline) "
-                 "===\n\n";
-    std::vector<std::string> headers;
-    for (const Variant& v : variants)
-        headers.emplace_back(v.label);
-    printHeader("app", headers);
-
+    BenchSweep sweep(opts);
+    std::vector<std::size_t> base_jobs;
+    std::vector<std::vector<std::size_t>> var_jobs;
     for (const char* app : apps) {
-        const Workload wl = makeWorkload(app, scale);
-        const RunResult base = runBench(baselineConfig(), wl.kernel);
-        std::vector<double> row;
+        const auto kernel = loadKernel(app, scale);
+        base_jobs.push_back(
+            sweep.add(std::string(app) + "/base", baselineConfig(), kernel));
+        auto& row = var_jobs.emplace_back();
         for (const Variant& v : variants) {
             GpuConfig cfg;
             cfg.scheduler = SchedulerKind::kCcws;
@@ -57,10 +55,27 @@ main()
             cfg.ccws.scoreCap = v.cap;
             cfg.ccws.throttleScale = v.throttleScale;
             cfg.ccws.minActiveWarps = v.minActive;
-            const RunResult r = runBench(cfg, wl.kernel);
+            row.push_back(
+                sweep.add(std::string(app) + "/" + v.label, cfg, kernel));
+        }
+    }
+    sweep.run();
+
+    std::cout << "=== CCWS controller sensitivity (IPC vs LRR baseline) "
+                 "===\n\n";
+    std::vector<std::string> headers;
+    for (const Variant& v : variants)
+        headers.emplace_back(v.label);
+    printHeader("app", headers);
+
+    for (std::size_t n = 0; n < std::size(apps); ++n) {
+        const RunResult& base = sweep.result(base_jobs[n]);
+        std::vector<double> row;
+        for (std::size_t i = 0; i < std::size(variants); ++i) {
+            const RunResult& r = sweep.result(var_jobs[n][i]);
             row.push_back(r.ipc / base.ipc);
         }
-        printRow(app, row);
+        printRow(apps[n], row);
     }
     return 0;
 }

@@ -10,14 +10,17 @@
  * results in EXPERIMENTS.md use the flat model.
  */
 
+#include <array>
+
 #include "bench_util.hpp"
 
 using namespace apres;
 using namespace apres::bench;
 
 int
-main()
+main(int argc, char** argv)
 {
+    const BenchOptions opts = parseBenchArgs(argc, argv);
     const double scale = benchScale();
 
     GpuConfig base_flat = baselineConfig();
@@ -28,35 +31,62 @@ main()
     GpuConfig apres_rows = apres_flat;
     apres_rows.mem.dram.rowBufferModel = true;
 
+    std::vector<std::string> apps;
+    for (const std::string& name : allWorkloadNames()) {
+        if (isMemoryIntensive(name))
+            apps.push_back(name);
+    }
+
+    struct RowStats
+    {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+    };
+    std::vector<RowStats> row_stats(apps.size());
+
+    BenchSweep sweep(opts);
+    std::vector<std::array<std::size_t, 4>> jobs(apps.size());
+    for (std::size_t n = 0; n < apps.size(); ++n) {
+        const auto kernel = loadKernel(apps[n], scale);
+        jobs[n][0] = sweep.add(apps[n] + "/B.flat", base_flat, kernel);
+        jobs[n][1] = sweep.add(apps[n] + "/B.rows", base_rows, kernel);
+        jobs[n][2] = sweep.add(apps[n] + "/APRES.flat", apres_flat, kernel);
+        // The row-hit percentage lives in the DRAM model, not in
+        // RunResult: harvest it on the worker thread via the inspect
+        // hook (each job writes only its own slot).
+        RowStats* slot = &row_stats[n];
+        jobs[n][3] = sweep.add(
+            apps[n] + "/APRES.rows", apres_rows, kernel,
+            [slot, num_partitions = apres_rows.mem.numPartitions](
+                const Gpu& gpu, RunResult&) {
+                for (int p = 0; p < num_partitions; ++p) {
+                    slot->hits += gpu.memorySystem().dram(p).stats().rowHits;
+                    slot->misses +=
+                        gpu.memorySystem().dram(p).stats().rowMisses;
+                }
+            });
+    }
+    sweep.run();
+
     std::cout << "=== DRAM model ablation: flat channel vs bank/row "
                  "buffer ===\n"
                  "(IPC normalized to the flat-channel baseline; rowHit% "
                  "from the row model)\n\n";
     printHeader("app", {"B.rows", "APRES.flat", "APRES.rows", "rowHit%"});
 
-    for (const std::string& name : allWorkloadNames()) {
-        if (!isMemoryIntensive(name))
-            continue;
-        const Workload wl = makeWorkload(name, scale);
-        const RunResult rbf = runBench(base_flat, wl.kernel);
-        const RunResult rbr = runBench(base_rows, wl.kernel);
-        const RunResult raf = runBench(apres_flat, wl.kernel);
-
-        Gpu gpu(apres_rows, wl.kernel);
-        const RunResult rar = gpu.run();
-        std::uint64_t hits = 0;
-        std::uint64_t misses = 0;
-        for (int p = 0; p < apres_rows.mem.numPartitions; ++p) {
-            hits += gpu.memorySystem().dram(p).stats().rowHits;
-            misses += gpu.memorySystem().dram(p).stats().rowMisses;
-        }
-        const double hit_pct = hits + misses
-            ? 100.0 * static_cast<double>(hits) /
-                  static_cast<double>(hits + misses)
+    for (std::size_t n = 0; n < apps.size(); ++n) {
+        const RunResult& rbf = sweep.result(jobs[n][0]);
+        const RunResult& rbr = sweep.result(jobs[n][1]);
+        const RunResult& raf = sweep.result(jobs[n][2]);
+        const RunResult& rar = sweep.result(jobs[n][3]);
+        const RowStats& rows = row_stats[n];
+        const double hit_pct = rows.hits + rows.misses
+            ? 100.0 * static_cast<double>(rows.hits) /
+                  static_cast<double>(rows.hits + rows.misses)
             : 0.0;
 
-        printRow(name, {rbr.ipc / rbf.ipc, raf.ipc / rbf.ipc,
-                        rar.ipc / rbf.ipc, hit_pct});
+        printRow(apps[n], {rbr.ipc / rbf.ipc, raf.ipc / rbf.ipc,
+                           rar.ipc / rbf.ipc, hit_pct});
     }
     return 0;
 }

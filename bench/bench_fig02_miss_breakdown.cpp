@@ -16,9 +16,24 @@ using namespace apres;
 using namespace apres::bench;
 
 int
-main()
+main(int argc, char** argv)
 {
+    const BenchOptions opts = parseBenchArgs(argc, argv);
     const double scale = benchScale();
+
+    GpuConfig huge = baselineConfig();
+    huge.sm.l1.sizeBytes = 32 * 1024 * 1024;
+
+    BenchSweep sweep(opts);
+    std::vector<std::size_t> b_jobs;
+    std::vector<std::size_t> c_jobs;
+    for (const std::string& name : allWorkloadNames()) {
+        const auto kernel = loadKernel(name, scale);
+        b_jobs.push_back(sweep.add(name + "/32K", baselineConfig(), kernel));
+        c_jobs.push_back(sweep.add(name + "/32M", huge, kernel));
+    }
+    sweep.run();
+
     std::cout << "=== Figure 2: L1 miss breakdown, 32KB (B) vs 32MB (C) "
                  "===\n\n";
     printHeader("app", {"B.cold", "B.capconf", "B.miss", "C.cold",
@@ -27,21 +42,16 @@ main()
     double mem_capconf_share_sum = 0.0;
     int mem_apps = 0;
 
-    for (const std::string& name : allWorkloadNames()) {
-        const Workload wl = makeWorkload(name, scale);
+    const auto& names = allWorkloadNames();
+    for (std::size_t n = 0; n < names.size(); ++n) {
+        const RunResult& rb = sweep.result(b_jobs[n]);
+        const RunResult& rc = sweep.result(c_jobs[n]);
 
-        GpuConfig base = baselineConfig();
-        const RunResult rb = runBench(base, wl.kernel);
-
-        GpuConfig huge = baselineConfig();
-        huge.sm.l1.sizeBytes = 32 * 1024 * 1024;
-        const RunResult rc = runBench(huge, wl.kernel);
-
-        const auto frac = [](std::uint64_t n, std::uint64_t d) {
-            return d ? static_cast<double>(n) / static_cast<double>(d)
-                     : 0.0;
+        const auto frac = [](std::uint64_t num, std::uint64_t den) {
+            return den ? static_cast<double>(num) / static_cast<double>(den)
+                       : 0.0;
         };
-        printRow(name,
+        printRow(names[n],
                  {frac(rb.l1.coldMisses, rb.l1.demandAccesses),
                   frac(rb.l1.capacityConflictMisses, rb.l1.demandAccesses),
                   rb.l1.missRate(),
@@ -50,7 +60,7 @@ main()
                   rc.l1.missRate(),
                   rc.ipc / rb.ipc});
 
-        if (isMemoryIntensive(name) && rb.l1.demandMisses > 0) {
+        if (isMemoryIntensive(names[n]) && rb.l1.demandMisses > 0) {
             mem_capconf_share_sum +=
                 frac(rb.l1.capacityConflictMisses, rb.l1.demandMisses);
             ++mem_apps;

@@ -16,8 +16,9 @@ using namespace apres;
 using namespace apres::bench;
 
 int
-main()
+main(int argc, char** argv)
 {
+    const BenchOptions opts = parseBenchArgs(argc, argv);
     const double scale = benchScale();
     const std::vector<NamedConfig> configs = {
         makeConfig(SchedulerKind::kPa, PrefetcherKind::kStr),
@@ -30,6 +31,19 @@ main()
         makeConfig(SchedulerKind::kCcws, PrefetcherKind::kSld),
     };
 
+    BenchSweep sweep(opts);
+    std::vector<std::size_t> base_jobs;
+    std::vector<std::vector<std::size_t>> cfg_jobs;
+    for (const std::string& name : allWorkloadNames()) {
+        const auto kernel = loadKernel(name, scale);
+        base_jobs.push_back(
+            sweep.add(name + "/base", baselineConfig(), kernel));
+        auto& row = cfg_jobs.emplace_back();
+        for (const NamedConfig& c : configs)
+            row.push_back(sweep.add(name + "/" + c.label, c.config, kernel));
+    }
+    sweep.run();
+
     std::cout << "=== Figure 3: existing scheduling x prefetching combos "
                  "(IPC vs LRR) ===\n\n";
     std::vector<std::string> headers;
@@ -38,16 +52,16 @@ main()
     printHeader("app", headers);
 
     std::vector<std::vector<double>> per_config(configs.size());
-    for (const std::string& name : allWorkloadNames()) {
-        const Workload wl = makeWorkload(name, scale);
-        const RunResult base = runBench(baselineConfig(), wl.kernel);
+    const auto& names = allWorkloadNames();
+    for (std::size_t n = 0; n < names.size(); ++n) {
+        const RunResult& base = sweep.result(base_jobs[n]);
         std::vector<double> row;
         for (std::size_t i = 0; i < configs.size(); ++i) {
-            const RunResult r = runBench(configs[i].config, wl.kernel);
+            const RunResult& r = sweep.result(cfg_jobs[n][i]);
             row.push_back(r.ipc / base.ipc);
             per_config[i].push_back(row.back());
         }
-        printRow(name, row);
+        printRow(names[n], row);
     }
 
     std::vector<double> gm;

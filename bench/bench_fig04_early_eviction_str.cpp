@@ -15,8 +15,9 @@ using namespace apres;
 using namespace apres::bench;
 
 int
-main()
+main(int argc, char** argv)
 {
+    const BenchOptions opts = parseBenchArgs(argc, argv);
     const double scale = benchScale();
     const std::vector<NamedConfig> configs = {
         makeConfig(SchedulerKind::kPa, PrefetcherKind::kStr),
@@ -24,6 +25,22 @@ main()
         makeConfig(SchedulerKind::kMascar, PrefetcherKind::kStr),
         makeConfig(SchedulerKind::kCcws, PrefetcherKind::kStr),
     };
+
+    std::vector<std::string> apps;
+    for (const std::string& name : allWorkloadNames()) {
+        if (isMemoryIntensive(name))
+            apps.push_back(name);
+    }
+
+    BenchSweep sweep(opts);
+    std::vector<std::vector<std::size_t>> cfg_jobs;
+    for (const std::string& name : apps) {
+        const auto kernel = loadKernel(name, scale);
+        auto& row = cfg_jobs.emplace_back();
+        for (const NamedConfig& c : configs)
+            row.push_back(sweep.add(name + "/" + c.label, c.config, kernel));
+    }
+    sweep.run();
 
     std::cout << "=== Figure 4: early eviction ratio of STR prefetching "
                  "===\n\n";
@@ -33,17 +50,14 @@ main()
     printHeader("app", headers);
 
     std::vector<std::vector<double>> per_config(configs.size());
-    for (const std::string& name : allWorkloadNames()) {
-        if (!isMemoryIntensive(name))
-            continue;
-        const Workload wl = makeWorkload(name, scale);
+    for (std::size_t n = 0; n < apps.size(); ++n) {
         std::vector<double> row;
         for (std::size_t i = 0; i < configs.size(); ++i) {
-            const RunResult r = runBench(configs[i].config, wl.kernel);
+            const RunResult& r = sweep.result(cfg_jobs[n][i]);
             row.push_back(r.earlyEvictionRatio());
             per_config[i].push_back(row.back());
         }
-        printRow(name, row);
+        printRow(apps[n], row);
     }
 
     std::cout << '\n';

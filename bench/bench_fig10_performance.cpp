@@ -10,16 +10,15 @@
  * where CCWS(+STR) beats APRES.
  */
 
-#include <map>
-
 #include "bench_util.hpp"
 
 using namespace apres;
 using namespace apres::bench;
 
 int
-main()
+main(int argc, char** argv)
 {
+    const BenchOptions opts = parseBenchArgs(argc, argv);
     const double scale = benchScale();
     const std::vector<NamedConfig> configs = {
         makeConfig(SchedulerKind::kCcws, PrefetcherKind::kNone),
@@ -29,29 +28,41 @@ main()
         makeConfig(SchedulerKind::kLaws, PrefetcherKind::kSap), // APRES
     };
 
+    BenchSweep sweep(opts);
+    std::vector<std::size_t> base_jobs;
+    std::vector<std::vector<std::size_t>> cfg_jobs;
+    for (const std::string& name : allWorkloadNames()) {
+        const auto kernel = loadKernel(name, scale);
+        base_jobs.push_back(
+            sweep.add(name + "/base", baselineConfig(), kernel));
+        auto& row = cfg_jobs.emplace_back();
+        for (const NamedConfig& c : configs)
+            row.push_back(sweep.add(name + "/" + c.label, c.config, kernel));
+    }
+    sweep.run();
+
     std::cout << "=== Figure 10: IPC normalized to baseline (LRR) ===\n\n";
     std::vector<std::string> headers;
     for (const NamedConfig& c : configs)
         headers.push_back(c.label);
     printHeader("app", headers);
 
-    std::map<std::string, std::vector<double>> by_category;
     std::vector<std::vector<double>> all(configs.size());
     std::vector<std::vector<double>> memint(configs.size());
 
-    for (const std::string& name : allWorkloadNames()) {
-        const Workload wl = makeWorkload(name, scale);
-        const RunResult base = runBench(baselineConfig(), wl.kernel);
+    const auto& names = allWorkloadNames();
+    for (std::size_t n = 0; n < names.size(); ++n) {
+        const RunResult& base = sweep.result(base_jobs[n]);
         std::vector<double> row;
         for (std::size_t i = 0; i < configs.size(); ++i) {
-            const RunResult r = runBench(configs[i].config, wl.kernel);
+            const RunResult& r = sweep.result(cfg_jobs[n][i]);
             const double speedup = r.ipc / base.ipc;
             row.push_back(speedup);
             all[i].push_back(speedup);
-            if (isMemoryIntensive(name))
+            if (isMemoryIntensive(names[n]))
                 memint[i].push_back(speedup);
         }
-        printRow(name, row);
+        printRow(names[n], row);
     }
 
     std::vector<double> gm_all;

@@ -16,8 +16,9 @@ using namespace apres;
 using namespace apres::bench;
 
 int
-main()
+main(int argc, char** argv)
 {
+    const BenchOptions opts = parseBenchArgs(argc, argv);
     const double scale = benchScale();
     const std::vector<NamedConfig> configs = {
         {"B", baselineConfig()},
@@ -28,22 +29,34 @@ main()
     };
     const char* tags[] = {"B", "C", "L", "S", "A"};
 
+    BenchSweep sweep(opts);
+    std::vector<std::vector<std::size_t>> cfg_jobs;
+    for (const std::string& name : allWorkloadNames()) {
+        const auto kernel = loadKernel(name, scale);
+        auto& row = cfg_jobs.emplace_back();
+        for (std::size_t i = 0; i < configs.size(); ++i) {
+            row.push_back(sweep.add(name + "/" + tags[i],
+                                    configs[i].config, kernel));
+        }
+    }
+    sweep.run();
+
     std::cout << "=== Figure 11: L1 hit/miss breakdown (fractions of "
                  "accesses) ===\n";
     std::cout << "(B=baseline C=CCWS L=LAWS S=CCWS+STR A=APRES)\n\n";
     printHeader("app/cfg",
                 {"hitAfterHit", "hitAfterMiss", "cold", "cap+conf"});
 
-    for (const std::string& name : allWorkloadNames()) {
+    const auto& names = allWorkloadNames();
+    for (std::size_t n = 0; n < names.size(); ++n) {
         for (std::size_t i = 0; i < configs.size(); ++i) {
-            const Workload wl = makeWorkload(name, scale);
-            const RunResult r = runBench(configs[i].config, wl.kernel);
+            const RunResult& r = sweep.result(cfg_jobs[n][i]);
             const double total =
                 static_cast<double>(r.l1.demandAccesses);
-            const auto frac = [total](std::uint64_t n) {
-                return total > 0 ? static_cast<double>(n) / total : 0.0;
+            const auto frac = [total](std::uint64_t count) {
+                return total > 0 ? static_cast<double>(count) / total : 0.0;
             };
-            printRow(name + "/" + tags[i],
+            printRow(names[n] + "/" + tags[i],
                      {frac(r.l1.hitAfterHit), frac(r.l1.hitAfterMiss),
                       frac(r.l1.coldMisses),
                       frac(r.l1.capacityConflictMisses)});

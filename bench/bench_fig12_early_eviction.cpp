@@ -13,30 +13,44 @@ using namespace apres;
 using namespace apres::bench;
 
 int
-main()
+main(int argc, char** argv)
 {
+    const BenchOptions opts = parseBenchArgs(argc, argv);
     const double scale = benchScale();
     const NamedConfig ccws_str =
         makeConfig(SchedulerKind::kCcws, PrefetcherKind::kStr);
     const NamedConfig apres_cfg =
         makeConfig(SchedulerKind::kLaws, PrefetcherKind::kSap);
 
+    BenchSweep sweep(opts);
+    std::vector<std::size_t> s_jobs;
+    std::vector<std::size_t> a_jobs;
+    for (const std::string& name : allWorkloadNames()) {
+        const auto kernel = loadKernel(name, scale);
+        s_jobs.push_back(
+            sweep.add(name + "/CCWS+STR", ccws_str.config, kernel));
+        a_jobs.push_back(
+            sweep.add(name + "/APRES", apres_cfg.config, kernel));
+    }
+    sweep.run();
+
     std::cout << "=== Figure 12: early eviction ratio ===\n\n";
     printHeader("app", {"CCWS+STR", "APRES"});
 
     double sum_s = 0.0;
     double sum_a = 0.0;
-    int n = 0;
-    for (const std::string& name : allWorkloadNames()) {
-        const Workload wl = makeWorkload(name, scale);
-        const RunResult rs = runBench(ccws_str.config, wl.kernel);
-        const RunResult ra = runBench(apres_cfg.config, wl.kernel);
-        printRow(name, {rs.earlyEvictionRatio(), ra.earlyEvictionRatio()});
+    int n_apps = 0;
+    const auto& names = allWorkloadNames();
+    for (std::size_t n = 0; n < names.size(); ++n) {
+        const RunResult& rs = sweep.result(s_jobs[n]);
+        const RunResult& ra = sweep.result(a_jobs[n]);
+        printRow(names[n],
+                 {rs.earlyEvictionRatio(), ra.earlyEvictionRatio()});
         sum_s += rs.earlyEvictionRatio();
         sum_a += ra.earlyEvictionRatio();
-        ++n;
+        ++n_apps;
     }
     std::cout << '\n';
-    printRow("AVG", {sum_s / n, sum_a / n});
+    printRow("AVG", {sum_s / n_apps, sum_a / n_apps});
     return 0;
 }

@@ -14,13 +14,29 @@ using namespace apres;
 using namespace apres::bench;
 
 int
-main()
+main(int argc, char** argv)
 {
+    const BenchOptions opts = parseBenchArgs(argc, argv);
     const double scale = benchScale();
     const NamedConfig ccws_str =
         makeConfig(SchedulerKind::kCcws, PrefetcherKind::kStr);
     const NamedConfig apres_cfg =
         makeConfig(SchedulerKind::kLaws, PrefetcherKind::kSap);
+
+    BenchSweep sweep(opts);
+    std::vector<std::size_t> b_jobs;
+    std::vector<std::size_t> s_jobs;
+    std::vector<std::size_t> a_jobs;
+    for (const std::string& name : allWorkloadNames()) {
+        const auto kernel = loadKernel(name, scale);
+        b_jobs.push_back(
+            sweep.add(name + "/base", baselineConfig(), kernel));
+        s_jobs.push_back(
+            sweep.add(name + "/CCWS+STR", ccws_str.config, kernel));
+        a_jobs.push_back(
+            sweep.add(name + "/APRES", apres_cfg.config, kernel));
+    }
+    sweep.run();
 
     std::cout << "=== Figure 13: average memory latency (normalized to "
                  "baseline) ===\n\n";
@@ -28,14 +44,14 @@ main()
 
     std::vector<double> s_vals;
     std::vector<double> a_vals;
-    for (const std::string& name : allWorkloadNames()) {
-        const Workload wl = makeWorkload(name, scale);
-        const RunResult rb = runBench(baselineConfig(), wl.kernel);
-        const RunResult rs = runBench(ccws_str.config, wl.kernel);
-        const RunResult ra = runBench(apres_cfg.config, wl.kernel);
+    const auto& names = allWorkloadNames();
+    for (std::size_t n = 0; n < names.size(); ++n) {
+        const RunResult& rb = sweep.result(b_jobs[n]);
+        const RunResult& rs = sweep.result(s_jobs[n]);
+        const RunResult& ra = sweep.result(a_jobs[n]);
         const double s = rs.avgLoadLatency / rb.avgLoadLatency;
         const double a = ra.avgLoadLatency / rb.avgLoadLatency;
-        printRow(name, {s, a});
+        printRow(names[n], {s, a});
         s_vals.push_back(s);
         a_vals.push_back(a);
     }

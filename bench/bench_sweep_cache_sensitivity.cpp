@@ -12,33 +12,51 @@ using namespace apres;
 using namespace apres::bench;
 
 int
-main()
+main(int argc, char** argv)
 {
+    const BenchOptions opts = parseBenchArgs(argc, argv);
     const double scale = benchScale();
     const std::vector<std::uint64_t> sizes = {
         16 * 1024, 32 * 1024, 64 * 1024, 256 * 1024, 1024 * 1024,
     };
 
-    std::cout << "=== L1 capacity sweep (IPC normalized to 32 KB) ===\n\n";
-    printHeader("app", {"16K", "32K", "64K", "256K", "1M", "category"});
-
+    BenchSweep sweep(opts);
+    std::vector<std::size_t> base_jobs;
+    std::vector<std::vector<std::size_t>> size_jobs;
+    std::vector<AppCategory> categories;
     for (const std::string& name : allWorkloadNames()) {
-        const Workload wl = makeWorkload(name, scale);
-
-        GpuConfig ref = baselineConfig();
-        const RunResult base = runBench(ref, wl.kernel);
-
-        std::vector<double> row;
+        const auto workload = loadWorkload(name, scale);
+        categories.push_back(workload->category);
+        const auto kernel = kernelOf(workload);
+        base_jobs.push_back(
+            sweep.add(name + "/ref", baselineConfig(), kernel));
+        auto& row = size_jobs.emplace_back();
         for (const std::uint64_t size : sizes) {
             GpuConfig cfg = baselineConfig();
             cfg.sm.l1.sizeBytes = size;
-            const RunResult r = runBench(cfg, wl.kernel);
+            row.push_back(sweep.add(
+                name + "/" + std::to_string(size / 1024) + "K", cfg,
+                kernel));
+        }
+    }
+    sweep.run();
+
+    std::cout << "=== L1 capacity sweep (IPC normalized to 32 KB) ===\n\n";
+    printHeader("app", {"16K", "32K", "64K", "256K", "1M", "category"});
+
+    const auto& names = allWorkloadNames();
+    for (std::size_t n = 0; n < names.size(); ++n) {
+        const RunResult& base = sweep.result(base_jobs[n]);
+        std::vector<double> row;
+        for (std::size_t i = 0; i < sizes.size(); ++i) {
+            const RunResult& r = sweep.result(size_jobs[n][i]);
             row.push_back(r.ipc / base.ipc);
         }
         // Encode the category as a number for the fixed-width printer:
         // 0 = cache-sensitive, 1 = cache-insensitive, 2 = compute.
-        row.push_back(static_cast<double>(static_cast<int>(wl.category)));
-        printRow(name, row);
+        row.push_back(
+            static_cast<double>(static_cast<int>(categories[n])));
+        printRow(names[n], row);
     }
     std::cout << "\n(category: 0=cache-sensitive 1=cache-insensitive "
                  "2=compute-intensive)\n";

@@ -7,6 +7,7 @@
  */
 
 #include <iomanip>
+#include <unordered_map>
 
 #include "bench_util.hpp"
 #include "workloads/characterize.hpp"
@@ -15,9 +16,43 @@ using namespace apres;
 using namespace apres::bench;
 
 int
-main()
+main(int argc, char** argv)
 {
+    const BenchOptions opts = parseBenchArgs(argc, argv);
     const double scale = benchScale();
+
+    std::vector<std::string> apps;
+    for (const std::string& name : allWorkloadNames()) {
+        if (isMemoryIntensive(name))
+            apps.push_back(name);
+    }
+
+    // Timing runs for the per-PC miss rates (baseline GPU), through
+    // the sweep runner. Per-PC LSU stats are not part of RunResult, so
+    // each job harvests them via its inspect hook (worker thread, own
+    // slot only).
+    std::vector<std::shared_ptr<const Workload>> workloads;
+    std::vector<std::unordered_map<Pc, PcLoadStats>> per_pc(apps.size());
+    BenchSweep sweep(opts);
+    std::vector<std::size_t> jobs;
+    const GpuConfig base = baselineConfig();
+    for (std::size_t n = 0; n < apps.size(); ++n) {
+        workloads.push_back(loadWorkload(apps[n], scale));
+        auto* slot = &per_pc[n];
+        jobs.push_back(sweep.add(
+            apps[n] + "/base", base, kernelOf(workloads[n]),
+            [slot, num_sms = base.numSms](const Gpu& gpu, RunResult&) {
+                for (int s = 0; s < num_sms; ++s) {
+                    for (const auto& [pc, stat] :
+                         gpu.sm(s).lsuStats().perPc) {
+                        (*slot)[pc].accesses += stat.accesses;
+                        (*slot)[pc].hits += stat.hits;
+                    }
+                }
+            }));
+    }
+    sweep.run();
+
     std::cout << "=== Table I: characteristics of frequently executed "
                  "loads ===\n\n";
     std::cout << std::left << std::setw(7) << "app" << std::setw(8) << "PC"
@@ -25,35 +60,20 @@ main()
               << "#L/#R" << std::setw(10) << "miss" << std::setw(12)
               << "stride" << std::setw(10) << "%stride" << '\n';
 
-    for (const std::string& name : allWorkloadNames()) {
-        if (!isMemoryIntensive(name))
-            continue;
-        const Workload wl = makeWorkload(name, scale);
-
-        // Timing run for the per-PC miss rates: the baseline GPU.
-        Gpu gpu(baselineConfig(), wl.kernel);
-        gpu.run();
-        std::unordered_map<Pc, PcLoadStats> per_pc;
-        for (int s = 0; s < baselineConfig().numSms; ++s) {
-            for (const auto& [pc, stat] : gpu.sm(s).lsuStats().perPc) {
-                per_pc[pc].accesses += stat.accesses;
-                per_pc[pc].hits += stat.hits;
-            }
-        }
-
+    for (std::size_t n = 0; n < apps.size(); ++n) {
         // Oracle replay for the contention-free columns.
-        const auto profiles = characterizeKernel(wl.kernel);
+        const auto profiles = characterizeKernel(workloads[n]->kernel);
 
         bool first = true;
         for (const LoadProfile& p : profiles) {
-            std::cout << std::left << std::setw(7) << (first ? name : "")
-                      << "0x" << std::hex << std::setw(6) << p.pc
-                      << std::dec << std::right << std::fixed
-                      << std::setw(8) << std::setprecision(1)
+            std::cout << std::left << std::setw(7)
+                      << (first ? apps[n] : "") << "0x" << std::hex
+                      << std::setw(6) << p.pc << std::dec << std::right
+                      << std::fixed << std::setw(8) << std::setprecision(1)
                       << 100.0 * p.loadShare << "%" << std::setw(9)
                       << std::setprecision(2) << p.uniqueLinesPerRef
                       << std::setw(10) << std::setprecision(2)
-                      << per_pc[p.pc].missRate() << std::setw(12)
+                      << per_pc[n][p.pc].missRate() << std::setw(12)
                       << p.dominantStride << std::setw(9)
                       << std::setprecision(1)
                       << 100.0 * p.dominantStrideShare << "%" << '\n';

@@ -6,15 +6,65 @@
 #include "bench_util.hpp"
 
 #include <cstdlib>
+#include <cstring>
+
+#include "common/log.hpp"
 
 namespace apres::bench {
 
 double
+parseBenchScale(const char* text, double fallback)
+{
+    if (text == nullptr || *text == '\0')
+        return fallback;
+    char* end = nullptr;
+    const double parsed = std::strtod(text, &end);
+    if (end == text || *end != '\0' || !std::isfinite(parsed) ||
+        parsed <= 0.0) {
+        logWarn("ignoring APRES_BENCH_SCALE=\"", text,
+                "\" (want a positive number); using ", fallback);
+        return fallback;
+    }
+    return parsed;
+}
+
+double
 benchScale()
 {
-    if (const char* env = std::getenv("APRES_BENCH_SCALE"))
-        return std::atof(env);
-    return 1.0;
+    return parseBenchScale(std::getenv("APRES_BENCH_SCALE"));
+}
+
+BenchOptions
+parseBenchArgs(int argc, char** argv)
+{
+    BenchOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        const char* arg = argv[i];
+        if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+            std::cout << "usage: " << argv[0] << " [--jobs N]\n"
+                      << "  --jobs N, -j N  sweep worker threads "
+                         "(default: APRES_BENCH_JOBS or hardware "
+                         "concurrency)\n"
+                      << "  APRES_BENCH_SCALE  trip-count multiplier "
+                         "(default 1.0)\n";
+            std::exit(0);
+        }
+        if (std::strcmp(arg, "--jobs") == 0 || std::strcmp(arg, "-j") == 0) {
+            if (i + 1 >= argc)
+                fatal(std::string(arg) + " requires a value");
+            const char* value = argv[++i];
+            char* end = nullptr;
+            const long parsed = std::strtol(value, &end, 10);
+            if (end == value || *end != '\0' || parsed < 1)
+                fatal(std::string("bad ") + arg + " value \"" + value +
+                      "\" (want a positive integer)");
+            opts.jobs = static_cast<int>(parsed);
+            continue;
+        }
+        fatal(std::string("unknown argument \"") + arg +
+              "\" (try --help)");
+    }
+    return opts;
 }
 
 GpuConfig
@@ -62,6 +112,86 @@ printRow(const std::string& first, const std::vector<double>& values,
     for (const double v : values)
         std::cout << std::setw(12) << v;
     std::cout << '\n';
+}
+
+std::shared_ptr<const Workload>
+loadWorkload(const std::string& name, double scale)
+{
+    return std::make_shared<Workload>(makeWorkload(name, scale));
+}
+
+std::shared_ptr<const Kernel>
+kernelOf(std::shared_ptr<const Workload> wl)
+{
+    // Aliasing handle: shares ownership of the workload, points at its
+    // kernel.
+    const Kernel* kernel = &wl->kernel;
+    return {std::move(wl), kernel};
+}
+
+std::shared_ptr<const Kernel>
+loadKernel(const std::string& name, double scale)
+{
+    return kernelOf(loadWorkload(name, scale));
+}
+
+namespace {
+
+RunnerOptions
+runnerOptions(const BenchOptions& options)
+{
+    RunnerOptions ropts;
+    ropts.threads = options.jobs;
+    ropts.progress = true;
+    return ropts;
+}
+
+} // namespace
+
+BenchSweep::BenchSweep(const BenchOptions& options)
+    : runner(runnerOptions(options))
+{
+}
+
+std::size_t
+BenchSweep::add(std::string label, const GpuConfig& config,
+                std::shared_ptr<const Kernel> kernel)
+{
+    return runner.submit(std::move(label), config, std::move(kernel));
+}
+
+std::size_t
+BenchSweep::add(std::string label, const GpuConfig& config,
+                std::shared_ptr<const Kernel> kernel,
+                std::function<void(const Gpu&, RunResult&)> inspect)
+{
+    SweepJob job;
+    job.label = std::move(label);
+    job.config = config;
+    job.kernel = std::move(kernel);
+    job.inspect = std::move(inspect);
+    return runner.submit(std::move(job));
+}
+
+void
+BenchSweep::run()
+{
+    results = runner.runAll();
+    ran = true;
+}
+
+const RunResult&
+BenchSweep::result(std::size_t index) const
+{
+    return record(index).result;
+}
+
+const SweepResult&
+BenchSweep::record(std::size_t index) const
+{
+    if (!ran)
+        fatal("BenchSweep::result called before run()");
+    return results.at(index);
 }
 
 RunResult

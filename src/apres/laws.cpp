@@ -47,9 +47,10 @@ LawsScheduler::notifyLoadIssued(WarpId warp, Pc pc, Cycle now)
     // Optional group-size cap (Section IV argues ~8 leading warps
     // bound the working set; the default keeps the paper's uncapped
     // grouping).
-    if (cfg.groupCap < 64) {
+    const int num_warps = sm != nullptr ? sm->numWarps() : 64;
+    if (cfg.groupCap < num_warps) {
         int kept = 0;
-        for (int w = 0; w < 64; ++w) {
+        for (int w = 0; w < num_warps; ++w) {
             if (!(members & (std::uint64_t{1} << w)))
                 continue;
             if (kept >= cfg.groupCap)

@@ -5,7 +5,10 @@
 
 #include "sap.hpp"
 
+#include <algorithm>
 #include <cassert>
+
+#include "common/log.hpp"
 
 namespace apres {
 
@@ -16,13 +19,30 @@ SapPrefetcher::SapPrefetcher(LawsScheduler& laws_ref, const SapConfig& config)
     pt.resize(static_cast<std::size_t>(cfg.ptEntries));
 }
 
+void
+SapPrefetcher::attach(SmContext& sm)
+{
+    // Group bit-vectors are 64-bit; the Gpu constructor rejects wider
+    // machines, but guard here too for hand-wired test rigs.
+    if (sm.numWarps() > 64)
+        fatal("SAP: numWarps=" + std::to_string(sm.numWarps()) +
+              " exceeds the 64-warp group mask width");
+    numWarps_ = sm.numWarps();
+}
+
 SapPrefetcher::PtEntry&
 SapPrefetcher::lookup(Pc pc)
 {
+    // The touched entry is stamped MRU here, *before* returning: any
+    // victim scan later in the same cycle (a second lookup for a
+    // different PC) must already see this use, or it could evict the
+    // entry it was just asked for.
     PtEntry* victim = &pt[0];
     for (PtEntry& entry : pt) {
-        if (entry.valid && entry.pc == pc)
+        if (entry.valid && entry.pc == pc) {
+            entry.lastUse = ++useClock;
             return entry;
+        }
         if (!entry.valid) {
             victim = &entry;
         } else if (victim->valid && entry.lastUse < victim->lastUse) {
@@ -32,14 +52,33 @@ SapPrefetcher::lookup(Pc pc)
     *victim = PtEntry{};
     victim->valid = true;
     victim->pc = pc;
+    victim->lastUse = ++useClock;
     return *victim;
+}
+
+std::vector<Pc>
+SapPrefetcher::ptResidentPcs() const
+{
+    std::vector<const PtEntry*> live;
+    for (const PtEntry& entry : pt) {
+        if (entry.valid)
+            live.push_back(&entry);
+    }
+    std::sort(live.begin(), live.end(),
+              [](const PtEntry* a, const PtEntry* b) {
+                  return a->lastUse < b->lastUse;
+              });
+    std::vector<Pc> pcs;
+    pcs.reserve(live.size());
+    for (const PtEntry* entry : live)
+        pcs.push_back(entry->pc);
+    return pcs;
 }
 
 void
 SapPrefetcher::onAccess(const LoadAccessInfo& info, PrefetchIssuer& issuer)
 {
     PtEntry& entry = lookup(info.pc);
-    entry.lastUse = ++useClock;
 
     // Current inter-warp stride from the two most recent accesses of
     // this static load (exact division required: a fractional stride
@@ -75,9 +114,12 @@ SapPrefetcher::onAccess(const LoadAccessInfo& info, PrefetchIssuer& issuer)
             // new request is needed, but promoting the member warps
             // makes their demands merge into the outstanding MSHR —
             // the paper's other path to the same cache line.
+            // Walk only the configured warp contexts: the machine may
+            // run fewer than the 64 warps the mask can hold (Table III
+            // configures 48), and LawsConfig::groupCap is tunable.
             std::vector<WarpId> targets;
             int enqueued = 0;
-            for (int w = 0; w < 64 && enqueued < cfg.wqEntries; ++w) {
+            for (int w = 0; w < numWarps_ && enqueued < cfg.wqEntries; ++w) {
                 if (!(group.members & (std::uint64_t{1} << w)))
                     continue;
                 ++enqueued;

@@ -61,12 +61,17 @@ class SapPrefetcher final : public Prefetcher
      */
     explicit SapPrefetcher(LawsScheduler& laws, const SapConfig& config = {});
 
+    void attach(SmContext& sm) override;
+
     void onAccess(const LoadAccessInfo& info, PrefetchIssuer& issuer) override;
 
     const char* name() const override { return "SAP"; }
 
     /** Counters. */
     const SapStats& stats() const { return stats_; }
+
+    /** PCs resident in the PT, LRU first (for tests). */
+    std::vector<Pc> ptResidentPcs() const;
 
   private:
     /** Replacement hysteresis ceiling for PT stride confidence. */
@@ -88,6 +93,7 @@ class SapPrefetcher final : public Prefetcher
 
     LawsScheduler& laws;
     SapConfig cfg;
+    int numWarps_ = 64; ///< group-walk bound; tightened by attach()
     std::vector<PtEntry> pt;
     std::uint64_t useClock = 0;
     SapStats stats_;

@@ -5,14 +5,26 @@
 
 #include "log.hpp"
 
+#include <atomic>
 #include <cstdlib>
 #include <iostream>
+#include <mutex>
 
 namespace apres {
 
 namespace {
 
-LogLevel g_level = LogLevel::kWarn;
+// Parallel sweeps log from worker threads: the threshold is an atomic
+// (lock-free fast path for the level checks inlined in the header) and
+// the sink is serialized so concurrent messages never interleave.
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+std::mutex&
+sinkMutex()
+{
+    static std::mutex mu;
+    return mu;
+}
 
 const char*
 levelTag(LogLevel level)
@@ -31,27 +43,31 @@ levelTag(LogLevel level)
 LogLevel
 logLevel()
 {
-    return g_level;
+    return g_level.load(std::memory_order_relaxed);
 }
 
 void
 setLogLevel(LogLevel level)
 {
-    g_level = level;
+    g_level.store(level, std::memory_order_relaxed);
 }
 
 void
 logMessage(LogLevel level, const std::string& msg)
 {
-    if (level < g_level)
+    if (level < logLevel())
         return;
+    const std::lock_guard<std::mutex> lock(sinkMutex());
     std::cerr << "[apres:" << levelTag(level) << "] " << msg << '\n';
 }
 
 void
 fatal(const std::string& msg)
 {
-    std::cerr << "[apres:fatal] " << msg << '\n';
+    {
+        const std::lock_guard<std::mutex> lock(sinkMutex());
+        std::cerr << "[apres:fatal] " << msg << '\n';
+    }
     std::exit(1);
 }
 

@@ -61,6 +61,15 @@ struct GpuConfig
     /** Hard stop for non-terminating configurations. */
     std::uint64_t maxCycles = 50'000'000;
 
+    /**
+     * Seed of the Gpu-owned Rng. Every simulation is a pure function
+     * of its configuration (including this field): any stochastic
+     * model component must draw from Gpu::rng(), never from a global
+     * or wall-clock source. Sweep runners overwrite this per job with
+     * deriveJobSeed(baseSeed, jobIndex).
+     */
+    std::uint64_t seed = 0x9E3779B97F4A7C15ull;
+
     /** Shorthand: "APRES" = LAWS scheduling + SAP prefetching. */
     void
     useApres()

@@ -108,9 +108,19 @@ makePrefetcher(const GpuConfig& cfg, Scheduler& sched)
 } // namespace
 
 Gpu::Gpu(const GpuConfig& config, const Kernel& kernel_ref)
-    : cfg(config), kernel(kernel_ref)
+    : cfg(config), rng_(config.seed), kernel(kernel_ref)
 {
     assert(cfg.numSms >= 1);
+    if (cfg.sm.warpsPerSm < 1)
+        fatal("warpsPerSm must be >= 1 (got " +
+              std::to_string(cfg.sm.warpsPerSm) + ")");
+    // Warp sets (LAWS/WGT groups, the cache's per-line consumer
+    // tracking) are 64-bit masks indexed by warp ID: a wider machine
+    // would silently drop warps 64+, so reject it outright.
+    if (cfg.sm.warpsPerSm > 64)
+        fatal("warpsPerSm=" + std::to_string(cfg.sm.warpsPerSm) +
+              " exceeds the 64-warp group bit-mask width; configure at "
+              "most 64 warps per SM");
     memsys = std::make_unique<MemorySystem>(cfg.mem);
     for (int s = 0; s < cfg.numSms; ++s) {
         schedulers.push_back(makeScheduler(cfg));

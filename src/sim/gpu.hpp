@@ -17,6 +17,7 @@
 
 #include "apres/laws.hpp"
 #include "apres/sap.hpp"
+#include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "core/sm.hpp"
 #include "energy/energy_model.hpp"
@@ -106,8 +107,17 @@ class Gpu
     /** The shared memory side. */
     const MemorySystem& memorySystem() const { return *memsys; }
 
+    /**
+     * This simulation's private random stream, seeded from
+     * GpuConfig::seed. Stochastic model components must draw from it
+     * (and only it) so concurrent simulations stay independent and a
+     * run remains a pure function of its configuration.
+     */
+    Rng& rng() { return rng_; }
+
   private:
     GpuConfig cfg;
+    Rng rng_;
     const Kernel& kernel;
     std::unique_ptr<MemorySystem> memsys;
     std::vector<std::unique_ptr<Scheduler>> schedulers;

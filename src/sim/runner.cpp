@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Sweep runner implementation.
+ */
+
+#include "runner.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+
+#include <unistd.h>
+
+#include "common/log.hpp"
+#include "isa/address_gen.hpp" // mix64
+
+namespace apres {
+
+std::uint64_t
+deriveJobSeed(std::uint64_t base_seed, std::size_t job_index)
+{
+    // mix64 is the simulator's stateless hash; +1 keeps index 0 from
+    // collapsing onto the plain base seed.
+    return mix64(base_seed, static_cast<std::uint64_t>(job_index) + 1,
+                 0x4150'5245'5357'4545ull); // "APRESWEE"
+}
+
+int
+defaultJobCount()
+{
+    if (const char* env = std::getenv("APRES_BENCH_JOBS")) {
+        char* end = nullptr;
+        const long parsed = std::strtol(env, &end, 10);
+        if (end != env && *end == '\0' && parsed >= 1 &&
+            parsed <= 1'000'000) {
+            return static_cast<int>(parsed);
+        }
+        logWarn("ignoring APRES_BENCH_JOBS=\"", env,
+                "\" (want a positive integer); using hardware concurrency");
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+SweepRunner::SweepRunner(RunnerOptions options) : opts(options) {}
+
+std::size_t
+SweepRunner::submit(SweepJob job)
+{
+    if (!job.kernel)
+        fatal("SweepRunner::submit: job \"" + job.label +
+              "\" has no kernel");
+    jobs.push_back(std::move(job));
+    return jobs.size() - 1;
+}
+
+std::size_t
+SweepRunner::submit(std::string label, const GpuConfig& config,
+                    std::shared_ptr<const Kernel> kernel)
+{
+    SweepJob job;
+    job.label = std::move(label);
+    job.config = config;
+    job.kernel = std::move(kernel);
+    return submit(std::move(job));
+}
+
+int
+SweepRunner::threadCount() const
+{
+    return opts.threads > 0 ? opts.threads : defaultJobCount();
+}
+
+namespace {
+
+/** Progress reporting shared by the workers (serialized by a mutex). */
+class ProgressLine
+{
+  public:
+    ProgressLine(bool enabled, std::size_t total)
+        : on(enabled && total > 0), n(total),
+          tty(isatty(fileno(stderr)) != 0),
+          stride(n >= 10 ? n / 10 : 1)
+    {
+    }
+
+    void
+    jobDone(const std::string& label)
+    {
+        if (!on)
+            return;
+        const std::lock_guard<std::mutex> lock(mu);
+        ++done;
+        // On a terminal: rewrite one line per completion. Elsewhere
+        // (CI logs, redirects): one line every ~10% to bound output.
+        if (tty) {
+            std::fprintf(stderr, "\r[apres-sweep] %zu/%zu done (%s)\033[K",
+                         done, n, label.c_str());
+            if (done == n)
+                std::fputc('\n', stderr);
+            std::fflush(stderr);
+        } else if (done == n || done % stride == 0) {
+            std::fprintf(stderr, "[apres-sweep] %zu/%zu done\n", done, n);
+        }
+    }
+
+  private:
+    const bool on;
+    const std::size_t n;
+    const bool tty;
+    const std::size_t stride;
+    std::mutex mu;
+    std::size_t done = 0;
+};
+
+} // namespace
+
+std::vector<SweepResult>
+SweepRunner::runAll()
+{
+    if (ran)
+        fatal("SweepRunner::runAll may only be called once");
+    ran = true;
+
+    std::vector<SweepResult> results(jobs.size());
+    if (jobs.empty())
+        return results;
+
+    const int want = threadCount();
+    const std::size_t workers = std::min<std::size_t>(
+        static_cast<std::size_t>(want), jobs.size());
+
+    ProgressLine progress(opts.progress, jobs.size());
+    std::atomic<std::size_t> next{0};
+
+    const auto work = [&] {
+        for (;;) {
+            const std::size_t i = next.fetch_add(1);
+            if (i >= jobs.size())
+                return;
+            const SweepJob& job = jobs[i];
+            GpuConfig cfg = job.config;
+            cfg.seed = deriveJobSeed(opts.baseSeed, i);
+
+            const auto start = std::chrono::steady_clock::now();
+            Gpu gpu(cfg, *job.kernel);
+            RunResult r = gpu.run();
+            if (job.inspect)
+                job.inspect(gpu, r);
+            const std::chrono::duration<double> wall =
+                std::chrono::steady_clock::now() - start;
+
+            SweepResult& slot = results[i];
+            slot.label = job.label;
+            slot.result = std::move(r);
+            slot.seed = cfg.seed;
+            slot.wallSeconds = wall.count();
+            progress.jobDone(slot.label);
+        }
+    };
+
+    if (workers <= 1) {
+        work(); // run inline: exact same code path, no thread overhead
+        return results;
+    }
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t t = 0; t < workers; ++t)
+        pool.emplace_back(work);
+    for (std::thread& t : pool)
+        t.join();
+    return results;
+}
+
+} // namespace apres

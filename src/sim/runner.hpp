@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Parallel experiment runner: a thread-pool sweep engine for
+ * (GpuConfig, Kernel) job lists.
+ *
+ * Reproducing the paper's evaluation means running 15 workloads x ~10
+ * scheduler/prefetcher configurations per figure; each simulation is
+ * independent, so the sweep parallelizes perfectly. The runner hands
+ * every job a complete private Gpu instance on a worker thread and
+ * collects RunResults in submission order, so a parallel sweep is
+ * bit-identical to the sequential one:
+ *
+ *  - a simulation is a pure function of (GpuConfig, Kernel); kernels
+ *    and their address generators are immutable during runs and may be
+ *    shared across threads,
+ *  - every job gets a deterministic seed derived from (base seed, job
+ *    index) via deriveJobSeed(), independent of scheduling order,
+ *  - there is no work stealing and no cross-job state: workers pull
+ *    the next job index from one atomic counter and write into their
+ *    own result slot.
+ *
+ * Thread count comes from RunnerOptions::threads, the APRES_BENCH_JOBS
+ * environment variable, or std::thread::hardware_concurrency(), in
+ * that order of precedence (see defaultJobCount()).
+ */
+
+#ifndef APRES_SIM_RUNNER_HPP
+#define APRES_SIM_RUNNER_HPP
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/gpu.hpp"
+
+namespace apres {
+
+/** Default base seed of a sweep (job seeds derive from it). */
+inline constexpr std::uint64_t kDefaultSweepSeed = 0xA5E5'1CAF'FE15'CA16ull;
+
+/** How a sweep executes. */
+struct RunnerOptions
+{
+    /** Worker threads; <= 0 selects defaultJobCount(). */
+    int threads = 0;
+
+    /** Base seed; job i runs with deriveJobSeed(baseSeed, i). */
+    std::uint64_t baseSeed = kDefaultSweepSeed;
+
+    /** Emit a progress line to stderr while the sweep runs. */
+    bool progress = false;
+};
+
+/** One simulation to run: a config over a (shared, immutable) kernel. */
+struct SweepJob
+{
+    std::string label;                     ///< for reports and progress
+    GpuConfig config;                      ///< copied; seed is overwritten
+    std::shared_ptr<const Kernel> kernel;  ///< must be non-null
+
+    /**
+     * Optional post-run hook, called on the worker thread with the
+     * finished Gpu before it is destroyed. Lets drivers harvest
+     * statistics RunResult does not carry (per-PC LSU stats, DRAM row
+     * hits) without serializing the sweep. The hook must only touch
+     * this job's own state.
+     */
+    std::function<void(const Gpu&, RunResult&)> inspect;
+};
+
+/** One finished job, in submission order. */
+struct SweepResult
+{
+    std::string label;        ///< copied from the job
+    RunResult result;         ///< the simulation's outcome
+    std::uint64_t seed = 0;   ///< the derived per-job seed it ran with
+    double wallSeconds = 0.0; ///< wall-clock time of this job
+};
+
+/**
+ * Deterministic per-job seed: a pure function of (base seed, job
+ * index), so results never depend on which thread ran the job or in
+ * what order jobs finished.
+ */
+std::uint64_t deriveJobSeed(std::uint64_t base_seed, std::size_t job_index);
+
+/**
+ * Worker-thread count for sweeps: APRES_BENCH_JOBS when it parses as a
+ * positive integer (a warning is emitted otherwise), else
+ * std::thread::hardware_concurrency(), never less than 1.
+ */
+int defaultJobCount();
+
+/**
+ * The sweep engine. Submit jobs, then runAll() once.
+ */
+class SweepRunner
+{
+  public:
+    explicit SweepRunner(RunnerOptions options = {});
+
+    /** Enqueue one job. @return its index (== result slot). */
+    std::size_t submit(SweepJob job);
+
+    /** Convenience submit without an inspect hook. */
+    std::size_t submit(std::string label, const GpuConfig& config,
+                       std::shared_ptr<const Kernel> kernel);
+
+    /** Number of submitted jobs. */
+    std::size_t size() const { return jobs.size(); }
+
+    /**
+     * Run every submitted job and return results in submission order.
+     * Blocks until the sweep drains. May be called once.
+     */
+    std::vector<SweepResult> runAll();
+
+    /** The thread count runAll() will use (after defaulting). */
+    int threadCount() const;
+
+  private:
+    RunnerOptions opts;
+    std::vector<SweepJob> jobs;
+    bool ran = false;
+};
+
+} // namespace apres
+
+#endif // APRES_SIM_RUNNER_HPP

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "apres/hardware_cost.hpp"
 #include "apres/laws.hpp"
 #include "apres/sap.hpp"
@@ -311,6 +313,67 @@ TEST(Sap, ZeroStrideNeverPrefetches)
     laws.notifyAccessResult(result(2, 200, 1000, false));
     sap.onAccess(result(2, 200, 1000, false), issuer);
     EXPECT_TRUE(issuer.requests.empty());
+}
+
+TEST(Sap, PtEvictsTrueLruEntryNotSlotZero)
+{
+    FakeSm sm(8);
+    LawsScheduler laws;
+    laws.attach(sm);
+    SapPrefetcher sap(laws);
+    RecordingIssuer issuer;
+
+    // Fill all 10 PT entries with distinct PCs, oldest first.
+    for (Pc pc = 100; pc < 110; ++pc)
+        sap.onAccess(result(0, pc, 1000, false), issuer);
+
+    // Re-touch PC 100: it becomes the most recently used, so slot 0
+    // no longer holds the LRU entry — PC 101 does.
+    sap.onAccess(result(1, 100, 1100, false), issuer);
+
+    // One more PC forces an eviction, which must hit PC 101 (true
+    // LRU), not PC 100 in slot 0.
+    sap.onAccess(result(0, 110, 2000, false), issuer);
+
+    const std::vector<Pc> resident = sap.ptResidentPcs();
+    ASSERT_EQ(resident.size(), 10u);
+    EXPECT_EQ(std::count(resident.begin(), resident.end(), 100u), 1);
+    EXPECT_EQ(std::count(resident.begin(), resident.end(), 110u), 1);
+    EXPECT_EQ(std::count(resident.begin(), resident.end(), 101u), 0);
+    // LRU order: 102 is now the oldest, the fresh 110 the newest.
+    EXPECT_EQ(resident.front(), 102u);
+    EXPECT_EQ(resident.back(), 110u);
+}
+
+TEST(Sap, LookupRefreshesRecencyBeforeEviction)
+{
+    FakeSm sm(8);
+    LawsScheduler laws;
+    laws.attach(sm);
+    SapPrefetcher sap(laws);
+    RecordingIssuer issuer;
+
+    for (Pc pc = 100; pc < 110; ++pc)
+        sap.onAccess(result(0, pc, 1000, false), issuer);
+
+    // An access to the oldest entry (PC 100) and an insert arriving in
+    // the same cycle: the lookup must stamp recency first so the
+    // insert's victim scan never evicts the just-touched entry.
+    sap.onAccess(result(1, 100, 1100, false), issuer);
+    sap.onAccess(result(0, 200, 5000, false), issuer);
+
+    const std::vector<Pc> resident = sap.ptResidentPcs();
+    EXPECT_EQ(std::count(resident.begin(), resident.end(), 100u), 1);
+    EXPECT_EQ(std::count(resident.begin(), resident.end(), 200u), 1);
+}
+
+TEST(Sap, AttachRejectsMoreWarpsThanGroupMaskWidth)
+{
+    FakeSm sm(80);
+    LawsScheduler laws;
+    SapPrefetcher sap(laws);
+    EXPECT_EXIT(sap.attach(sm), testing::ExitedWithCode(1),
+                "64");
 }
 
 TEST(HardwareCost, Table2Reproduced)

@@ -6,7 +6,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "sim/gpu.hpp"
+#include "sim/runner.hpp"
 #include "workloads/workload.hpp"
 
 namespace apres {
@@ -179,6 +182,181 @@ TEST(Sim, LawsStatsExposedUnderApres)
     const RunResult r = simulate(cfg, wl.kernel);
     EXPECT_GT(r.laws.groupsFormed, 0u);
     EXPECT_GT(r.sap.groupMissesReceived, 0u);
+}
+
+TEST(Sim, RejectsMoreThan64WarpsPerSm)
+{
+    // Warp sets are 64-bit masks throughout (LAWS groups, the cache's
+    // per-line consumer tracking): wider machines must be rejected
+    // loudly instead of silently dropping warps 64+.
+    const Workload wl = makeWorkload("SP", 0.05);
+    GpuConfig cfg = smallGpu();
+    cfg.sm.warpsPerSm = 80;
+    EXPECT_EXIT(simulate(cfg, wl.kernel), testing::ExitedWithCode(1),
+                "64-warp group bit-mask");
+}
+
+/**
+ * Bitwise-identical comparison of two RunResults. Doubles are compared
+ * with EXPECT_EQ deliberately: identical runs execute identical
+ * floating-point operation sequences, so even the derived ratios must
+ * match bit for bit.
+ */
+void
+expectIdenticalResults(const RunResult& a, const RunResult& b)
+{
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.ipc, b.ipc);
+    EXPECT_EQ(a.l1.demandAccesses, b.l1.demandAccesses);
+    EXPECT_EQ(a.l1.demandHits, b.l1.demandHits);
+    EXPECT_EQ(a.l1.demandMisses, b.l1.demandMisses);
+    EXPECT_EQ(a.l1.earlyEvictions, b.l1.earlyEvictions);
+    EXPECT_EQ(a.l2.demandAccesses, b.l2.demandAccesses);
+    EXPECT_EQ(a.l2.demandMisses, b.l2.demandMisses);
+    EXPECT_EQ(a.traffic.interconnectBytes(), b.traffic.interconnectBytes());
+    EXPECT_EQ(a.avgLoadLatency, b.avgLoadLatency);
+    EXPECT_EQ(a.avgMissLatency, b.avgMissLatency);
+    EXPECT_EQ(a.prefetchesRequested, b.prefetchesRequested);
+    EXPECT_EQ(a.prefetchesIssued, b.prefetchesIssued);
+    EXPECT_EQ(a.idleCycles, b.idleCycles);
+    EXPECT_EQ(a.mshrReplays, b.mshrReplays);
+    EXPECT_EQ(a.laws.groupsFormed, b.laws.groupsFormed);
+    EXPECT_EQ(a.laws.warpsPrioritized, b.laws.warpsPrioritized);
+    EXPECT_EQ(a.sap.prefetchesIssued, b.sap.prefetchesIssued);
+    EXPECT_EQ(a.energy.total(), b.energy.total());
+
+    // Catch-all: the flattened stat sets must agree on every key.
+    const auto sa = a.toStatSet().entries();
+    const auto sb = b.toStatSet().entries();
+    ASSERT_EQ(sa.size(), sb.size());
+    for (const auto& [key, value] : sa)
+        EXPECT_EQ(value, sb.at(key)) << "stat " << key << " diverged";
+}
+
+TEST(Determinism, SameSeedTwiceIdenticalRunResult)
+{
+    const Workload wl = makeWorkload("BFS", 0.1);
+    GpuConfig cfg = smallGpu(SchedulerKind::kLaws, PrefetcherKind::kSap);
+    cfg.seed = 12345;
+    const RunResult a = simulate(cfg, wl.kernel);
+    const RunResult b = simulate(cfg, wl.kernel);
+    expectIdenticalResults(a, b);
+}
+
+TEST(Determinism, DeriveJobSeedIsPureAndPerJob)
+{
+    EXPECT_EQ(deriveJobSeed(7, 0), deriveJobSeed(7, 0));
+    EXPECT_NE(deriveJobSeed(7, 0), deriveJobSeed(7, 1));
+    EXPECT_NE(deriveJobSeed(7, 0), deriveJobSeed(8, 0));
+    EXPECT_NE(deriveJobSeed(7, 1), deriveJobSeed(8, 0));
+}
+
+TEST(Determinism, DefaultJobCountEnvOverride)
+{
+    ASSERT_EQ(setenv("APRES_BENCH_JOBS", "3", 1), 0);
+    EXPECT_EQ(defaultJobCount(), 3);
+    ASSERT_EQ(setenv("APRES_BENCH_JOBS", "zero", 1), 0);
+    EXPECT_GE(defaultJobCount(), 1); // bad value: hardware fallback
+    ASSERT_EQ(setenv("APRES_BENCH_JOBS", "-2", 1), 0);
+    EXPECT_GE(defaultJobCount(), 1);
+    ASSERT_EQ(unsetenv("APRES_BENCH_JOBS"), 0);
+    EXPECT_GE(defaultJobCount(), 1);
+}
+
+/** The runner job list used by the parallel-vs-sequential tests. */
+std::vector<SweepJob>
+sweepTestJobs()
+{
+    const SchedulerKind scheds[] = {SchedulerKind::kLrr,
+                                    SchedulerKind::kGto,
+                                    SchedulerKind::kLaws};
+    std::vector<SweepJob> jobs;
+    for (const char* app : {"BFS", "KM", "NW"}) {
+        auto workload =
+            std::make_shared<const Workload>(makeWorkload(app, 0.05));
+        const Kernel* kernel = &workload->kernel;
+        for (const SchedulerKind sched : scheds) {
+            SweepJob job;
+            job.label = std::string(app) + "/" + schedulerName(sched);
+            job.config = smallGpu(sched);
+            job.kernel = std::shared_ptr<const Kernel>(workload, kernel);
+            jobs.push_back(std::move(job));
+        }
+    }
+    return jobs;
+}
+
+TEST(Runner, ParallelIsBitIdenticalToSequential)
+{
+    RunnerOptions seq;
+    seq.threads = 1;
+    SweepRunner sequential(seq);
+    for (SweepJob& job : sweepTestJobs())
+        sequential.submit(std::move(job));
+    const std::vector<SweepResult> a = sequential.runAll();
+
+    RunnerOptions par;
+    par.threads = 8;
+    SweepRunner parallel(par);
+    for (SweepJob& job : sweepTestJobs())
+        parallel.submit(std::move(job));
+    const std::vector<SweepResult> b = parallel.runAll();
+
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].label, b[i].label) << "ordering not stable at " << i;
+        EXPECT_EQ(a[i].seed, b[i].seed);
+        expectIdenticalResults(a[i].result, b[i].result);
+    }
+}
+
+TEST(Runner, ResultsInSubmissionOrderWithDerivedSeeds)
+{
+    RunnerOptions opts;
+    opts.threads = 4;
+    opts.baseSeed = 99;
+    SweepRunner runner(opts);
+    auto workload = std::make_shared<const Workload>(makeWorkload("SP", 0.05));
+    const Kernel* kernel = &workload->kernel;
+    for (int i = 0; i < 6; ++i) {
+        runner.submit("job" + std::to_string(i), smallGpu(),
+                      std::shared_ptr<const Kernel>(workload, kernel));
+    }
+    const std::vector<SweepResult> results = runner.runAll();
+    ASSERT_EQ(results.size(), 6u);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        EXPECT_EQ(results[i].label, "job" + std::to_string(i));
+        EXPECT_EQ(results[i].seed, deriveJobSeed(99, i));
+        EXPECT_TRUE(results[i].result.completed);
+        EXPECT_GE(results[i].wallSeconds, 0.0);
+    }
+}
+
+TEST(Runner, InspectHookRunsPerJob)
+{
+    RunnerOptions opts;
+    opts.threads = 4;
+    SweepRunner runner(opts);
+    auto workload = std::make_shared<const Workload>(makeWorkload("SP", 0.05));
+    const Kernel* kernel = &workload->kernel;
+    std::vector<std::uint64_t> l1_accesses(4, 0);
+    for (int i = 0; i < 4; ++i) {
+        SweepJob job;
+        job.label = "inspect" + std::to_string(i);
+        job.config = smallGpu();
+        job.kernel = std::shared_ptr<const Kernel>(workload, kernel);
+        auto* slot = &l1_accesses[static_cast<std::size_t>(i)];
+        job.inspect = [slot](const Gpu& gpu, RunResult& r) {
+            *slot = r.l1.demandAccesses;
+            EXPECT_TRUE(gpu.done());
+        };
+        runner.submit(std::move(job));
+    }
+    const std::vector<SweepResult> results = runner.runAll();
+    for (std::size_t i = 0; i < results.size(); ++i)
+        EXPECT_EQ(l1_accesses[i], results[i].result.l1.demandAccesses);
 }
 
 TEST(Sim, LargerL1ReducesMissRate)
