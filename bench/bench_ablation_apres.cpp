@@ -21,12 +21,15 @@ using namespace apres::bench;
 
 namespace {
 
-GpuConfig
-apresConfig()
+/** Full APRES plus the ablation's dotted-key config overrides. */
+NamedConfig
+variantConfig(std::string label,
+              std::vector<std::pair<std::string, std::string>> overrides)
 {
-    GpuConfig cfg;
-    cfg.useApres();
-    return cfg;
+    std::vector<std::pair<std::string, std::string>> all = {
+        {"scheduler", "laws"}, {"prefetcher", "sap"}};
+    all.insert(all.end(), overrides.begin(), overrides.end());
+    return {std::move(label), configWith(all)};
 }
 
 } // namespace
@@ -37,39 +40,16 @@ main(int argc, char** argv)
     const BenchOptions opts = parseBenchArgs(argc, argv);
     const double scale = benchScale();
 
-    std::vector<NamedConfig> variants;
-    variants.push_back({"full", apresConfig()});
-
-    {
-        NamedConfig v{"-hitProm", apresConfig()};
-        v.config.laws.promoteOnHit = false;
-        variants.push_back(v);
-    }
-    {
-        NamedConfig v{"-missDem", apresConfig()};
-        v.config.laws.demoteOnMiss = false;
-        variants.push_back(v);
-    }
-    {
-        NamedConfig v{"-pfProm", apresConfig()};
-        v.config.laws.promotePrefetchTargets = false;
-        variants.push_back(v);
-    }
-    {
-        NamedConfig v{"cap8", apresConfig()};
-        v.config.laws.groupCap = 8;
-        variants.push_back(v);
-    }
-    {
-        NamedConfig v{"pt2", apresConfig()};
-        v.config.sap.ptEntries = 2;
-        variants.push_back(v);
-    }
-    {
-        NamedConfig v{"-gate", apresConfig()};
-        v.config.sm.prefetchMshrGate = 1.0; // gate disabled
-        variants.push_back(v);
-    }
+    const std::vector<NamedConfig> variants = {
+        variantConfig("full", {}),
+        variantConfig("-hitProm", {{"laws.promoteOnHit", "false"}}),
+        variantConfig("-missDem", {{"laws.demoteOnMiss", "false"}}),
+        variantConfig("-pfProm", {{"laws.promotePrefetchTargets", "false"}}),
+        variantConfig("cap8", {{"laws.groupCap", "8"}}),
+        variantConfig("pt2", {{"sap.ptEntries", "2"}}),
+        // gate disabled
+        variantConfig("-gate", {{"sm.prefetchMshrGate", "1.0"}}),
+    };
 
     std::vector<std::string> apps;
     for (const std::string& name : allWorkloadNames()) {

@@ -49,12 +49,13 @@ main(int argc, char** argv)
             sweep.add(std::string(app) + "/base", baselineConfig(), kernel));
         auto& row = var_jobs.emplace_back();
         for (const Variant& v : variants) {
-            GpuConfig cfg;
-            cfg.scheduler = SchedulerKind::kCcws;
-            cfg.ccws.scoreBonus = v.bonus;
-            cfg.ccws.scoreCap = v.cap;
-            cfg.ccws.throttleScale = v.throttleScale;
-            cfg.ccws.minActiveWarps = v.minActive;
+            const GpuConfig cfg = configWith({
+                {"scheduler", "ccws"},
+                {"ccws.scoreBonus", std::to_string(v.bonus)},
+                {"ccws.scoreCap", std::to_string(v.cap)},
+                {"ccws.throttleScale", std::to_string(v.throttleScale)},
+                {"ccws.minActiveWarps", std::to_string(v.minActive)},
+            });
             row.push_back(
                 sweep.add(std::string(app) + "/" + v.label, cfg, kernel));
         }

@@ -23,26 +23,19 @@ main(int argc, char** argv)
     const BenchOptions opts = parseBenchArgs(argc, argv);
     const double scale = benchScale();
 
-    GpuConfig base_flat = baselineConfig();
-    GpuConfig base_rows = baselineConfig();
-    base_rows.mem.dram.rowBufferModel = true;
-    GpuConfig apres_flat = baselineConfig();
-    apres_flat.useApres();
-    GpuConfig apres_rows = apres_flat;
-    apres_rows.mem.dram.rowBufferModel = true;
+    const GpuConfig base_flat = baselineConfig();
+    const GpuConfig base_rows = configWith({{"dram.rowBufferModel", "true"}});
+    const GpuConfig apres_flat =
+        configWith({{"scheduler", "laws"}, {"prefetcher", "sap"}});
+    const GpuConfig apres_rows = configWith({{"scheduler", "laws"},
+                                             {"prefetcher", "sap"},
+                                             {"dram.rowBufferModel", "true"}});
 
     std::vector<std::string> apps;
     for (const std::string& name : allWorkloadNames()) {
         if (isMemoryIntensive(name))
             apps.push_back(name);
     }
-
-    struct RowStats
-    {
-        std::uint64_t hits = 0;
-        std::uint64_t misses = 0;
-    };
-    std::vector<RowStats> row_stats(apps.size());
 
     BenchSweep sweep(opts);
     std::vector<std::array<std::size_t, 4>> jobs(apps.size());
@@ -51,20 +44,7 @@ main(int argc, char** argv)
         jobs[n][0] = sweep.add(apps[n] + "/B.flat", base_flat, kernel);
         jobs[n][1] = sweep.add(apps[n] + "/B.rows", base_rows, kernel);
         jobs[n][2] = sweep.add(apps[n] + "/APRES.flat", apres_flat, kernel);
-        // The row-hit percentage lives in the DRAM model, not in
-        // RunResult: harvest it on the worker thread via the inspect
-        // hook (each job writes only its own slot).
-        RowStats* slot = &row_stats[n];
-        jobs[n][3] = sweep.add(
-            apps[n] + "/APRES.rows", apres_rows, kernel,
-            [slot, num_partitions = apres_rows.mem.numPartitions](
-                const Gpu& gpu, RunResult&) {
-                for (int p = 0; p < num_partitions; ++p) {
-                    slot->hits += gpu.memorySystem().dram(p).stats().rowHits;
-                    slot->misses +=
-                        gpu.memorySystem().dram(p).stats().rowMisses;
-                }
-            });
+        jobs[n][3] = sweep.add(apps[n] + "/APRES.rows", apres_rows, kernel);
     }
     sweep.run();
 
@@ -79,10 +59,12 @@ main(int argc, char** argv)
         const RunResult& rbr = sweep.result(jobs[n][1]);
         const RunResult& raf = sweep.result(jobs[n][2]);
         const RunResult& rar = sweep.result(jobs[n][3]);
-        const RowStats& rows = row_stats[n];
-        const double hit_pct = rows.hits + rows.misses
-            ? 100.0 * static_cast<double>(rows.hits) /
-                  static_cast<double>(rows.hits + rows.misses)
+        // RunResult carries the row-buffer counters directly now; no
+        // inspect-hook side channel needed.
+        const std::uint64_t row_total = rar.dramRowHits + rar.dramRowMisses;
+        const double hit_pct = row_total
+            ? 100.0 * static_cast<double>(rar.dramRowHits) /
+                  static_cast<double>(row_total)
             : 0.0;
 
         printRow(apps[n], {rbr.ipc / rbf.ipc, raf.ipc / rbf.ipc,

@@ -21,14 +21,14 @@ main(int argc, char** argv)
     const BenchOptions opts = parseBenchArgs(argc, argv);
     const double scale = benchScale();
     const std::vector<NamedConfig> configs = {
-        makeConfig(SchedulerKind::kPa, PrefetcherKind::kStr),
-        makeConfig(SchedulerKind::kPa, PrefetcherKind::kSld),
-        makeConfig(SchedulerKind::kGto, PrefetcherKind::kStr),
-        makeConfig(SchedulerKind::kGto, PrefetcherKind::kSld),
-        makeConfig(SchedulerKind::kMascar, PrefetcherKind::kStr),
-        makeConfig(SchedulerKind::kMascar, PrefetcherKind::kSld),
-        makeConfig(SchedulerKind::kCcws, PrefetcherKind::kStr),
-        makeConfig(SchedulerKind::kCcws, PrefetcherKind::kSld),
+        makeConfig("pa", "str"),
+        makeConfig("pa", "sld"),
+        makeConfig("gto", "str"),
+        makeConfig("gto", "sld"),
+        makeConfig("mascar", "str"),
+        makeConfig("mascar", "sld"),
+        makeConfig("ccws", "str"),
+        makeConfig("ccws", "sld"),
     };
 
     BenchSweep sweep(opts);

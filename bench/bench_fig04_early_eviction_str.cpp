@@ -20,10 +20,10 @@ main(int argc, char** argv)
     const BenchOptions opts = parseBenchArgs(argc, argv);
     const double scale = benchScale();
     const std::vector<NamedConfig> configs = {
-        makeConfig(SchedulerKind::kPa, PrefetcherKind::kStr),
-        makeConfig(SchedulerKind::kGto, PrefetcherKind::kStr),
-        makeConfig(SchedulerKind::kMascar, PrefetcherKind::kStr),
-        makeConfig(SchedulerKind::kCcws, PrefetcherKind::kStr),
+        makeConfig("pa", "str"),
+        makeConfig("gto", "str"),
+        makeConfig("mascar", "str"),
+        makeConfig("ccws", "str"),
     };
 
     std::vector<std::string> apps;

@@ -21,11 +21,11 @@ main(int argc, char** argv)
     const BenchOptions opts = parseBenchArgs(argc, argv);
     const double scale = benchScale();
     const std::vector<NamedConfig> configs = {
-        makeConfig(SchedulerKind::kCcws, PrefetcherKind::kNone),
-        makeConfig(SchedulerKind::kLaws, PrefetcherKind::kNone),
-        makeConfig(SchedulerKind::kCcws, PrefetcherKind::kStr),
-        makeConfig(SchedulerKind::kLaws, PrefetcherKind::kStr),
-        makeConfig(SchedulerKind::kLaws, PrefetcherKind::kSap), // APRES
+        makeConfig("ccws", "none"),
+        makeConfig("laws", "none"),
+        makeConfig("ccws", "str"),
+        makeConfig("laws", "str"),
+        makeConfig("laws", "sap"), // APRES
     };
 
     BenchSweep sweep(opts);

@@ -22,10 +22,10 @@ main(int argc, char** argv)
     const double scale = benchScale();
     const std::vector<NamedConfig> configs = {
         {"B", baselineConfig()},
-        makeConfig(SchedulerKind::kCcws, PrefetcherKind::kNone),
-        makeConfig(SchedulerKind::kLaws, PrefetcherKind::kNone),
-        makeConfig(SchedulerKind::kCcws, PrefetcherKind::kStr),
-        makeConfig(SchedulerKind::kLaws, PrefetcherKind::kSap),
+        makeConfig("ccws", "none"),
+        makeConfig("laws", "none"),
+        makeConfig("ccws", "str"),
+        makeConfig("laws", "sap"),
     };
     const char* tags[] = {"B", "C", "L", "S", "A"};
 

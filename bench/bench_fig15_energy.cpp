@@ -20,9 +20,9 @@ main(int argc, char** argv)
     const BenchOptions opts = parseBenchArgs(argc, argv);
     const double scale = benchScale();
     const NamedConfig ccws_str =
-        makeConfig(SchedulerKind::kCcws, PrefetcherKind::kStr);
+        makeConfig("ccws", "str");
     const NamedConfig apres_cfg =
-        makeConfig(SchedulerKind::kLaws, PrefetcherKind::kSap);
+        makeConfig("laws", "sap");
 
     BenchSweep sweep(opts);
     std::vector<std::size_t> b_jobs;

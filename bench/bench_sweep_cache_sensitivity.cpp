@@ -32,8 +32,8 @@ main(int argc, char** argv)
             sweep.add(name + "/ref", baselineConfig(), kernel));
         auto& row = size_jobs.emplace_back();
         for (const std::uint64_t size : sizes) {
-            GpuConfig cfg = baselineConfig();
-            cfg.sm.l1.sizeBytes = size;
+            const GpuConfig cfg =
+                configWith({{"l1.sizeBytes", std::to_string(size)}});
             row.push_back(sweep.add(
                 name + "/" + std::to_string(size / 1024) + "K", cfg,
                 kernel));

@@ -9,6 +9,8 @@
 #include <cstring>
 
 #include "common/log.hpp"
+#include "common/parse.hpp"
+#include "sim/config_registry.hpp"
 
 namespace apres::bench {
 
@@ -17,10 +19,8 @@ parseBenchScale(const char* text, double fallback)
 {
     if (text == nullptr || *text == '\0')
         return fallback;
-    char* end = nullptr;
-    const double parsed = std::strtod(text, &end);
-    if (end == text || *end != '\0' || !std::isfinite(parsed) ||
-        parsed <= 0.0) {
+    double parsed = 0.0;
+    if (!parseDoubleStrict(text, &parsed) || parsed <= 0.0) {
         logWarn("ignoring APRES_BENCH_SCALE=\"", text,
                 "\" (want a positive number); using ", fallback);
         return fallback;
@@ -52,13 +52,8 @@ parseBenchArgs(int argc, char** argv)
         if (std::strcmp(arg, "--jobs") == 0 || std::strcmp(arg, "-j") == 0) {
             if (i + 1 >= argc)
                 fatal(std::string(arg) + " requires a value");
-            const char* value = argv[++i];
-            char* end = nullptr;
-            const long parsed = std::strtol(value, &end, 10);
-            if (end == value || *end != '\0' || parsed < 1)
-                fatal(std::string("bad ") + arg + " value \"" + value +
-                      "\" (want a positive integer)");
-            opts.jobs = static_cast<int>(parsed);
+            opts.jobs = static_cast<int>(
+                parsePositiveUintOption(arg, argv[++i]));
             continue;
         }
         fatal(std::string("unknown argument \"") + arg +
@@ -74,13 +69,21 @@ baselineConfig()
 }
 
 NamedConfig
-makeConfig(SchedulerKind sched, PrefetcherKind pf)
+makeConfig(const std::string& sched, const std::string& pf)
 {
     NamedConfig named;
     named.config.scheduler = sched;
     named.config.prefetcher = pf;
     named.label = named.config.label();
     return named;
+}
+
+GpuConfig
+configWith(const std::vector<std::pair<std::string, std::string>>& overrides)
+{
+    GpuConfig cfg = baselineConfig();
+    applyOverrides(cfg, overrides);
+    return cfg;
 }
 
 double

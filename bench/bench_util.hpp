@@ -14,6 +14,7 @@
 #include <iostream>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/gpu.hpp"
@@ -53,11 +54,19 @@ struct NamedConfig
     GpuConfig config;
 };
 
-/** Build a config for one scheduler/prefetcher pair. */
-NamedConfig makeConfig(SchedulerKind sched, PrefetcherKind pf);
+/** Build a config for one scheduler/prefetcher pair (registry names). */
+NamedConfig makeConfig(const std::string& sched, const std::string& pf);
 
 /** The paper's baseline (LRR, no prefetching, Table III sizes). */
 GpuConfig baselineConfig();
+
+/**
+ * The baseline with dotted-key overrides applied through the
+ * ConfigRegistry, e.g. configWith({{"l1.sizeBytes", "65536"}}).
+ * Fatal on unknown keys or invalid values.
+ */
+GpuConfig configWith(
+    const std::vector<std::pair<std::string, std::string>>& overrides);
 
 /** Geometric mean; empty input yields 1. */
 double geomean(const std::vector<double>& values);

@@ -14,33 +14,35 @@
 
 #include "bench_util.hpp"
 #include "common/log.hpp"
+#include "common/parse.hpp"
+#include "sim/config_registry.hpp"
 
 using namespace apres;
 using namespace apres::bench;
 
 namespace {
 
-SchedulerKind
-parseSched(const std::string& s)
-{
-    if (s == "lrr") return SchedulerKind::kLrr;
-    if (s == "gto") return SchedulerKind::kGto;
-    if (s == "ccws") return SchedulerKind::kCcws;
-    if (s == "mascar") return SchedulerKind::kMascar;
-    if (s == "pa") return SchedulerKind::kPa;
-    if (s == "laws") return SchedulerKind::kLaws;
-    fatal("unknown scheduler: " + s);
-}
-
-PrefetcherKind
-parsePf(const std::string& s)
-{
-    if (s == "none") return PrefetcherKind::kNone;
-    if (s == "str") return PrefetcherKind::kStr;
-    if (s == "sld") return PrefetcherKind::kSld;
-    if (s == "sap") return PrefetcherKind::kSap;
-    fatal("unknown prefetcher: " + s);
-}
+/**
+ * APRES_<NAME> environment knobs, mapped onto registry keys so the
+ * strict typed parsing and range checks apply to them too.
+ */
+constexpr std::pair<const char*, const char*> kEnvKnobs[] = {
+    {"APRES_MSHRS", "l1.numMshrs"},
+    {"APRES_NUM_SMS", "numSms"},
+    {"APRES_L1_BYTES", "l1.sizeBytes"},
+    {"APRES_LSU_Q", "lsu.queueCapacity"},
+    {"APRES_DRAM_INTERVAL", "dram.serviceInterval"},
+    {"APRES_CCWS_BONUS", "ccws.scoreBonus"},
+    {"APRES_CCWS_CAP", "ccws.scoreCap"},
+    {"APRES_CCWS_SCALE", "ccws.throttleScale"},
+    {"APRES_CCWS_DECAY", "ccws.decayPeriod"},
+    {"APRES_CCWS_MIN", "ccws.minActiveWarps"},
+    {"APRES_CCWS_VTA", "ccws.vtaEntries"},
+    {"APRES_LAWS_PROMOTE", "laws.promoteOnHit"},
+    {"APRES_LAWS_DEMOTE", "laws.demoteOnMiss"},
+    {"APRES_LAWS_PFPROMOTE", "laws.promotePrefetchTargets"},
+    {"APRES_LAWS_GROUPCAP", "laws.groupCap"},
+};
 
 } // namespace
 
@@ -53,41 +55,18 @@ main(int argc, char** argv)
     }
     const std::string name = argv[1];
     GpuConfig cfg;
-    cfg.scheduler = parseSched(argv[2]);
-    cfg.prefetcher = parsePf(argv[3]);
-    const double scale = argc > 4 ? std::atof(argv[4]) : benchScale();
+    ConfigRegistry registry(cfg);
+    registry.set("scheduler", argv[2]);
+    registry.set("prefetcher", argv[3]);
+    const double scale = argc > 4
+        ? parsePositiveDoubleOption("scale", argv[4])
+        : benchScale();
 
     // Sensitivity knobs for experiments.
-    if (const char* e = std::getenv("APRES_MSHRS"))
-        cfg.sm.l1.numMshrs = static_cast<std::uint32_t>(std::atoi(e));
-    if (const char* e = std::getenv("APRES_NUM_SMS"))
-        cfg.numSms = std::atoi(e);
-    if (const char* e = std::getenv("APRES_L1_BYTES"))
-        cfg.sm.l1.sizeBytes = std::strtoull(e, nullptr, 10);
-    if (const char* e = std::getenv("APRES_LSU_Q"))
-        cfg.sm.lsu.queueCapacity = std::atoi(e);
-    if (const char* e = std::getenv("APRES_DRAM_INTERVAL"))
-        cfg.mem.dram.serviceInterval = std::strtoull(e, nullptr, 10);
-    if (const char* e = std::getenv("APRES_CCWS_BONUS"))
-        cfg.ccws.scoreBonus = std::atoi(e);
-    if (const char* e = std::getenv("APRES_CCWS_CAP"))
-        cfg.ccws.scoreCap = std::atoi(e);
-    if (const char* e = std::getenv("APRES_CCWS_SCALE"))
-        cfg.ccws.throttleScale = std::atoi(e);
-    if (const char* e = std::getenv("APRES_CCWS_DECAY"))
-        cfg.ccws.decayPeriod = std::atoi(e);
-    if (const char* e = std::getenv("APRES_CCWS_MIN"))
-        cfg.ccws.minActiveWarps = std::atoi(e);
-    if (const char* e = std::getenv("APRES_CCWS_VTA"))
-        cfg.ccws.vtaEntries = std::atoi(e);
-    if (const char* e = std::getenv("APRES_LAWS_PROMOTE"))
-        cfg.laws.promoteOnHit = std::atoi(e) != 0;
-    if (const char* e = std::getenv("APRES_LAWS_DEMOTE"))
-        cfg.laws.demoteOnMiss = std::atoi(e) != 0;
-    if (const char* e = std::getenv("APRES_LAWS_PFPROMOTE"))
-        cfg.laws.promotePrefetchTargets = std::atoi(e) != 0;
-    if (const char* e = std::getenv("APRES_LAWS_GROUPCAP"))
-        cfg.laws.groupCap = std::atoi(e);
+    for (const auto& [env, key] : kEnvKnobs) {
+        if (const char* e = std::getenv(env))
+            registry.set(key, e);
+    }
 
     const Workload wl = makeWorkload(name, scale);
     Gpu gpu(cfg, wl.kernel);

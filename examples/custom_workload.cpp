@@ -9,6 +9,7 @@
  * gather (irregular), chained like real index arithmetic.
  */
 
+#include <cstdint>
 #include <iomanip>
 #include <iostream>
 
@@ -82,8 +83,12 @@ main()
               << 100.0 * ra.l1HitRate() << "%, load latency "
               << std::setprecision(0) << ra.avgLoadLatency << "\n"
               << "speedup  : " << std::setprecision(2) << ra.ipc / rb.ipc
-              << "x\n\nAPRES internals: " << ra.laws.groupsFormed
-              << " groups formed, " << ra.sap.strideMatches
+              << "x\n\nAPRES internals: "
+              << static_cast<std::uint64_t>(
+                     ra.policy.get("laws.groupsFormed"))
+              << " groups formed, "
+              << static_cast<std::uint64_t>(
+                     ra.policy.get("sap.strideMatches"))
               << " stride matches, " << ra.prefetchesIssued
               << " prefetches issued, early eviction ratio "
               << std::setprecision(3) << ra.earlyEvictionRatio() << "\n";

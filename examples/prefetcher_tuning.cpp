@@ -54,8 +54,8 @@ main(int argc, char** argv)
 
     for (const int degree : {2, 4, 8, 16}) {
         GpuConfig cfg;
-        cfg.scheduler = SchedulerKind::kCcws;
-        cfg.prefetcher = PrefetcherKind::kStr;
+        cfg.scheduler = "ccws";
+        cfg.prefetcher = "str";
         cfg.str.degree = degree;
         const RunResult r = simulate(cfg, wl.kernel);
         report("CCWS+STR d=" + std::to_string(degree), r, rb.ipc);

@@ -35,18 +35,18 @@ main(int argc, char** argv)
 
     struct Entry
     {
-        SchedulerKind sched;
-        PrefetcherKind pf;
+        const char* sched;
+        const char* pf;
     };
     const std::vector<Entry> entries = {
-        {SchedulerKind::kLrr, PrefetcherKind::kNone},
-        {SchedulerKind::kGto, PrefetcherKind::kNone},
-        {SchedulerKind::kPa, PrefetcherKind::kNone},
-        {SchedulerKind::kMascar, PrefetcherKind::kNone},
-        {SchedulerKind::kCcws, PrefetcherKind::kNone},
-        {SchedulerKind::kLaws, PrefetcherKind::kNone},
-        {SchedulerKind::kCcws, PrefetcherKind::kStr},
-        {SchedulerKind::kLaws, PrefetcherKind::kSap}, // = APRES
+        {"lrr", "none"},
+        {"gto", "none"},
+        {"pa", "none"},
+        {"mascar", "none"},
+        {"ccws", "none"},
+        {"laws", "none"},
+        {"ccws", "str"},
+        {"laws", "sap"}, // = APRES
     };
 
     std::cout << std::left << std::setw(10) << "config" << std::right

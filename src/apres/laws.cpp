@@ -9,6 +9,8 @@
 #include <bit>
 #include <cassert>
 
+#include "common/stats.hpp"
+
 namespace apres {
 
 void
@@ -193,6 +195,20 @@ std::vector<WarpId>
 LawsScheduler::queueOrder() const
 {
     return {queue.begin(), queue.end()};
+}
+
+void
+LawsScheduler::reportStats(StatSet& out) const
+{
+    out.accumulate("laws.groupsFormed",
+                   static_cast<double>(stats_.groupsFormed));
+    out.accumulate("laws.groupHits", static_cast<double>(stats_.groupHits));
+    out.accumulate("laws.groupMisses",
+                   static_cast<double>(stats_.groupMisses));
+    out.accumulate("laws.warpsPrioritized",
+                   static_cast<double>(stats_.warpsPrioritized));
+    out.accumulate("laws.prefetchTargetPromotions",
+                   static_cast<double>(stats_.prefetchTargetPromotions));
 }
 
 } // namespace apres

@@ -84,6 +84,8 @@ class LawsScheduler final : public Scheduler
 
     const char* name() const override { return "LAWS"; }
 
+    void reportStats(StatSet& out) const override;
+
     /**
      * SAP side-channel: consume the group stashed by the most recent
      * miss, if it belongs to (warp, pc). Invalidates the stash.

@@ -9,6 +9,7 @@
 #include <cassert>
 
 #include "common/log.hpp"
+#include "common/stats.hpp"
 
 namespace apres {
 
@@ -161,6 +162,21 @@ SapPrefetcher::onAccess(const LoadAccessInfo& info, PrefetchIssuer& issuer)
     }
     entry.lastAddr = info.baseAddr;
     entry.lastWarp = info.warp;
+}
+
+void
+SapPrefetcher::reportStats(StatSet& out) const
+{
+    out.accumulate("sap.groupMissesReceived",
+                   static_cast<double>(stats_.groupMissesReceived));
+    out.accumulate("sap.strideMatches",
+                   static_cast<double>(stats_.strideMatches));
+    out.accumulate("sap.strideMismatches",
+                   static_cast<double>(stats_.strideMismatches));
+    out.accumulate("sap.prefetchesGenerated",
+                   static_cast<double>(stats_.prefetchesGenerated));
+    out.accumulate("sap.prefetchesIssued",
+                   static_cast<double>(stats_.prefetchesIssued));
 }
 
 } // namespace apres

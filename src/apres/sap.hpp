@@ -67,6 +67,8 @@ class SapPrefetcher final : public Prefetcher
 
     const char* name() const override { return "SAP"; }
 
+    void reportStats(StatSet& out) const override;
+
     /** Counters. */
     const SapStats& stats() const { return stats_; }
 

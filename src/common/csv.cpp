@@ -10,18 +10,35 @@
 
 namespace apres {
 
+std::string
+csvEscapeField(const std::string& field)
+{
+    if (field.find_first_of(",\"\r\n") == std::string::npos)
+        return field;
+    std::string out;
+    out.reserve(field.size() + 2);
+    out += '"';
+    for (const char c : field) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
 void
 CsvWriter::write(std::ostream& os) const
 {
     if (rows.empty())
         return;
-    os << labelColumn;
+    os << csvEscapeField(labelColumn);
     for (const auto& [key, value] : rows.front().second.entries())
-        os << ',' << key;
+        os << ',' << csvEscapeField(key);
     os << '\n';
     os << std::setprecision(std::numeric_limits<double>::max_digits10);
     for (const auto& [label, stats] : rows) {
-        os << label;
+        os << csvEscapeField(label);
         // Iterate the first row's keys so columns stay aligned even if
         // a later row carries extras.
         for (const auto& [key, value] : rows.front().second.entries())

@@ -20,6 +20,14 @@
 namespace apres {
 
 /**
+ * RFC 4180 field quoting: returns @p field unchanged unless it
+ * contains a comma, double quote, CR or LF, in which case it is
+ * wrapped in double quotes with embedded quotes doubled. Labels built
+ * from kernel-file paths or config labels can contain any of these.
+ */
+std::string csvEscapeField(const std::string& field);
+
+/**
  * Accumulates labelled StatSet rows and writes them as CSV.
  */
 class CsvWriter

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Streaming JSON writer implementation.
+ */
+
+#include "json.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+#include "common/parse.hpp"
+
+namespace apres {
+
+std::string
+jsonEscape(const std::string& text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (const char c : text) {
+        switch (c) {
+          case '"':  out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+JsonWriter::JsonWriter(std::ostream& os) : os_(os) {}
+
+JsonWriter::~JsonWriter()
+{
+    assert(scopeHasEntries.empty() && "unclosed JSON scope");
+}
+
+void
+JsonWriter::separator()
+{
+    if (!scopeHasEntries.empty()) {
+        if (scopeHasEntries.back())
+            os_ << ',';
+        scopeHasEntries.back() = true;
+        os_ << '\n';
+        indent();
+    }
+}
+
+void
+JsonWriter::indent()
+{
+    for (std::size_t i = 0; i < scopeHasEntries.size(); ++i)
+        os_ << "  ";
+}
+
+void
+JsonWriter::keyPrefix(const std::string& key)
+{
+    separator();
+    os_ << '"' << jsonEscape(key) << "\": ";
+}
+
+void
+JsonWriter::beginObject()
+{
+    separator();
+    os_ << '{';
+    scopeHasEntries.push_back(false);
+}
+
+void
+JsonWriter::beginObject(const std::string& key)
+{
+    keyPrefix(key);
+    os_ << '{';
+    scopeHasEntries.push_back(false);
+}
+
+void
+JsonWriter::endObject()
+{
+    assert(!scopeHasEntries.empty());
+    const bool had_entries = scopeHasEntries.back();
+    scopeHasEntries.pop_back();
+    if (had_entries) {
+        os_ << '\n';
+        indent();
+    }
+    os_ << '}';
+    if (scopeHasEntries.empty())
+        os_ << '\n';
+}
+
+void
+JsonWriter::beginArray(const std::string& key)
+{
+    keyPrefix(key);
+    os_ << '[';
+    scopeHasEntries.push_back(false);
+}
+
+void
+JsonWriter::endArray()
+{
+    assert(!scopeHasEntries.empty());
+    const bool had_entries = scopeHasEntries.back();
+    scopeHasEntries.pop_back();
+    if (had_entries) {
+        os_ << '\n';
+        indent();
+    }
+    os_ << ']';
+}
+
+void
+JsonWriter::field(const std::string& key, const std::string& value)
+{
+    keyPrefix(key);
+    os_ << '"' << jsonEscape(value) << '"';
+}
+
+void
+JsonWriter::field(const std::string& key, const char* value)
+{
+    field(key, std::string(value));
+}
+
+void
+JsonWriter::field(const std::string& key, double value)
+{
+    keyPrefix(key);
+    // JSON has no Inf/NaN literals; emit null so the document stays
+    // parseable when a ratio degenerates.
+    if (!std::isfinite(value))
+        os_ << "null";
+    else
+        os_ << formatDouble(value);
+}
+
+void
+JsonWriter::field(const std::string& key, bool value)
+{
+    keyPrefix(key);
+    os_ << (value ? "true" : "false");
+}
+
+void
+JsonWriter::field(const std::string& key, std::uint64_t value)
+{
+    keyPrefix(key);
+    os_ << value;
+}
+
+} // namespace apres

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Minimal streaming JSON writer for self-describing result output.
+ *
+ * apres_sim --json emits every run as one JSON document (echoed
+ * config + flattened stats), so downstream tooling never has to guess
+ * column meanings the way positional CSV forces it to. The writer is
+ * deliberately tiny: objects, arrays, string/number/bool fields,
+ * two-space indentation, correct escaping. Values are emitted in
+ * call order; keys within one level are the caller's responsibility.
+ */
+
+#ifndef APRES_COMMON_JSON_HPP
+#define APRES_COMMON_JSON_HPP
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace apres {
+
+/** JSON string-escape @p text (no surrounding quotes). */
+std::string jsonEscape(const std::string& text);
+
+/**
+ * Streaming JSON emitter. Scopes must be closed in LIFO order; the
+ * destructor asserts the document was completed.
+ */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream& os);
+    ~JsonWriter();
+
+    JsonWriter(const JsonWriter&) = delete;
+    JsonWriter& operator=(const JsonWriter&) = delete;
+
+    /** Open the root object or an anonymous object (array element). */
+    void beginObject();
+
+    /** Open an object-valued field. */
+    void beginObject(const std::string& key);
+
+    void endObject();
+
+    /** Open an array-valued field. */
+    void beginArray(const std::string& key);
+
+    void endArray();
+
+    void field(const std::string& key, const std::string& value);
+    void field(const std::string& key, const char* value);
+    void field(const std::string& key, double value);
+    void field(const std::string& key, bool value);
+
+    /** 64-bit integers exceed double precision: emit them verbatim. */
+    void field(const std::string& key, std::uint64_t value);
+
+  private:
+    void separator();
+    void indent();
+    void keyPrefix(const std::string& key);
+
+    std::ostream& os_;
+    std::vector<bool> scopeHasEntries;
+};
+
+} // namespace apres
+
+#endif // APRES_COMMON_JSON_HPP

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Strict parsing helpers.
+ */
+
+#include "parse.hpp"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/log.hpp"
+
+namespace apres {
+
+bool
+parseInt64Strict(const std::string& text, std::int64_t* out)
+{
+    if (text.empty())
+        return false;
+    errno = 0;
+    char* end = nullptr;
+    const long long parsed = std::strtoll(text.c_str(), &end, 10);
+    if (end == text.c_str() || *end != '\0' || errno == ERANGE)
+        return false;
+    *out = static_cast<std::int64_t>(parsed);
+    return true;
+}
+
+bool
+parseUint64Strict(const std::string& text, std::uint64_t* out)
+{
+    if (text.empty() || text[0] == '-')
+        return false;
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(text.c_str(), &end, 10);
+    if (end == text.c_str() || *end != '\0' || errno == ERANGE)
+        return false;
+    *out = static_cast<std::uint64_t>(parsed);
+    return true;
+}
+
+bool
+parseDoubleStrict(const std::string& text, double* out)
+{
+    if (text.empty())
+        return false;
+    errno = 0;
+    char* end = nullptr;
+    const double parsed = std::strtod(text.c_str(), &end);
+    if (end == text.c_str() || *end != '\0' || errno == ERANGE ||
+        !std::isfinite(parsed)) {
+        return false;
+    }
+    *out = parsed;
+    return true;
+}
+
+bool
+parseBoolStrict(const std::string& text, bool* out)
+{
+    if (text == "true" || text == "1" || text == "on" || text == "yes") {
+        *out = true;
+        return true;
+    }
+    if (text == "false" || text == "0" || text == "off" || text == "no") {
+        *out = false;
+        return true;
+    }
+    return false;
+}
+
+std::uint64_t
+parseUintOption(const std::string& option, const std::string& text,
+                std::uint64_t min_value)
+{
+    std::uint64_t value = 0;
+    if (!parseUint64Strict(text, &value))
+        fatal(option + ": \"" + text + "\" is not an unsigned integer");
+    if (value < min_value)
+        fatal(option + ": " + text + " is below the minimum of " +
+              std::to_string(min_value));
+    return value;
+}
+
+std::uint64_t
+parsePositiveUintOption(const std::string& option, const std::string& text)
+{
+    return parseUintOption(option, text, 1);
+}
+
+double
+parsePositiveDoubleOption(const std::string& option, const std::string& text)
+{
+    double value = 0.0;
+    if (!parseDoubleStrict(text, &value))
+        fatal(option + ": \"" + text + "\" is not a finite number");
+    if (value <= 0.0)
+        fatal(option + ": " + text + " must be > 0");
+    return value;
+}
+
+std::string
+formatDouble(double value)
+{
+    // Try increasing precision until the representation round-trips;
+    // 17 significant digits always do for IEEE doubles.
+    for (int precision = 1; precision <= 17; ++precision) {
+        std::ostringstream oss;
+        oss.precision(precision);
+        oss << value;
+        double back = 0.0;
+        if (parseDoubleStrict(oss.str(), &back) && back == value)
+            return oss.str();
+    }
+    std::ostringstream oss;
+    oss.precision(17);
+    oss << value;
+    return oss.str();
+}
+
+} // namespace apres

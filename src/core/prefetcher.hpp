@@ -57,6 +57,13 @@ class Prefetcher
 
     /** Prefetcher name for reports. */
     virtual const char* name() const = 0;
+
+    /**
+     * Accumulate this prefetcher's policy statistics into @p out
+     * under dotted keys (e.g. "sap.strideMatches"). Same contract as
+     * Scheduler::reportStats: accumulate, one call per SM instance.
+     */
+    virtual void reportStats(StatSet& out) const { (void)out; }
 };
 
 } // namespace apres

@@ -22,6 +22,7 @@
 namespace apres {
 
 class SmContext;
+class StatSet;
 
 /** L1 access result of one warp load, reported by the LSU. */
 struct LoadAccessInfo
@@ -95,6 +96,15 @@ class Scheduler
 
     /** Scheduler name for reports. */
     virtual const char* name() const = 0;
+
+    /**
+     * Accumulate this scheduler's policy statistics into @p out under
+     * dotted keys (e.g. "ccws.events"). Called once per SM instance
+     * when a run is collected; implementations must *accumulate*
+     * (StatSet::accumulate) so per-SM instances sum GPU-wide. The
+     * default reports nothing — stateless schedulers need no code.
+     */
+    virtual void reportStats(StatSet& out) const { (void)out; }
 };
 
 } // namespace apres

@@ -8,6 +8,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "common/stats.hpp"
+
 namespace apres {
 
 CcwsScheduler::CcwsScheduler(const CcwsConfig& config) : cfg(config)
@@ -167,6 +169,15 @@ CcwsScheduler::pick(Cycle now, const std::vector<WarpId>& ready)
     }
     // All ready warps are throttled: intentional stall.
     return kInvalidWarp;
+}
+
+void
+CcwsScheduler::reportStats(StatSet& out) const
+{
+    out.accumulate("ccws.activeLimitSum",
+                   static_cast<double>(activeLimit()));
+    out.accumulate("ccws.scoreSum", static_cast<double>(totalScore()));
+    out.accumulate("ccws.events", static_cast<double>(events));
 }
 
 } // namespace apres

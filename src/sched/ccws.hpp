@@ -71,6 +71,8 @@ class CcwsScheduler final : public Scheduler
 
     const char* name() const override { return "CCWS"; }
 
+    void reportStats(StatSet& out) const override;
+
     /** Current number of schedulable warps (for tests/reports). */
     int activeLimit() const;
 

@@ -1,6 +1,15 @@
 /**
  * @file
  * Top-level GPU configuration (Table III defaults).
+ *
+ * Scheduler and prefetcher are selected by *name* — the string keys
+ * of the PolicyRegistry (policy_registry.hpp) — so adding a policy
+ * never touches the Gpu, the CLI or the bench drivers: it registers a
+ * factory and is immediately reachable from every sweep axis. Every
+ * field (including the nested per-policy configs) is also reachable
+ * under a dotted string key through the ConfigRegistry
+ * (config_registry.hpp), which is the single override path shared by
+ * `apres_sim --set`, config files and programmatic sweeps.
  */
 
 #ifndef APRES_SIM_CONFIG_HPP
@@ -22,18 +31,6 @@
 
 namespace apres {
 
-/** Available warp scheduling policies. */
-enum class SchedulerKind { kLrr, kGto, kCcws, kMascar, kPa, kLaws };
-
-/** Available prefetchers. */
-enum class PrefetcherKind { kNone, kStr, kSld, kSap };
-
-/** Human-readable name of a scheduler kind. */
-const char* schedulerName(SchedulerKind kind);
-
-/** Human-readable name of a prefetcher kind. */
-const char* prefetcherName(PrefetcherKind kind);
-
 /**
  * Complete configuration of one simulation.
  *
@@ -46,8 +43,12 @@ struct GpuConfig
     int numSms = 15;
     SmConfig sm;                 ///< includes the L1 geometry
     MemSystemConfig mem;
-    SchedulerKind scheduler = SchedulerKind::kLrr;
-    PrefetcherKind prefetcher = PrefetcherKind::kNone;
+
+    /** Scheduler name: a PolicyRegistry key ("lrr", "gto", ...). */
+    std::string scheduler = "lrr";
+
+    /** Prefetcher name: a PolicyRegistry key ("none", "str", ...). */
+    std::string prefetcher = "none";
 
     CcwsConfig ccws;
     LawsConfig laws;
@@ -74,11 +75,11 @@ struct GpuConfig
     void
     useApres()
     {
-        scheduler = SchedulerKind::kLaws;
-        prefetcher = PrefetcherKind::kSap;
+        scheduler = "laws";
+        prefetcher = "sap";
     }
 
-    /** "SCHED+PF" label for reports. */
+    /** "SCHED+PF" label for reports ("APRES" for laws+sap). */
     std::string label() const;
 };
 

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Dotted-key string access to every GpuConfig field.
+ *
+ * One override path for all three front ends:
+ *
+ *  - CLI:          apres_sim --set l1.sizeBytes=65536
+ *  - config files: apres_sim --config paper.cfg   (key = value lines)
+ *  - programmatic: applyOverrides(cfg, {{"l1.sizeBytes", "65536"}})
+ *
+ * The registry binds each key to a typed setter/getter over one
+ * GpuConfig instance. Parsing is strict (parse.hpp): garbage, wrong
+ * types, out-of-range and unknown keys are fatal, never silently
+ * ignored. snapshot() serializes the full configuration back to
+ * strings, which is how results echo the configuration that produced
+ * them (RunResult::config, the --json output).
+ *
+ * The registry holds references into the config it was built over and
+ * must not outlive it; construction is cheap, so build one on demand.
+ */
+
+#ifndef APRES_SIM_CONFIG_REGISTRY_HPP
+#define APRES_SIM_CONFIG_REGISTRY_HPP
+
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "mem/cache.hpp"
+#include "sim/config.hpp"
+
+namespace apres {
+
+/**
+ * String-keyed view over one GpuConfig.
+ */
+class ConfigRegistry
+{
+  public:
+    /** Register every field of @p config (must outlive the registry). */
+    explicit ConfigRegistry(GpuConfig& config);
+
+    /**
+     * Set @p key from @p value. Returns false and fills @p error
+     * (never null) on unknown key, parse failure or range violation;
+     * the config is untouched in that case.
+     */
+    bool trySet(const std::string& key, const std::string& value,
+                std::string* error);
+
+    /** Like trySet, but fatal() on any failure. */
+    void set(const std::string& key, const std::string& value);
+
+    /** Current value of @p key as a string; fatal on unknown key. */
+    std::string get(const std::string& key) const;
+
+    /** True when @p key is registered. */
+    bool has(const std::string& key) const;
+
+    /** All registered keys, sorted. */
+    std::vector<std::string> keys() const;
+
+    /**
+     * Apply one "key=value" assignment (spaces around '=' allowed);
+     * fatal on malformed input.
+     */
+    void applyAssignment(const std::string& assignment);
+
+    /**
+     * Load a GPGPU-Sim style config file: one `key = value` per line,
+     * '#' starts a comment, blank lines ignored. Fatal on an
+     * unreadable file or any malformed/unknown/invalid line (with the
+     * file name and line number).
+     */
+    void loadFile(const std::string& path);
+
+    /** Every key with its current value, sorted by key. */
+    std::map<std::string, std::string> snapshot() const;
+
+  private:
+    struct Entry
+    {
+        std::function<bool(const std::string&, std::string*)> set;
+        std::function<std::string()> get;
+    };
+
+    void addEntry(const std::string& key, Entry entry);
+    void addInt(const std::string& key, int& field, int min_value);
+    void addU32(const std::string& key, std::uint32_t& field,
+                std::uint32_t min_value);
+    void addU64(const std::string& key, std::uint64_t& field,
+                std::uint64_t min_value);
+    void addDouble(const std::string& key, double& field, double min_value,
+                   double max_value);
+    void addBool(const std::string& key, bool& field);
+    void addPolicyName(const std::string& key, std::string& field,
+                       bool (*known)(const std::string&),
+                       std::vector<std::string> (*names)());
+    void addReplacement(const std::string& key, ReplacementPolicy& field);
+
+    std::map<std::string, Entry> entries_;
+};
+
+/**
+ * Convenience for drivers: apply string overrides to @p config
+ * through a temporary registry. Fatal on any invalid override.
+ */
+void applyOverrides(
+    GpuConfig& config,
+    const std::vector<std::pair<std::string, std::string>>& overrides);
+
+} // namespace apres
+
+#endif // APRES_SIM_CONFIG_REGISTRY_HPP

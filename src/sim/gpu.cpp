@@ -1,111 +1,50 @@
 /**
  * @file
- * Gpu implementation: construction (scheduler/prefetcher factory),
- * run loop, and result collection.
+ * Gpu implementation: construction through the policy registry, run
+ * loop, and result collection.
+ *
+ * Collection is policy-agnostic: schedulers and prefetchers report
+ * their own statistics through the reportStats() virtual, so this
+ * file needs no knowledge of (and no edits for) individual policies.
  */
 
 #include "gpu.hpp"
 
 #include <cassert>
 
-#include "apres/sap.hpp"
 #include "common/log.hpp"
-#include "prefetch/sld.hpp"
-#include "prefetch/str.hpp"
-#include "sched/ccws.hpp"
-#include "sched/gto.hpp"
-#include "sched/lrr.hpp"
-#include "sched/mascar.hpp"
-#include "sched/pa_twolevel.hpp"
+#include "sim/config_registry.hpp"
+#include "sim/policy_registry.hpp"
 
 namespace apres {
 
-const char*
-schedulerName(SchedulerKind kind)
-{
-    switch (kind) {
-      case SchedulerKind::kLrr:    return "LRR";
-      case SchedulerKind::kGto:    return "GTO";
-      case SchedulerKind::kCcws:   return "CCWS";
-      case SchedulerKind::kMascar: return "MASCAR";
-      case SchedulerKind::kPa:     return "PA";
-      case SchedulerKind::kLaws:   return "LAWS";
-    }
-    return "?";
-}
-
-const char*
-prefetcherName(PrefetcherKind kind)
-{
-    switch (kind) {
-      case PrefetcherKind::kNone: return "none";
-      case PrefetcherKind::kStr:  return "STR";
-      case PrefetcherKind::kSld:  return "SLD";
-      case PrefetcherKind::kSap:  return "SAP";
-    }
-    return "?";
-}
+namespace {
 
 std::string
-GpuConfig::label() const
+upperCased(const std::string& name)
 {
-    if (scheduler == SchedulerKind::kLaws &&
-        prefetcher == PrefetcherKind::kSap) {
-        return "APRES";
-    }
-    std::string out = schedulerName(scheduler);
-    if (prefetcher != PrefetcherKind::kNone) {
-        out += '+';
-        out += prefetcherName(prefetcher);
+    std::string out = name;
+    for (char& c : out) {
+        if (c >= 'a' && c <= 'z')
+            c = static_cast<char>(c - 'a' + 'A');
     }
     return out;
 }
 
-namespace {
-
-std::unique_ptr<Scheduler>
-makeScheduler(const GpuConfig& cfg)
-{
-    switch (cfg.scheduler) {
-      case SchedulerKind::kLrr:
-        return std::make_unique<LrrScheduler>();
-      case SchedulerKind::kGto:
-        return std::make_unique<GtoScheduler>();
-      case SchedulerKind::kCcws:
-        return std::make_unique<CcwsScheduler>(cfg.ccws);
-      case SchedulerKind::kMascar:
-        return std::make_unique<MascarScheduler>(cfg.mascar);
-      case SchedulerKind::kPa:
-        return std::make_unique<PaScheduler>(cfg.pa);
-      case SchedulerKind::kLaws:
-        return std::make_unique<LawsScheduler>(cfg.laws);
-    }
-    fatal("unknown scheduler kind");
-}
-
-std::unique_ptr<Prefetcher>
-makePrefetcher(const GpuConfig& cfg, Scheduler& sched)
-{
-    switch (cfg.prefetcher) {
-      case PrefetcherKind::kNone:
-        return nullptr;
-      case PrefetcherKind::kStr:
-        return std::make_unique<StrPrefetcher>(cfg.str);
-      case PrefetcherKind::kSld:
-        return std::make_unique<SldPrefetcher>(cfg.sld);
-      case PrefetcherKind::kSap: {
-        auto* laws = dynamic_cast<LawsScheduler*>(&sched);
-        if (laws == nullptr) {
-            fatal("the SAP prefetcher requires the LAWS scheduler "
-                  "(APRES = LAWS+SAP)");
-        }
-        return std::make_unique<SapPrefetcher>(*laws, cfg.sap);
-      }
-    }
-    fatal("unknown prefetcher kind");
-}
-
 } // namespace
+
+std::string
+GpuConfig::label() const
+{
+    if (scheduler == "laws" && prefetcher == "sap")
+        return "APRES";
+    std::string out = upperCased(scheduler);
+    if (prefetcher != "none") {
+        out += '+';
+        out += upperCased(prefetcher);
+    }
+    return out;
+}
 
 Gpu::Gpu(const GpuConfig& config, const Kernel& kernel_ref)
     : cfg(config), rng_(config.seed), kernel(kernel_ref)
@@ -180,44 +119,43 @@ Gpu::collect() const
     std::uint64_t load_n = 0;
     double miss_sum = 0.0;
     std::uint64_t miss_n = 0;
-    for (const auto& sm : sms) {
-        r.instructions += sm->stats().issuedInstructions;
-        r.l1 += sm->l1().stats();
-        r.prefetchesRequested += sm->stats().prefetchesRequested;
-        r.prefetchesIssued += sm->stats().prefetchesIssued;
-        r.idleCycles += sm->stats().idleCycles;
-        const LsuStats& lsu = sm->lsuStats();
+    for (std::size_t i = 0; i < sms.size(); ++i) {
+        const Sm& sm = *sms[i];
+        r.instructions += sm.stats().issuedInstructions;
+        r.l1 += sm.l1().stats();
+        r.prefetchesRequested += sm.stats().prefetchesRequested;
+        r.prefetchesIssued += sm.stats().prefetchesIssued;
+        r.idleCycles += sm.stats().idleCycles;
+        const LsuStats& lsu = sm.lsuStats();
         r.mshrReplays += lsu.mshrReplays;
         load_sum += lsu.loadLatency.sum();
         load_n += lsu.loadLatency.count();
         miss_sum += lsu.missLatency.sum();
         miss_n += lsu.missLatency.count();
+
+        const std::string prefix = "sm" + std::to_string(i) + ".";
+        const CacheStats& l1 = sm.l1().stats();
+        r.perSm.set(prefix + "instructions",
+                    static_cast<double>(sm.stats().issuedInstructions));
+        r.perSm.set(prefix + "idleCycles",
+                    static_cast<double>(sm.stats().idleCycles));
+        r.perSm.set(prefix + "l1.accesses",
+                    static_cast<double>(l1.demandAccesses));
+        r.perSm.set(prefix + "l1.misses",
+                    static_cast<double>(l1.demandMisses));
+        r.perSm.set(prefix + "l1.missRate", l1.missRate());
+        r.perSm.set(prefix + "prefetchesIssued",
+                    static_cast<double>(sm.stats().prefetchesIssued));
     }
+
+    // Policies report their own statistics; per-SM instances
+    // accumulate into shared keys, summing GPU-wide.
     for (std::size_t i = 0; i < schedulers.size(); ++i) {
-        if (const auto* ccws =
-                dynamic_cast<const CcwsScheduler*>(schedulers[i].get())) {
-            r.ccwsActiveLimitSum += ccws->activeLimit();
-            r.ccwsScoreSum += static_cast<double>(ccws->totalScore());
-            r.ccwsEvents += ccws->lostLocalityEvents();
-        }
-        if (const auto* laws =
-                dynamic_cast<const LawsScheduler*>(schedulers[i].get())) {
-            r.laws.groupsFormed += laws->stats().groupsFormed;
-            r.laws.groupHits += laws->stats().groupHits;
-            r.laws.groupMisses += laws->stats().groupMisses;
-            r.laws.warpsPrioritized += laws->stats().warpsPrioritized;
-            r.laws.prefetchTargetPromotions +=
-                laws->stats().prefetchTargetPromotions;
-        }
-        if (const auto* sap =
-                dynamic_cast<const SapPrefetcher*>(prefetchers[i].get())) {
-            r.sap.groupMissesReceived += sap->stats().groupMissesReceived;
-            r.sap.strideMatches += sap->stats().strideMatches;
-            r.sap.strideMismatches += sap->stats().strideMismatches;
-            r.sap.prefetchesGenerated += sap->stats().prefetchesGenerated;
-            r.sap.prefetchesIssued += sap->stats().prefetchesIssued;
-        }
+        schedulers[i]->reportStats(r.policy);
+        if (prefetchers[i])
+            prefetchers[i]->reportStats(r.policy);
     }
+
     r.ipc = r.cycles ? static_cast<double>(r.instructions) /
                            static_cast<double>(r.cycles)
                      : 0.0;
@@ -226,26 +164,32 @@ Gpu::collect() const
     r.avgLoadLatency = load_n ? load_sum / static_cast<double>(load_n) : 0.0;
     r.avgMissLatency = miss_n ? miss_sum / static_cast<double>(miss_n) : 0.0;
 
-    std::uint64_t dram_requests = 0;
-    for (int p = 0; p < cfg.mem.numPartitions; ++p)
-        dram_requests += memsys->dram(p).stats().requests;
+    for (int p = 0; p < cfg.mem.numPartitions; ++p) {
+        const DramStats& dram = memsys->dram(p).stats();
+        r.dramRequests += dram.requests;
+        r.dramRowHits += dram.rowHits;
+        r.dramRowMisses += dram.rowMisses;
+    }
+
+    // Echo the configuration so the result is self-describing. The
+    // registry needs a mutable config; snapshot a copy.
+    GpuConfig echo = cfg;
+    r.config = ConfigRegistry(echo).snapshot();
 
     EnergyInputs ei;
     ei.instructions = r.instructions;
     ei.l1Accesses = r.l1.demandAccesses + r.l1.storeAccesses +
         r.l1.prefetchesAccepted + r.l1.fills;
     ei.l2Accesses = r.l2.demandAccesses + r.l2.storeAccesses + r.l2.fills;
-    ei.dramAccesses = dram_requests;
+    ei.dramAccesses = r.dramRequests;
     // Structure events: one table access per load observed by a
     // prefetcher plus one per LAWS grouping operation; approximated by
     // loads issued when any of the structures is active.
     std::uint64_t loads = 0;
     for (const auto& sm : sms)
         loads += sm->stats().issuedLoads;
-    const bool has_structures =
-        cfg.prefetcher != PrefetcherKind::kNone ||
-        cfg.scheduler == SchedulerKind::kLaws ||
-        cfg.scheduler == SchedulerKind::kCcws;
+    const bool has_structures = cfg.prefetcher != "none" ||
+        cfg.scheduler == "laws" || cfg.scheduler == "ccws";
     ei.structureAccesses =
         has_structures ? loads + r.prefetchesRequested : 0;
     ei.smCycles = static_cast<std::uint64_t>(cfg.numSms) * r.cycles;
@@ -281,12 +225,30 @@ RunResult::toStatSet() const
     s.set("l1.capacityConflictMisses",
           static_cast<double>(l1.capacityConflictMisses));
     s.set("l1.mshrMerges", static_cast<double>(l1.mshrMerges));
+    s.set("l1.mshrFullEvents", static_cast<double>(l1.mshrFullEvents));
+    s.set("l1.storeAccesses", static_cast<double>(l1.storeAccesses));
+    s.set("l1.storeHits", static_cast<double>(l1.storeHits));
+    s.set("l1.fills", static_cast<double>(l1.fills));
+    s.set("l1.evictions", static_cast<double>(l1.evictions));
     s.set("l1.earlyEvictions", static_cast<double>(l1.earlyEvictions));
     s.set("l1.earlyEvictionRatio", l1.earlyEvictionRatio());
     s.set("l1.usefulPrefetches", static_cast<double>(l1.usefulPrefetches));
+    s.set("l1.uselessPrefetchEvictions",
+          static_cast<double>(l1.uselessPrefetchEvictions));
+    s.set("l1.prefetchesAccepted",
+          static_cast<double>(l1.prefetchesAccepted));
+    s.set("l1.prefetchDropHit", static_cast<double>(l1.prefetchDropHit));
+    s.set("l1.prefetchDropPending",
+          static_cast<double>(l1.prefetchDropPending));
+    s.set("l1.prefetchDropMshrFull",
+          static_cast<double>(l1.prefetchDropMshrFull));
     s.set("l1.prefetchFills", static_cast<double>(l1.prefetchFills));
+    s.set("l1.demandMergedIntoPrefetch",
+          static_cast<double>(l1.demandMergedIntoPrefetch));
 
     s.set("l2.accesses", static_cast<double>(l2.demandAccesses));
+    s.set("l2.hits", static_cast<double>(l2.demandHits));
+    s.set("l2.misses", static_cast<double>(l2.demandMisses));
     s.set("l2.missRate", l2.missRate());
 
     s.set("mem.avgLoadLatency", avgLoadLatency);
@@ -296,31 +258,22 @@ RunResult::toStatSet() const
     s.set("mem.dramFillBytes",
           static_cast<double>(traffic.fillBytesFromDram));
 
+    s.set("dram.requests", static_cast<double>(dramRequests));
+    s.set("dram.rowHits", static_cast<double>(dramRowHits));
+    s.set("dram.rowMisses", static_cast<double>(dramRowMisses));
+
     s.set("prefetch.requested", static_cast<double>(prefetchesRequested));
     s.set("prefetch.issued", static_cast<double>(prefetchesIssued));
 
     s.set("sm.idleCycles", static_cast<double>(idleCycles));
     s.set("lsu.mshrReplays", static_cast<double>(mshrReplays));
 
-    s.set("ccws.activeLimitSum", ccwsActiveLimitSum);
-    s.set("ccws.scoreSum", ccwsScoreSum);
-    s.set("ccws.events", static_cast<double>(ccwsEvents));
-    s.set("laws.groupsFormed", static_cast<double>(laws.groupsFormed));
-    s.set("laws.groupHits", static_cast<double>(laws.groupHits));
-    s.set("laws.groupMisses", static_cast<double>(laws.groupMisses));
-    s.set("laws.warpsPrioritized",
-          static_cast<double>(laws.warpsPrioritized));
-    s.set("sap.groupMissesReceived",
-          static_cast<double>(sap.groupMissesReceived));
-    s.set("sap.strideMatches", static_cast<double>(sap.strideMatches));
-    s.set("sap.strideMismatches",
-          static_cast<double>(sap.strideMismatches));
-    s.set("sap.prefetchesIssued",
-          static_cast<double>(sap.prefetchesIssued));
-
     s.set("energy.total", energy.total());
     s.set("energy.dram", energy.dram);
     s.set("energy.structures", energy.structures);
+
+    s.mergeSum(policy);
+    s.mergeSum(perSm);
     return s;
 }
 

@@ -12,11 +12,11 @@
 #ifndef APRES_SIM_GPU_HPP
 #define APRES_SIM_GPU_HPP
 
+#include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
-#include "apres/laws.hpp"
-#include "apres/sap.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "core/sm.hpp"
@@ -48,12 +48,32 @@ struct RunResult
     std::uint64_t idleCycles = 0;   ///< summed over SMs
     std::uint64_t mshrReplays = 0;  ///< LSU retries on MSHR-full
 
-    LawsStats laws; ///< summed over SMs (zero unless LAWS runs)
-    SapStats sap;   ///< summed over SMs (zero unless SAP runs)
+    std::uint64_t dramRequests = 0;  ///< summed over partitions
+    std::uint64_t dramRowHits = 0;   ///< row-buffer hits (row model only)
+    std::uint64_t dramRowMisses = 0; ///< row-buffer misses
 
-    double ccwsActiveLimitSum = 0.0; ///< end-of-run limit, summed over SMs
-    double ccwsScoreSum = 0.0;       ///< end-of-run score, summed over SMs
-    std::uint64_t ccwsEvents = 0;    ///< lost-locality detections
+    /**
+     * Policy statistics, reported by the scheduler/prefetcher
+     * instances themselves (Scheduler::reportStats /
+     * Prefetcher::reportStats) and summed over SMs. Keys are dotted
+     * ("ccws.events", "laws.groupsFormed", "sap.strideMatches");
+     * empty for policies that report nothing.
+     */
+    StatSet policy;
+
+    /**
+     * Per-SM breakdowns under "sm<i>."-prefixed keys
+     * ("sm0.instructions", "sm3.l1.missRate", ...); lets results
+     * expose load imbalance without a side channel.
+     */
+    StatSet perSm;
+
+    /**
+     * The full configuration that produced this result, serialized
+     * through ConfigRegistry::snapshot() (dotted key -> value string).
+     * Makes every result self-describing.
+     */
+    std::map<std::string, std::string> config;
 
     EnergyBreakdown energy;
 

@@ -5,15 +5,24 @@
 
 #include "timeline.hpp"
 
-#include <cassert>
 #include <string>
 
+#include "common/log.hpp"
+
 namespace apres {
+
+TimelineRecorder::TimelineRecorder(Cycle interval) : interval_(interval)
+{
+    // A zero interval would make record() step the Gpu by 0 cycles
+    // forever; reject it up front instead of hanging in release builds.
+    if (interval_ < 1)
+        fatal("timeline interval must be >= 1 (got " +
+              std::to_string(interval_) + ")");
+}
 
 RunResult
 TimelineRecorder::record(Gpu& gpu)
 {
-    assert(interval_ >= 1);
     std::uint64_t last_instr = 0;
     std::uint64_t last_accesses = 0;
     std::uint64_t last_misses = 0;

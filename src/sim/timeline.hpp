@@ -35,8 +35,8 @@ struct TimelineSample
 class TimelineRecorder
 {
   public:
-    /** @param interval cycles per sample (>= 1). */
-    explicit TimelineRecorder(Cycle interval) : interval_(interval) {}
+    /** @param interval cycles per sample; fatal unless >= 1. */
+    explicit TimelineRecorder(Cycle interval);
 
     /**
      * Drive @p gpu to completion (or its cycle cap), sampling as it

@@ -2,27 +2,39 @@
  * @file
  * apres_sim — the command-line front end of the simulator.
  *
- * Runs one or more (workload, scheduler, prefetcher) combinations and
- * reports the full statistics as text or CSV.
+ * Runs one or more (workload, configuration) combinations and reports
+ * the full statistics as text, CSV or JSON.
  *
- *   apres_sim --workload KM --sched laws --pf sap
+ *   apres_sim --workload KM --apres
  *   apres_sim --workload all --sched ccws --pf str --csv results.csv
- *   apres_sim --workload SRAD --sched lrr --l1-bytes 1048576 --sms 4
+ *   apres_sim --workload SRAD --set l1.sizeBytes=1048576 --set numSms=4
+ *   apres_sim --config paper.cfg --set scheduler=laws --json
+ *
+ * Configuration goes through the ConfigRegistry: every GpuConfig
+ * field is reachable as a dotted key (`--list-keys` prints the
+ * namespace), via `--set key=value` or a `--config` file of
+ * `key = value` lines. Convenience flags (--sched, --l1-bytes, ...)
+ * are sugar for the same keys. Precedence: defaults, then --config
+ * files in order, then --set/convenience flags in command-line order.
  *
  * Run `apres_sim --help` for the full option list.
  */
 
-#include <cstdlib>
-#include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/csv.hpp"
-#include "isa/kernel_text.hpp"
+#include "common/json.hpp"
 #include "common/log.hpp"
+#include "common/parse.hpp"
+#include "isa/kernel_text.hpp"
+#include "sim/config_registry.hpp"
 #include "sim/gpu.hpp"
+#include "sim/policy_registry.hpp"
 #include "sim/timeline.hpp"
 #include "workloads/workload.hpp"
 
@@ -40,11 +52,15 @@ printHelp()
         "  --workload NAME   Table IV abbreviation, or 'all' (default KM)\n"
         "  --kernel-file F   run a declarative .kt kernel file instead\n"
         "  --scale F         trip-count multiplier (default 1.0)\n\n"
-        "policy selection:\n"
-        "  --sched S         lrr|gto|ccws|mascar|pa|laws (default lrr)\n"
-        "  --pf P            none|str|sld|sap (default none)\n"
+        "configuration (applied in order: --config files, then flags):\n"
+        "  --set KEY=VALUE   set any config key (repeatable)\n"
+        "  --config FILE     read 'key = value' lines ('#' comments)\n"
+        "  --list-keys       print every key with its current value\n\n"
+        "policy selection (sugar for --set):\n"
+        "  --sched S         scheduler name (= scheduler=S; default lrr)\n"
+        "  --pf P            prefetcher name (= prefetcher=P; default none)\n"
         "  --apres           shorthand for --sched laws --pf sap\n\n"
-        "machine configuration (Table III defaults):\n"
+        "machine configuration (sugar for --set; Table III defaults):\n"
         "  --sms N           number of SMs (default 15)\n"
         "  --warps N         warps per SM (default 48)\n"
         "  --jobs N          blocks per warp slot (default 4)\n"
@@ -56,6 +72,7 @@ printHelp()
         "  --bypass          enable adaptive L1 bypass for streams\n"
         "  --max-cycles N    simulation cap (default 50000000)\n\n"
         "output:\n"
+        "  --json            print one JSON document with all runs\n"
         "  --csv FILE        append rows as CSV instead of text\n"
         "  --timeline FILE   write per-interval samples as CSV\n"
         "  --interval N      timeline sampling interval (default 2000)\n"
@@ -63,26 +80,25 @@ printHelp()
         "  --help            this text\n";
 }
 
-SchedulerKind
-parseSched(const std::string& s)
+/** Emit one finished run into the --json document. */
+void
+writeRunJson(JsonWriter& json, const std::string& workload,
+             const std::string& label, const RunResult& r)
 {
-    if (s == "lrr") return SchedulerKind::kLrr;
-    if (s == "gto") return SchedulerKind::kGto;
-    if (s == "ccws") return SchedulerKind::kCcws;
-    if (s == "mascar") return SchedulerKind::kMascar;
-    if (s == "pa") return SchedulerKind::kPa;
-    if (s == "laws") return SchedulerKind::kLaws;
-    fatal("unknown scheduler: " + s + " (try --help)");
-}
-
-PrefetcherKind
-parsePf(const std::string& s)
-{
-    if (s == "none") return PrefetcherKind::kNone;
-    if (s == "str") return PrefetcherKind::kStr;
-    if (s == "sld") return PrefetcherKind::kSld;
-    if (s == "sap") return PrefetcherKind::kSap;
-    fatal("unknown prefetcher: " + s + " (try --help)");
+    json.beginObject();
+    json.field("workload", workload);
+    json.field("label", label);
+    json.field("completed", r.completed);
+    json.beginObject("config");
+    for (const auto& [key, value] : r.config)
+        json.field(key, value);
+    json.endObject();
+    json.beginObject("stats");
+    const StatSet stats = r.toStatSet();
+    for (const auto& [key, value] : stats.entries())
+        json.field(key, value);
+    json.endObject();
+    json.endObject();
 }
 
 } // namespace
@@ -93,11 +109,16 @@ main(int argc, char** argv)
     std::string workload = "KM";
     std::string kernel_file;
     double scale = 1.0;
-    GpuConfig cfg;
     std::string csv_path;
     std::string timeline_path;
     Cycle timeline_interval = 2000;
     bool quiet = false;
+    bool json_output = false;
+    bool list_keys = false;
+    std::vector<std::string> config_files;
+    // "key=value" assignments from --set and the convenience flags,
+    // in command-line order; applied after the --config files.
+    std::vector<std::string> assignments;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -114,55 +135,69 @@ main(int argc, char** argv)
         } else if (arg == "--kernel-file") {
             kernel_file = next();
         } else if (arg == "--scale") {
-            scale = std::atof(next().c_str());
+            scale = parsePositiveDoubleOption(arg, next());
+        } else if (arg == "--set") {
+            assignments.push_back(next());
+        } else if (arg == "--config") {
+            config_files.push_back(next());
+        } else if (arg == "--list-keys") {
+            list_keys = true;
         } else if (arg == "--sched") {
-            cfg.scheduler = parseSched(next());
+            assignments.push_back("scheduler=" + next());
         } else if (arg == "--pf") {
-            cfg.prefetcher = parsePf(next());
+            assignments.push_back("prefetcher=" + next());
         } else if (arg == "--apres") {
-            cfg.useApres();
+            assignments.push_back("scheduler=laws");
+            assignments.push_back("prefetcher=sap");
         } else if (arg == "--sms") {
-            cfg.numSms = std::atoi(next().c_str());
+            assignments.push_back("numSms=" + next());
         } else if (arg == "--warps") {
-            cfg.sm.warpsPerSm = std::atoi(next().c_str());
-            cfg.sm.warpsPerBlock = cfg.sm.warpsPerSm;
+            const std::string n = next();
+            assignments.push_back("sm.warpsPerSm=" + n);
+            assignments.push_back("sm.warpsPerBlock=" + n);
         } else if (arg == "--jobs") {
-            cfg.sm.jobsPerWarp = std::atoi(next().c_str());
+            assignments.push_back("sm.jobsPerWarp=" + next());
         } else if (arg == "--l1-bytes") {
-            cfg.sm.l1.sizeBytes = std::strtoull(next().c_str(), nullptr, 10);
+            assignments.push_back("l1.sizeBytes=" + next());
         } else if (arg == "--mshrs") {
-            cfg.sm.l1.numMshrs =
-                static_cast<std::uint32_t>(std::atoi(next().c_str()));
+            assignments.push_back("l1.numMshrs=" + next());
         } else if (arg == "--replacement") {
-            const std::string p = next();
-            if (p == "lru")
-                cfg.sm.l1.replacement = ReplacementPolicy::kLru;
-            else if (p == "fifo")
-                cfg.sm.l1.replacement = ReplacementPolicy::kFifo;
-            else if (p == "random")
-                cfg.sm.l1.replacement = ReplacementPolicy::kRandom;
-            else
-                fatal("unknown replacement policy: " + p);
+            assignments.push_back("l1.replacement=" + next());
         } else if (arg == "--dram-interval") {
-            cfg.mem.dram.serviceInterval =
-                std::strtoull(next().c_str(), nullptr, 10);
+            assignments.push_back("dram.serviceInterval=" + next());
         } else if (arg == "--dram-rows") {
-            cfg.mem.dram.rowBufferModel = true;
+            assignments.push_back("dram.rowBufferModel=true");
         } else if (arg == "--bypass") {
-            cfg.sm.lsu.adaptiveBypass = true;
+            assignments.push_back("lsu.adaptiveBypass=true");
         } else if (arg == "--max-cycles") {
-            cfg.maxCycles = std::strtoull(next().c_str(), nullptr, 10);
+            assignments.push_back("maxCycles=" + next());
+        } else if (arg == "--json") {
+            json_output = true;
         } else if (arg == "--csv") {
             csv_path = next();
         } else if (arg == "--timeline") {
             timeline_path = next();
         } else if (arg == "--interval") {
-            timeline_interval = std::strtoull(next().c_str(), nullptr, 10);
+            timeline_interval =
+                parsePositiveUintOption(arg, next());
         } else if (arg == "--quiet") {
             quiet = true;
         } else {
             fatal("unknown option: " + arg + " (try --help)");
         }
+    }
+
+    GpuConfig cfg;
+    ConfigRegistry registry(cfg);
+    for (const std::string& path : config_files)
+        registry.loadFile(path);
+    for (const std::string& assignment : assignments)
+        registry.applyAssignment(assignment);
+
+    if (list_keys) {
+        for (const auto& [key, value] : registry.snapshot())
+            std::cout << key << " = " << value << '\n';
+        return 0;
     }
 
     struct Job
@@ -185,6 +220,12 @@ main(int argc, char** argv)
 
     CsvWriter csv("workload");
     CsvWriter timeline_csv("cycle");
+    std::unique_ptr<JsonWriter> json;
+    if (json_output) {
+        json = std::make_unique<JsonWriter>(std::cout);
+        json->beginObject();
+        json->beginArray("runs");
+    }
     for (const Job& job : jobs) {
         const std::string& name = job.label;
         RunResult r;
@@ -196,7 +237,9 @@ main(int argc, char** argv)
         } else {
             r = simulate(cfg, job.kernel);
         }
-        if (!csv_path.empty()) {
+        if (json_output) {
+            writeRunJson(*json, name, cfg.label(), r);
+        } else if (!csv_path.empty()) {
             csv.addRow(name + ":" + cfg.label(), r.toStatSet());
         } else if (quiet) {
             std::cout << name << ' ' << cfg.label() << ' ' << r.ipc
@@ -208,22 +251,31 @@ main(int argc, char** argv)
             std::cout << '\n';
         }
     }
+    if (json_output) {
+        json->endArray();
+        json->endObject();
+        json.reset();
+    }
 
     if (!csv_path.empty()) {
         std::ofstream out(csv_path);
         if (!out)
             fatal("cannot open " + csv_path);
         csv.write(out);
-        std::cout << "wrote " << csv.size() << " rows to " << csv_path
-                  << '\n';
+        if (!json_output) {
+            std::cout << "wrote " << csv.size() << " rows to " << csv_path
+                      << '\n';
+        }
     }
     if (!timeline_path.empty()) {
         std::ofstream out(timeline_path);
         if (!out)
             fatal("cannot open " + timeline_path);
         timeline_csv.write(out);
-        std::cout << "wrote " << timeline_csv.size()
-                  << " timeline samples to " << timeline_path << '\n';
+        if (!json_output) {
+            std::cout << "wrote " << timeline_csv.size()
+                      << " timeline samples to " << timeline_path << '\n';
+        }
     }
     return 0;
 }

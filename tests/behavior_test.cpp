@@ -41,7 +41,7 @@ figure6Kernel()
 }
 
 GpuConfig
-smallConfig(SchedulerKind sched, PrefetcherKind pf)
+smallConfig(const std::string& sched, const std::string& pf)
 {
     GpuConfig cfg;
     cfg.numSms = 4;
@@ -55,9 +55,9 @@ TEST(Figure6, LawsRaisesHitAfterHitOverLrr)
 {
     const Kernel k = figure6Kernel();
     const RunResult lrr =
-        simulate(smallConfig(SchedulerKind::kLrr, PrefetcherKind::kNone), k);
+        simulate(smallConfig("lrr", "none"), k);
     const RunResult laws = simulate(
-        smallConfig(SchedulerKind::kLaws, PrefetcherKind::kNone), k);
+        smallConfig("laws", "none"), k);
     ASSERT_TRUE(lrr.completed);
     ASSERT_TRUE(laws.completed);
     // Grouped execution produces consecutive hits (the paper's
@@ -73,24 +73,24 @@ TEST(Figure6, ApresMergesDemandsIntoPrefetches)
 {
     const Kernel k = figure6Kernel();
     const RunResult apres = simulate(
-        smallConfig(SchedulerKind::kLaws, PrefetcherKind::kSap), k);
+        smallConfig("laws", "sap"), k);
     ASSERT_TRUE(apres.completed);
     // SAP fired on the strided load and the promoted warps' demands
     // merged into the prefetch MSHRs (or hit the prefetched lines).
-    EXPECT_GT(apres.sap.strideMatches, 0u);
+    EXPECT_GT(apres.policy.get("sap.strideMatches"), 0.0);
     EXPECT_GT(apres.prefetchesIssued, 0u);
     EXPECT_GT(apres.l1.usefulPrefetches + apres.l1.demandMergedIntoPrefetch,
               0u);
-    EXPECT_GT(apres.laws.prefetchTargetPromotions, 0u);
+    EXPECT_GT(apres.policy.get("laws.prefetchTargetPromotions"), 0.0);
 }
 
 TEST(Figure6, ApresNotSlowerThanBaseline)
 {
     const Kernel k = figure6Kernel();
     const RunResult lrr =
-        simulate(smallConfig(SchedulerKind::kLrr, PrefetcherKind::kNone), k);
+        simulate(smallConfig("lrr", "none"), k);
     const RunResult apres = simulate(
-        smallConfig(SchedulerKind::kLaws, PrefetcherKind::kSap), k);
+        smallConfig("laws", "sap"), k);
     EXPECT_GE(apres.ipc, lrr.ipc * 0.95);
 }
 
@@ -98,7 +98,7 @@ TEST(Figure6, StrPrefetchesTheStridedLoad)
 {
     const Kernel k = figure6Kernel();
     const RunResult str = simulate(
-        smallConfig(SchedulerKind::kLrr, PrefetcherKind::kStr), k);
+        smallConfig("lrr", "str"), k);
     ASSERT_TRUE(str.completed);
     EXPECT_GT(str.prefetchesIssued, 0u);
 }
@@ -109,7 +109,7 @@ TEST(Figure6, SldStaysQuietOnLargeStrides)
     // fire on the streaming load (the Section III-C observation).
     const Kernel k = figure6Kernel();
     const RunResult sld = simulate(
-        smallConfig(SchedulerKind::kLrr, PrefetcherKind::kSld), k);
+        smallConfig("lrr", "sld"), k);
     ASSERT_TRUE(sld.completed);
     EXPECT_LT(sld.prefetchesIssued, sld.l1.demandAccesses / 20);
 }

@@ -6,9 +6,13 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <sstream>
 
 #include "common/bitutils.hpp"
+#include "common/csv.hpp"
+#include "common/json.hpp"
+#include "common/parse.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 
@@ -206,6 +210,128 @@ TEST(Stats, RatioHandlesZeroDenominator)
 {
     EXPECT_DOUBLE_EQ(ratio(5.0, 0.0), 0.0);
     EXPECT_DOUBLE_EQ(ratio(6.0, 2.0), 3.0);
+}
+
+TEST(Parse, StrictIntegersRejectGarbage)
+{
+    std::int64_t i = 0;
+    EXPECT_TRUE(parseInt64Strict("-42", &i));
+    EXPECT_EQ(i, -42);
+    EXPECT_FALSE(parseInt64Strict("", &i));
+    EXPECT_FALSE(parseInt64Strict("12abc", &i));
+    EXPECT_FALSE(parseInt64Strict("12 ", &i));
+    EXPECT_FALSE(parseInt64Strict("0x10", &i));
+    EXPECT_FALSE(parseInt64Strict("99999999999999999999999", &i));
+
+    std::uint64_t u = 0;
+    EXPECT_TRUE(parseUint64Strict("18446744073709551615", &u));
+    EXPECT_EQ(u, ~0ull);
+    EXPECT_FALSE(parseUint64Strict("-1", &u));
+    EXPECT_FALSE(parseUint64Strict("18446744073709551616", &u));
+}
+
+TEST(Parse, StrictDoubleRejectsGarbageAndNonFinite)
+{
+    double d = 0.0;
+    EXPECT_TRUE(parseDoubleStrict("2.5e-3", &d));
+    EXPECT_DOUBLE_EQ(d, 2.5e-3);
+    EXPECT_FALSE(parseDoubleStrict("", &d));
+    EXPECT_FALSE(parseDoubleStrict("1.5x", &d));
+    EXPECT_FALSE(parseDoubleStrict("inf", &d));
+    EXPECT_FALSE(parseDoubleStrict("nan", &d));
+}
+
+TEST(Parse, StrictBoolAcceptsCommonSpellings)
+{
+    bool b = false;
+    EXPECT_TRUE(parseBoolStrict("true", &b));
+    EXPECT_TRUE(b);
+    EXPECT_TRUE(parseBoolStrict("0", &b));
+    EXPECT_FALSE(b);
+    EXPECT_TRUE(parseBoolStrict("on", &b));
+    EXPECT_TRUE(b);
+    EXPECT_FALSE(parseBoolStrict("TRUE", &b));
+    EXPECT_FALSE(parseBoolStrict("2", &b));
+}
+
+TEST(Parse, OptionWrappersFatalOnBadInput)
+{
+    EXPECT_EQ(parseUintOption("--sms", "15"), 15u);
+    EXPECT_EXIT(parseUintOption("--sms", "lots"),
+                testing::ExitedWithCode(1), "--sms");
+    EXPECT_EXIT(parsePositiveUintOption("--interval", "0"),
+                testing::ExitedWithCode(1), "--interval");
+    EXPECT_EXIT(parsePositiveDoubleOption("--scale", "-1.5"),
+                testing::ExitedWithCode(1), "--scale");
+    EXPECT_EXIT(parsePositiveDoubleOption("--scale", "fast"),
+                testing::ExitedWithCode(1), "--scale");
+}
+
+TEST(Parse, FormatDoubleRoundTrips)
+{
+    for (const double v : {0.0, 1.0, -2.5, 0.1, 1.0 / 3.0, 12345.678,
+                           2.2250738585072014e-308}) {
+        double back = 0.0;
+        ASSERT_TRUE(parseDoubleStrict(formatDouble(v), &back))
+            << formatDouble(v);
+        EXPECT_EQ(back, v) << formatDouble(v);
+    }
+}
+
+TEST(Csv, EscapesFieldsPerRfc4180)
+{
+    EXPECT_EQ(csvEscapeField("plain"), "plain");
+    EXPECT_EQ(csvEscapeField("a,b"), "\"a,b\"");
+    EXPECT_EQ(csvEscapeField("say \"hi\""), "\"say \"\"hi\"\"\"");
+    EXPECT_EQ(csvEscapeField("line\nbreak"), "\"line\nbreak\"");
+    EXPECT_EQ(csvEscapeField(""), "");
+}
+
+TEST(Csv, WriterQuotesLabelsAndHeaders)
+{
+    CsvWriter csv("work,load");
+    StatSet row;
+    row.set("a\"quote", 1.0);
+    csv.addRow("KM:a,b", row);
+    std::ostringstream os;
+    csv.write(os);
+    EXPECT_EQ(os.str(),
+              "\"work,load\",\"a\"\"quote\"\n\"KM:a,b\",1\n");
+}
+
+TEST(Json, WriterEscapesAndNests)
+{
+    std::ostringstream os;
+    {
+        JsonWriter json(os);
+        json.beginObject();
+        json.field("name", "a\"b\\c\n");
+        json.field("count", std::uint64_t{18446744073709551615ull});
+        json.field("ok", true);
+        json.beginArray("runs");
+        json.beginObject();
+        json.field("ipc", 1.5);
+        json.endObject();
+        json.endArray();
+        json.endObject();
+    }
+    const std::string text = os.str();
+    EXPECT_NE(text.find("\"name\": \"a\\\"b\\\\c\\n\""), std::string::npos);
+    EXPECT_NE(text.find("\"count\": 18446744073709551615"),
+              std::string::npos);
+    EXPECT_NE(text.find("\"ipc\": 1.5"), std::string::npos);
+}
+
+TEST(Json, NonFiniteDoublesBecomeNull)
+{
+    std::ostringstream os;
+    {
+        JsonWriter json(os);
+        json.beginObject();
+        json.field("bad", std::numeric_limits<double>::infinity());
+        json.endObject();
+    }
+    EXPECT_NE(os.str().find("\"bad\": null"), std::string::npos);
 }
 
 } // namespace

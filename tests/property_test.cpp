@@ -71,7 +71,7 @@ INSTANTIATE_TEST_SUITE_P(
 // --------------------------------------------------------------------
 
 class SchedulerSweep
-    : public testing::TestWithParam<std::tuple<SchedulerKind, std::string>>
+    : public testing::TestWithParam<std::tuple<std::string, std::string>>
 {
 };
 
@@ -89,7 +89,7 @@ TEST_P(SchedulerSweep, WorkPreservedAndStatsCoherent)
     cfg.scheduler = sched;
 
     const RunResult r = simulate(cfg, wl.kernel);
-    ASSERT_TRUE(r.completed) << schedulerName(sched) << " on " << app;
+    ASSERT_TRUE(r.completed) << sched << " on " << app;
 
     // Work conservation: the dynamic instruction count is a pure
     // function of the kernel, warps, and jobs.
@@ -106,18 +106,17 @@ TEST_P(SchedulerSweep, WorkPreservedAndStatsCoherent)
 
 INSTANTIATE_TEST_SUITE_P(
     PoliciesTimesApps, SchedulerSweep,
-    testing::Combine(testing::Values(SchedulerKind::kLrr,
-                                     SchedulerKind::kGto,
-                                     SchedulerKind::kCcws,
-                                     SchedulerKind::kMascar,
-                                     SchedulerKind::kPa,
-                                     SchedulerKind::kLaws),
+    testing::Combine(testing::Values(std::string("lrr"),
+                                     std::string("gto"),
+                                     std::string("ccws"),
+                                     std::string("mascar"),
+                                     std::string("pa"),
+                                     std::string("laws")),
                      testing::Values(std::string("BFS"), std::string("KM"),
                                      std::string("SRAD"),
                                      std::string("SP"))),
     [](const auto& info) {
-        return std::string(schedulerName(std::get<0>(info.param))) + "_" +
-            std::get<1>(info.param);
+        return std::get<0>(info.param) + "_" + std::get<1>(info.param);
     });
 
 // --------------------------------------------------------------------
@@ -126,7 +125,7 @@ INSTANTIATE_TEST_SUITE_P(
 // --------------------------------------------------------------------
 
 class PrefetcherSweep
-    : public testing::TestWithParam<std::tuple<PrefetcherKind, std::string>>
+    : public testing::TestWithParam<std::tuple<std::string, std::string>>
 {
 };
 
@@ -141,9 +140,7 @@ TEST_P(PrefetcherSweep, AccountingConsistent)
     cfg.sm.warpsPerBlock = 16;
     cfg.sm.jobsPerWarp = 2;
     cfg.maxCycles = 3'000'000;
-    cfg.scheduler =
-        pf == PrefetcherKind::kSap ? SchedulerKind::kLaws
-                                   : SchedulerKind::kLrr;
+    cfg.scheduler = pf == "sap" ? "laws" : "lrr";
     cfg.prefetcher = pf;
 
     const RunResult r = simulate(cfg, wl.kernel);
@@ -163,15 +160,14 @@ TEST_P(PrefetcherSweep, AccountingConsistent)
 
 INSTANTIATE_TEST_SUITE_P(
     PrefetchersTimesApps, PrefetcherSweep,
-    testing::Combine(testing::Values(PrefetcherKind::kNone,
-                                     PrefetcherKind::kStr,
-                                     PrefetcherKind::kSld,
-                                     PrefetcherKind::kSap),
+    testing::Combine(testing::Values(std::string("none"),
+                                     std::string("str"),
+                                     std::string("sld"),
+                                     std::string("sap")),
                      testing::Values(std::string("NW"), std::string("KM"),
                                      std::string("HISTO"))),
     [](const auto& info) {
-        return std::string(prefetcherName(std::get<0>(info.param))) + "_" +
-            std::get<1>(info.param);
+        return std::get<0>(info.param) + "_" + std::get<1>(info.param);
     });
 
 // --------------------------------------------------------------------
@@ -227,8 +223,10 @@ TEST_P(ApresDeterminism, BitIdenticalRuns)
     ASSERT_TRUE(a.completed);
     EXPECT_EQ(a.cycles, b.cycles);
     EXPECT_EQ(a.prefetchesIssued, b.prefetchesIssued);
-    EXPECT_EQ(a.laws.groupsFormed, b.laws.groupsFormed);
-    EXPECT_EQ(a.sap.strideMatches, b.sap.strideMatches);
+    EXPECT_EQ(a.policy.get("laws.groupsFormed"),
+              b.policy.get("laws.groupsFormed"));
+    EXPECT_EQ(a.policy.get("sap.strideMatches"),
+              b.policy.get("sap.strideMatches"));
     EXPECT_EQ(a.l1.earlyEvictions, b.l1.earlyEvictions);
 }
 

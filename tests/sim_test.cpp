@@ -7,8 +7,10 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <string>
 
 #include "sim/gpu.hpp"
+#include "sim/policy_registry.hpp"
 #include "sim/runner.hpp"
 #include "workloads/workload.hpp"
 
@@ -16,8 +18,7 @@ namespace apres {
 namespace {
 
 GpuConfig
-smallGpu(SchedulerKind sched = SchedulerKind::kLrr,
-         PrefetcherKind pf = PrefetcherKind::kNone)
+smallGpu(const std::string& sched = "lrr", const std::string& pf = "none")
 {
     GpuConfig cfg;
     cfg.numSms = 2;
@@ -66,43 +67,38 @@ TEST(Sim, HitMissInvariants)
 TEST(Sim, AllSchedulerPrefetcherCombosRun)
 {
     const Workload wl = makeWorkload("LUD", 0.05);
-    const SchedulerKind scheds[] = {
-        SchedulerKind::kLrr,  SchedulerKind::kGto, SchedulerKind::kCcws,
-        SchedulerKind::kMascar, SchedulerKind::kPa, SchedulerKind::kLaws,
-    };
-    const PrefetcherKind pfs[] = {PrefetcherKind::kNone,
-                                  PrefetcherKind::kStr,
-                                  PrefetcherKind::kSld};
-    for (const auto sched : scheds) {
-        for (const auto pf : pfs) {
+    // Every registered combination must run; SAP pairs only with LAWS.
+    for (const std::string& sched : schedulerNames()) {
+        for (const std::string& pf : prefetcherNames()) {
+            if (pf == "sap" && sched != "laws")
+                continue;
             const RunResult r = simulate(smallGpu(sched, pf), wl.kernel);
-            EXPECT_TRUE(r.completed)
-                << schedulerName(sched) << "+" << prefetcherName(pf);
+            EXPECT_TRUE(r.completed) << sched << "+" << pf;
         }
     }
-    // SAP additionally requires LAWS.
-    const RunResult apres = simulate(
-        smallGpu(SchedulerKind::kLaws, PrefetcherKind::kSap), wl.kernel);
-    EXPECT_TRUE(apres.completed);
 }
 
 TEST(Sim, SapWithoutLawsIsFatal)
 {
     const Workload wl = makeWorkload("SP", 0.05);
-    EXPECT_EXIT(
-        simulate(smallGpu(SchedulerKind::kGto, PrefetcherKind::kSap),
-                 wl.kernel),
-        testing::ExitedWithCode(1), "");
+    EXPECT_EXIT(simulate(smallGpu("gto", "sap"), wl.kernel),
+                testing::ExitedWithCode(1), "requires the LAWS scheduler");
+}
+
+TEST(Sim, UnknownSchedulerIsFatal)
+{
+    const Workload wl = makeWorkload("SP", 0.05);
+    EXPECT_EXIT(simulate(smallGpu("fancy"), wl.kernel),
+                testing::ExitedWithCode(1), "unknown scheduler");
 }
 
 TEST(Sim, SameInstructionCountAcrossSchedulers)
 {
     // Scheduling policy changes timing, never the executed work.
     const Workload wl = makeWorkload("SRAD", 0.05);
-    const RunResult lrr = simulate(smallGpu(SchedulerKind::kLrr), wl.kernel);
-    const RunResult gto = simulate(smallGpu(SchedulerKind::kGto), wl.kernel);
-    const RunResult laws =
-        simulate(smallGpu(SchedulerKind::kLaws), wl.kernel);
+    const RunResult lrr = simulate(smallGpu("lrr"), wl.kernel);
+    const RunResult gto = simulate(smallGpu("gto"), wl.kernel);
+    const RunResult laws = simulate(smallGpu("laws"), wl.kernel);
     EXPECT_EQ(lrr.instructions, gto.instructions);
     EXPECT_EQ(lrr.instructions, laws.instructions);
 }
@@ -111,9 +107,7 @@ TEST(Sim, PrefetchingNeverChangesInstructionCount)
 {
     const Workload wl = makeWorkload("NW", 0.05);
     const RunResult base = simulate(smallGpu(), wl.kernel);
-    const RunResult str =
-        simulate(smallGpu(SchedulerKind::kLrr, PrefetcherKind::kStr),
-                 wl.kernel);
+    const RunResult str = simulate(smallGpu("lrr", "str"), wl.kernel);
     EXPECT_EQ(base.instructions, str.instructions);
 }
 
@@ -122,10 +116,10 @@ TEST(Sim, ApresLabel)
     GpuConfig cfg;
     cfg.useApres();
     EXPECT_EQ(cfg.label(), "APRES");
-    cfg.scheduler = SchedulerKind::kCcws;
-    cfg.prefetcher = PrefetcherKind::kStr;
+    cfg.scheduler = "ccws";
+    cfg.prefetcher = "str";
     EXPECT_EQ(cfg.label(), "CCWS+STR");
-    cfg.prefetcher = PrefetcherKind::kNone;
+    cfg.prefetcher = "none";
     EXPECT_EQ(cfg.label(), "CCWS");
 }
 
@@ -154,7 +148,7 @@ TEST(Sim, StatSetContainsHeadlineMetrics)
 TEST(Sim, EnergyPositiveAndStructureOverheadSmall)
 {
     const Workload wl = makeWorkload("SRAD", 0.1);
-    GpuConfig cfg = smallGpu(SchedulerKind::kLaws, PrefetcherKind::kSap);
+    GpuConfig cfg = smallGpu("laws", "sap");
     const RunResult r = simulate(cfg, wl.kernel);
     EXPECT_GT(r.energy.total(), 0.0);
     // The paper: APRES's added blocks stay below 3% of total energy.
@@ -180,8 +174,8 @@ TEST(Sim, LawsStatsExposedUnderApres)
     GpuConfig cfg = smallGpu();
     cfg.useApres();
     const RunResult r = simulate(cfg, wl.kernel);
-    EXPECT_GT(r.laws.groupsFormed, 0u);
-    EXPECT_GT(r.sap.groupMissesReceived, 0u);
+    EXPECT_GT(r.policy.get("laws.groupsFormed"), 0.0);
+    EXPECT_GT(r.policy.get("sap.groupMissesReceived"), 0.0);
 }
 
 TEST(Sim, RejectsMoreThan64WarpsPerSm)
@@ -222,10 +216,12 @@ expectIdenticalResults(const RunResult& a, const RunResult& b)
     EXPECT_EQ(a.prefetchesIssued, b.prefetchesIssued);
     EXPECT_EQ(a.idleCycles, b.idleCycles);
     EXPECT_EQ(a.mshrReplays, b.mshrReplays);
-    EXPECT_EQ(a.laws.groupsFormed, b.laws.groupsFormed);
-    EXPECT_EQ(a.laws.warpsPrioritized, b.laws.warpsPrioritized);
-    EXPECT_EQ(a.sap.prefetchesIssued, b.sap.prefetchesIssued);
     EXPECT_EQ(a.energy.total(), b.energy.total());
+
+    // Policy-reported stats must agree key for key.
+    ASSERT_EQ(a.policy.entries().size(), b.policy.entries().size());
+    for (const auto& [key, value] : a.policy.entries())
+        EXPECT_EQ(value, b.policy.get(key)) << "policy stat " << key;
 
     // Catch-all: the flattened stat sets must agree on every key.
     const auto sa = a.toStatSet().entries();
@@ -238,7 +234,7 @@ expectIdenticalResults(const RunResult& a, const RunResult& b)
 TEST(Determinism, SameSeedTwiceIdenticalRunResult)
 {
     const Workload wl = makeWorkload("BFS", 0.1);
-    GpuConfig cfg = smallGpu(SchedulerKind::kLaws, PrefetcherKind::kSap);
+    GpuConfig cfg = smallGpu("laws", "sap");
     cfg.seed = 12345;
     const RunResult a = simulate(cfg, wl.kernel);
     const RunResult b = simulate(cfg, wl.kernel);
@@ -269,17 +265,15 @@ TEST(Determinism, DefaultJobCountEnvOverride)
 std::vector<SweepJob>
 sweepTestJobs()
 {
-    const SchedulerKind scheds[] = {SchedulerKind::kLrr,
-                                    SchedulerKind::kGto,
-                                    SchedulerKind::kLaws};
+    const char* scheds[] = {"lrr", "gto", "laws"};
     std::vector<SweepJob> jobs;
     for (const char* app : {"BFS", "KM", "NW"}) {
         auto workload =
             std::make_shared<const Workload>(makeWorkload(app, 0.05));
         const Kernel* kernel = &workload->kernel;
-        for (const SchedulerKind sched : scheds) {
+        for (const char* sched : scheds) {
             SweepJob job;
-            job.label = std::string(app) + "/" + schedulerName(sched);
+            job.label = std::string(app) + "/" + sched;
             job.config = smallGpu(sched);
             job.kernel = std::shared_ptr<const Kernel>(workload, kernel);
             jobs.push_back(std::move(job));
