@@ -7,7 +7,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
 #include "apres/laws.hpp"
+#include "core/lsu_structures.hpp"
 #include "apres/sap.hpp"
 #include "common/rng.hpp"
 #include "core/prefetcher.hpp"
@@ -133,6 +139,108 @@ BM_StrOnAccess(benchmark::State& state)
     }
 }
 BENCHMARK(BM_StrOnAccess);
+
+/**
+ * LSU hot-structure shootout: the free-list TokenSlab / FIFO
+ * HitEventRing that replaced the token->Track unordered_map and the
+ * HitEvent priority queue (PR 3). Both pairs are driven with the
+ * LSU's actual steady-state pattern: a bounded population of live
+ * entries with constant insert/complete churn (tokens complete in
+ * roughly insertion order; hit completions *exactly* in order since
+ * the hit latency is constant).
+ */
+struct BenchTrack
+{
+    int warp = 0;
+    int dstReg = -1;
+    int remaining = 0;
+    std::uint64_t accepted = 0;
+};
+
+constexpr int kLiveTracks = 64; // ~MSHR-bounded live population
+
+void
+BM_TokenMapChurn(benchmark::State& state)
+{
+    std::unordered_map<std::uint64_t, BenchTrack> tracks;
+    std::uint64_t next_token = 0;
+    std::uint64_t oldest = 0;
+    for (int i = 0; i < kLiveTracks; ++i)
+        tracks.emplace(next_token++, BenchTrack{});
+    for (auto _ : state) {
+        tracks.emplace(next_token++, BenchTrack{});
+        auto it = tracks.find(oldest++);
+        benchmark::DoNotOptimize(it->second.remaining);
+        tracks.erase(it);
+    }
+}
+BENCHMARK(BM_TokenMapChurn);
+
+void
+BM_TokenSlabChurn(benchmark::State& state)
+{
+    TokenSlab<BenchTrack> tracks;
+    std::vector<std::uint64_t> live;
+    for (int i = 0; i < kLiveTracks; ++i)
+        live.push_back(tracks.insert(BenchTrack{}));
+    std::size_t oldest = 0;
+    for (auto _ : state) {
+        live.push_back(tracks.insert(BenchTrack{}));
+        const std::uint64_t token = live[oldest++];
+        benchmark::DoNotOptimize(tracks.at(token).remaining);
+        tracks.erase(token);
+    }
+}
+BENCHMARK(BM_TokenSlabChurn);
+
+constexpr std::uint64_t kHitLatency = 28;
+
+void
+BM_HitHeapChurn(benchmark::State& state)
+{
+    struct HitEvent
+    {
+        std::uint64_t ready = 0;
+        std::uint64_t token = 0;
+        bool operator>(const HitEvent& other) const
+        {
+            return ready > other.ready;
+        }
+    };
+    std::priority_queue<HitEvent, std::vector<HitEvent>,
+                        std::greater<HitEvent>>
+        events;
+    std::uint64_t now = 0;
+    for (int i = 0; i < kLiveTracks; ++i) {
+        events.push({now + kHitLatency, now});
+        ++now;
+    }
+    for (auto _ : state) {
+        events.push({now + kHitLatency, now});
+        ++now;
+        benchmark::DoNotOptimize(events.top().token);
+        events.pop();
+    }
+}
+BENCHMARK(BM_HitHeapChurn);
+
+void
+BM_HitRingChurn(benchmark::State& state)
+{
+    HitEventRing events;
+    std::uint64_t now = 0;
+    for (int i = 0; i < kLiveTracks; ++i) {
+        events.push(now + kHitLatency, now);
+        ++now;
+    }
+    for (auto _ : state) {
+        events.push(now + kHitLatency, now);
+        ++now;
+        benchmark::DoNotOptimize(events.front().token);
+        events.pop();
+    }
+}
+BENCHMARK(BM_HitRingChurn);
 
 void
 BM_SimulatedKiloCycles(benchmark::State& state)

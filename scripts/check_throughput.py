@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Throughput-regression gate over bench_throughput output.
+
+Compares the ffCyclesPerSec of every scenario in a freshly generated
+BENCH_throughput.json against the committed baseline floor and fails
+(exit 1) when any scenario runs more than TOLERANCE below it, or when
+the fast-forward run's statistics diverged from the naive loop
+(statsIdentical false — bitwise equivalence is part of the contract).
+
+usage: check_throughput.py RESULTS_JSON BASELINE_JSON
+"""
+
+import json
+import sys
+
+TOLERANCE = 0.30  # fail when >30% below the baseline floor
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(sys.argv[1]) as f:
+        results = json.load(f)
+    with open(sys.argv[2]) as f:
+        baseline = json.load(f)["scenarios"]
+
+    failed = False
+    seen = set()
+    for scenario in results["scenarios"]:
+        name = scenario["name"]
+        seen.add(name)
+        measured = scenario["ffCyclesPerSec"]
+        if not scenario["statsIdentical"]:
+            print(f"FAIL {name}: fast-forward stats diverged from the "
+                  "naive loop")
+            failed = True
+        if name not in baseline:
+            print(f"WARN {name}: no baseline entry, skipping")
+            continue
+        floor = baseline[name] * (1.0 - TOLERANCE)
+        verdict = "ok" if measured >= floor else "FAIL"
+        print(f"{verdict} {name}: {measured:,.0f} cycles/sec "
+              f"(floor {floor:,.0f}, baseline {baseline[name]:,.0f}, "
+              f"speedup {scenario['speedup']:.2f}x)")
+        failed = failed or measured < floor
+
+    missing = set(baseline) - seen
+    if missing:
+        print(f"FAIL: baseline scenarios missing from results: "
+              f"{sorted(missing)}")
+        failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

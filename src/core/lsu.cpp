@@ -26,7 +26,6 @@ Lsu::pushLoad(WarpId warp, Pc pc, Addr base_addr, int lane_stride,
 {
     assert(canAccept());
     Op op;
-    op.token = nextToken++;
     op.warp = warp;
     op.pc = pc;
     op.isWrite = false;
@@ -40,7 +39,7 @@ Lsu::pushLoad(WarpId warp, Pc pc, Addr base_addr, int lane_stride,
     track.dstReg = dst_reg;
     track.remaining = static_cast<int>(op.lines.size());
     track.accepted = now;
-    tracks.emplace(op.token, track);
+    op.token = tracks.insert(track);
 
     ops.push_back(std::move(op));
 }
@@ -65,14 +64,12 @@ Lsu::pushStore(WarpId warp, Pc pc, Addr base_addr, int lane_stride,
 void
 Lsu::completeOne(std::uint64_t token, Cycle now)
 {
-    const auto it = tracks.find(token);
-    assert(it != tracks.end());
-    Track& track = it->second;
+    Track& track = tracks.at(token);
     assert(track.remaining > 0);
     if (--track.remaining == 0) {
         stats_.loadLatency.add(static_cast<double>(now - track.accepted));
         owner.onLoadComplete(track.warp, track.dstReg, now);
-        tracks.erase(it);
+        tracks.erase(token);
     }
 }
 
@@ -104,29 +101,33 @@ Lsu::processLine(Op& op, Cycle now)
     req.issued = now;
     req.token = op.token;
 
+    // One perPc lookup per line access: the bypass check and the
+    // first-line stat update share it. The first line of an op is
+    // processed first, so the entry always exists by the time later
+    // lines consult it.
+    PcLoadStats* pc_stat = nullptr;
+    if (cfg.adaptiveBypass || op.next == 0)
+        pc_stat = &stats_.perPc[op.pc];
+
     // Adaptive bypass: proven pure streams skip the L1 entirely.
-    if (cfg.adaptiveBypass) {
-        const auto pc_it = stats_.perPc.find(op.pc);
-        if (pc_it != stats_.perPc.end() &&
-            pc_it->second.accesses >= cfg.bypassMinAccesses &&
-            pc_it->second.missRate() >= cfg.bypassMissRate) {
-            req.bypassL1 = true;
-            ++stats_.bypassedLines;
-            if (op.next == 0) {
-                LoadAccessInfo info;
-                info.sm = smId;
-                info.warp = op.warp;
-                info.pc = op.pc;
-                info.baseAddr = op.baseAddr;
-                info.baseLineAddr = line;
-                info.hit = false;
-                info.now = now;
-                owner.onAccessResult(info);
-            }
-            memsys.submitRead(req, now);
-            ++op.next;
-            return true;
+    if (cfg.adaptiveBypass && pc_stat->accesses >= cfg.bypassMinAccesses &&
+        pc_stat->missRate() >= cfg.bypassMissRate) {
+        req.bypassL1 = true;
+        ++stats_.bypassedLines;
+        if (op.next == 0) {
+            LoadAccessInfo info;
+            info.sm = smId;
+            info.warp = op.warp;
+            info.pc = op.pc;
+            info.baseAddr = op.baseAddr;
+            info.baseLineAddr = line;
+            info.hit = false;
+            info.now = now;
+            owner.onAccessResult(info);
         }
+        memsys.submitRead(req, now);
+        ++op.next;
+        return true;
     }
 
     const AccessOutcome outcome = l1.access(req);
@@ -147,10 +148,9 @@ Lsu::processLine(Op& op, Cycle now)
     // The first (lowest-lane) line's outcome is the load's result as
     // seen by schedulers and prefetchers.
     if (op.next == 0) {
-        PcLoadStats& pc_stat = stats_.perPc[op.pc];
-        ++pc_stat.accesses;
+        ++pc_stat->accesses;
         if (outcome == AccessOutcome::kHit)
-            ++pc_stat.hits;
+            ++pc_stat->hits;
 
         LoadAccessInfo info;
         info.sm = smId;
@@ -165,7 +165,7 @@ Lsu::processLine(Op& op, Cycle now)
 
     switch (outcome) {
       case AccessOutcome::kHit:
-        hitEvents.push(HitEvent{now + cfg.l1HitLatency, op.token});
+        hitEvents.push(now + cfg.l1HitLatency, op.token);
         break;
       case AccessOutcome::kMiss:
         memsys.submitRead(req, now);
@@ -183,11 +183,11 @@ Lsu::processLine(Op& op, Cycle now)
 void
 Lsu::tick(Cycle now)
 {
-    // Deliver matured L1-hit completions.
-    while (!hitEvents.empty() && hitEvents.top().ready <= now) {
-        const HitEvent ev = hitEvents.top();
+    // Deliver matured L1-hit completions (FIFO order == ready order).
+    while (hitEvents.nextReady() <= now) {
+        const std::uint64_t token = hitEvents.front().token;
         hitEvents.pop();
-        completeOne(ev.token, now);
+        completeOne(token, now);
     }
 
     // Walk the front op's remaining lines at the configured rate.

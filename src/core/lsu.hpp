@@ -20,12 +20,12 @@
 
 #include <cstdint>
 #include <deque>
-#include <queue>
 #include <unordered_map>
 #include <vector>
 
 #include "common/stats.hpp"
 #include "common/types.hpp"
+#include "core/lsu_structures.hpp"
 #include "core/scheduler.hpp"
 #include "mem/cache.hpp"
 #include "mem/coalescer.hpp"
@@ -143,6 +143,15 @@ class Lsu
     /** True when no op or outstanding load remains. */
     bool idle() const { return ops.empty() && tracks.empty(); }
 
+    /** True when queued ops force the LSU to make progress each cycle. */
+    bool busy() const { return !ops.empty(); }
+
+    /**
+     * Ready cycle of the earliest pending L1-hit completion;
+     * kNoPendingEvent when none is queued (fast-forward wakeup input).
+     */
+    Cycle nextHitReady() const { return hitEvents.nextReady(); }
+
     /** Counters. */
     const LsuStats& stats() const { return stats_; }
 
@@ -169,19 +178,6 @@ class Lsu
         Cycle accepted = 0;
     };
 
-    /** A future L1-hit completion. */
-    struct HitEvent
-    {
-        Cycle ready = 0;
-        std::uint64_t token = 0;
-
-        bool
-        operator>(const HitEvent& other) const
-        {
-            return ready > other.ready;
-        }
-    };
-
     void completeOne(std::uint64_t token, Cycle now);
     bool processLine(Op& op, Cycle now);
 
@@ -193,10 +189,17 @@ class Lsu
     Coalescer coalescer;
 
     std::deque<Op> ops;
-    std::unordered_map<std::uint64_t, Track> tracks;
-    std::priority_queue<HitEvent, std::vector<HitEvent>, std::greater<>>
-        hitEvents;
-    std::uint64_t nextToken = 1;
+    /**
+     * Outstanding-load tracks. The slab mints the token a load's line
+     * requests carry (MemRequest::token, hit events), so completion is
+     * an O(1) indexed lookup instead of a hash probe per line.
+     */
+    TokenSlab<Track> tracks;
+    /**
+     * Pending L1-hit completions. The hit latency is constant, so
+     * completions mature in push order and a FIFO ring suffices.
+     */
+    HitEventRing hitEvents;
     LsuStats stats_;
 };
 

@@ -35,6 +35,7 @@ Sm::Sm(SmId sm_id, const SmConfig& config, const Kernel& kernel,
         warp.jobsRemaining = cfg.jobsPerWarp;
         warp.ageStamp = ++jobSeq;
     }
+    unfinishedWarps_ = cfg.warpsPerSm;
     barrierArrivals.assign(
         static_cast<std::size_t>(divCeil(cfg.warpsPerSm, cfg.warpsPerBlock)),
         0);
@@ -80,13 +81,44 @@ Sm::warpReady(const WarpRuntime& warp, Cycle now) const
 }
 
 void
-Sm::collectReady(Cycle now, std::vector<WarpId>& out) const
+Sm::collectReady(Cycle now, std::vector<WarpId>& out)
 {
     out.clear();
+    // One walk computes both the ready set and — for the empty case —
+    // the earliest cycle a stalled warp's registers mature, which
+    // seeds the ready-scan cache and the fast-forward wakeup.
+    Cycle wake = kNeverReady;
+    const bool can_accept = lsu_.canAccept();
     for (const WarpRuntime& warp : warps) {
-        if (warpReady(warp, now))
+        if (warp.finished || warp.atBarrier)
+            continue;
+        const Instruction& instr =
+            kernel_.at(static_cast<std::size_t>(warp.pcIndex));
+        Cycle regs_ready = 0;
+        bool waits_on_load = false;
+        const auto consider = [&](int reg) {
+            if (reg < 0)
+                return;
+            const Cycle r = warp.regReadyAt[static_cast<std::size_t>(reg)];
+            if (r == kNeverReady)
+                waits_on_load = true;
+            else if (r > regs_ready)
+                regs_ready = r;
+        };
+        for (const int src : instr.src)
+            consider(src);
+        consider(instr.dst); // WAW: outstanding producer blocks re-issue
+        if (waits_on_load)
+            continue; // woken by a load completion, not by time
+        if (regs_ready <= now) {
+            if (instr.isMemory() && !can_accept)
+                continue; // woken by the LSU draining below capacity
             out.push_back(warp.id);
+        } else if (regs_ready < wake) {
+            wake = regs_ready;
+        }
     }
+    readyWakeAt_ = wake;
 }
 
 void
@@ -191,41 +223,75 @@ Sm::issue(WarpId warp_id, Cycle now)
             scheduler.notifyWarpRelaunched(warp_id);
         } else {
             warp.finished = true;
+            --unfinishedWarps_;
             scheduler.notifyWarpFinished(warp_id);
         }
         break;
     }
 }
 
-void
+bool
 Sm::tick(Cycle now)
 {
     now_ = now;
     ++stats_.cycles;
 
-    lsu_.tick(now);
+    lsu_.tick(now); // load completions here clear readyClean_
+
+    // Ready-scan cache: the last scan found nothing, nothing mutated
+    // since, and no stalled register matures this cycle — the scan
+    // would provably come back empty again, so skip it. Readiness
+    // depends on the LSU only through the canAccept() boolean, hence
+    // the flip check.
+    if (fastForward_ && readyClean_ &&
+        lsu_.canAccept() == readyCanAccept_ && now < readyWakeAt_) {
+        ++stats_.idleCycles;
+        return false;
+    }
 
     collectReady(now, readyScratch);
     if (readyScratch.empty()) {
+        readyClean_ = true;
+        readyCanAccept_ = lsu_.canAccept();
         ++stats_.idleCycles;
-        return;
+        return false;
     }
+    readyClean_ = false;
     const WarpId picked = scheduler.pick(now, readyScratch);
     if (picked == kInvalidWarp) {
+        // The scheduler idled deliberately (e.g. CCWS throttling); its
+        // decision can change with bare time, so never cache or skip
+        // past this state.
         ++stats_.idleCycles;
-        return;
+        return false;
     }
     issue(picked, now);
+    return true;
+}
+
+void
+Sm::skipIdle(Cycle cycles)
+{
+    // Exactly what `cycles` idle tick() calls would have recorded.
+    stats_.cycles += cycles;
+    stats_.idleCycles += cycles;
+}
+
+Cycle
+Sm::nextWakeup(Cycle next) const
+{
+    if (!readyClean_)
+        return next; // issued or mutated this cycle: state unknown
+    if (lsu_.busy() || lsu_.canAccept() != readyCanAccept_)
+        return next; // queued ops make progress every cycle
+    const Cycle wake = std::min(readyWakeAt_, lsu_.nextHitReady());
+    return std::max(wake, next);
 }
 
 bool
 Sm::done() const
 {
-    for (const WarpRuntime& warp : warps) {
-        if (!warp.finished)
-            return false;
-    }
-    return lsu_.idle();
+    return unfinishedWarps_ == 0 && lsu_.idle();
 }
 
 void
@@ -243,6 +309,7 @@ Sm::onLoadComplete(WarpId warp_id, int dst_reg, Cycle now)
     warp.regReadyAt[static_cast<std::size_t>(dst_reg)] = now;
     assert(warp.outstandingLoads > 0);
     --warp.outstandingLoads;
+    readyClean_ = false; // the warp may be issueable again
 }
 
 void

@@ -135,10 +135,44 @@ class Sm final : public SmContext,
     Sm(SmId sm_id, const SmConfig& config, const Kernel& kernel,
        Scheduler& scheduler, Prefetcher* prefetcher, MemorySystem& memsys);
 
-    /** Advance one cycle. */
-    void tick(Cycle now);
+    /** Advance one cycle. @return true when an instruction issued. */
+    bool tick(Cycle now);
 
-    /** True when all warps finished and no memory op is in flight. */
+    /**
+     * Credit @p cycles provably issue-free cycles in bulk — the
+     * fast-forward path's stand-in for that many idle tick() calls.
+     * Statistics advance exactly as the skipped ticks would have.
+     *
+     * @pre nextWakeup() returned a cycle past the skipped range (the
+     *      SM could not have issued, nor the LSU progressed, in it).
+     */
+    void skipIdle(Cycle cycles);
+
+    /**
+     * Earliest cycle >= @p next at which this SM might do any work:
+     * @p next itself while the LSU is busy or warp state changed since
+     * the last empty ready scan, otherwise the minimum of the stalled
+     * warps' register-ready cycles and the LSU's pending hit events
+     * (kNoPendingEvent when it can only be woken externally, i.e. by a
+     * memory response). Cycles before the returned one are provably
+     * issue-free, which is the invariant Gpu::run's fast-forward skip
+     * relies on.
+     */
+    Cycle nextWakeup(Cycle next) const;
+
+    /**
+     * Enable the fast-forward support machinery (the incremental
+     * ready-scan cache consulted by tick() and nextWakeup()). Off by
+     * default so a directly-driven Sm behaves like the naive oracle;
+     * Gpu enables it according to GpuConfig::fastForward.
+     */
+    void setFastForward(bool on) { fastForward_ = on; }
+
+    /**
+     * True when all warps finished and no memory op is in flight.
+     * Monotone: once an SM drained it never becomes busy again (no
+     * issue source remains), which Gpu::done() exploits.
+     */
     bool done() const;
 
     // SmContext
@@ -168,7 +202,7 @@ class Sm final : public SmContext,
     const SmStats& stats() const { return stats_; }
 
   private:
-    void collectReady(Cycle now, std::vector<WarpId>& out) const;
+    void collectReady(Cycle now, std::vector<WarpId>& out);
     bool warpReady(const WarpRuntime& warp, Cycle now) const;
     void issue(WarpId warp, Cycle now);
     void arriveBarrier(WarpId warp);
@@ -187,6 +221,24 @@ class Sm final : public SmContext,
     std::uint64_t jobSeq = 0;
     Cycle now_ = 0;
     SmStats stats_;
+
+    /** Warps not yet finished (makes done() O(1)). */
+    int unfinishedWarps_ = 0;
+
+    /** Fast-forward machinery enabled (Gpu sets from config). */
+    bool fastForward_ = false;
+
+    /**
+     * Incremental ready-scan cache: when the last collectReady() came
+     * back empty and no warp/scoreboard state changed since (no issue,
+     * no load completion, no LSU-acceptance flip), the set stays empty
+     * until readyWakeAt_, so tick() can skip the per-warp re-scan and
+     * nextWakeup() can answer from the cached bound. Any mutation
+     * clears readyClean_.
+     */
+    bool readyClean_ = false;
+    bool readyCanAccept_ = true; ///< lsu_.canAccept() at scan time
+    Cycle readyWakeAt_ = 0;      ///< earliest finite reg-ready cycle
 };
 
 } // namespace apres

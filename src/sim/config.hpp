@@ -63,6 +63,16 @@ struct GpuConfig
     std::uint64_t maxCycles = 50'000'000;
 
     /**
+     * Event-driven fast-forward ("sim.fastForward"): Gpu::run() jumps
+     * over stretches in which no SM can issue — straight to the next
+     * memory response, L1-hit completion or scoreboard maturity —
+     * crediting idle statistics in bulk. Results are bitwise identical
+     * to the naive cycle-by-cycle loop (the equivalence suite pins
+     * this down); turn off to run the naive loop as the oracle.
+     */
+    bool fastForward = true;
+
+    /**
      * Seed of the Gpu-owned Rng. Every simulation is a pure function
      * of its configuration (including this field): any stochastic
      * model component must draw from Gpu::rng(), never from a global

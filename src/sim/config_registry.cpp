@@ -222,6 +222,7 @@ ConfigRegistry::ConfigRegistry(GpuConfig& c)
     addInt("numSms", c.numSms, 1);
     addU64("maxCycles", c.maxCycles, 1);
     addU64("seed", c.seed, 0);
+    addBool("sim.fastForward", c.fastForward);
     addPolicyName("scheduler", c.scheduler, &knownScheduler,
                   &schedulerNames);
     addPolicyName("prefetcher", c.prefetcher, &knownPrefetcher,

@@ -10,6 +10,7 @@
 
 #include "gpu.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 #include "common/log.hpp"
@@ -68,6 +69,7 @@ Gpu::Gpu(const GpuConfig& config, const Kernel& kernel_ref)
                                            *schedulers.back(),
                                            prefetchers.back().get(),
                                            *memsys));
+        sms.back()->setFastForward(cfg.fastForward);
     }
 }
 
@@ -76,11 +78,14 @@ Gpu::~Gpu() = default;
 bool
 Gpu::done() const
 {
-    for (const auto& sm : sms) {
-        if (!sm->done())
-            return false;
-    }
-    return memsys->idle();
+    // Sm::done() is monotone (a drained SM never wakes up again), so a
+    // prefix pointer over the SM vector makes the per-cycle check
+    // amortized O(1) instead of an SMs x warps scan: only the first
+    // still-active SM is ever queried, and each SM is passed at most
+    // once over the whole run.
+    while (firstActiveSm_ < sms.size() && sms[firstActiveSm_]->done())
+        ++firstActiveSm_;
+    return firstActiveSm_ == sms.size() && memsys->idle();
 }
 
 void
@@ -98,8 +103,34 @@ Gpu::step(Cycle cycles)
 RunResult
 Gpu::run()
 {
-    while (cycle < cfg.maxCycles && !done())
-        step(1);
+    while (cycle < cfg.maxCycles && !done()) {
+        memsys->tick(cycle);
+        bool issued = false;
+        for (auto& sm : sms)
+            issued = sm->tick(cycle) || issued;
+        ++cycle;
+
+        if (!cfg.fastForward || issued)
+            continue;
+
+        // Event-driven fast-forward: no SM issued this cycle. Find the
+        // earliest cycle anything can happen again — a memory response
+        // maturing, an L1-hit completing, or a stalled register
+        // becoming ready — and jump there, crediting the provably
+        // issue-free cycles in bulk. Statistics stay bitwise identical
+        // to ticking through them (the skipped ticks would have been
+        // pure idle increments).
+        Cycle wake = memsys->nextEventCycle();
+        for (const auto& sm : sms)
+            wake = std::min(wake, sm->nextWakeup(cycle));
+        const Cycle target = std::min(wake, cfg.maxCycles);
+        if (target > cycle) {
+            const Cycle skipped = target - cycle;
+            for (auto& sm : sms)
+                sm->skipIdle(skipped);
+            cycle = target;
+        }
+    }
     RunResult result = collect();
     result.completed = done();
     if (!result.completed) {

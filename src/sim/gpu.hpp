@@ -103,7 +103,17 @@ class Gpu
     Gpu(const Gpu&) = delete;
     Gpu& operator=(const Gpu&) = delete;
 
-    /** Run to completion (or the cycle cap) and collect results. */
+    /**
+     * Run to completion (or the cycle cap) and collect results.
+     *
+     * With GpuConfig::fastForward (default on) the loop is
+     * event-driven: whenever no SM issued, it jumps straight to the
+     * next cycle anything can happen (memory response, L1-hit
+     * completion, scoreboard maturity, cycle cap) and credits the
+     * skipped idle cycles in bulk. Every statistic is bitwise
+     * identical to the naive cycle-by-cycle loop, which remains
+     * available as the oracle via fastForward=false.
+     */
     RunResult run();
 
     /** Advance exactly @p cycles (for incremental-driving tests). */
@@ -144,6 +154,13 @@ class Gpu
     std::vector<std::unique_ptr<Prefetcher>> prefetchers;
     std::vector<std::unique_ptr<Sm>> sms;
     Cycle cycle = 0;
+
+    /**
+     * done() cache: SMs [0, firstActiveSm_) have drained. Sm::done()
+     * is monotone, so this only ever advances (mutable: done() is a
+     * const query whose cost the cache amortizes to O(1)).
+     */
+    mutable std::size_t firstActiveSm_ = 0;
 };
 
 /** Convenience: configure, run, return results. */

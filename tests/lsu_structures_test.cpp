@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Unit tests of the LSU's hot data structures: the free-list
+ * TokenSlab (token -> in-flight load track) and the FIFO
+ * HitEventRing (constant hit latency makes completion order equal
+ * arrival order, so a ring replaces the old priority queue).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/lsu_structures.hpp"
+
+namespace apres {
+namespace {
+
+TEST(TokenSlab, InsertLookupErase)
+{
+    TokenSlab<int> slab;
+    EXPECT_TRUE(slab.empty());
+    const std::uint64_t a = slab.insert(10);
+    const std::uint64_t b = slab.insert(20);
+    EXPECT_NE(a, 0u); // 0 is the untracked sentinel
+    EXPECT_NE(b, 0u);
+    EXPECT_NE(a, b);
+    EXPECT_EQ(slab.size(), 2u);
+    EXPECT_EQ(slab.at(a), 10);
+    EXPECT_EQ(slab.at(b), 20);
+    slab.at(a) = 11;
+    EXPECT_EQ(slab.at(a), 11);
+    slab.erase(a);
+    EXPECT_EQ(slab.size(), 1u);
+    slab.erase(b);
+    EXPECT_TRUE(slab.empty());
+}
+
+TEST(TokenSlab, ReusesFreedSlots)
+{
+    TokenSlab<int> slab;
+    const std::uint64_t a = slab.insert(1);
+    slab.insert(2);
+    slab.erase(a);
+    // The freed slot comes back (same token value) before the slab
+    // grows; the value is the new one.
+    const std::uint64_t c = slab.insert(3);
+    EXPECT_EQ(c, a);
+    EXPECT_EQ(slab.at(c), 3);
+    EXPECT_EQ(slab.size(), 2u);
+}
+
+TEST(TokenSlab, SurvivesChurnAtSteadyState)
+{
+    TokenSlab<std::uint64_t> slab;
+    std::vector<std::uint64_t> live;
+    for (std::uint64_t i = 0; i < 64; ++i)
+        live.push_back(slab.insert(i));
+    for (std::uint64_t round = 0; round < 1000; ++round) {
+        const std::size_t slot = round % live.size();
+        slab.erase(live[slot]);
+        live[slot] = slab.insert(round + 100);
+        EXPECT_EQ(slab.at(live[slot]), round + 100);
+    }
+    EXPECT_EQ(slab.size(), 64u);
+    // Steady-state churn never grows the slab past its peak population
+    // (tokens stay small: every insert reuses a freed slot).
+    for (const std::uint64_t token : live)
+        EXPECT_LE(token, 65u);
+}
+
+TEST(HitEventRing, FifoOrder)
+{
+    HitEventRing ring;
+    EXPECT_TRUE(ring.empty());
+    EXPECT_EQ(ring.nextReady(), kNoPendingEvent);
+    ring.push(100, 1);
+    ring.push(100, 2); // same cycle: arrival order preserved
+    ring.push(105, 3);
+    EXPECT_EQ(ring.nextReady(), 100u);
+    EXPECT_EQ(ring.front().token, 1u);
+    ring.pop();
+    EXPECT_EQ(ring.front().token, 2u);
+    ring.pop();
+    EXPECT_EQ(ring.nextReady(), 105u);
+    EXPECT_EQ(ring.front().token, 3u);
+    ring.pop();
+    EXPECT_TRUE(ring.empty());
+    EXPECT_EQ(ring.nextReady(), kNoPendingEvent);
+}
+
+TEST(HitEventRing, GrowsPastInitialCapacityKeepingOrder)
+{
+    HitEventRing ring;
+    // Offset head first so growth has to unwrap a wrapped ring.
+    for (std::uint64_t i = 0; i < 5; ++i)
+        ring.push(i, i);
+    for (int i = 0; i < 5; ++i)
+        ring.pop();
+    const std::uint64_t n = 1000;
+    for (std::uint64_t i = 0; i < n; ++i)
+        ring.push(10 + i, i);
+    EXPECT_EQ(ring.size(), n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        EXPECT_EQ(ring.front().ready, 10 + i);
+        EXPECT_EQ(ring.front().token, i);
+        ring.pop();
+    }
+    EXPECT_TRUE(ring.empty());
+}
+
+} // namespace
+} // namespace apres
