@@ -41,10 +41,18 @@ parseBenchArgs(int argc, char** argv)
     for (int i = 1; i < argc; ++i) {
         const char* arg = argv[i];
         if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
-            std::cout << "usage: " << argv[0] << " [--jobs N]\n"
+            std::cout << "usage: " << argv[0]
+                      << " [--jobs N] [--job-timeout S] [--retries N]"
+                         " [--keep-going]\n"
                       << "  --jobs N, -j N  sweep worker threads "
                          "(default: APRES_BENCH_JOBS or hardware "
                          "concurrency)\n"
+                      << "  --job-timeout S per-job wall-clock deadline in "
+                         "seconds (default: none)\n"
+                      << "  --retries N     re-run a failed job up to N "
+                         "times (same seed; default 0)\n"
+                      << "  --keep-going    run every job despite "
+                         "failures; exit non-zero with a summary\n"
                       << "  APRES_BENCH_SCALE  trip-count multiplier "
                          "(default 1.0)\n";
             std::exit(0);
@@ -54,6 +62,24 @@ parseBenchArgs(int argc, char** argv)
                 fatal(std::string(arg) + " requires a value");
             opts.jobs = static_cast<int>(
                 parsePositiveUintOption(arg, argv[++i]));
+            continue;
+        }
+        if (std::strcmp(arg, "--job-timeout") == 0) {
+            if (i + 1 >= argc)
+                fatal(std::string(arg) + " requires a value");
+            opts.jobTimeoutSeconds =
+                parsePositiveDoubleOption(arg, argv[++i]);
+            continue;
+        }
+        if (std::strcmp(arg, "--retries") == 0) {
+            if (i + 1 >= argc)
+                fatal(std::string(arg) + " requires a value");
+            opts.retries = static_cast<int>(
+                parsePositiveUintOption(arg, argv[++i]));
+            continue;
+        }
+        if (std::strcmp(arg, "--keep-going") == 0) {
+            opts.keepGoing = true;
             continue;
         }
         fatal(std::string("unknown argument \"") + arg +
@@ -146,6 +172,9 @@ runnerOptions(const BenchOptions& options)
     RunnerOptions ropts;
     ropts.threads = options.jobs;
     ropts.progress = true;
+    ropts.jobTimeoutSeconds = options.jobTimeoutSeconds;
+    ropts.retries = options.retries;
+    ropts.keepGoing = options.keepGoing;
     return ropts;
 }
 
@@ -179,8 +208,22 @@ BenchSweep::add(std::string label, const GpuConfig& config,
 void
 BenchSweep::run()
 {
-    results = runner.runAll();
+    // Without --keep-going a failure propagates out of runAll();
+    // surface it as a clean error instead of std::terminate.
+    try {
+        results = runner.runAll();
+    } catch (const std::exception& e) {
+        std::cerr << "[apres-sweep] sweep aborted: " << e.what() << '\n';
+        std::exit(1);
+    }
     ran = true;
+    const std::string failures = failureSummary(results);
+    if (!failures.empty()) {
+        // --keep-going path: the sweep drained, but some rows are
+        // error rows a table/geomean must not silently average in.
+        std::cerr << "[apres-sweep] " << failures;
+        std::exit(1);
+    }
 }
 
 const RunResult&

@@ -38,12 +38,23 @@ struct BenchOptions
 {
     /** Worker threads (--jobs N / APRES_BENCH_JOBS); 0 = auto. */
     int jobs = 0;
+
+    /** Per-job wall-clock deadline in seconds (--job-timeout); 0 = off. */
+    double jobTimeoutSeconds = 0.0;
+
+    /** Re-run attempts after a failed job (--retries). */
+    int retries = 0;
+
+    /** Finish the sweep despite failures (--keep-going). */
+    bool keepGoing = false;
 };
 
 /**
  * Parse bench argv: `--jobs N` (or `-j N`) sets the sweep thread
- * count; `--help` prints usage and exits. Unknown arguments terminate
- * via fatal() so typos never silently run a full sweep.
+ * count; `--job-timeout S`, `--retries N` and `--keep-going` configure
+ * fault isolation (see RunnerOptions); `--help` prints usage and
+ * exits. Unknown arguments terminate via fatal() so typos never
+ * silently run a full sweep.
  */
 BenchOptions parseBenchArgs(int argc, char** argv);
 
@@ -113,7 +124,12 @@ class BenchSweep
                     std::shared_ptr<const Kernel> kernel,
                     std::function<void(const Gpu&, RunResult&)> inspect);
 
-    /** Run everything; prints a progress line to stderr. */
+    /**
+     * Run everything; prints a progress line to stderr. On a job
+     * failure the process exits non-zero with a failure summary —
+     * after the whole sweep drained when --keep-going was given,
+     * immediately (remaining jobs skipped) otherwise.
+     */
     void run();
 
     /** Result of job @p index (valid after run()). */

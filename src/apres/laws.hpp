@@ -104,6 +104,18 @@ class LawsScheduler final : public Scheduler
     /** Counters. */
     const LawsStats& stats() const { return stats_; }
 
+    /** WGT view for the invariant auditor. */
+    const WarpGroupTable& wgtForAudit() const { return wgt; }
+
+    /** LLT view for the invariant auditor. */
+    const LastLoadTable& lltForAudit() const { return llt; }
+
+    /**
+     * TEST HOOK: mutable WGT for fault-injection tests. Never call
+     * outside tests.
+     */
+    WarpGroupTable& wgtForTest() { return wgt; }
+
   private:
     void moveToHead(std::uint64_t member_mask);
     void moveToTail(std::uint64_t member_mask);

@@ -118,6 +118,10 @@ SapPrefetcher::onAccess(const LoadAccessInfo& info, PrefetchIssuer& issuer)
             // Walk only the configured warp contexts: the machine may
             // run fewer than the 64 warps the mask can hold (Table III
             // configures 48), and LawsConfig::groupCap is tunable.
+            // One DRQ entry holds the missing demand address while the
+            // group walk runs (the queues drain within the walk in
+            // this model; the peaks feed the invariant auditor).
+            stats_.drqPeak = std::max<std::uint64_t>(stats_.drqPeak, 1);
             std::vector<WarpId> targets;
             int enqueued = 0;
             for (int w = 0; w < numWarps_ && enqueued < cfg.wqEntries; ++w) {
@@ -134,6 +138,8 @@ SapPrefetcher::onAccess(const LoadAccessInfo& info, PrefetchIssuer& issuer)
                 if (issuer.issuePrefetch(target, info.pc, w))
                     ++stats_.prefetchesIssued;
             }
+            stats_.wqPeak = std::max(stats_.wqPeak,
+                                     static_cast<std::uint64_t>(enqueued));
             // Cooperative half: LAWS promotes the targeted warps so
             // their demands merge with the in-flight (pre)fetches.
             if (!targets.empty())
@@ -162,6 +168,27 @@ SapPrefetcher::onAccess(const LoadAccessInfo& info, PrefetchIssuer& issuer)
     }
     entry.lastAddr = info.baseAddr;
     entry.lastWarp = info.warp;
+}
+
+int
+SapPrefetcher::ptValidCount() const
+{
+    int n = 0;
+    for (const PtEntry& entry : pt)
+        n += entry.valid ? 1 : 0;
+    return n;
+}
+
+void
+SapPrefetcher::debugOversizePtForTest(int extra)
+{
+    for (int i = 0; i < extra; ++i) {
+        PtEntry entry;
+        entry.valid = true;
+        entry.pc = static_cast<Pc>(0xDEAD'0000 + i);
+        entry.lastUse = ++useClock;
+        pt.push_back(entry);
+    }
 }
 
 void

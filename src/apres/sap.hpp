@@ -47,6 +47,8 @@ struct SapStats
     std::uint64_t strideMismatches = 0;
     std::uint64_t prefetchesGenerated = 0;
     std::uint64_t prefetchesIssued = 0; ///< accepted by the L1/memsys
+    std::uint64_t wqPeak = 0;  ///< peak Warp Queue occupancy per walk
+    std::uint64_t drqPeak = 0; ///< peak Demand Request Queue occupancy
 };
 
 /**
@@ -74,6 +76,22 @@ class SapPrefetcher final : public Prefetcher
 
     /** PCs resident in the PT, LRU first (for tests). */
     std::vector<Pc> ptResidentPcs() const;
+
+    /** Valid PT entries (auditor: must fit SapConfig::ptEntries). */
+    int ptValidCount() const;
+
+    /** Physical PT slots (auditor: must equal SapConfig::ptEntries). */
+    int ptSlotCount() const { return static_cast<int>(pt.size()); }
+
+    /** The structure sizing this SAP was built with. */
+    const SapConfig& config() const { return cfg; }
+
+    /**
+     * TEST HOOK: grow the PT past its configured capacity with
+     * @p extra valid entries, so fault-injection tests can prove the
+     * auditor enforces the Table II sizing. Never call outside tests.
+     */
+    void debugOversizePtForTest(int extra);
 
   private:
     /** Replacement hysteresis ceiling for PT stride confidence. */

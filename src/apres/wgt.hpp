@@ -93,6 +93,24 @@ class WarpGroupTable
         return n;
     }
 
+    /** Entry @p index (invariant auditor; 0 <= index < kEntries). */
+    const Entry&
+    entry(int index) const
+    {
+        return entries.at(static_cast<std::size_t>(index));
+    }
+
+    /**
+     * TEST HOOK: mutable entry for fault-injection tests (e.g.
+     * setting a member bit outside the configured warp range to prove
+     * the auditor catches it). Never call outside tests.
+     */
+    Entry&
+    entryForTest(int index)
+    {
+        return entries.at(static_cast<std::size_t>(index));
+    }
+
   private:
     std::array<Entry, kEntries> entries{};
     std::uint64_t tick = 0;

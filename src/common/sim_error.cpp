@@ -1,0 +1,53 @@
+/**
+ * @file
+ * SimError implementation.
+ */
+
+#include "sim_error.hpp"
+
+namespace apres {
+
+const char*
+simErrorKindName(SimErrorKind kind)
+{
+    switch (kind) {
+      case SimErrorKind::kConfig:    return "ConfigError";
+      case SimErrorKind::kKernel:    return "KernelError";
+      case SimErrorKind::kDeadlock:  return "DeadlockError";
+      case SimErrorKind::kInvariant: return "InvariantViolation";
+    }
+    return "SimError";
+}
+
+SimError::SimError(SimErrorKind kind, std::string detail)
+    : std::runtime_error(std::string(simErrorKindName(kind)) + ": " +
+                         detail),
+      kind_(kind), detail_(std::move(detail))
+{
+}
+
+void
+throwConfigError(const std::string& detail)
+{
+    throw SimError(SimErrorKind::kConfig, detail);
+}
+
+void
+throwKernelError(const std::string& detail)
+{
+    throw SimError(SimErrorKind::kKernel, detail);
+}
+
+void
+throwDeadlockError(const std::string& detail)
+{
+    throw SimError(SimErrorKind::kDeadlock, detail);
+}
+
+void
+throwInvariantViolation(const std::string& detail)
+{
+    throw SimError(SimErrorKind::kInvariant, detail);
+}
+
+} // namespace apres

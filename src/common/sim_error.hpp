@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Typed simulator error model.
+ *
+ * Library code throws SimError for every recoverable failure class a
+ * driver may want to distinguish, so sweep runners can catch, record
+ * and retry a single job instead of losing the whole sweep, and the
+ * CLI can translate a failure into a machine-readable error row.
+ * fatal() (log.hpp) remains for unrecoverable *driver* misuse only
+ * (malformed command lines, API contract violations).
+ *
+ * The four kinds form the error taxonomy (DESIGN.md "Hardening"):
+ *  - ConfigError:        rejected configuration (unknown key, out of
+ *                        bounds, invalid policy combination)
+ *  - KernelError:        malformed kernel IR or kernel text
+ *  - DeadlockError:      forward progress lost (watchdog, job timeout)
+ *  - InvariantViolation: a runtime audit found corrupted state
+ */
+
+#ifndef APRES_COMMON_SIM_ERROR_HPP
+#define APRES_COMMON_SIM_ERROR_HPP
+
+#include <stdexcept>
+#include <string>
+
+namespace apres {
+
+/** Failure classes drivers can tell apart. */
+enum class SimErrorKind {
+    kConfig,
+    kKernel,
+    kDeadlock,
+    kInvariant,
+};
+
+/** Stable machine-readable name ("ConfigError", "KernelError", ...). */
+const char* simErrorKindName(SimErrorKind kind);
+
+/**
+ * The simulator's exception type. what() is "<KindName>: <detail>";
+ * detail() is the bare message for error rows and reports.
+ */
+class SimError : public std::runtime_error
+{
+  public:
+    SimError(SimErrorKind kind, std::string detail);
+
+    SimErrorKind kind() const { return kind_; }
+
+    /** The message without the kind prefix. */
+    const std::string& detail() const { return detail_; }
+
+    /** simErrorKindName(kind()). */
+    const char* kindName() const { return simErrorKindName(kind_); }
+
+  private:
+    SimErrorKind kind_;
+    std::string detail_;
+};
+
+/** Throw helpers, one per kind (keep call sites one line). */
+[[noreturn]] void throwConfigError(const std::string& detail);
+[[noreturn]] void throwKernelError(const std::string& detail);
+[[noreturn]] void throwDeadlockError(const std::string& detail);
+[[noreturn]] void throwInvariantViolation(const std::string& detail);
+
+} // namespace apres
+
+#endif // APRES_COMMON_SIM_ERROR_HPP

@@ -7,12 +7,33 @@
 
 #include <algorithm>
 #include <cassert>
+#include <sstream>
 #include <string>
 
 #include "common/bitutils.hpp"
 #include "core/shared_memory.hpp"
 
 namespace apres {
+
+namespace {
+
+const char*
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::kAlu: return "alu";
+      case Opcode::kSfu: return "sfu";
+      case Opcode::kLoad: return "load";
+      case Opcode::kStore: return "store";
+      case Opcode::kSharedLoad: return "sload";
+      case Opcode::kBranch: return "branch";
+      case Opcode::kBarrier: return "barrier";
+      case Opcode::kExit: return "exit";
+    }
+    return "?";
+}
+
+} // namespace
 
 Sm::Sm(SmId sm_id, const SmConfig& config, const Kernel& kernel,
        Scheduler& scheduler_ref, Prefetcher* prefetcher_ptr,
@@ -126,7 +147,19 @@ Sm::arriveBarrier(WarpId warp)
 {
     const std::size_t block =
         static_cast<std::size_t>(warp) / cfg.warpsPerBlock;
-    // Finished warps never arrive: count live members instead.
+    ++barrierArrivals[block];
+    releaseBarrierIfComplete(block);
+}
+
+void
+Sm::releaseBarrierIfComplete(std::size_t block)
+{
+    // Finished warps never arrive: the release threshold is the block's
+    // live-warp count, recomputed here. Called both on arrival and when
+    // a warp finishes (kExit): a warp exiting early while its siblings
+    // wait lowers the threshold, and the barrier must release the
+    // moment the remaining live warps have all arrived — counting live
+    // warps only at arrival time deadlocks that block.
     const int first = static_cast<int>(block) * cfg.warpsPerBlock;
     const int last = std::min(first + cfg.warpsPerBlock, cfg.warpsPerSm);
     int live = 0;
@@ -134,10 +167,11 @@ Sm::arriveBarrier(WarpId warp)
         if (!warps[static_cast<std::size_t>(w)].finished)
             ++live;
     }
-    if (++barrierArrivals[block] >= live) {
+    if (barrierArrivals[block] > 0 && barrierArrivals[block] >= live) {
         barrierArrivals[block] = 0;
         for (int w = first; w < last; ++w)
             warps[static_cast<std::size_t>(w)].atBarrier = false;
+        readyClean_ = false; // released warps are issueable again
     }
 }
 
@@ -207,11 +241,17 @@ Sm::issue(WarpId warp_id, Cycle now)
         }
         break;
 
-      case Opcode::kBarrier:
-        warp.atBarrier = true;
+      case Opcode::kBarrier: {
+        // Non-participants (divergent exit paths, partial-block tails)
+        // step over the barrier without arriving.
+        const int lane = static_cast<int>(warp_id) % cfg.warpsPerBlock;
         ++warp.pcIndex;
-        arriveBarrier(warp_id);
+        if (instr.participantMask >> lane & 1) {
+            warp.atBarrier = true;
+            arriveBarrier(warp_id);
+        }
         break;
+      }
 
       case Opcode::kExit:
         if (--warp.jobsRemaining > 0) {
@@ -225,6 +265,10 @@ Sm::issue(WarpId warp_id, Cycle now)
             warp.finished = true;
             --unfinishedWarps_;
             scheduler.notifyWarpFinished(warp_id);
+            // A sibling barrier may now be complete: this warp's
+            // arrival is no longer owed.
+            releaseBarrierIfComplete(static_cast<std::size_t>(warp_id) /
+                                     cfg.warpsPerBlock);
         }
         break;
     }
@@ -339,6 +383,219 @@ Sm::issuePrefetch(Addr addr, Pc pc, WarpId target_warp)
     memsys.submitRead(req, now_);
     ++stats_.prefetchesIssued;
     return true;
+}
+
+std::string
+Sm::auditInvariants(Cycle now) const
+{
+    std::ostringstream out;
+
+    // Scoreboard: registers pinned at kNeverReady are exactly the
+    // destinations of loads in flight.
+    for (const WarpRuntime& warp : warps) {
+        int pinned = 0;
+        for (const Cycle r : warp.regReadyAt)
+            pinned += r == kNeverReady ? 1 : 0;
+        if (pinned != warp.outstandingLoads) {
+            out << "sm" << smId << " warp " << warp.id << ": " << pinned
+                << " register(s) pinned at kNeverReady but outstandingLoads="
+                << warp.outstandingLoads << "\n";
+        }
+    }
+
+    // Barriers: the arrival counter of each block equals its parked
+    // warps, and a complete barrier must already have released.
+    for (std::size_t b = 0; b < barrierArrivals.size(); ++b) {
+        const int first = static_cast<int>(b) * cfg.warpsPerBlock;
+        const int last = std::min(first + cfg.warpsPerBlock, cfg.warpsPerSm);
+        int parked = 0;
+        int live = 0;
+        for (int w = first; w < last; ++w) {
+            const WarpRuntime& warp = warps[static_cast<std::size_t>(w)];
+            parked += warp.atBarrier ? 1 : 0;
+            live += warp.finished ? 0 : 1;
+        }
+        if (barrierArrivals[b] != parked) {
+            out << "sm" << smId << " block " << b << ": barrier arrivals="
+                << barrierArrivals[b] << " but " << parked
+                << " warp(s) parked atBarrier\n";
+        }
+        if (barrierArrivals[b] > 0 && barrierArrivals[b] >= live) {
+            out << "sm" << smId << " block " << b << ": barrier complete ("
+                << barrierArrivals[b] << " arrived, " << live
+                << " live) but not released\n";
+        }
+    }
+
+    // L1 MSHRs pair one-to-one with in-flight memory-system reads;
+    // adaptive-bypass requests skip the L1, so with bypass on the MSHR
+    // count may only run below the in-flight count, never above.
+    const std::uint64_t mshrs = l1_.mshrsInUse();
+    const std::uint64_t inflight = memsys.outstandingReads(smId);
+    const bool paired = cfg.lsu.adaptiveBypass ? mshrs <= inflight
+                                               : mshrs == inflight;
+    if (!paired) {
+        out << "sm" << smId << ": l1 mshrsInUse=" << mshrs
+            << " vs memory-system outstandingReads=" << inflight
+            << (cfg.lsu.adaptiveBypass ? " (bypass on: expected <=)"
+                                       : " (expected ==)")
+            << "\n";
+    }
+
+    // Ready-scan cache: when it claims "asleep until readyWakeAt_",
+    // re-derive readiness from scratch and cross-check the claim.
+    if (fastForward_ && readyClean_ &&
+        lsu_.canAccept() == readyCanAccept_ && now < readyWakeAt_) {
+        const bool can_accept = lsu_.canAccept();
+        Cycle true_wake = kNeverReady;
+        for (const WarpRuntime& warp : warps) {
+            if (warp.finished || warp.atBarrier)
+                continue;
+            const Instruction& instr =
+                kernel_.at(static_cast<std::size_t>(warp.pcIndex));
+            Cycle regs_ready = 0;
+            bool waits_on_load = false;
+            const auto consider = [&](int reg) {
+                if (reg < 0)
+                    return;
+                const Cycle r =
+                    warp.regReadyAt[static_cast<std::size_t>(reg)];
+                if (r == kNeverReady)
+                    waits_on_load = true;
+                else if (r > regs_ready)
+                    regs_ready = r;
+            };
+            for (const int src : instr.src)
+                consider(src);
+            consider(instr.dst);
+            if (waits_on_load)
+                continue;
+            if (regs_ready <= now) {
+                if (instr.isMemory() && !can_accept)
+                    continue;
+                out << "sm" << smId << " warp " << warp.id
+                    << ": issueable at cycle " << now
+                    << " but the ready-scan cache claims the SM sleeps "
+                       "until cycle " << readyWakeAt_ << "\n";
+            } else if (regs_ready < true_wake) {
+                true_wake = regs_ready;
+            }
+        }
+        if (true_wake < readyWakeAt_) {
+            out << "sm" << smId << ": ready-scan cache wake bound "
+                << readyWakeAt_ << " is later than the true earliest "
+                   "register maturity " << true_wake
+                << " (issueable cycles would be skipped)\n";
+        }
+    }
+
+    return out.str();
+}
+
+std::string
+Sm::auditSkippedWindow(Cycle begin, Cycle end) const
+{
+    std::ostringstream out;
+    if (lsu_.busy()) {
+        out << "sm" << smId << ": window [" << begin << ", " << end
+            << ") skipped with " << lsu_.queueDepth()
+            << " op(s) queued in the LSU\n";
+    }
+    if (lsu_.nextHitReady() < end) {
+        out << "sm" << smId << ": window [" << begin << ", " << end
+            << ") skipped over an L1-hit completion at cycle "
+            << lsu_.nextHitReady() << "\n";
+    }
+    // The LSU was idle across the window (no queued op, no response
+    // before `end`), so canAccept() could not flip: any live warp whose
+    // registers mature strictly before `end` could have issued.
+    const bool can_accept = lsu_.canAccept();
+    for (const WarpRuntime& warp : warps) {
+        if (warp.finished || warp.atBarrier)
+            continue;
+        const Instruction& instr =
+            kernel_.at(static_cast<std::size_t>(warp.pcIndex));
+        if (instr.isMemory() && !can_accept)
+            continue;
+        Cycle regs_ready = 0;
+        bool waits_on_load = false;
+        const auto consider = [&](int reg) {
+            if (reg < 0)
+                return;
+            const Cycle r = warp.regReadyAt[static_cast<std::size_t>(reg)];
+            if (r == kNeverReady)
+                waits_on_load = true;
+            else if (r > regs_ready)
+                regs_ready = r;
+        };
+        for (const int src : instr.src)
+            consider(src);
+        consider(instr.dst);
+        if (waits_on_load)
+            continue;
+        if (regs_ready < end) {
+            out << "sm" << smId << " warp " << warp.id
+                << ": could have issued at cycle "
+                << std::max(begin, regs_ready)
+                << " inside the skipped window [" << begin << ", " << end
+                << ")\n";
+        }
+    }
+    return out.str();
+}
+
+std::string
+Sm::stallReport(Cycle now) const
+{
+    std::ostringstream out;
+    out << "sm" << smId << ": lsuQueue=" << lsu_.queueDepth() << "/"
+        << cfg.lsu.queueCapacity << " l1MshrsInUse=" << l1_.mshrsInUse()
+        << " outstandingReads=" << memsys.outstandingReads(smId)
+        << " unfinishedWarps=" << unfinishedWarps_ << "\n";
+    for (std::size_t b = 0; b < barrierArrivals.size(); ++b) {
+        if (barrierArrivals[b] > 0) {
+            out << "  block " << b << ": " << barrierArrivals[b]
+                << " warp(s) arrived at the barrier\n";
+        }
+    }
+    const bool can_accept = lsu_.canAccept();
+    for (const WarpRuntime& warp : warps) {
+        if (warp.finished)
+            continue;
+        const Instruction& instr =
+            kernel_.at(static_cast<std::size_t>(warp.pcIndex));
+        out << "  warp " << warp.id << ": pcIndex=" << warp.pcIndex
+            << " op=" << opcodeName(instr.op) << " ";
+        if (warp.atBarrier) {
+            const std::size_t b =
+                static_cast<std::size_t>(warp.id) / cfg.warpsPerBlock;
+            out << "at barrier (block " << b << ", "
+                << barrierArrivals[b] << " arrived)";
+        } else if (warp.outstandingLoads > 0 &&
+                   !warpReady(warp, now)) {
+            out << "waiting on " << warp.outstandingLoads
+                << " outstanding load(s)";
+        } else if (instr.isMemory() && !can_accept) {
+            out << "blocked on a full LSU queue";
+        } else if (!warpReady(warp, now)) {
+            Cycle regs_ready = 0;
+            for (const int src : instr.src) {
+                if (src >= 0)
+                    regs_ready = std::max(
+                        regs_ready,
+                        warp.regReadyAt[static_cast<std::size_t>(src)]);
+            }
+            if (instr.dst >= 0)
+                regs_ready = std::max(
+                    regs_ready,
+                    warp.regReadyAt[static_cast<std::size_t>(instr.dst)]);
+            out << "registers mature at cycle " << regs_ready;
+        } else {
+            out << "ready but never picked by the scheduler";
+        }
+        out << "\n";
+    }
+    return out.str();
 }
 
 } // namespace apres

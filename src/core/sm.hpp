@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/types.hpp"
@@ -201,11 +202,61 @@ class Sm final : public SmContext,
     /** SM counters. */
     const SmStats& stats() const { return stats_; }
 
+    /**
+     * Check this SM's structural invariants at cycle @p now; returns a
+     * human-readable violation description, empty when everything
+     * holds. Checked: the scoreboard (count of registers pinned at
+     * kNeverReady must equal outstandingLoads per warp), barrier
+     * bookkeeping (arrival counters must match the parked warps and a
+     * complete barrier must have released), the L1-MSHR/memory-system
+     * pairing (each L1 MSHR corresponds to one in-flight read; with
+     * adaptive bypass off the counts are equal), and — under
+     * fast-forward — the ready-scan cache (a "clean, asleep until
+     * readyWakeAt_" claim is re-derived from scratch).
+     */
+    std::string auditInvariants(Cycle now) const;
+
+    /**
+     * Verify the fast-forward precondition over the just-skipped
+     * window [@p begin, @p end): recompute from scratch that no warp
+     * could have issued and no LSU event matured strictly before
+     * @p end. Returns a violation description, empty when the skip
+     * was sound.
+     */
+    std::string auditSkippedWindow(Cycle begin, Cycle end) const;
+
+    /**
+     * Multi-line stall report for deadlock diagnostics: per-warp
+     * state (pc, opcode, stall reason), barrier arrival counts per
+     * block, and LSU/MSHR occupancy.
+     */
+    std::string stallReport(Cycle now) const;
+
+    /** Arrived-warp count of barrier @p block (tests/auditor). */
+    int barrierArrivalCount(int block) const
+    {
+        return barrierArrivals.at(static_cast<std::size_t>(block));
+    }
+
+    /**
+     * TEST HOOK: corrupt the ready-scan cache so the SM claims to be
+     * asleep until @p fake_wake regardless of actual warp state. Used
+     * by fault-injection tests to prove the auditor catches a
+     * skipped-issueable-cycle bug; never call outside tests.
+     */
+    void debugForceReadyClean(Cycle fake_wake)
+    {
+        readyClean_ = true;
+        readyCanAccept_ = lsu_.canAccept();
+        readyWakeAt_ = fake_wake;
+    }
+
   private:
     void collectReady(Cycle now, std::vector<WarpId>& out);
     bool warpReady(const WarpRuntime& warp, Cycle now) const;
     void issue(WarpId warp, Cycle now);
     void arriveBarrier(WarpId warp);
+    void releaseBarrierIfComplete(std::size_t block);
 
     SmId smId;
     SmConfig cfg;

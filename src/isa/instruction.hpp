@@ -80,6 +80,14 @@ struct Instruction
     /** For kBranch: target instruction *index* of the loop head. */
     int branchTarget = -1;
 
+    /**
+     * For kBarrier: which warps of a block participate (bit w = warp
+     * w within its block). Warps outside the mask step over the
+     * barrier without arriving — the early-exit shape of kernels
+     * whose tail warps skip the synchronized epilogue. Default: all.
+     */
+    std::uint64_t participantMask = ~std::uint64_t{0};
+
     /** True for operations handled by the load-store unit. */
     bool isMemory() const { return op == Opcode::kLoad || op == Opcode::kStore; }
 };

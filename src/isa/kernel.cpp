@@ -6,7 +6,11 @@
 #include "kernel.hpp"
 
 #include <cassert>
+#include <set>
+#include <sstream>
 #include <utility>
+
+#include "common/sim_error.hpp"
 
 namespace apres {
 
@@ -156,10 +160,17 @@ KernelBuilder::store(AddressGenPtr gen, int src, int lane_stride, Pc pc,
 void
 KernelBuilder::barrier()
 {
+    barrier(~std::uint64_t{0});
+}
+
+void
+KernelBuilder::barrier(std::uint64_t participant_mask)
+{
     assert(!built);
     Instruction instr;
     instr.op = Opcode::kBarrier;
     instr.pc = nextPc(kInvalidPc);
+    instr.participantMask = participant_mask;
     kernel.code_.push_back(instr);
 }
 
@@ -171,10 +182,31 @@ KernelBuilder::build(std::uint64_t trip_count)
     assert(!kernel.code_.empty() && "kernel body must not be empty");
     built = true;
 
+    if (loopTarget < 0 ||
+        loopTarget >= static_cast<int>(kernel.code_.size())) {
+        throwKernelError(
+            "kernel '" + kernel.name_ + "': loop target " +
+            std::to_string(loopTarget) + " is outside the body [0, " +
+            std::to_string(kernel.code_.size()) + ")");
+    }
+
+    // PCs key the hardware tables (LLT, STR table, SAP PT); a
+    // collision would silently alias two static instructions.
+    std::set<Pc> pcs;
+    for (const Instruction& instr : kernel.code_) {
+        if (!pcs.insert(instr.pc).second) {
+            std::ostringstream oss;
+            oss << "kernel '" << kernel.name_ << "': duplicate pc 0x"
+                << std::hex << instr.pc
+                << " (PCs must be unique per static instruction)";
+            throwKernelError(oss.str());
+        }
+    }
+
     Instruction branch;
     branch.op = Opcode::kBranch;
     branch.pc = nextPc(kInvalidPc);
-    branch.branchTarget = 0;
+    branch.branchTarget = loopTarget;
     kernel.code_.push_back(branch);
 
     Instruction exit_instr;

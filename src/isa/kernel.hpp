@@ -122,8 +122,27 @@ class KernelBuilder
     void barrier();
 
     /**
+     * Append a barrier only the warps in @p participant_mask (bit w =
+     * warp w within its block) arrive at; the rest step over it.
+     */
+    void barrier(std::uint64_t participant_mask);
+
+    /**
+     * Set the loop head: the back-edge branch build() appends jumps to
+     * body instruction @p body_index instead of index 0. Validated in
+     * build(): an out-of-range target throws KernelError.
+     */
+    void setLoopTarget(int body_index) { loopTarget = body_index; }
+
+    /** Number of instructions appended so far (label bookkeeping). */
+    int bodySize() const { return static_cast<int>(kernel.code_.size()); }
+
+    /**
      * Finalize: appends the loop branch and exit, and moves the kernel
-     * out. The builder must not be reused afterwards.
+     * out. The builder must not be reused afterwards. Throws
+     * KernelError when the loop target is out of range or two static
+     * instructions collide on one PC (PC-keyed hardware tables — LLT,
+     * STR, SAP PT — would silently alias them).
      *
      * @param trip_count loop iterations per warp (>= 1)
      */
@@ -136,6 +155,7 @@ class KernelBuilder
 
     Kernel kernel;
     Pc autoPc = 0;
+    int loopTarget = 0;
     bool built = false;
 };
 

@@ -1,17 +1,22 @@
 /**
  * @file
  * Kernel text format: parser, writer, and the AddressGen factory.
+ *
+ * Every malformed input throws KernelError with the offending line
+ * number, so a bad kernel file fails one job (or one CLI run) with a
+ * machine-readable error instead of mis-executing or killing a sweep.
  */
 
 #include "kernel_text.hpp"
 
 #include <fstream>
 #include <map>
+#include <set>
 #include <algorithm>
 #include <sstream>
 #include <vector>
 
-#include "common/log.hpp"
+#include "common/sim_error.hpp"
 #include "isa/address_gen.hpp"
 
 namespace apres {
@@ -29,7 +34,8 @@ class Params
         while (in >> token) {
             const auto eq = token.find('=');
             if (eq == std::string::npos || eq == 0)
-                fatal(context + ": expected key=value, got '" + token + "'");
+                throwKernelError(context + ": expected key=value, got '" +
+                                 token + "'");
             values[token.substr(0, eq)] = token.substr(eq + 1);
         }
     }
@@ -49,7 +55,8 @@ class Params
     requireU64(const std::string& key) const
     {
         if (!has(key))
-            fatal(context_ + ": missing required key '" + key + "'");
+            throwKernelError(context_ + ": missing required key '" + key +
+                             "'");
         return getU64(key, 0);
     }
 
@@ -77,7 +84,8 @@ class Params
     {
         const auto it = values.find(key);
         if (it == values.end())
-            fatal(context_ + ": missing required key '" + key + "'");
+            throwKernelError(context_ + ": missing required key '" + key +
+                             "'");
         const std::string& v = it->second;
         return std::atoi(v[0] == 'r' ? v.c_str() + 1 : v.c_str());
     }
@@ -92,7 +100,8 @@ int
 parseReg(const std::string& token, const std::string& context)
 {
     if (token.size() < 2 || token[0] != 'r')
-        fatal(context + ": expected register rN, got '" + token + "'");
+        throwKernelError(context + ": expected register rN, got '" + token +
+                         "'");
     return std::atoi(token.c_str() + 1);
 }
 
@@ -133,7 +142,7 @@ parseAddressGen(const std::string& text)
             static_cast<std::size_t>(p.requireU64("lines")),
             p.getDouble("alpha", 1.0), p.getU64("seed", 1));
     }
-    fatal("unknown address generator kind: '" + kind + "'");
+    throwKernelError("unknown address generator kind: '" + kind + "'");
 }
 
 Kernel
@@ -143,16 +152,34 @@ parseKernelText(std::istream& input)
     std::uint64_t trips = 1;
     std::vector<AddressGenPtr> gens;
     std::unique_ptr<KernelBuilder> builder;
-    std::map<int, int> reg_map; // file register -> builder register
+    std::map<int, int> reg_map;          // file register -> builder register
+    std::map<std::string, int> labels;   // label name -> body index
+    std::set<Pc> explicit_pcs;           // duplicate `pc=` detection
+    int last_lanes = kWarpSize;          // divergence state at a barrier
 
     const auto mapped = [&](int file_reg, const std::string& ctx) {
         if (file_reg < 0)
             return kNoReg;
         const auto it = reg_map.find(file_reg);
         if (it == reg_map.end())
-            fatal(ctx + ": register r" + std::to_string(file_reg) +
-                  " used before definition");
+            throwKernelError(ctx + ": register r" +
+                             std::to_string(file_reg) +
+                             " used before definition");
         return it->second;
+    };
+
+    const auto checkExplicitPc = [&](const Params& p,
+                                     const std::string& ctx) {
+        if (!p.has("pc"))
+            return static_cast<Pc>(kInvalidPc);
+        const Pc pc = static_cast<Pc>(p.getU64("pc", kInvalidPc));
+        if (!explicit_pcs.insert(pc).second) {
+            std::ostringstream oss;
+            oss << ctx << ": duplicate pc 0x" << std::hex << pc
+                << " (PCs key the LLT/STR/PT tables and must be unique)";
+            throwKernelError(oss.str());
+        }
+        return pc;
     };
 
     std::string line;
@@ -170,39 +197,64 @@ parseKernelText(std::istream& input)
 
         if (op == "kernel") {
             if (!(in >> name >> trips) || trips < 1)
-                fatal(ctx + ": expected 'kernel NAME TRIPS'");
+                throwKernelError(ctx + ": expected 'kernel NAME TRIPS'");
             builder = std::make_unique<KernelBuilder>(name);
         } else if (!builder) {
-            fatal(ctx + ": '" + op + "' before the kernel header");
+            throwKernelError(ctx + ": '" + op +
+                             "' before the kernel header");
         } else if (op == "gen") {
             int id = 0;
             if (!(in >> id) || id != static_cast<int>(gens.size()))
-                fatal(ctx + ": generators must be numbered in order");
+                throwKernelError(ctx +
+                                 ": generators must be numbered in order");
             std::string rest;
             std::getline(in, rest);
             gens.push_back(parseAddressGen(rest));
+        } else if (op == "label") {
+            std::string label_name;
+            if (!(in >> label_name))
+                throwKernelError(ctx + ": expected 'label NAME'");
+            if (!labels.emplace(label_name, builder->bodySize()).second)
+                throwKernelError(ctx + ": duplicate label '" + label_name +
+                                 "'");
+        } else if (op == "loop") {
+            std::string label_name;
+            if (!(in >> label_name))
+                throwKernelError(ctx + ": expected 'loop NAME'");
+            const auto it = labels.find(label_name);
+            if (it == labels.end())
+                throwKernelError(
+                    ctx + ": unknown label '" + label_name +
+                    "' (labels must be defined before 'loop' uses them, "
+                    "so branch targets can never point out of range)");
+            builder->setLoopTarget(it->second);
         } else if (op == "load") {
             std::string reg_token;
             if (!(in >> reg_token))
-                fatal(ctx + ": expected 'load rN key=value...'");
+                throwKernelError(ctx + ": expected 'load rN key=value...'");
             const int file_reg = parseReg(reg_token, ctx);
             Params p(in, ctx);
+            checkExplicitPc(p, ctx);
             const auto gen_id = p.requireU64("gen");
             if (gen_id >= gens.size() || gens[gen_id] == nullptr)
-                fatal(ctx + ": generator " + std::to_string(gen_id) +
-                      " not defined (each may be used once)");
+                throwKernelError(ctx + ": generator " +
+                                 std::to_string(gen_id) +
+                                 " not defined (each may be used once)");
             const int dep =
                 p.has("dep") ? mapped(p.getReg("dep"), ctx) : kNoReg;
+            const int lanes =
+                static_cast<int>(p.getU64("lanes", kWarpSize));
             const int reg = builder->load(
                 std::move(gens[gen_id]),
                 static_cast<int>(p.getU64("lanestride", 4)),
-                static_cast<Pc>(p.getU64("pc", kInvalidPc)), dep,
-                static_cast<int>(p.getU64("lanes", kWarpSize)));
+                static_cast<Pc>(p.getU64("pc", kInvalidPc)), dep, lanes);
             reg_map[file_reg] = reg;
+            last_lanes = lanes;
         } else if (op == "alu" || op == "sfu") {
             std::string dst_token;
             if (!(in >> dst_token))
-                fatal(ctx + ": expected '" + op + " rDST [rSRC...]'");
+                throwKernelError(ctx + ": expected '" + op +
+                                 " rDST [rSRC...]'");
             const int file_dst = parseReg(dst_token, ctx);
             std::vector<int> srcs;
             int latency = op == "alu" ? 8 : 20;
@@ -219,41 +271,72 @@ parseKernelText(std::istream& input)
         } else if (op == "sload") {
             std::string reg_token;
             if (!(in >> reg_token))
-                fatal(ctx + ": expected 'sload rN key=value...'");
+                throwKernelError(ctx +
+                                 ": expected 'sload rN key=value...'");
             const int file_reg = parseReg(reg_token, ctx);
             Params p(in, ctx);
             const auto gen_id = p.requireU64("gen");
             if (gen_id >= gens.size() || gens[gen_id] == nullptr)
-                fatal(ctx + ": generator " + std::to_string(gen_id) +
-                      " not defined (each may be used once)");
+                throwKernelError(ctx + ": generator " +
+                                 std::to_string(gen_id) +
+                                 " not defined (each may be used once)");
             const int dep =
                 p.has("dep") ? mapped(p.getReg("dep"), ctx) : kNoReg;
+            const int lanes =
+                static_cast<int>(p.getU64("lanes", kWarpSize));
             const int reg = builder->sharedLoad(
                 std::move(gens[gen_id]),
-                static_cast<int>(p.getU64("lanestride", 4)), dep,
-                static_cast<int>(p.getU64("lanes", kWarpSize)));
+                static_cast<int>(p.getU64("lanestride", 4)), dep, lanes);
             reg_map[file_reg] = reg;
+            last_lanes = lanes;
         } else if (op == "store") {
             Params p(in, ctx);
+            checkExplicitPc(p, ctx);
             const auto gen_id = p.requireU64("gen");
             if (gen_id >= gens.size() || gens[gen_id] == nullptr)
-                fatal(ctx + ": generator " + std::to_string(gen_id) +
-                      " not defined (each may be used once)");
+                throwKernelError(ctx + ": generator " +
+                                 std::to_string(gen_id) +
+                                 " not defined (each may be used once)");
             const int src =
                 p.has("src") ? mapped(p.getReg("src"), ctx) : kNoReg;
+            const int lanes =
+                static_cast<int>(p.getU64("lanes", kWarpSize));
             builder->store(std::move(gens[gen_id]), src,
                            static_cast<int>(p.getU64("lanestride", 4)),
                            static_cast<Pc>(p.getU64("pc", kInvalidPc)),
-                           static_cast<int>(p.getU64("lanes", kWarpSize)));
+                           lanes);
+            last_lanes = lanes;
         } else if (op == "barrier") {
+            Params p(in, ctx);
+            // Divergence checks: a barrier only some lanes (or some
+            // warps) reach deadlocks the block on real hardware, so the
+            // text format rejects both shapes outright. Partial
+            // participant masks remain available to white-box tests
+            // through KernelBuilder::barrier(mask).
+            if (p.has("warps") &&
+                p.getU64("warps", ~std::uint64_t{0}) != ~std::uint64_t{0}) {
+                throwKernelError(
+                    ctx + ": barrier with a partial warps= mask is a "
+                    "barrier in a divergent context; kernel text only "
+                    "expresses block-wide barriers");
+            }
+            if (last_lanes < kWarpSize) {
+                throwKernelError(
+                    ctx + ": barrier in a divergent context (preceding "
+                    "memory op ran with lanes=" +
+                    std::to_string(last_lanes) +
+                    " < " + std::to_string(kWarpSize) +
+                    "); real hardware would deadlock the block");
+            }
             builder->barrier();
+            last_lanes = kWarpSize; // a barrier reconverges the block
         } else {
-            fatal(ctx + ": unknown directive '" + op + "'");
+            throwKernelError(ctx + ": unknown directive '" + op + "'");
         }
     }
 
     if (!builder)
-        fatal("kernel text: missing 'kernel NAME TRIPS' header");
+        throwKernelError("kernel text: missing 'kernel NAME TRIPS' header");
     return builder->build(trips);
 }
 
@@ -269,8 +352,14 @@ loadKernelFile(const std::string& path)
 {
     std::ifstream in(path);
     if (!in)
-        fatal("cannot open kernel file: " + path);
-    return parseKernelText(in);
+        throwKernelError("cannot open kernel file: " + path);
+    try {
+        return parseKernelText(in);
+    } catch (const SimError& e) {
+        // Prefix the file name so multi-file drivers report usable
+        // locations; the kind is preserved.
+        throw SimError(e.kind(), path + ": " + e.detail());
+    }
 }
 
 void
@@ -288,7 +377,18 @@ writeKernelText(const Kernel& kernel, std::ostream& output)
         output << "gen " << g << ' ' << kernel.addrGen(g).serialize()
                << '\n';
 
+    // A non-zero loop head round-trips as a label/loop pair.
+    int loop_target = 0;
     for (const Instruction& instr : kernel.code()) {
+        if (instr.op == Opcode::kBranch && instr.branchTarget > 0)
+            loop_target = instr.branchTarget;
+    }
+
+    int index = 0;
+    for (const Instruction& instr : kernel.code()) {
+        if (loop_target > 0 && index == loop_target)
+            output << "label head\n";
+        ++index;
         switch (instr.op) {
           case Opcode::kSharedLoad:
             output << "sload r" << instr.dst << " gen=" << instr.addrGenId
@@ -329,6 +429,9 @@ writeKernelText(const Kernel& kernel, std::ostream& output)
             output << "barrier\n";
             break;
           case Opcode::kBranch:
+            if (instr.branchTarget > 0)
+                output << "loop head\n";
+            break; // otherwise implicit in the format
           case Opcode::kExit:
             break; // implicit in the format
         }

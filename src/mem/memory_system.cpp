@@ -59,6 +59,10 @@ MemorySystem::scheduleEvent(Cycle ready, const MemRequest& req, bool fills_l2)
 void
 MemorySystem::submitRead(const MemRequest& req, Cycle now)
 {
+    if (static_cast<std::size_t>(req.sm) >= outstandingReads_.size())
+        outstandingReads_.resize(static_cast<std::size_t>(req.sm) + 1, 0);
+    ++outstandingReads_[static_cast<std::size_t>(req.sm)];
+
     const int p = partitionOf(req.lineAddr);
     Cache& l2 = *l2s[static_cast<std::size_t>(p)];
     traffic_.requestBytesToL2 += kRequestHeaderBytes;
@@ -117,6 +121,11 @@ MemorySystem::deliver(const MemRequest& req, Cycle now)
     assert(static_cast<std::size_t>(req.sm) < clients.size() &&
            clients[static_cast<std::size_t>(req.sm)] != nullptr &&
            "response for an unregistered SM");
+    assert(static_cast<std::size_t>(req.sm) < outstandingReads_.size() &&
+           outstandingReads_[static_cast<std::size_t>(req.sm)] > 0 &&
+           "delivering a response that was never submitted");
+    --outstandingReads_[static_cast<std::size_t>(req.sm)];
+    ++responsesDelivered_;
     clients[static_cast<std::size_t>(req.sm)]->memResponse(req, now);
 }
 
@@ -148,6 +157,13 @@ MemorySystem::nextEventCycle() const
                           : events.top().ready;
 }
 
+std::uint64_t
+MemorySystem::outstandingReads(SmId sm) const
+{
+    const auto i = static_cast<std::size_t>(sm);
+    return i < outstandingReads_.size() ? outstandingReads_[i] : 0;
+}
+
 CacheStats
 MemorySystem::l2StatsTotal() const
 {
@@ -168,6 +184,8 @@ MemorySystem::reset()
         events.pop();
     seqCounter = 0;
     traffic_ = TrafficStats{};
+    outstandingReads_.assign(outstandingReads_.size(), 0);
+    responsesDelivered_ = 0;
 }
 
 } // namespace apres

@@ -98,6 +98,18 @@ class MemorySystem
     /** Earliest pending response cycle (kNever when idle). */
     Cycle nextEventCycle() const;
 
+    /**
+     * Read requests submitted by SM @p sm and not yet delivered back.
+     * The invariant auditor matches this against the SM's L1 MSHR
+     * occupancy: every L1 MSHR allocation pairs with exactly one
+     * submitRead(), so (without adaptive bypass, whose requests skip
+     * the L1) the two must agree between ticks.
+     */
+    std::uint64_t outstandingReads(SmId sm) const;
+
+    /** Total read responses delivered (watchdog progress signal). */
+    std::uint64_t responsesDelivered() const { return responsesDelivered_; }
+
     /** Partition a line address maps to. */
     int partitionOf(Addr line_addr) const;
 
@@ -146,6 +158,8 @@ class MemorySystem
     std::priority_queue<Event, std::vector<Event>, std::greater<>> events;
     std::uint64_t seqCounter = 0;
     TrafficStats traffic_;
+    std::vector<std::uint64_t> outstandingReads_; ///< per SM, in flight
+    std::uint64_t responsesDelivered_ = 0;
 };
 
 } // namespace apres

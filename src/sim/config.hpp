@@ -73,6 +73,29 @@ struct GpuConfig
     bool fastForward = true;
 
     /**
+     * Runtime invariant auditing ("sim.audit", off by default): every
+     * auditInterval cycles — and after every fast-forward skip — the
+     * Auditor walks the live structures (WGT/LLT, SAP PT/WQ/DRQ
+     * budgets, MSHR <-> outstanding-request matching, scoreboard
+     * consistency, skip-window soundness) and throws
+     * SimError(kInvariant) with a state dump on violation. Off, the
+     * run loop only tests one null pointer per iteration.
+     */
+    bool audit = false;
+
+    /** Cycles between audit walks ("sim.auditInterval"). */
+    std::uint64_t auditInterval = 16'384;
+
+    /**
+     * Forward-progress watchdog ("sim.watchdogCycles"): when this many
+     * cycles elapse with zero instructions issued and zero memory
+     * responses delivered, Gpu::run throws SimError(kDeadlock) with a
+     * per-warp stall report instead of spinning to maxCycles. 0
+     * disables the watchdog.
+     */
+    std::uint64_t watchdogCycles = 10'000'000;
+
+    /**
      * Seed of the Gpu-owned Rng. Every simulation is a pure function
      * of its configuration (including this field): any stochastic
      * model component must draw from Gpu::rng(), never from a global

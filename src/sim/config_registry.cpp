@@ -11,6 +11,7 @@
 
 #include "common/log.hpp"
 #include "common/parse.hpp"
+#include "common/sim_error.hpp"
 #include "sim/policy_registry.hpp"
 
 namespace apres {
@@ -49,11 +50,12 @@ ConfigRegistry::addEntry(const std::string& key, Entry entry)
 }
 
 void
-ConfigRegistry::addInt(const std::string& key, int& field, int min_value)
+ConfigRegistry::addInt(const std::string& key, int& field, int min_value,
+                       int max_value)
 {
     addEntry(key,
-             {[&field, min_value, key](const std::string& value,
-                                       std::string* error) {
+             {[&field, min_value, max_value, key](const std::string& value,
+                                                  std::string* error) {
                   std::int64_t parsed = 0;
                   if (!parseInt64Strict(value, &parsed) ||
                       parsed > std::numeric_limits<int>::max()) {
@@ -66,6 +68,12 @@ ConfigRegistry::addInt(const std::string& key, int& field, int min_value)
                           std::to_string(min_value);
                       return false;
                   }
+                  if (parsed > max_value) {
+                      *error = key + ": " + value +
+                          " is above the maximum of " +
+                          std::to_string(max_value);
+                      return false;
+                  }
                   field = static_cast<int>(parsed);
                   return true;
               },
@@ -74,11 +82,11 @@ ConfigRegistry::addInt(const std::string& key, int& field, int min_value)
 
 void
 ConfigRegistry::addU32(const std::string& key, std::uint32_t& field,
-                       std::uint32_t min_value)
+                       std::uint32_t min_value, std::uint32_t max_value)
 {
     addEntry(key,
-             {[&field, min_value, key](const std::string& value,
-                                       std::string* error) {
+             {[&field, min_value, max_value, key](const std::string& value,
+                                                  std::string* error) {
                   std::uint64_t parsed = 0;
                   if (!parseUint64Strict(value, &parsed) ||
                       parsed > std::numeric_limits<std::uint32_t>::max()) {
@@ -92,6 +100,12 @@ ConfigRegistry::addU32(const std::string& key, std::uint32_t& field,
                           std::to_string(min_value);
                       return false;
                   }
+                  if (parsed > max_value) {
+                      *error = key + ": " + value +
+                          " is above the maximum of " +
+                          std::to_string(max_value);
+                      return false;
+                  }
                   field = static_cast<std::uint32_t>(parsed);
                   return true;
               },
@@ -100,11 +114,11 @@ ConfigRegistry::addU32(const std::string& key, std::uint32_t& field,
 
 void
 ConfigRegistry::addU64(const std::string& key, std::uint64_t& field,
-                       std::uint64_t min_value)
+                       std::uint64_t min_value, std::uint64_t max_value)
 {
     addEntry(key,
-             {[&field, min_value, key](const std::string& value,
-                                       std::string* error) {
+             {[&field, min_value, max_value, key](const std::string& value,
+                                                  std::string* error) {
                   std::uint64_t parsed = 0;
                   if (!parseUint64Strict(value, &parsed)) {
                       *error = key + ": \"" + value +
@@ -115,6 +129,12 @@ ConfigRegistry::addU64(const std::string& key, std::uint64_t& field,
                       *error = key + ": " + value +
                           " is below the minimum of " +
                           std::to_string(min_value);
+                      return false;
+                  }
+                  if (parsed > max_value) {
+                      *error = key + ": " + value +
+                          " is above the maximum of " +
+                          std::to_string(max_value);
                       return false;
                   }
                   field = parsed;
@@ -219,57 +239,76 @@ ConfigRegistry::ConfigRegistry(GpuConfig& c)
 {
     const double inf = std::numeric_limits<double>::infinity();
 
-    addInt("numSms", c.numSms, 1);
+    // Upper bounds on structural keys are sanity ceilings, not model
+    // limits: generous enough for any plausible design-space sweep,
+    // tight enough that a unit mixup (bytes-vs-KB, cycles-vs-seconds)
+    // or a corrupted sweep script fails at parse time with the key
+    // named, not deep inside the run.
+    addInt("numSms", c.numSms, 1, 4096);
     addU64("maxCycles", c.maxCycles, 1);
     addU64("seed", c.seed, 0);
     addBool("sim.fastForward", c.fastForward);
+    addBool("sim.audit", c.audit);
+    addU64("sim.auditInterval", c.auditInterval, 1, 1'000'000'000);
+    addU64("sim.watchdogCycles", c.watchdogCycles, 0, // 0 = disabled
+           1'000'000'000'000ull);
     addPolicyName("scheduler", c.scheduler, &knownScheduler,
                   &schedulerNames);
     addPolicyName("prefetcher", c.prefetcher, &knownPrefetcher,
                   &prefetcherNames);
 
-    addInt("sm.warpsPerSm", c.sm.warpsPerSm, 1);
-    addInt("sm.warpsPerBlock", c.sm.warpsPerBlock, 1);
-    addInt("sm.jobsPerWarp", c.sm.jobsPerWarp, 1);
+    // Warp sets are 64-bit masks (LAWS groups, per-line consumer
+    // tracking), so >64 warps per SM is rejected here as well as in
+    // the Gpu constructor.
+    addInt("sm.warpsPerSm", c.sm.warpsPerSm, 1, 64);
+    addInt("sm.warpsPerBlock", c.sm.warpsPerBlock, 1, 64);
+    addInt("sm.jobsPerWarp", c.sm.jobsPerWarp, 1, 1'000'000);
     addDouble("sm.prefetchMshrGate", c.sm.prefetchMshrGate, 0.0, 1.0);
 
-    addU64("l1.sizeBytes", c.sm.l1.sizeBytes, 1);
-    addU32("l1.ways", c.sm.l1.ways, 1);
-    addU32("l1.lineSize", c.sm.l1.lineSize, 1);
-    addU32("l1.numMshrs", c.sm.l1.numMshrs, 1);
-    addU32("l1.maxMergesPerMshr", c.sm.l1.maxMergesPerMshr, 1);
+    addU64("l1.sizeBytes", c.sm.l1.sizeBytes, 1, std::uint64_t{1} << 30);
+    addU32("l1.ways", c.sm.l1.ways, 1, 256);
+    addU32("l1.lineSize", c.sm.l1.lineSize, 1, 4096);
+    addU32("l1.numMshrs", c.sm.l1.numMshrs, 1, 65'536);
+    addU32("l1.maxMergesPerMshr", c.sm.l1.maxMergesPerMshr, 1, 65'536);
     addReplacement("l1.replacement", c.sm.l1.replacement);
     addBool("l1.hashSetIndex", c.sm.l1.hashSetIndex);
 
-    addInt("lsu.queueCapacity", c.sm.lsu.queueCapacity, 1);
-    addInt("lsu.linesPerCycle", c.sm.lsu.linesPerCycle, 1);
-    addU64("lsu.l1HitLatency", c.sm.lsu.l1HitLatency, 1);
+    addInt("lsu.queueCapacity", c.sm.lsu.queueCapacity, 1, 65'536);
+    addInt("lsu.linesPerCycle", c.sm.lsu.linesPerCycle, 1, 1024);
+    addU64("lsu.l1HitLatency", c.sm.lsu.l1HitLatency, 1, 1'000'000);
     addBool("lsu.adaptiveBypass", c.sm.lsu.adaptiveBypass);
     addU64("lsu.bypassMinAccesses", c.sm.lsu.bypassMinAccesses, 1);
     addDouble("lsu.bypassMissRate", c.sm.lsu.bypassMissRate, 0.0, 1.0);
 
-    addU64("sharedMem.baseLatency", c.sm.sharedMem.baseLatency, 1);
-    addInt("sharedMem.numBanks", c.sm.sharedMem.numBanks, 1);
-    addU32("sharedMem.wordBytes", c.sm.sharedMem.wordBytes, 1);
+    addU64("sharedMem.baseLatency", c.sm.sharedMem.baseLatency, 1,
+           1'000'000);
+    addInt("sharedMem.numBanks", c.sm.sharedMem.numBanks, 1, 1024);
+    addU32("sharedMem.wordBytes", c.sm.sharedMem.wordBytes, 1, 4096);
 
-    addInt("mem.numPartitions", c.mem.numPartitions, 1);
-    addU64("mem.l2HitLatency", c.mem.l2HitLatency, 1);
+    addInt("mem.numPartitions", c.mem.numPartitions, 1, 1024);
+    addU64("mem.l2HitLatency", c.mem.l2HitLatency, 1, 1'000'000);
 
-    addU64("l2.sizeBytes", c.mem.l2Partition.sizeBytes, 1);
-    addU32("l2.ways", c.mem.l2Partition.ways, 1);
-    addU32("l2.lineSize", c.mem.l2Partition.lineSize, 1);
-    addU32("l2.numMshrs", c.mem.l2Partition.numMshrs, 1);
-    addU32("l2.maxMergesPerMshr", c.mem.l2Partition.maxMergesPerMshr, 1);
+    addU64("l2.sizeBytes", c.mem.l2Partition.sizeBytes, 1,
+           std::uint64_t{1} << 32);
+    addU32("l2.ways", c.mem.l2Partition.ways, 1, 256);
+    addU32("l2.lineSize", c.mem.l2Partition.lineSize, 1, 4096);
+    addU32("l2.numMshrs", c.mem.l2Partition.numMshrs, 1, 65'536);
+    addU32("l2.maxMergesPerMshr", c.mem.l2Partition.maxMergesPerMshr, 1,
+           65'536);
     addReplacement("l2.replacement", c.mem.l2Partition.replacement);
     addBool("l2.hashSetIndex", c.mem.l2Partition.hashSetIndex);
 
-    addU64("dram.baseLatency", c.mem.dram.baseLatency, 1);
-    addU64("dram.serviceInterval", c.mem.dram.serviceInterval, 1);
+    addU64("dram.baseLatency", c.mem.dram.baseLatency, 1, 100'000'000);
+    addU64("dram.serviceInterval", c.mem.dram.serviceInterval, 1,
+           100'000'000);
     addBool("dram.rowBufferModel", c.mem.dram.rowBufferModel);
-    addInt("dram.numBanks", c.mem.dram.numBanks, 1);
-    addU32("dram.rowBytes", c.mem.dram.rowBytes, 1);
-    addU64("dram.rowHitInterval", c.mem.dram.rowHitInterval, 1);
-    addU64("dram.rowMissInterval", c.mem.dram.rowMissInterval, 1);
+    addInt("dram.numBanks", c.mem.dram.numBanks, 1, 4096);
+    addU32("dram.rowBytes", c.mem.dram.rowBytes, 1,
+           std::uint32_t{1} << 20);
+    addU64("dram.rowHitInterval", c.mem.dram.rowHitInterval, 1,
+           100'000'000);
+    addU64("dram.rowMissInterval", c.mem.dram.rowMissInterval, 1,
+           100'000'000);
 
     addInt("ccws.vtaEntries", c.ccws.vtaEntries, 1);
     addBool("ccws.sharedVta", c.ccws.sharedVta);
@@ -298,9 +337,9 @@ ConfigRegistry::ConfigRegistry(GpuConfig& c)
     addInt("sld.tableEntries", c.sld.tableEntries, 1);
     addU32("sld.lineSize", c.sld.lineSize, 1);
 
-    addInt("sap.ptEntries", c.sap.ptEntries, 1);
-    addInt("sap.wqEntries", c.sap.wqEntries, 1);
-    addInt("sap.drqEntries", c.sap.drqEntries, 1);
+    addInt("sap.ptEntries", c.sap.ptEntries, 1, 4096);
+    addInt("sap.wqEntries", c.sap.wqEntries, 1, 4096);
+    addInt("sap.drqEntries", c.sap.drqEntries, 1, 4096);
 
     addDouble("energy.aluOp", c.energy.aluOp, 0.0, inf);
     addDouble("energy.registerAccess", c.energy.registerAccess, 0.0, inf);
@@ -329,7 +368,7 @@ ConfigRegistry::set(const std::string& key, const std::string& value)
 {
     std::string error;
     if (!trySet(key, value, &error))
-        fatal(error);
+        throwConfigError(error);
 }
 
 std::string
@@ -337,7 +376,7 @@ ConfigRegistry::get(const std::string& key) const
 {
     const auto it = entries_.find(key);
     if (it == entries_.end())
-        fatal("unknown config key \"" + key + "\"");
+        throwConfigError("unknown config key \"" + key + "\"");
     return it->second.get();
 }
 
@@ -362,12 +401,13 @@ ConfigRegistry::applyAssignment(const std::string& assignment)
 {
     const auto eq = assignment.find('=');
     if (eq == std::string::npos)
-        fatal("malformed override \"" + assignment +
-              "\" (expected key=value)");
+        throwConfigError("malformed override \"" + assignment +
+                         "\" (expected key=value)");
     const std::string key = trim(assignment.substr(0, eq));
     const std::string value = trim(assignment.substr(eq + 1));
     if (key.empty())
-        fatal("malformed override \"" + assignment + "\" (empty key)");
+        throwConfigError("malformed override \"" + assignment +
+                         "\" (empty key)");
     set(key, value);
 }
 
@@ -376,7 +416,7 @@ ConfigRegistry::loadFile(const std::string& path)
 {
     std::ifstream in(path);
     if (!in)
-        fatal("cannot open config file " + path);
+        throwConfigError("cannot open config file " + path);
     std::string line;
     int lineno = 0;
     while (std::getline(in, line)) {
@@ -389,14 +429,15 @@ ConfigRegistry::loadFile(const std::string& path)
             continue;
         const auto eq = stripped.find('=');
         if (eq == std::string::npos)
-            fatal(path + ":" + std::to_string(lineno) +
-                  ": expected `key = value`, got \"" + stripped + "\"");
+            throwConfigError(path + ":" + std::to_string(lineno) +
+                             ": expected `key = value`, got \"" + stripped +
+                             "\"");
         const std::string key = trim(stripped.substr(0, eq));
         const std::string value = trim(stripped.substr(eq + 1));
         std::string error;
         if (key.empty() || !trySet(key, value, &error))
-            fatal(path + ":" + std::to_string(lineno) + ": " +
-                  (key.empty() ? "empty key" : error));
+            throwConfigError(path + ":" + std::to_string(lineno) + ": " +
+                             (key.empty() ? "empty key" : error));
     }
 }
 

@@ -10,8 +10,12 @@
  *
  * The registry binds each key to a typed setter/getter over one
  * GpuConfig instance. Parsing is strict (parse.hpp): garbage, wrong
- * types, out-of-range and unknown keys are fatal, never silently
- * ignored. snapshot() serializes the full configuration back to
+ * types, out-of-range and unknown keys throw SimError(kConfig) with
+ * the offending key in the message, never silently ignored.
+ * Structural keys additionally carry upper bounds, so an absurd value
+ * (a 2^31-way cache, a zero-cycle watchdog) is rejected at parse time
+ * instead of failing deep inside a run.
+ * snapshot() serializes the full configuration back to
  * strings, which is how results echo the configuration that produced
  * them (RunResult::config, the --json output).
  *
@@ -25,6 +29,7 @@
 #include <cstdint>
 #include <functional>
 #include <initializer_list>
+#include <limits>
 #include <map>
 #include <string>
 #include <utility>
@@ -52,10 +57,13 @@ class ConfigRegistry
     bool trySet(const std::string& key, const std::string& value,
                 std::string* error);
 
-    /** Like trySet, but fatal() on any failure. */
+    /** Like trySet, but throws SimError(kConfig) on any failure. */
     void set(const std::string& key, const std::string& value);
 
-    /** Current value of @p key as a string; fatal on unknown key. */
+    /**
+     * Current value of @p key as a string; throws SimError(kConfig)
+     * on unknown key.
+     */
     std::string get(const std::string& key) const;
 
     /** True when @p key is registered. */
@@ -66,15 +74,16 @@ class ConfigRegistry
 
     /**
      * Apply one "key=value" assignment (spaces around '=' allowed);
-     * fatal on malformed input.
+     * throws SimError(kConfig) on malformed input.
      */
     void applyAssignment(const std::string& assignment);
 
     /**
      * Load a GPGPU-Sim style config file: one `key = value` per line,
-     * '#' starts a comment, blank lines ignored. Fatal on an
-     * unreadable file or any malformed/unknown/invalid line (with the
-     * file name and line number).
+     * '#' starts a comment, blank lines ignored. Throws
+     * SimError(kConfig) on an unreadable file or any
+     * malformed/unknown/invalid line (with the file name and line
+     * number).
      */
     void loadFile(const std::string& path);
 
@@ -89,11 +98,16 @@ class ConfigRegistry
     };
 
     void addEntry(const std::string& key, Entry entry);
-    void addInt(const std::string& key, int& field, int min_value);
+    void addInt(const std::string& key, int& field, int min_value,
+                int max_value = std::numeric_limits<int>::max());
     void addU32(const std::string& key, std::uint32_t& field,
-                std::uint32_t min_value);
+                std::uint32_t min_value,
+                std::uint32_t max_value =
+                    std::numeric_limits<std::uint32_t>::max());
     void addU64(const std::string& key, std::uint64_t& field,
-                std::uint64_t min_value);
+                std::uint64_t min_value,
+                std::uint64_t max_value =
+                    std::numeric_limits<std::uint64_t>::max());
     void addDouble(const std::string& key, double& field, double min_value,
                    double max_value);
     void addBool(const std::string& key, bool& field);
@@ -107,7 +121,8 @@ class ConfigRegistry
 
 /**
  * Convenience for drivers: apply string overrides to @p config
- * through a temporary registry. Fatal on any invalid override.
+ * through a temporary registry. Throws SimError(kConfig) on any
+ * invalid override.
  */
 void applyOverrides(
     GpuConfig& config,

@@ -12,14 +12,21 @@
 
 #include <algorithm>
 #include <cassert>
+#include <limits>
+#include <sstream>
 
 #include "common/log.hpp"
+#include "common/sim_error.hpp"
+#include "sim/auditor.hpp"
 #include "sim/config_registry.hpp"
 #include "sim/policy_registry.hpp"
 
 namespace apres {
 
 namespace {
+
+/** Simulated cycles between interrupt-hook polls (job deadlines). */
+constexpr Cycle kInterruptCheckInterval = 16'384;
 
 std::string
 upperCased(const std::string& name)
@@ -52,15 +59,16 @@ Gpu::Gpu(const GpuConfig& config, const Kernel& kernel_ref)
 {
     assert(cfg.numSms >= 1);
     if (cfg.sm.warpsPerSm < 1)
-        fatal("warpsPerSm must be >= 1 (got " +
-              std::to_string(cfg.sm.warpsPerSm) + ")");
+        throwConfigError("warpsPerSm must be >= 1 (got " +
+                         std::to_string(cfg.sm.warpsPerSm) + ")");
     // Warp sets (LAWS/WGT groups, the cache's per-line consumer
     // tracking) are 64-bit masks indexed by warp ID: a wider machine
     // would silently drop warps 64+, so reject it outright.
     if (cfg.sm.warpsPerSm > 64)
-        fatal("warpsPerSm=" + std::to_string(cfg.sm.warpsPerSm) +
-              " exceeds the 64-warp group bit-mask width; configure at "
-              "most 64 warps per SM");
+        throwConfigError(
+            "warpsPerSm=" + std::to_string(cfg.sm.warpsPerSm) +
+            " exceeds the 64-warp group bit-mask width; configure at "
+            "most 64 warps per SM");
     memsys = std::make_unique<MemorySystem>(cfg.mem);
     for (int s = 0; s < cfg.numSms; ++s) {
         schedulers.push_back(makeScheduler(cfg));
@@ -70,6 +78,10 @@ Gpu::Gpu(const GpuConfig& config, const Kernel& kernel_ref)
                                            prefetchers.back().get(),
                                            *memsys));
         sms.back()->setFastForward(cfg.fastForward);
+    }
+    if (cfg.audit) {
+        auditor_ = std::make_unique<Auditor>(cfg, kernel, sms, schedulers,
+                                             prefetchers, *memsys);
     }
 }
 
@@ -103,12 +115,44 @@ Gpu::step(Cycle cycles)
 RunResult
 Gpu::run()
 {
+    // Forward-progress watchdog state: "progress" is an instruction
+    // issuing or a memory response arriving. Anything else (scheduler
+    // throttling, barrier waits, MSHR pressure) resolves only through
+    // one of those two, so their joint absence over watchdogCycles is
+    // a genuine deadlock/livelock.
+    const std::uint64_t watchdog = cfg.watchdogCycles;
+    Cycle lastProgress = cycle;
+    std::uint64_t lastResponses = memsys->responsesDelivered();
+    Cycle nextAudit =
+        auditor_ ? cycle + cfg.auditInterval : std::numeric_limits<Cycle>::max();
+    Cycle nextInterrupt = cycle + kInterruptCheckInterval;
+
     while (cycle < cfg.maxCycles && !done()) {
         memsys->tick(cycle);
         bool issued = false;
         for (auto& sm : sms)
             issued = sm->tick(cycle) || issued;
+        if (issued) {
+            lastProgress = cycle;
+        } else {
+            const std::uint64_t responses = memsys->responsesDelivered();
+            if (responses != lastResponses) {
+                lastResponses = responses;
+                lastProgress = cycle;
+            }
+        }
         ++cycle;
+
+        if (auditor_ && cycle >= nextAudit) {
+            auditor_->checkInvariants(cycle);
+            nextAudit = cycle + cfg.auditInterval;
+        }
+        if (interruptCheck_ && cycle >= nextInterrupt) {
+            interruptCheck_();
+            nextInterrupt = cycle + kInterruptCheckInterval;
+        }
+        if (watchdog != 0 && cycle - lastProgress >= watchdog)
+            reportDeadlock(lastProgress);
 
         if (!cfg.fastForward || issued)
             continue;
@@ -119,18 +163,30 @@ Gpu::run()
         // becoming ready — and jump there, crediting the provably
         // issue-free cycles in bulk. Statistics stay bitwise identical
         // to ticking through them (the skipped ticks would have been
-        // pure idle increments).
+        // pure idle increments). Skips clamp to the next watchdog
+        // deadline, audit tick and interrupt poll so none of them can
+        // be jumped over.
         Cycle wake = memsys->nextEventCycle();
         for (const auto& sm : sms)
             wake = std::min(wake, sm->nextWakeup(cycle));
-        const Cycle target = std::min(wake, cfg.maxCycles);
+        Cycle target = std::min(wake, cfg.maxCycles);
+        if (watchdog != 0)
+            target = std::min(target, lastProgress + watchdog);
+        if (auditor_)
+            target = std::min(target, nextAudit);
+        if (interruptCheck_)
+            target = std::min(target, nextInterrupt);
         if (target > cycle) {
             const Cycle skipped = target - cycle;
             for (auto& sm : sms)
                 sm->skipIdle(skipped);
+            if (auditor_)
+                auditor_->checkSkipWindow(cycle, target);
             cycle = target;
         }
     }
+    if (auditor_)
+        auditor_->checkInvariants(cycle);
     RunResult result = collect();
     result.completed = done();
     if (!result.completed) {
@@ -138,6 +194,40 @@ Gpu::run()
                 " before the kernel drained");
     }
     return result;
+}
+
+void
+Gpu::reportDeadlock(Cycle last_progress) const
+{
+    std::ostringstream out;
+    out << "no forward progress for " << cfg.watchdogCycles
+        << " cycles (zero instructions issued, zero memory responses "
+           "delivered since cycle "
+        << last_progress << "; now at cycle " << cycle << ")\n"
+        << stallReport();
+    throwDeadlockError(out.str());
+}
+
+void
+Gpu::auditNow()
+{
+    if (auditor_)
+        auditor_->checkInvariants(cycle);
+}
+
+std::uint64_t
+Gpu::auditPasses() const
+{
+    return auditor_ ? auditor_->passes() : 0;
+}
+
+std::string
+Gpu::stallReport() const
+{
+    std::string out;
+    for (const auto& sm : sms)
+        out += sm->stallReport(cycle);
+    return out;
 }
 
 RunResult

@@ -12,6 +12,7 @@
 #ifndef APRES_SIM_GPU_HPP
 #define APRES_SIM_GPU_HPP
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -27,10 +28,23 @@
 
 namespace apres {
 
+class Auditor;
+
 /** Everything a finished simulation reports. */
 struct RunResult
 {
     bool completed = false;      ///< false when maxCycles hit first
+
+    /**
+     * Job outcome under fault-isolated sweeps: "ok", "error" (the
+     * simulation threw), "timeout" (the per-job wall-clock deadline
+     * expired) or "skipped" (the sweep aborted before this job ran). A
+     * directly-run Gpu always reports "ok" — failures propagate as
+     * exceptions; the sweep runner converts them into these rows.
+     */
+    std::string status = "ok";
+    std::string errorKind;   ///< SimError kind name, empty when ok
+    std::string errorDetail; ///< error message, empty when ok
     Cycle cycles = 0;
     std::uint64_t instructions = 0;
     double ipc = 0.0;            ///< GPU-wide instructions per cycle
@@ -113,8 +127,38 @@ class Gpu
      * skipped idle cycles in bulk. Every statistic is bitwise
      * identical to the naive cycle-by-cycle loop, which remains
      * available as the oracle via fastForward=false.
+     *
+     * Throws SimError(kDeadlock) when GpuConfig::watchdogCycles pass
+     * with zero instructions issued and zero memory responses
+     * delivered, and SimError(kInvariant) when auditing is on and a
+     * structural invariant breaks.
      */
     RunResult run();
+
+    /**
+     * Install a hook called every ~16K simulated cycles (and around
+     * every fast-forward skip). The sweep runner uses it for
+     * cooperative per-job wall-clock deadlines: the hook throws to
+     * abort the run. Pass nullptr to clear.
+     */
+    void setInterruptCheck(std::function<void()> hook)
+    {
+        interruptCheck_ = std::move(hook);
+    }
+
+    /**
+     * Run one invariant audit at the current cycle (no-op unless
+     * GpuConfig::audit built an auditor). Throws SimError(kInvariant)
+     * on violation; fault-injection tests corrupt a structure and call
+     * this.
+     */
+    void auditNow();
+
+    /** Audit passes completed without a violation (0 when audit off). */
+    std::uint64_t auditPasses() const;
+
+    /** Per-warp stall report over all SMs (deadlock diagnostics). */
+    std::string stallReport() const;
 
     /** Advance exactly @p cycles (for incremental-driving tests). */
     void step(Cycle cycles);
@@ -134,6 +178,24 @@ class Gpu
     /** SM @p index (for white-box tests). */
     const Sm& sm(int index) const { return *sms.at(static_cast<std::size_t>(index)); }
 
+    /** TEST HOOK: mutable SM @p index for fault-injection tests. */
+    Sm& smForTest(int index)
+    {
+        return *sms.at(static_cast<std::size_t>(index));
+    }
+
+    /** TEST HOOK: mutable scheduler of SM @p index. */
+    Scheduler& schedulerForTest(int index)
+    {
+        return *schedulers.at(static_cast<std::size_t>(index));
+    }
+
+    /** TEST HOOK: prefetcher of SM @p index (null when "none"). */
+    Prefetcher* prefetcherForTest(int index)
+    {
+        return prefetchers.at(static_cast<std::size_t>(index)).get();
+    }
+
     /** The shared memory side. */
     const MemorySystem& memorySystem() const { return *memsys; }
 
@@ -146,6 +208,8 @@ class Gpu
     Rng& rng() { return rng_; }
 
   private:
+    [[noreturn]] void reportDeadlock(Cycle last_progress) const;
+
     GpuConfig cfg;
     Rng rng_;
     const Kernel& kernel;
@@ -153,6 +217,8 @@ class Gpu
     std::vector<std::unique_ptr<Scheduler>> schedulers;
     std::vector<std::unique_ptr<Prefetcher>> prefetchers;
     std::vector<std::unique_ptr<Sm>> sms;
+    std::unique_ptr<Auditor> auditor_; ///< built when cfg.audit
+    std::function<void()> interruptCheck_;
     Cycle cycle = 0;
 
     /**

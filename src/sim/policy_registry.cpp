@@ -14,6 +14,7 @@
 
 #include "apres/sap.hpp"
 #include "common/log.hpp"
+#include "common/sim_error.hpp"
 #include "prefetch/sld.hpp"
 #include "prefetch/str.hpp"
 #include "sched/ccws.hpp"
@@ -78,9 +79,10 @@ prefetcherFactories()
             Scheduler& sched) -> std::unique_ptr<Prefetcher> {
              auto* laws = dynamic_cast<LawsScheduler*>(&sched);
              if (laws == nullptr) {
-                 fatal("the SAP prefetcher requires the LAWS scheduler "
-                       "(APRES = LAWS+SAP); configured scheduler: " +
-                       cfg.scheduler);
+                 throwConfigError(
+                     "the SAP prefetcher requires the LAWS scheduler "
+                     "(APRES = LAWS+SAP); configured scheduler: " +
+                     cfg.scheduler);
              }
              return std::make_unique<SapPrefetcher>(*laws, cfg.sap);
          }},
@@ -160,8 +162,8 @@ makeScheduler(const GpuConfig& cfg)
 {
     const auto it = schedulerFactories().find(cfg.scheduler);
     if (it == schedulerFactories().end())
-        fatal("unknown scheduler \"" + cfg.scheduler + "\" (known: " +
-              joinNames(schedulerNames()) + ")");
+        throwConfigError("unknown scheduler \"" + cfg.scheduler +
+                         "\" (known: " + joinNames(schedulerNames()) + ")");
     return it->second(cfg);
 }
 
@@ -170,8 +172,8 @@ makePrefetcher(const GpuConfig& cfg, Scheduler& sched)
 {
     const auto it = prefetcherFactories().find(cfg.prefetcher);
     if (it == prefetcherFactories().end())
-        fatal("unknown prefetcher \"" + cfg.prefetcher + "\" (known: " +
-              joinNames(prefetcherNames()) + ")");
+        throwConfigError("unknown prefetcher \"" + cfg.prefetcher +
+                         "\" (known: " + joinNames(prefetcherNames()) + ")");
     return it->second(cfg, sched);
 }
 

@@ -5,16 +5,21 @@
 
 #include "runner.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <exception>
 #include <mutex>
+#include <sstream>
+#include <stdexcept>
 #include <thread>
 
 #include <unistd.h>
 
 #include "common/log.hpp"
+#include "common/sim_error.hpp"
 #include "isa/address_gen.hpp" // mix64
 
 namespace apres {
@@ -76,6 +81,11 @@ SweepRunner::threadCount() const
 
 namespace {
 
+/** Thrown by the interrupt hook when a job's deadline expires. */
+struct JobTimeout
+{
+};
+
 /** Progress reporting shared by the workers (serialized by a mutex). */
 class ProgressLine
 {
@@ -135,45 +145,158 @@ SweepRunner::runAll()
 
     ProgressLine progress(opts.progress, jobs.size());
     std::atomic<std::size_t> next{0};
+    std::atomic<bool> abort{false};
+    std::vector<char> started(jobs.size(), 0);
+    std::mutex failure_mu;
+    std::exception_ptr first_failure;
+    const int attempts = 1 + std::max(0, opts.retries);
 
     const auto work = [&] {
         for (;;) {
+            if (abort.load(std::memory_order_relaxed))
+                return;
             const std::size_t i = next.fetch_add(1);
             if (i >= jobs.size())
                 return;
+            started[i] = 1;
             const SweepJob& job = jobs[i];
             GpuConfig cfg = job.config;
             cfg.seed = deriveJobSeed(opts.baseSeed, i);
 
-            const auto start = std::chrono::steady_clock::now();
-            Gpu gpu(cfg, *job.kernel);
-            RunResult r = gpu.run();
-            if (job.inspect)
-                job.inspect(gpu, r);
-            const std::chrono::duration<double> wall =
-                std::chrono::steady_clock::now() - start;
-
             SweepResult& slot = results[i];
             slot.label = job.label;
-            slot.result = std::move(r);
             slot.seed = cfg.seed;
+
+            // Fault isolation: every attempt (same derived seed) runs
+            // under try/catch plus an optional cooperative wall-clock
+            // deadline. A failure becomes a machine-readable error row
+            // instead of tearing the process down.
+            const auto job_start = std::chrono::steady_clock::now();
+            std::exception_ptr failure;
+            for (int attempt = 0; attempt < attempts; ++attempt) {
+                failure = nullptr;
+                RunResult r;
+                try {
+                    Gpu gpu(cfg, *job.kernel);
+                    if (opts.jobTimeoutSeconds > 0.0) {
+                        const auto deadline =
+                            std::chrono::steady_clock::now() +
+                            std::chrono::duration<double>(
+                                opts.jobTimeoutSeconds);
+                        gpu.setInterruptCheck([deadline] {
+                            if (std::chrono::steady_clock::now() >= deadline)
+                                throw JobTimeout{};
+                        });
+                    }
+                    r = gpu.run();
+                    if (job.inspect)
+                        job.inspect(gpu, r);
+                    r.status = "ok";
+                } catch (const JobTimeout&) {
+                    r = RunResult{};
+                    r.status = "timeout";
+                    r.errorKind = "Timeout";
+                    {
+                        std::ostringstream msg;
+                        msg << "job \"" << job.label
+                            << "\" exceeded the per-job deadline of "
+                            << opts.jobTimeoutSeconds << " s (attempt "
+                            << attempt + 1 << "/" << attempts << ")";
+                        r.errorDetail = msg.str();
+                    }
+                    failure = std::make_exception_ptr(
+                        SimError(SimErrorKind::kDeadlock, r.errorDetail));
+                } catch (const SimError& e) {
+                    r = RunResult{};
+                    r.status = "error";
+                    r.errorKind = e.kindName();
+                    r.errorDetail = e.detail();
+                    failure = std::make_exception_ptr(e);
+                } catch (const std::exception& e) {
+                    r = RunResult{};
+                    r.status = "error";
+                    r.errorKind = "InternalError";
+                    r.errorDetail = e.what();
+                    failure = std::make_exception_ptr(
+                        std::runtime_error(r.errorDetail));
+                }
+                slot.result = std::move(r);
+                if (!failure)
+                    break;
+                if (attempt + 1 < attempts) {
+                    logWarn("sweep job \"", job.label, "\" failed (",
+                            slot.result.errorKind, "); retrying (attempt ",
+                            attempt + 2, "/", attempts, ")");
+                }
+            }
+            const std::chrono::duration<double> wall =
+                std::chrono::steady_clock::now() - job_start;
             slot.wallSeconds = wall.count();
+
+            if (failure && !opts.keepGoing) {
+                const std::lock_guard<std::mutex> lock(failure_mu);
+                if (!first_failure)
+                    first_failure = failure;
+                abort.store(true, std::memory_order_relaxed);
+            }
             progress.jobDone(slot.label);
         }
     };
 
     if (workers <= 1) {
         work(); // run inline: exact same code path, no thread overhead
-        return results;
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(workers);
+        for (std::size_t t = 0; t < workers; ++t)
+            pool.emplace_back(work);
+        for (std::thread& t : pool)
+            t.join();
     }
 
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (std::size_t t = 0; t < workers; ++t)
-        pool.emplace_back(work);
-    for (std::thread& t : pool)
-        t.join();
+    // Jobs never picked after an abort become explicit "skipped" rows,
+    // so the result vector is always complete and self-describing.
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        if (started[i])
+            continue;
+        SweepResult& slot = results[i];
+        slot.label = jobs[i].label;
+        slot.seed = deriveJobSeed(opts.baseSeed, i);
+        slot.result.status = "skipped";
+        slot.result.errorDetail =
+            "not run: the sweep aborted after an earlier job failed";
+    }
+
+    if (first_failure)
+        std::rethrow_exception(first_failure);
     return results;
+}
+
+std::string
+failureSummary(const std::vector<SweepResult>& results)
+{
+    std::ostringstream out;
+    std::size_t failed = 0;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const SweepResult& r = results[i];
+        if (r.result.status == "ok")
+            continue;
+        ++failed;
+        out << "  job " << i << " [" << r.label
+            << "]: " << r.result.status;
+        if (!r.result.errorKind.empty())
+            out << " (" << r.result.errorKind << ")";
+        if (!r.result.errorDetail.empty()) {
+            // First line only: invariant dumps run long.
+            const std::string& d = r.result.errorDetail;
+            out << ": " << d.substr(0, d.find('\n'));
+        }
+        out << "\n";
+    }
+    if (failed == 0)
+        return "";
+    return std::to_string(failed) + " of " + std::to_string(results.size()) +
+        " sweep job(s) did not complete:\n" + out.str();
 }
 
 } // namespace apres

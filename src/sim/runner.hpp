@@ -51,6 +51,33 @@ struct RunnerOptions
 
     /** Emit a progress line to stderr while the sweep runs. */
     bool progress = false;
+
+    /**
+     * Re-run attempts after a failed or timed-out job ("--retries").
+     * Every attempt uses the same derived seed, so a retry only helps
+     * against environmental flakes — a deterministic failure fails all
+     * attempts identically, which is itself diagnostic.
+     */
+    int retries = 0;
+
+    /**
+     * Per-job wall-clock deadline in seconds ("--job-timeout"); 0
+     * disables. Enforced cooperatively through Gpu::setInterruptCheck
+     * (polled every ~16K simulated cycles), so an expired job aborts
+     * at the next poll, not instantaneously.
+     */
+    double jobTimeoutSeconds = 0.0;
+
+    /**
+     * Fault isolation mode ("--keep-going"). A failed/timed-out job
+     * always becomes an error row (RunResult::status/errorKind/
+     * errorDetail) instead of tearing down the process. With
+     * keepGoing the sweep still runs every remaining job and returns
+     * the full result vector; without it the sweep stops picking new
+     * jobs and runAll() rethrows the first failure after the workers
+     * drain (jobs that never ran are marked "skipped").
+     */
+    bool keepGoing = false;
 };
 
 /** One simulation to run: a config over a (shared, immutable) kernel. */
@@ -114,6 +141,10 @@ class SweepRunner
     /**
      * Run every submitted job and return results in submission order.
      * Blocks until the sweep drains. May be called once.
+     *
+     * Fault isolation: each job runs under try/catch and (when
+     * configured) a wall-clock deadline; see RunnerOptions::keepGoing
+     * for how failures propagate.
      */
     std::vector<SweepResult> runAll();
 
@@ -125,6 +156,13 @@ class SweepRunner
     std::vector<SweepJob> jobs;
     bool ran = false;
 };
+
+/**
+ * Human-readable summary of the failed rows in @p results, one line
+ * per failure; empty when every job ran clean. Drivers print this and
+ * exit non-zero under --keep-going.
+ */
+std::string failureSummary(const std::vector<SweepResult>& results);
 
 } // namespace apres
 

@@ -31,6 +31,7 @@
 #include "common/json.hpp"
 #include "common/log.hpp"
 #include "common/parse.hpp"
+#include "common/sim_error.hpp"
 #include "isa/kernel_text.hpp"
 #include "sim/config_registry.hpp"
 #include "sim/gpu.hpp"
@@ -89,6 +90,13 @@ writeRunJson(JsonWriter& json, const std::string& workload,
     json.field("workload", workload);
     json.field("label", label);
     json.field("completed", r.completed);
+    json.field("status", r.status);
+    if (r.status != "ok") {
+        json.beginObject("error");
+        json.field("kind", r.errorKind);
+        json.field("detail", r.errorDetail);
+        json.endObject();
+    }
     json.beginObject("config");
     for (const auto& [key, value] : r.config)
         json.field(key, value);
@@ -101,10 +109,27 @@ writeRunJson(JsonWriter& json, const std::string& workload,
     json.endObject();
 }
 
+int run(int argc, char** argv);
+
 } // namespace
 
 int
 main(int argc, char** argv)
+{
+    // Config, kernel and simulation failures are typed SimErrors now:
+    // report them cleanly and exit non-zero (never std::terminate).
+    try {
+        return run(argc, argv);
+    } catch (const SimError& e) {
+        std::cerr << "apres_sim: " << e.what() << '\n';
+        return 1;
+    }
+}
+
+namespace {
+
+int
+run(int argc, char** argv)
 {
     std::string workload = "KM";
     std::string kernel_file;
@@ -226,16 +251,30 @@ main(int argc, char** argv)
         json->beginObject();
         json->beginArray("runs");
     }
+    bool any_failed = false;
     for (const Job& job : jobs) {
         const std::string& name = job.label;
         RunResult r;
-        if (!timeline_path.empty()) {
-            Gpu gpu(cfg, job.kernel);
-            TimelineRecorder recorder(timeline_interval);
-            r = recorder.record(gpu);
-            recorder.toCsv(timeline_csv);
-        } else {
-            r = simulate(cfg, job.kernel);
+        try {
+            if (!timeline_path.empty()) {
+                Gpu gpu(cfg, job.kernel);
+                TimelineRecorder recorder(timeline_interval);
+                r = recorder.record(gpu);
+                recorder.toCsv(timeline_csv);
+            } else {
+                r = simulate(cfg, job.kernel);
+            }
+        } catch (const SimError& e) {
+            // In --json mode a failed run becomes a machine-readable
+            // error row and the remaining workloads still run; other
+            // modes fail fast through the top-level handler.
+            if (!json_output)
+                throw;
+            r = RunResult{};
+            r.status = "error";
+            r.errorKind = e.kindName();
+            r.errorDetail = e.detail();
+            any_failed = true;
         }
         if (json_output) {
             writeRunJson(*json, name, cfg.label(), r);
@@ -277,5 +316,7 @@ main(int argc, char** argv)
                       << " timeline samples to " << timeline_path << '\n';
         }
     }
-    return 0;
+    return any_failed ? 1 : 0;
 }
+
+} // namespace

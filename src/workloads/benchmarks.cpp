@@ -343,13 +343,13 @@ buildCs(double scale)
                              base - static_cast<Addr>(is) +
                                  static_cast<Addr>(ws) * 24,
                              ws, is),
-                         4, 0x308, x);
+                         4, 0x320, x);
     const int y = b.alu({c}, 2);
     const int e = b.load(std::make_unique<StridedGen>(
                              base - static_cast<Addr>(is) + 64 +
                                  static_cast<Addr>(ws) * 24,
                              ws, is),
-                         4, 0x310, y);
+                         4, 0x340, y);
     b.alu({e}, 5);
     return b.build(trips(64, scale));
 }
@@ -373,11 +373,11 @@ buildSt(double scale)
                              base - static_cast<Addr>(is) * 2 +
                                  static_cast<Addr>(ws) * 24,
                              ws, is),
-                         4, 0x208, x);
+                         4, 0x240, x);
     const int y = b.alu({c}, 4);
     const int e = b.load(std::make_unique<IrregularGen>(
                              region(26), 1024 * 1024, 2, 2, 0x57E1),
-                         4, 0x210, y);
+                         4, 0x280, y);
     b.alu({e}, 6);
     return b.build(trips(32, scale));
 }
@@ -416,7 +416,7 @@ buildSp(double scale)
     const int x = b.alu({a}, 1);
     const int c = b.load(std::make_unique<StridedGen>(
                              region(30), 8192, 8192 * 48),
-                         4, 0x408, x);
+                         4, 0x410, x);
     const int y = b.alu({c}, 3);
     b.alu({y}, 3);
     return b.build(trips(64, scale));

@@ -18,6 +18,7 @@
 #include "sim/config_registry.hpp"
 #include "sim/gpu.hpp"
 #include "sim/policy_registry.hpp"
+#include "sim_error_matchers.hpp"
 #include "workloads/workload.hpp"
 
 namespace apres {
@@ -104,8 +105,8 @@ TEST(ConfigRegistry, UnknownKeyReportsAndLeavesConfigUntouched)
     EXPECT_NE(error.find("l1.sizebytes"), std::string::npos);
     EXPECT_EQ(cfg.sm.l1.sizeBytes, before.sm.l1.sizeBytes);
 
-    EXPECT_EXIT(reg.set("no.such.key", "1"), testing::ExitedWithCode(1),
-                "unknown config key");
+    expectSimError(SimErrorKind::kConfig, "unknown config key",
+                   [&] { reg.set("no.such.key", "1"); });
 }
 
 TEST(ConfigRegistry, TypeMismatchesAreRejected)
@@ -147,10 +148,10 @@ TEST(ConfigRegistry, AssignmentSyntaxToleratesSpaces)
     EXPECT_EQ(cfg.sm.l1.ways, 4u);
     reg.applyAssignment("l1.ways=8");
     EXPECT_EQ(cfg.sm.l1.ways, 8u);
-    EXPECT_EXIT(reg.applyAssignment("l1.ways"), testing::ExitedWithCode(1),
-                "key=value");
-    EXPECT_EXIT(reg.applyAssignment("=8"), testing::ExitedWithCode(1),
-                "empty key");
+    expectSimError(SimErrorKind::kConfig, "key=value",
+                   [&] { reg.applyAssignment("l1.ways"); });
+    expectSimError(SimErrorKind::kConfig, "empty key",
+                   [&] { reg.applyAssignment("=8"); });
 }
 
 // --------------------------------------------------------------------
@@ -178,17 +179,18 @@ TEST(ConfigRegistry, BadFileLinesAreFatalWithLineNumber)
     const std::string missing = testing::TempDir() + "does_not_exist.cfg";
     GpuConfig cfg;
     ConfigRegistry reg(cfg);
-    EXPECT_EXIT(reg.loadFile(missing), testing::ExitedWithCode(1),
-                "cannot open config file");
+    expectSimError(SimErrorKind::kConfig, "cannot open config file",
+                   [&] { reg.loadFile(missing); });
 
     const std::string bad =
         writeTempConfig("bad.cfg", "numSms = 2\nnot an assignment\n");
-    EXPECT_EXIT(reg.loadFile(bad), testing::ExitedWithCode(1), ":2:");
+    expectSimError(SimErrorKind::kConfig, ":2:",
+                   [&] { reg.loadFile(bad); });
 
     const std::string unknown =
         writeTempConfig("unknown.cfg", "l1.bogus = 7\n");
-    EXPECT_EXIT(reg.loadFile(unknown), testing::ExitedWithCode(1),
-                "unknown config key");
+    expectSimError(SimErrorKind::kConfig, "unknown config key",
+                   [&] { reg.loadFile(unknown); });
 }
 
 TEST(ConfigRegistry, CliSetOverridesConfigFile)

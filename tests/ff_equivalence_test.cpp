@@ -146,6 +146,12 @@ TEST_P(FfEquivalence, StatSetBitwiseIdentical)
         naive_cfg.fastForward = false;
         GpuConfig ff_cfg = cfg;
         ff_cfg.fastForward = true;
+        // Run the invariant auditor on the fast-forward side only:
+        // the comparison then also proves auditing is pure
+        // observation (stats stay bitwise identical to an unaudited
+        // naive run) and that the whole matrix is violation-free,
+        // including the skip-window checks after every jump.
+        ff_cfg.audit = true;
 
         const StatSet naive = simulate(naive_cfg, *nk.kernel).toStatSet();
         const StatSet ff = simulate(ff_cfg, *nk.kernel).toStatSet();

@@ -10,6 +10,7 @@
 
 #include "isa/kernel_text.hpp"
 #include "sim/gpu.hpp"
+#include "sim_error_matchers.hpp"
 #include "workloads/workload.hpp"
 
 namespace apres {
@@ -65,11 +66,12 @@ TEST(KernelText, ParsesAllGeneratorKinds)
 TEST(KernelText, GeneratorReuseIsFatal)
 {
     // Each generator binds to exactly one memory instruction.
-    EXPECT_EXIT(parseKernelText("kernel k 1\n"
-                                "gen 0 uniform addr=0\n"
-                                "load r0 gen=0\n"
-                                "store gen=0 src=r0\n"),
-                testing::ExitedWithCode(1), "");
+    expectSimError(SimErrorKind::kKernel, "each may be used once", [] {
+        parseKernelText("kernel k 1\n"
+                        "gen 0 uniform addr=0\n"
+                        "load r0 gen=0\n"
+                        "store gen=0 src=r0\n");
+    });
 }
 
 TEST(KernelText, AttributesApplied)
@@ -127,20 +129,98 @@ TEST(KernelText, RoundTripPreservesBehaviour)
 
 TEST(KernelText, ErrorsAreFatal)
 {
-    EXPECT_EXIT(parseKernelText("gen 0 uniform addr=0\n"),
-                testing::ExitedWithCode(1), "");
-    EXPECT_EXIT(parseKernelText("kernel k 1\nfrobnicate\n"),
-                testing::ExitedWithCode(1), "");
-    EXPECT_EXIT(parseKernelText("kernel k 1\ngen 0 nosuchkind a=1\n"),
-                testing::ExitedWithCode(1), "");
-    EXPECT_EXIT(parseKernelText("kernel k 1\ngen 1 uniform addr=0\n"),
-                testing::ExitedWithCode(1), "");
-    EXPECT_EXIT(
-        parseKernelText("kernel k 1\ngen 0 uniform addr=0\n"
-                        "load r0 gen=0 dep=r9\n"),
-        testing::ExitedWithCode(1), "");
-    EXPECT_EXIT(parseKernelText("kernel k 1\ngen 0 uniform\n"),
-                testing::ExitedWithCode(1), "");
+    const auto bad = [](const std::string& text,
+                        const std::string& fragment) {
+        expectSimError(SimErrorKind::kKernel, fragment,
+                       [&] { parseKernelText(text); });
+    };
+    bad("gen 0 uniform addr=0\n", "before the kernel header");
+    bad("kernel k 1\nfrobnicate\n", "unknown directive");
+    bad("kernel k 1\ngen 0 nosuchkind a=1\n",
+        "unknown address generator kind");
+    bad("kernel k 1\ngen 1 uniform addr=0\n", "numbered in order");
+    bad("kernel k 1\ngen 0 uniform addr=0\n"
+        "load r0 gen=0 dep=r9\n",
+        "used before definition");
+    bad("kernel k 1\ngen 0 uniform\n", "missing required key");
+    bad("", "missing 'kernel NAME TRIPS' header");
+}
+
+TEST(KernelText, ErrorsCarryLineNumbers)
+{
+    // The offending line number is part of the error detail, so a bad
+    // multi-hundred-line kernel file is diagnosable from the message.
+    expectSimError(SimErrorKind::kKernel, "line 3", [] {
+        parseKernelText("kernel k 1\n"
+                        "gen 0 uniform addr=0\n"
+                        "frobnicate\n");
+    });
+}
+
+TEST(KernelText, DuplicateExplicitPcIsRejected)
+{
+    // PCs key the LLT/STR/PT tables; two instructions sharing one
+    // would silently alias their table entries.
+    expectSimError(SimErrorKind::kKernel, "duplicate pc", [] {
+        parseKernelText("kernel k 1\n"
+                        "gen 0 uniform addr=0\n"
+                        "gen 1 uniform addr=64\n"
+                        "load r0 gen=0 pc=0x100\n"
+                        "load r1 gen=1 pc=0x100\n");
+    });
+}
+
+TEST(KernelText, LabelsAndLoopsValidated)
+{
+    // A loop may only target an already-defined label: that makes an
+    // out-of-range branch target unrepresentable in kernel text.
+    expectSimError(SimErrorKind::kKernel, "unknown label", [] {
+        parseKernelText("kernel k 2\n"
+                        "gen 0 uniform addr=0\n"
+                        "load r0 gen=0\n"
+                        "loop nowhere\n");
+    });
+    expectSimError(SimErrorKind::kKernel, "duplicate label", [] {
+        parseKernelText("kernel k 2\n"
+                        "label top\n"
+                        "label top\n");
+    });
+
+    // The happy path: a labelled loop body parses and records the
+    // branch target.
+    const Kernel k = parseKernelText("kernel k 3\n"
+                                     "gen 0 uniform addr=4096\n"
+                                     "label top\n"
+                                     "load r0 gen=0\n"
+                                     "alu r1 r0\n"
+                                     "loop top\n");
+    EXPECT_EQ(k.tripCount(), 3u);
+}
+
+TEST(KernelText, DivergentBarrierIsRejected)
+{
+    // A barrier that only part of the block can reach deadlocks real
+    // hardware; both textual shapes must be rejected at parse time.
+    expectSimError(SimErrorKind::kKernel, "divergent context", [] {
+        parseKernelText("kernel k 1\n"
+                        "gen 0 uniform addr=0\n"
+                        "load r0 gen=0 lanes=8\n"
+                        "barrier\n");
+    });
+    expectSimError(SimErrorKind::kKernel, "partial warps= mask", [] {
+        parseKernelText("kernel k 1\n"
+                        "gen 0 uniform addr=0\n"
+                        "load r0 gen=0\n"
+                        "barrier warps=0x3\n");
+    });
+
+    // Full-width code followed by a barrier stays legal.
+    const Kernel k = parseKernelText("kernel k 1\n"
+                                     "gen 0 uniform addr=0\n"
+                                     "load r0 gen=0\n"
+                                     "barrier\n"
+                                     "alu r1 r0\n");
+    EXPECT_EQ(k.code().size(), 5u); // load barrier alu branch exit
 }
 
 /**
@@ -179,8 +259,8 @@ INSTANTIATE_TEST_SUITE_P(AllApps, WorkloadRoundTrip,
 
 TEST(KernelText, LoadKernelFileMissingIsFatal)
 {
-    EXPECT_EXIT(loadKernelFile("/nonexistent/path.kt"),
-                testing::ExitedWithCode(1), "");
+    expectSimError(SimErrorKind::kKernel, "cannot open kernel file",
+                   [] { loadKernelFile("/nonexistent/path.kt"); });
 }
 
 } // namespace

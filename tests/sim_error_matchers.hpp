@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Shared assertion helper for the typed error model: run a callable
+ * and require a SimError of a specific kind carrying a specific
+ * message fragment. Used by every test that exercises rejection
+ * paths (config validation, kernel text parsing, watchdog, auditor).
+ */
+
+#ifndef APRES_TESTS_SIM_ERROR_MATCHERS_HPP
+#define APRES_TESTS_SIM_ERROR_MATCHERS_HPP
+
+#include <string>
+#include <typeinfo>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "common/sim_error.hpp"
+
+namespace apres {
+
+/**
+ * Run @p fn and expect a SimError of @p kind whose what() contains
+ * @p substring. Reports precisely which expectation broke: nothing
+ * thrown, wrong exception type, wrong kind, or wrong message.
+ */
+template <typename Fn>
+void
+expectSimError(SimErrorKind kind, const std::string& substring, Fn&& fn)
+{
+    try {
+        std::forward<Fn>(fn)();
+        ADD_FAILURE() << "expected SimError ("
+                      << simErrorKindName(kind)
+                      << " containing \"" << substring
+                      << "\"), but nothing was thrown";
+    } catch (const SimError& e) {
+        EXPECT_EQ(e.kind(), kind)
+            << "wrong error kind; full message: " << e.what();
+        EXPECT_NE(std::string(e.what()).find(substring), std::string::npos)
+            << "message \"" << e.what() << "\" does not contain \""
+            << substring << "\"";
+    } catch (const std::exception& e) {
+        ADD_FAILURE() << "expected SimError, got "
+                      << typeid(e).name() << ": " << e.what();
+    }
+}
+
+} // namespace apres
+
+#endif // APRES_TESTS_SIM_ERROR_MATCHERS_HPP

@@ -12,6 +12,7 @@
 #include "sim/gpu.hpp"
 #include "sim/policy_registry.hpp"
 #include "sim/runner.hpp"
+#include "sim_error_matchers.hpp"
 #include "workloads/workload.hpp"
 
 namespace apres {
@@ -81,15 +82,15 @@ TEST(Sim, AllSchedulerPrefetcherCombosRun)
 TEST(Sim, SapWithoutLawsIsFatal)
 {
     const Workload wl = makeWorkload("SP", 0.05);
-    EXPECT_EXIT(simulate(smallGpu("gto", "sap"), wl.kernel),
-                testing::ExitedWithCode(1), "requires the LAWS scheduler");
+    expectSimError(SimErrorKind::kConfig, "requires the LAWS scheduler",
+                   [&] { simulate(smallGpu("gto", "sap"), wl.kernel); });
 }
 
 TEST(Sim, UnknownSchedulerIsFatal)
 {
     const Workload wl = makeWorkload("SP", 0.05);
-    EXPECT_EXIT(simulate(smallGpu("fancy"), wl.kernel),
-                testing::ExitedWithCode(1), "unknown scheduler");
+    expectSimError(SimErrorKind::kConfig, "unknown scheduler",
+                   [&] { simulate(smallGpu("fancy"), wl.kernel); });
 }
 
 TEST(Sim, SameInstructionCountAcrossSchedulers)
@@ -186,8 +187,8 @@ TEST(Sim, RejectsMoreThan64WarpsPerSm)
     const Workload wl = makeWorkload("SP", 0.05);
     GpuConfig cfg = smallGpu();
     cfg.sm.warpsPerSm = 80;
-    EXPECT_EXIT(simulate(cfg, wl.kernel), testing::ExitedWithCode(1),
-                "64-warp group bit-mask");
+    expectSimError(SimErrorKind::kConfig, "64-warp group bit-mask",
+                   [&] { simulate(cfg, wl.kernel); });
 }
 
 /**
