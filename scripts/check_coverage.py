@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Gate line coverage from an lcov tracefile.
+
+Parses the DA:<line>,<hits> records of an lcov .info file (as produced
+by `lcov --capture`) and fails when total line coverage over the
+selected files falls below the threshold. Parsing the tracefile
+directly keeps the gate independent of lcov's --summary output format,
+which changes across distro versions.
+
+Usage:
+    python3 scripts/check_coverage.py coverage.info --min 80 \
+        [--match src/apres --match src/common]
+"""
+
+import argparse
+import sys
+from collections import defaultdict
+
+
+def parse_tracefile(path):
+    """Return {source_file: (covered_lines, instrumented_lines)}."""
+    per_file = defaultdict(lambda: [0, 0])
+    current = None
+    # Later records for the same file (e.g. from several test
+    # binaries) are line-wise OR-ed, matching lcov's own merge.
+    hits = defaultdict(dict)
+    with open(path) as f:
+        for raw in f:
+            line = raw.strip()
+            if line.startswith("SF:"):
+                current = line[3:]
+            elif line.startswith("DA:") and current is not None:
+                lineno, _, count = line[3:].partition(",")
+                count = int(count.split(",")[0])
+                prev = hits[current].get(lineno, 0)
+                hits[current][lineno] = max(prev, count)
+            elif line == "end_of_record":
+                current = None
+    for path_, lines in hits.items():
+        covered = sum(1 for c in lines.values() if c > 0)
+        per_file[path_] = [covered, len(lines)]
+    return per_file
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("tracefile", help="lcov .info file")
+    parser.add_argument(
+        "--min", type=float, default=80.0, help="minimum line coverage %%"
+    )
+    parser.add_argument(
+        "--match",
+        action="append",
+        default=[],
+        help="only count files whose path contains this substring "
+        "(repeatable; default: all files in the tracefile)",
+    )
+    args = parser.parse_args()
+
+    per_file = parse_tracefile(args.tracefile)
+    selected = {
+        path: counts
+        for path, counts in per_file.items()
+        if not args.match or any(m in path for m in args.match)
+    }
+    if not selected:
+        print(
+            f"error: no files matching {args.match} in {args.tracefile}",
+            file=sys.stderr,
+        )
+        return 1
+
+    total_covered = 0
+    total_lines = 0
+    width = max(len(p) for p in selected)
+    for path in sorted(selected):
+        covered, lines = selected[path]
+        total_covered += covered
+        total_lines += lines
+        pct = 100.0 * covered / lines if lines else 100.0
+        print(f"{path:<{width}}  {covered:>5}/{lines:<5}  {pct:6.2f}%")
+
+    total_pct = 100.0 * total_covered / total_lines if total_lines else 0.0
+    print(
+        f"\nTOTAL {total_covered}/{total_lines} lines = {total_pct:.2f}% "
+        f"(threshold {args.min:.2f}%)"
+    )
+    if total_pct < args.min:
+        print("FAIL: coverage below threshold", file=sys.stderr)
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Regenerate the golden trace files under tests/golden/.
+
+The golden-trace suite (tests/trace_test.cpp) pins the event sequence
+of fixed-seed KM/NW mini-kernels under GTO+none and LAWS+SAP. When an
+intentional simulator change alters that sequence, rerun this script:
+it executes the test binary in regen mode (APRES_REGEN_GOLDEN=1), which
+rewrites the files from the exact same configurations the comparing
+tests use — there is no second source of truth to drift.
+
+Usage:
+    python3 scripts/regen_golden_traces.py [--build-dir build]
+
+Then inspect `git diff tests/golden/` and commit the new files with the
+change that motivated them.
+"""
+
+import argparse
+import os
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+GOLDEN_DIR = os.path.join(REPO_ROOT, "tests", "golden")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--build-dir",
+        default=os.path.join(REPO_ROOT, "build"),
+        help="CMake build directory containing tests/test_trace",
+    )
+    args = parser.parse_args()
+
+    binary = os.path.join(args.build_dir, "tests", "test_trace")
+    if not os.path.exists(binary):
+        print(
+            f"error: {binary} not found — build first:\n"
+            f"  cmake -B {args.build_dir} -S {REPO_ROOT} && "
+            f"cmake --build {args.build_dir} --target test_trace",
+            file=sys.stderr,
+        )
+        return 1
+
+    os.makedirs(GOLDEN_DIR, exist_ok=True)
+    before = {
+        name: os.path.getmtime(os.path.join(GOLDEN_DIR, name))
+        for name in os.listdir(GOLDEN_DIR)
+    }
+
+    env = dict(os.environ, APRES_REGEN_GOLDEN="1")
+    result = subprocess.run(
+        [binary, "--gtest_filter=KmNwMiniKernels/GoldenTrace.*"],
+        env=env,
+        cwd=REPO_ROOT,
+    )
+    if result.returncode != 0:
+        print("error: regen run failed", file=sys.stderr)
+        return result.returncode
+
+    written = sorted(
+        name
+        for name in os.listdir(GOLDEN_DIR)
+        if name not in before
+        or os.path.getmtime(os.path.join(GOLDEN_DIR, name)) > before[name]
+    )
+    if not written:
+        print("error: no golden files were (re)written", file=sys.stderr)
+        return 1
+    for name in written:
+        path = os.path.join(GOLDEN_DIR, name)
+        with open(path) as f:
+            lines = sum(1 for _ in f)
+        print(f"wrote {os.path.relpath(path, REPO_ROOT)} ({lines} lines)")
+    print("review with: git diff tests/golden/")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

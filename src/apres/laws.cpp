@@ -9,7 +9,9 @@
 #include <bit>
 #include <cassert>
 
+#include "common/metrics.hpp"
 #include "common/stats.hpp"
+#include "common/trace.hpp"
 
 namespace apres {
 
@@ -21,6 +23,7 @@ LawsScheduler::attach(SmContext& sm_ref)
     queue.clear();
     for (int w = 0; w < sm->numWarps(); ++w)
         queue.push_back(w);
+    groupFormedAt_.assign(static_cast<std::size_t>(sm->numWarps()), 0);
 }
 
 WarpId
@@ -40,7 +43,6 @@ LawsScheduler::pick(Cycle now, const std::vector<WarpId>& ready)
 void
 LawsScheduler::notifyLoadIssued(WarpId warp, Pc pc, Cycle now)
 {
-    (void)now;
     // Group every warp whose LLPC matches the issuing warp's previous
     // load (Section IV-A / Fig. 8); then advance the warp's LLPC.
     const Pc llpc = llt.get(warp);
@@ -63,6 +65,8 @@ LawsScheduler::notifyLoadIssued(WarpId warp, Pc pc, Cycle now)
     }
     wgt.insert(warp, pc, members);
     ++stats_.groupsFormed;
+    if (static_cast<std::size_t>(warp) < groupFormedAt_.size())
+        groupFormedAt_[static_cast<std::size_t>(warp)] = now;
     llt.set(warp, pc);
 }
 
@@ -127,10 +131,24 @@ LawsScheduler::notifyAccessResult(const LoadAccessInfo& info)
     if (members == 0)
         return; // group replaced before the outcome arrived
 
+    // Lifetime of the group: formation (owner's load issue) to the
+    // outcome that retires it from the WGT.
+    if (metrics_ &&
+        static_cast<std::size_t>(info.warp) < groupFormedAt_.size()) {
+        metrics_->wgtGroupLifetime.add(
+            info.now - groupFormedAt_[static_cast<std::size_t>(info.warp)]);
+    }
+
     if (info.hit) {
         // High-locality load: the whole group is expected to hit; run
         // it immediately so the shared lines stay resident.
         ++stats_.groupHits;
+        if (tracer_) {
+            tracer_->record(info.sm, TraceEventType::kLawsGroupPromote,
+                            info.now, info.pc, info.warp,
+                            static_cast<std::uint64_t>(
+                                std::popcount(members)));
+        }
         if (cfg.promoteOnHit)
             moveToHead(members);
         pendingMiss.valid = false;
@@ -140,6 +158,11 @@ LawsScheduler::notifyAccessResult(const LoadAccessInfo& info)
     // Streaming load: demote the group, and stage it for SAP, which
     // may promote the prefetch targets right back (Section IV-B).
     ++stats_.groupMisses;
+    if (tracer_) {
+        tracer_->record(info.sm, TraceEventType::kLawsGroupDemote, info.now,
+                        info.pc, info.warp,
+                        static_cast<std::uint64_t>(std::popcount(members)));
+    }
     if (cfg.demoteOnMiss)
         moveToTail(members);
     pendingMiss.valid = true;

@@ -127,6 +127,12 @@ class LawsScheduler final : public Scheduler
     WarpGroupTable wgt;
     PendingGroupMiss pendingMiss;
     LawsStats stats_;
+    /**
+     * Cycle each warp's current WGT group was formed (indexed by owner
+     * warp). Only sampled into the wgtGroupLifetime histogram when a
+     * metrics sink is installed; never read by scheduling decisions.
+     */
+    std::vector<Cycle> groupFormedAt_;
 };
 
 } // namespace apres

@@ -10,6 +10,7 @@
 
 #include "common/log.hpp"
 #include "common/stats.hpp"
+#include "common/trace.hpp"
 
 namespace apres {
 
@@ -29,6 +30,7 @@ SapPrefetcher::attach(SmContext& sm)
         fatal("SAP: numWarps=" + std::to_string(sm.numWarps()) +
               " exceeds the 64-warp group mask width");
     numWarps_ = sm.numWarps();
+    smId_ = sm.id();
 }
 
 SapPrefetcher::PtEntry&
@@ -108,6 +110,11 @@ SapPrefetcher::onAccess(const LoadAccessInfo& info, PrefetchIssuer& issuer)
         ++stats_.groupMissesReceived;
         if (stride_match) {
             ++stats_.strideMatches;
+            if (tracer_) {
+                tracer_->record(smId_, TraceEventType::kSapStrideMatch,
+                                info.now, info.pc, info.warp,
+                                group.members);
+            }
             // DRQ holds one address; WQ holds the member warps. Issue
             // one prefetch per member, capped by the WQ capacity. A
             // zero stride (the BFS-style shared-address loads of
@@ -135,11 +142,22 @@ SapPrefetcher::onAccess(const LoadAccessInfo& info, PrefetchIssuer& issuer)
                 const auto target = static_cast<Addr>(
                     static_cast<std::int64_t>(info.baseAddr) +
                     (w - info.warp) * cur_stride);
-                if (issuer.issuePrefetch(target, info.pc, w))
+                if (issuer.issuePrefetch(target, info.pc, w)) {
                     ++stats_.prefetchesIssued;
+                    if (tracer_) {
+                        tracer_->record(smId_,
+                                        TraceEventType::kSapPrefetchIssue,
+                                        info.now, info.pc, w, target);
+                    }
+                }
             }
             stats_.wqPeak = std::max(stats_.wqPeak,
                                      static_cast<std::uint64_t>(enqueued));
+            if (tracer_) {
+                tracer_->record(smId_, TraceEventType::kSapWqDrain, info.now,
+                                info.pc, info.warp,
+                                static_cast<std::uint64_t>(enqueued));
+            }
             // Cooperative half: LAWS promotes the targeted warps so
             // their demands merge with the in-flight (pre)fetches.
             if (!targets.empty())
@@ -155,6 +173,11 @@ SapPrefetcher::onAccess(const LoadAccessInfo& info, PrefetchIssuer& issuer)
     // stored stride only after repeated disagreement, and inexact
     // divisions (cross-iteration pairs) are ignored entirely.
     if (cur_valid) {
+        if (tracer_) {
+            tracer_->record(smId_, TraceEventType::kSapPtTrain, info.now,
+                            info.pc, info.warp,
+                            static_cast<std::uint64_t>(cur_stride));
+        }
         if (entry.strideValid && cur_stride == entry.stride) {
             if (entry.confidence < kMaxConfidence)
                 ++entry.confidence;

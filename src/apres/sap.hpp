@@ -114,6 +114,7 @@ class SapPrefetcher final : public Prefetcher
     LawsScheduler& laws;
     SapConfig cfg;
     int numWarps_ = 64; ///< group-walk bound; tightened by attach()
+    SmId smId_ = 0;     ///< trace lane; set by attach()
     std::vector<PtEntry> pt;
     std::uint64_t useClock = 0;
     SapStats stats_;

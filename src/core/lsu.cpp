@@ -9,6 +9,9 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "common/metrics.hpp"
+#include "common/trace.hpp"
+
 namespace apres {
 
 Lsu::Lsu(SmId sm, const LsuConfig& config, LsuOwner& owner_ref, Cache& l1_ref,
@@ -68,6 +71,8 @@ Lsu::completeOne(std::uint64_t token, Cycle now)
     assert(track.remaining > 0);
     if (--track.remaining == 0) {
         stats_.loadLatency.add(static_cast<double>(now - track.accepted));
+        if (metrics_)
+            metrics_->loadToUse.add(now - track.accepted);
         owner.onLoadComplete(track.warp, track.dstReg, now);
         tracks.erase(token);
     }
@@ -114,6 +119,10 @@ Lsu::processLine(Op& op, Cycle now)
         pc_stat->missRate() >= cfg.bypassMissRate) {
         req.bypassL1 = true;
         ++stats_.bypassedLines;
+        if (tracer_) {
+            tracer_->record(smId, TraceEventType::kL1Bypass, now, op.pc,
+                            op.warp, line);
+        }
         if (op.next == 0) {
             LoadAccessInfo info;
             info.sm = smId;
@@ -130,10 +139,29 @@ Lsu::processLine(Op& op, Cycle now)
         return true;
     }
 
+    // Sample MSHR occupancy as seen by the access about to probe the
+    // L1 (one sample per warp load, on its first line).
+    if (metrics_ && op.next == 0)
+        metrics_->mshrOccupancy.add(l1.mshrsInUse());
+
     const AccessOutcome outcome = l1.access(req);
     if (outcome == AccessOutcome::kMshrFull) {
         ++stats_.mshrReplays;
         return false; // replay this line next cycle
+    }
+
+    if (tracer_) {
+        if (op.next == 0) {
+            tracer_->record(smId,
+                            outcome == AccessOutcome::kHit
+                                ? TraceEventType::kL1Hit
+                                : TraceEventType::kL1Miss,
+                            now, op.pc, op.warp, line);
+        }
+        if (outcome == AccessOutcome::kMergedMshr) {
+            tracer_->record(smId, TraceEventType::kMshrMerge, now, op.pc,
+                            op.warp, line);
+        }
     }
 
     // Optional access trace for debugging (APRES_TRACE=1, SM 0 only).

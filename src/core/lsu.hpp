@@ -152,6 +152,18 @@ class Lsu
      */
     Cycle nextHitReady() const { return hitEvents.nextReady(); }
 
+    /**
+     * Install observation sinks (either may be null = off). The LSU
+     * emits L1 hit/miss/bypass and MSHR-merge events and samples the
+     * load-to-use and MSHR-occupancy histograms; pure observation.
+     */
+    void
+    setObservability(Tracer* tracer, MetricsRegistry* metrics)
+    {
+        tracer_ = tracer;
+        metrics_ = metrics;
+    }
+
     /** Counters. */
     const LsuStats& stats() const { return stats_; }
 
@@ -201,6 +213,8 @@ class Lsu
      */
     HitEventRing hitEvents;
     LsuStats stats_;
+    Tracer* tracer_ = nullptr;
+    MetricsRegistry* metrics_ = nullptr;
 };
 
 } // namespace apres

@@ -64,6 +64,21 @@ class Prefetcher
      * Scheduler::reportStats: accumulate, one call per SM instance.
      */
     virtual void reportStats(StatSet& out) const { (void)out; }
+
+    /**
+     * Install observation sinks (either may be null = off); same
+     * pure-observation contract as Scheduler::setObservability.
+     */
+    void
+    setObservability(Tracer* tracer, MetricsRegistry* metrics)
+    {
+        tracer_ = tracer;
+        metrics_ = metrics;
+    }
+
+  protected:
+    Tracer* tracer_ = nullptr;
+    MetricsRegistry* metrics_ = nullptr;
 };
 
 } // namespace apres

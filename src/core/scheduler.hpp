@@ -21,8 +21,10 @@
 
 namespace apres {
 
+class MetricsRegistry;
 class SmContext;
 class StatSet;
+class Tracer;
 
 /** L1 access result of one warp load, reported by the LSU. */
 struct LoadAccessInfo
@@ -105,6 +107,23 @@ class Scheduler
      * default reports nothing — stateless schedulers need no code.
      */
     virtual void reportStats(StatSet& out) const { (void)out; }
+
+    /**
+     * Install observation sinks (either may be null = off). Sinks are
+     * strictly write-only from the scheduler's side: emitting an event
+     * or a sample must never influence a scheduling decision, so
+     * statistics stay bitwise identical with observation on or off.
+     */
+    void
+    setObservability(Tracer* tracer, MetricsRegistry* metrics)
+    {
+        tracer_ = tracer;
+        metrics_ = metrics;
+    }
+
+  protected:
+    Tracer* tracer_ = nullptr;
+    MetricsRegistry* metrics_ = nullptr;
 };
 
 } // namespace apres

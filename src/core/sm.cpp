@@ -11,6 +11,7 @@
 #include <string>
 
 #include "common/bitutils.hpp"
+#include "common/trace.hpp"
 #include "core/shared_memory.hpp"
 
 namespace apres {
@@ -185,6 +186,10 @@ Sm::issue(WarpId warp_id, Cycle now)
     ++stats_.issuedInstructions;
     ++warp.instructionsIssued;
     warp.lastIssueCycle = now;
+    if (tracer_) {
+        tracer_->record(smId, TraceEventType::kWarpIssue, now, instr.pc,
+                        warp_id, static_cast<std::uint64_t>(instr.op));
+    }
     scheduler.notifyIssue(warp_id, instr, now);
 
     switch (instr.op) {
@@ -306,11 +311,25 @@ Sm::tick(Cycle now)
         // The scheduler idled deliberately (e.g. CCWS throttling); its
         // decision can change with bare time, so never cache or skip
         // past this state.
+        if (tracer_) {
+            tracer_->record(smId, TraceEventType::kSchedulerIdle, now,
+                            kInvalidPc, kInvalidWarp,
+                            readyScratch.size());
+        }
         ++stats_.idleCycles;
         return false;
     }
     issue(picked, now);
     return true;
+}
+
+void
+Sm::setObservability(Tracer* tracer, MetricsRegistry* metrics)
+{
+    tracer_ = tracer;
+    metrics_ = metrics;
+    lsu_.setObservability(tracer, metrics);
+    l1_.setMetrics(metrics);
 }
 
 void

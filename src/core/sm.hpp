@@ -170,6 +170,13 @@ class Sm final : public SmContext,
     void setFastForward(bool on) { fastForward_ = on; }
 
     /**
+     * Install observation sinks (either may be null = off) on this SM
+     * and forward them to its LSU and L1. Pure observation: emitting
+     * events/samples never changes simulation state.
+     */
+    void setObservability(Tracer* tracer, MetricsRegistry* metrics);
+
+    /**
      * True when all warps finished and no memory op is in flight.
      * Monotone: once an SM drained it never becomes busy again (no
      * issue source remains), which Gpu::done() exploits.
@@ -278,6 +285,10 @@ class Sm final : public SmContext,
 
     /** Fast-forward machinery enabled (Gpu sets from config). */
     bool fastForward_ = false;
+
+    /** Observation sinks (null = off); lane = this SM's ID. */
+    Tracer* tracer_ = nullptr;
+    MetricsRegistry* metrics_ = nullptr;
 
     /**
      * Incremental ready-scan cache: when the last collectReady() came

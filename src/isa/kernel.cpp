@@ -179,8 +179,17 @@ KernelBuilder::build(std::uint64_t trip_count)
 {
     assert(!built);
     assert(trip_count >= 1);
-    assert(!kernel.code_.empty() && "kernel body must not be empty");
     built = true;
+
+    // A body-less kernel is malformed input (e.g. a kernel-text file
+    // that stops after the header), not driver misuse: reject it the
+    // typed way so Release builds don't silently build a kernel no SM
+    // can retire.
+    if (kernel.code_.empty()) {
+        throwKernelError("kernel '" + kernel.name_ +
+                         "': body is empty (no instructions before "
+                         "build)");
+    }
 
     if (loopTarget < 0 ||
         loopTarget >= static_cast<int>(kernel.code_.size())) {

@@ -95,6 +95,23 @@ class Params
     std::map<std::string, std::string> values;
 };
 
+/**
+ * The `lanes=` attribute of a memory op: the SM models [1, kWarpSize]
+ * active lanes, and KernelBuilder asserts that range — reject it here
+ * with the line number instead.
+ */
+int
+parseLanes(const Params& p, const std::string& context)
+{
+    const std::uint64_t lanes = p.getU64("lanes", kWarpSize);
+    if (lanes < 1 || lanes > static_cast<std::uint64_t>(kWarpSize)) {
+        throwKernelError(context + ": lanes=" + std::to_string(lanes) +
+                         " outside [1, " + std::to_string(kWarpSize) +
+                         "]");
+    }
+    return static_cast<int>(lanes);
+}
+
 /** Parse an `r<N>` register name. */
 int
 parseReg(const std::string& token, const std::string& context)
@@ -242,8 +259,7 @@ parseKernelText(std::istream& input)
                                  " not defined (each may be used once)");
             const int dep =
                 p.has("dep") ? mapped(p.getReg("dep"), ctx) : kNoReg;
-            const int lanes =
-                static_cast<int>(p.getU64("lanes", kWarpSize));
+            const int lanes = parseLanes(p, ctx);
             const int reg = builder->load(
                 std::move(gens[gen_id]),
                 static_cast<int>(p.getU64("lanestride", 4)),
@@ -260,10 +276,17 @@ parseKernelText(std::istream& input)
             int latency = op == "alu" ? 8 : 20;
             std::string token;
             while (in >> token) {
-                if (token.rfind("lat=", 0) == 0)
+                if (token.rfind("lat=", 0) == 0) {
                     latency = std::atoi(token.c_str() + 4);
-                else
+                    if (latency < 1) {
+                        throwKernelError(ctx + ": lat=" +
+                                         token.substr(4) +
+                                         " must be a positive cycle "
+                                         "count");
+                    }
+                } else {
                     srcs.push_back(mapped(parseReg(token, ctx), ctx));
+                }
             }
             const int reg = op == "alu" ? builder->alu(srcs, 1, latency)
                                         : builder->sfu(srcs, latency);
@@ -282,8 +305,7 @@ parseKernelText(std::istream& input)
                                  " not defined (each may be used once)");
             const int dep =
                 p.has("dep") ? mapped(p.getReg("dep"), ctx) : kNoReg;
-            const int lanes =
-                static_cast<int>(p.getU64("lanes", kWarpSize));
+            const int lanes = parseLanes(p, ctx);
             const int reg = builder->sharedLoad(
                 std::move(gens[gen_id]),
                 static_cast<int>(p.getU64("lanestride", 4)), dep, lanes);
@@ -299,8 +321,7 @@ parseKernelText(std::istream& input)
                                  " not defined (each may be used once)");
             const int src =
                 p.has("src") ? mapped(p.getReg("src"), ctx) : kNoReg;
-            const int lanes =
-                static_cast<int>(p.getU64("lanes", kWarpSize));
+            const int lanes = parseLanes(p, ctx);
             builder->store(std::move(gens[gen_id]), src,
                            static_cast<int>(p.getU64("lanestride", 4)),
                            static_cast<Pc>(p.getU64("pc", kInvalidPc)),

@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "common/bitutils.hpp"
+#include "common/metrics.hpp"
 
 namespace apres {
 
@@ -143,7 +144,7 @@ Cache::warpBit(WarpId warp)
 }
 
 void
-Cache::recordDemandHit(Line& line, WarpId warp)
+Cache::recordDemandHit(Line& line, const MemRequest& req)
 {
     ++stats_.demandHits;
     if (lastDemandWasHit)
@@ -153,9 +154,16 @@ Cache::recordDemandHit(Line& line, WarpId warp)
     lastDemandWasHit = true;
     if (cfg.replacement != ReplacementPolicy::kFifo)
         line.lastUse = ++useClock;
-    line.toucherMask |= warpBit(warp);
-    if (line.prefetched && !line.demandTouched)
+    line.toucherMask |= warpBit(req.warp);
+    if (line.prefetched && !line.demandTouched) {
         ++stats_.usefulPrefetches;
+        // Timeliness: the prefetch landed this many cycles before its
+        // first demand consumer (req.issued = demand access cycle).
+        if (metrics_ && req.issued >= line.prefetchIssuedAt) {
+            metrics_->prefetchTimeliness.add(req.issued -
+                                             line.prefetchIssuedAt);
+        }
+    }
     line.demandTouched = true;
 }
 
@@ -207,7 +215,7 @@ Cache::access(const MemRequest& req)
     ++stats_.demandAccesses;
 
     if (Line* line = findLine(req.lineAddr)) {
-        recordDemandHit(*line, req.warp);
+        recordDemandHit(*line, req);
         return AccessOutcome::kHit;
     }
 
@@ -226,6 +234,12 @@ Cache::access(const MemRequest& req)
         ++stats_.mshrMerges;
         if (entry.prefetchOnly) {
             ++stats_.demandMergedIntoPrefetch;
+            // Merged-late coverage still has a timeliness distance:
+            // demand arrived while the prefetch was in flight.
+            if (metrics_ && req.issued >= entry.prefetchIssuedAt) {
+                metrics_->prefetchTimeliness.add(req.issued -
+                                                 entry.prefetchIssuedAt);
+            }
             entry.prefetchOnly = false;
         }
         entry.waiters.push_back(req);
@@ -267,6 +281,7 @@ Cache::prefetch(const MemRequest& req)
     ++stats_.prefetchesAccepted;
     MshrEntry entry;
     entry.prefetchOnly = true;
+    entry.prefetchIssuedAt = req.issued;
     mshrs.emplace(req.lineAddr, std::move(entry));
     return PrefetchOutcome::kIssued;
 }
@@ -291,10 +306,12 @@ Cache::FillResult
 Cache::fill(Addr line_addr)
 {
     FillResult result;
+    Cycle pf_issued = 0;
     const auto it = mshrs.find(line_addr);
     if (it != mshrs.end()) {
         result.waiters = std::move(it->second.waiters);
         result.prefetchOnly = it->second.prefetchOnly;
+        pf_issued = it->second.prefetchIssuedAt;
         mshrs.erase(it);
     }
 
@@ -314,6 +331,7 @@ Cache::fill(Addr line_addr)
     victim.valid = true;
     victim.prefetched = result.prefetchOnly;
     victim.demandTouched = !result.prefetchOnly;
+    victim.prefetchIssuedAt = result.prefetchOnly ? pf_issued : 0;
     victim.lastUse = ++useClock;
     victim.toucherMask = 0;
     for (const MemRequest& waiter : result.waiters)

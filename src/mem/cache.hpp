@@ -34,6 +34,8 @@
 
 namespace apres {
 
+class MetricsRegistry;
+
 /** Victim selection policy. */
 enum class ReplacementPolicy {
     kLru,    ///< least-recently-used (the default; GPU L1s approximate it)
@@ -189,6 +191,14 @@ class Cache
     /** Install (or clear, with nullptr) the eviction observer. */
     void setEvictionListener(EvictionListener listener);
 
+    /**
+     * Install a metrics sink (null = off). The cache samples prefetch
+     * timeliness — cycles between a prefetch's issue and the first
+     * demand touching its line (on residency hit or MSHR merge); pure
+     * observation, no outcome changes.
+     */
+    void setMetrics(MetricsRegistry* metrics) { metrics_ = metrics; }
+
     /** Invalidate all lines and pending state (for reuse in sweeps). */
     void reset();
 
@@ -213,11 +223,13 @@ class Cache
         bool demandTouched = false;
         std::uint64_t lastUse = 0;
         std::uint64_t toucherMask = 0; ///< warps that touched the line
+        Cycle prefetchIssuedAt = 0;    ///< issue cycle when prefetched
     };
 
     struct MshrEntry
     {
         bool prefetchOnly = false;
+        Cycle prefetchIssuedAt = 0; ///< issue cycle when prefetch-born
         std::vector<MemRequest> waiters;
     };
 
@@ -225,7 +237,7 @@ class Cache
     Line* findLine(Addr line_addr);
     const Line* findLine(Addr line_addr) const;
     Line& victimLine(std::uint32_t set);
-    void recordDemandHit(Line& line, WarpId warp);
+    void recordDemandHit(Line& line, const MemRequest& req);
     void classifyMiss(Addr line_addr);
     void evict(Line& line);
     static std::uint64_t warpBit(WarpId warp);
@@ -241,6 +253,7 @@ class Cache
     std::uint64_t randomState = 0x243F6A8885A308D3ull; // deterministic
     bool lastDemandWasHit = false;
     EvictionListener evictionListener;
+    MetricsRegistry* metrics_ = nullptr;
     CacheStats stats_;
 };
 

@@ -10,6 +10,7 @@
 #include <string>
 
 #include "common/log.hpp"
+#include "common/trace.hpp"
 #include "isa/address_gen.hpp" // mix64
 
 namespace apres {
@@ -84,6 +85,11 @@ MemorySystem::submitRead(const MemRequest& req, Cycle now)
         const Cycle done =
             drams[static_cast<std::size_t>(p)].schedule(now, req.lineAddr);
         traffic_.fillBytesFromDram += cfg.l2Partition.lineSize;
+        if (tracer_) {
+            tracer_->record(tracer_->memLane(),
+                            TraceEventType::kDramService, now, req.pc,
+                            req.warp, done - now);
+        }
         scheduleEvent(done, req, /*fills_l2=*/true);
         break;
       }
@@ -94,6 +100,11 @@ MemorySystem::submitRead(const MemRequest& req, Cycle now)
             drams[static_cast<std::size_t>(p)].schedule(now, req.lineAddr);
         traffic_.fillBytesFromDram += cfg.l2Partition.lineSize;
         traffic_.fillBytesToL1 += cfg.l2Partition.lineSize;
+        if (tracer_) {
+            tracer_->record(tracer_->memLane(),
+                            TraceEventType::kDramService, now, req.pc,
+                            req.warp, done - now);
+        }
         scheduleEvent(done, req, /*fills_l2=*/false);
         break;
       }

@@ -27,6 +27,8 @@
 
 namespace apres {
 
+class Tracer;
+
 /** Receiver of memory responses (one per SM; typically the SM). */
 class MemClient
 {
@@ -131,6 +133,13 @@ class MemorySystem
     /** Reset caches, channels and counters (for config sweeps). */
     void reset();
 
+    /**
+     * Install the event tracer (null = off). The memory side emits a
+     * kDramService event on its lane whenever a read is scheduled on a
+     * DRAM channel; pure observation.
+     */
+    void setTracer(Tracer* tracer) { tracer_ = tracer; }
+
   private:
     /** A scheduled completion. */
     struct Event
@@ -160,6 +169,7 @@ class MemorySystem
     TrafficStats traffic_;
     std::vector<std::uint64_t> outstandingReads_; ///< per SM, in flight
     std::uint64_t responsesDelivered_ = 0;
+    Tracer* tracer_ = nullptr;
 };
 
 } // namespace apres

@@ -96,6 +96,39 @@ struct GpuConfig
     std::uint64_t watchdogCycles = 10'000'000;
 
     /**
+     * Structured event tracing ("sim.trace", off by default): the Gpu
+     * owns a Tracer (common/trace.hpp) and every component emits typed
+     * events into per-lane ring buffers. Like the auditor, tracing is
+     * pure observation — all statistics are bitwise identical on/off
+     * (the ff_equivalence suite pins this). Off, every emit site costs
+     * one null-pointer test.
+     */
+    bool trace = false;
+
+    /**
+     * File the Chrome trace_event JSON is written to when the run
+     * finishes ("sim.traceFile"). Empty keeps the trace in memory only
+     * (tests read it through Gpu::tracer()).
+     */
+    std::string traceFile;
+
+    /**
+     * Ring capacity per trace lane in events
+     * ("sim.traceBufferEvents"). A full lane overwrites its oldest
+     * events, so long runs keep the most recent window.
+     */
+    std::uint64_t traceBufferEvents = 1 << 16;
+
+    /**
+     * Metrics histograms and counters ("sim.metrics", off by
+     * default): load-to-use latency, MSHR occupancy, WGT group
+     * lifetime and prefetch timeliness, reported under "metrics.*"
+     * keys in RunResult::policy. Pure observation, same contract as
+     * tracing.
+     */
+    bool metrics = false;
+
+    /**
      * Seed of the Gpu-owned Rng. Every simulation is a pure function
      * of its configuration (including this field): any stochastic
      * model component must draw from Gpu::rng(), never from a global

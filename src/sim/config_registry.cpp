@@ -187,6 +187,17 @@ ConfigRegistry::addBool(const std::string& key, bool& field)
 }
 
 void
+ConfigRegistry::addString(const std::string& key, std::string& field)
+{
+    // Free-form strings (file paths): any value is accepted verbatim.
+    addEntry(key, {[&field](const std::string& value, std::string*) {
+                       field = value;
+                       return true;
+                   },
+                   [&field] { return field; }});
+}
+
+void
 ConfigRegistry::addPolicyName(const std::string& key, std::string& field,
                               bool (*known)(const std::string&),
                               std::vector<std::string> (*names)())
@@ -252,6 +263,11 @@ ConfigRegistry::ConfigRegistry(GpuConfig& c)
     addU64("sim.auditInterval", c.auditInterval, 1, 1'000'000'000);
     addU64("sim.watchdogCycles", c.watchdogCycles, 0, // 0 = disabled
            1'000'000'000'000ull);
+    addBool("sim.trace", c.trace);
+    addString("sim.traceFile", c.traceFile);
+    addU64("sim.traceBufferEvents", c.traceBufferEvents, 1,
+           std::uint64_t{1} << 24);
+    addBool("sim.metrics", c.metrics);
     addPolicyName("scheduler", c.scheduler, &knownScheduler,
                   &schedulerNames);
     addPolicyName("prefetcher", c.prefetcher, &knownPrefetcher,

@@ -111,6 +111,7 @@ class ConfigRegistry
     void addDouble(const std::string& key, double& field, double min_value,
                    double max_value);
     void addBool(const std::string& key, bool& field);
+    void addString(const std::string& key, std::string& field);
     void addPolicyName(const std::string& key, std::string& field,
                        bool (*known)(const std::string&),
                        std::vector<std::string> (*names)());

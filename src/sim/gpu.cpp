@@ -12,6 +12,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <fstream>
 #include <limits>
 #include <sstream>
 
@@ -83,6 +84,27 @@ Gpu::Gpu(const GpuConfig& config, const Kernel& kernel_ref)
         auditor_ = std::make_unique<Auditor>(cfg, kernel, sms, schedulers,
                                              prefetchers, *memsys);
     }
+    // Observation sinks (both off by default). Installation is the
+    // only state change: every emit site is null-guarded, and emitting
+    // never feeds back into simulation state, so stats stay bitwise
+    // identical with observation on or off.
+    if (cfg.trace) {
+        tracer_ = std::make_unique<Tracer>(
+            cfg.numSms, static_cast<std::size_t>(cfg.traceBufferEvents));
+    }
+    if (cfg.metrics)
+        metrics_ = std::make_unique<MetricsRegistry>();
+    if (tracer_ || metrics_) {
+        memsys->setTracer(tracer_.get());
+        for (std::size_t i = 0; i < sms.size(); ++i) {
+            sms[i]->setObservability(tracer_.get(), metrics_.get());
+            schedulers[i]->setObservability(tracer_.get(), metrics_.get());
+            if (prefetchers[i]) {
+                prefetchers[i]->setObservability(tracer_.get(),
+                                                 metrics_.get());
+            }
+        }
+    }
 }
 
 Gpu::~Gpu() = default;
@@ -104,7 +126,7 @@ void
 Gpu::step(Cycle cycles)
 {
     const Cycle end = cycle + cycles;
-    while (cycle < end) {
+    while (cycle < end && !done()) {
         memsys->tick(cycle);
         for (auto& sm : sms)
             sm->tick(cycle);
@@ -182,6 +204,13 @@ Gpu::run()
                 sm->skipIdle(skipped);
             if (auditor_)
                 auditor_->checkSkipWindow(cycle, target);
+            if (tracer_) {
+                // Engine-lane span so the viewer shows where wall time
+                // was jumped; ts = span start, dur = skipped cycles.
+                tracer_->record(tracer_->engineLane(),
+                                TraceEventType::kFfIdleSpan, cycle,
+                                kInvalidPc, kInvalidWarp, skipped);
+            }
             cycle = target;
         }
     }
@@ -193,7 +222,28 @@ Gpu::run()
         logWarn("simulation hit maxCycles=", cfg.maxCycles,
                 " before the kernel drained");
     }
+    writeTraceFile();
     return result;
+}
+
+void
+Gpu::writeTrace(std::ostream& os) const
+{
+    if (tracer_)
+        tracer_->writeChromeTrace(os);
+}
+
+void
+Gpu::writeTraceFile() const
+{
+    if (!tracer_ || cfg.traceFile.empty())
+        return;
+    std::ofstream os(cfg.traceFile);
+    if (!os) {
+        throwConfigError("cannot open trace file \"" + cfg.traceFile +
+                         "\" for writing");
+    }
+    tracer_->writeChromeTrace(os);
 }
 
 void
@@ -276,6 +326,11 @@ Gpu::collect() const
         if (prefetchers[i])
             prefetchers[i]->reportStats(r.policy);
     }
+    // Opt-in metrics ride along under their own "metrics." namespace:
+    // the keys exist only when metrics are on, and the base stat keys
+    // are untouched either way.
+    if (metrics_)
+        metrics_->report(r.policy);
 
     r.ipc = r.cycles ? static_cast<double>(r.instructions) /
                            static_cast<double>(r.cycles)

@@ -18,8 +18,10 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
+#include "common/trace.hpp"
 #include "core/sm.hpp"
 #include "energy/energy_model.hpp"
 #include "isa/kernel.hpp"
@@ -160,7 +162,12 @@ class Gpu
     /** Per-warp stall report over all SMs (deadlock diagnostics). */
     std::string stallReport() const;
 
-    /** Advance exactly @p cycles (for incremental-driving tests). */
+    /**
+     * Advance at most @p cycles (for incremental-driving tests and the
+     * timeline recorder), stopping early when the kernel drains — so
+     * now() after the final step is the true finish cycle, exactly as
+     * run() would report, instead of the next interval boundary.
+     */
     void step(Cycle cycles);
 
     /** True when all SMs drained. */
@@ -207,6 +214,23 @@ class Gpu
      */
     Rng& rng() { return rng_; }
 
+    /** The event tracer (null unless GpuConfig::trace). */
+    const Tracer* tracer() const { return tracer_.get(); }
+
+    /** The metrics registry (null unless GpuConfig::metrics). */
+    const MetricsRegistry* metrics() const { return metrics_.get(); }
+
+    /** Emit the Chrome trace JSON; no-op when tracing is off. */
+    void writeTrace(std::ostream& os) const;
+
+    /**
+     * Write the trace to GpuConfig::traceFile; no-op when tracing is
+     * off or no file is configured. run() calls this on completion;
+     * timeline/step drivers call it themselves. Throws
+     * SimError(kConfig) when the file cannot be opened.
+     */
+    void writeTraceFile() const;
+
   private:
     [[noreturn]] void reportDeadlock(Cycle last_progress) const;
 
@@ -218,6 +242,8 @@ class Gpu
     std::vector<std::unique_ptr<Prefetcher>> prefetchers;
     std::vector<std::unique_ptr<Sm>> sms;
     std::unique_ptr<Auditor> auditor_; ///< built when cfg.audit
+    std::unique_ptr<Tracer> tracer_;   ///< built when cfg.trace
+    std::unique_ptr<MetricsRegistry> metrics_; ///< built when cfg.metrics
     std::function<void()> interruptCheck_;
     Cycle cycle = 0;
 

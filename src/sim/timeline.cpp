@@ -5,6 +5,7 @@
 
 #include "timeline.hpp"
 
+#include <algorithm>
 #include <string>
 
 #include "common/log.hpp"
@@ -29,14 +30,24 @@ TimelineRecorder::record(Gpu& gpu)
     std::uint64_t last_prefetches = 0;
 
     while (!gpu.done() && gpu.now() < gpu.maxCycles()) {
-        gpu.step(interval_);
+        // The final interval may be cut short by the cycle cap (or by
+        // the kernel finishing mid-window): never step past maxCycles,
+        // and normalize the interval IPC by the cycles actually
+        // simulated so the partial tail row is not diluted.
+        const Cycle chunk =
+            std::min<Cycle>(interval_, gpu.maxCycles() - gpu.now());
+        const Cycle start = gpu.now();
+        gpu.step(chunk);
+        const Cycle elapsed = gpu.now() - start;
+        if (elapsed == 0)
+            break; // no forward progress: avoid a 0-width sample
         const RunResult snap = gpu.collect();
 
         TimelineSample sample;
         sample.cycleEnd = gpu.now();
         sample.intervalIpc =
             static_cast<double>(snap.instructions - last_instr) /
-            static_cast<double>(interval_);
+            static_cast<double>(elapsed);
         const std::uint64_t accesses =
             snap.l1.demandAccesses - last_accesses;
         const std::uint64_t misses = snap.l1.demandMisses - last_misses;

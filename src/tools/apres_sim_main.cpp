@@ -73,6 +73,11 @@ printHelp()
         "  --bypass          enable adaptive L1 bypass for streams\n"
         "  --max-cycles N    simulation cap (default 50000000)\n\n"
         "output:\n"
+        "  --trace FILE      write a Chrome trace_event JSON of the run\n"
+        "                    (open in chrome://tracing or Perfetto;\n"
+        "                    = sim.trace=true sim.traceFile=FILE)\n"
+        "  --metrics         collect histogram metrics into the stats\n"
+        "                    (metrics.* keys; = sim.metrics=true)\n"
         "  --json            print one JSON document with all runs\n"
         "  --csv FILE        append rows as CSV instead of text\n"
         "  --timeline FILE   write per-interval samples as CSV\n"
@@ -196,6 +201,11 @@ run(int argc, char** argv)
             assignments.push_back("lsu.adaptiveBypass=true");
         } else if (arg == "--max-cycles") {
             assignments.push_back("maxCycles=" + next());
+        } else if (arg == "--trace") {
+            assignments.push_back("sim.trace=true");
+            assignments.push_back("sim.traceFile=" + next());
+        } else if (arg == "--metrics") {
+            assignments.push_back("sim.metrics=true");
         } else if (arg == "--json") {
             json_output = true;
         } else if (arg == "--csv") {
@@ -260,6 +270,9 @@ run(int argc, char** argv)
                 Gpu gpu(cfg, job.kernel);
                 TimelineRecorder recorder(timeline_interval);
                 r = recorder.record(gpu);
+                // run() flushes the trace itself; the step()-driven
+                // timeline path must flush explicitly.
+                gpu.writeTraceFile();
                 recorder.toCsv(timeline_csv);
             } else {
                 r = simulate(cfg, job.kernel);

@@ -271,13 +271,17 @@ TEST(Timeline, SamplesCoverTheRun)
     const RunResult r = recorder.record(gpu);
     ASSERT_TRUE(r.completed);
     ASSERT_FALSE(recorder.samples().empty());
-    // Samples are 500 cycles apart and end at (or past) the last cycle.
+    // Samples are 500 cycles apart, except the final partial interval,
+    // which ends exactly at the finish cycle.
     EXPECT_EQ(recorder.samples().front().cycleEnd, 500u);
-    EXPECT_GE(recorder.samples().back().cycleEnd, r.cycles);
-    // Interval instructions sum to the total.
+    EXPECT_EQ(recorder.samples().back().cycleEnd, r.cycles);
+    // Interval instructions (ipc x actual width) sum to the total.
     double sum = 0.0;
-    for (const TimelineSample& s : recorder.samples())
-        sum += s.intervalIpc * 500.0;
+    Cycle prev = 0;
+    for (const TimelineSample& s : recorder.samples()) {
+        sum += s.intervalIpc * static_cast<double>(s.cycleEnd - prev);
+        prev = s.cycleEnd;
+    }
     EXPECT_NEAR(sum, static_cast<double>(r.instructions), 1.0);
     // The final cumulative IPC matches the run result.
     EXPECT_NEAR(recorder.samples().back().cumulativeIpc, r.ipc, 1e-9);

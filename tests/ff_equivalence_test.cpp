@@ -168,6 +168,67 @@ TEST_P(FfEquivalence, StatSetBitwiseIdentical)
     }
 }
 
+/**
+ * StatSet entries minus the opt-in "metrics." namespace. Metrics keys
+ * exist only when sampling is on, so the purity comparison strips them
+ * before demanding bitwise equality of everything else.
+ */
+std::map<std::string, double>
+entriesWithoutMetrics(const StatSet& stats)
+{
+    std::map<std::string, double> out;
+    for (const auto& [key, value] : stats.entries()) {
+        if (key.rfind("metrics.", 0) != 0)
+            out.emplace(key, value);
+    }
+    return out;
+}
+
+TEST_P(FfEquivalence, ObservationIsPure)
+{
+    // Tracing and metrics must be pure observation: every simulation
+    // statistic bitwise identical with both sinks installed vs
+    // neither, in both engines. The naive side re-runs the equivalence
+    // matrix at maximal emission density (every cycle ticks), the ff
+    // side covers the bulk-skip paths and the engine-lane spans.
+    const auto& [sched, pf] = GetParam();
+    if (pf == "sap" && sched != "laws")
+        GTEST_SKIP() << "SAP pairs only with LAWS";
+
+    for (const NamedKernel& nk : kernelsUnderTest()) {
+        GpuConfig cfg = smallGpu(sched, pf);
+        if (nk.warpsPerBlock > 0)
+            cfg.sm.warpsPerBlock = nk.warpsPerBlock;
+
+        GpuConfig base_cfg = cfg;
+        base_cfg.fastForward = true;
+        GpuConfig obs_ff_cfg = base_cfg;
+        obs_ff_cfg.trace = true;
+        obs_ff_cfg.metrics = true;
+        GpuConfig obs_naive_cfg = obs_ff_cfg;
+        obs_naive_cfg.fastForward = false;
+
+        const std::map<std::string, double> base = entriesWithoutMetrics(
+            simulate(base_cfg, *nk.kernel).toStatSet());
+        for (const GpuConfig& obs_cfg : {obs_naive_cfg, obs_ff_cfg}) {
+            const std::map<std::string, double> obs =
+                entriesWithoutMetrics(
+                    simulate(obs_cfg, *nk.kernel).toStatSet());
+            const char* engine =
+                obs_cfg.fastForward ? "ff" : "naive";
+            ASSERT_EQ(base.size(), obs.size()) << nk.name << " " << engine;
+            auto io = obs.begin();
+            for (auto ib = base.begin(); ib != base.end(); ++ib, ++io) {
+                EXPECT_EQ(ib->first, io->first)
+                    << nk.name << " " << engine;
+                EXPECT_EQ(ib->second, io->second)
+                    << nk.name << " (" << engine << "): stat '"
+                    << ib->first << "' perturbed by observation";
+            }
+        }
+    }
+}
+
 INSTANTIATE_TEST_SUITE_P(
     AllCombos, FfEquivalence,
     ::testing::Combine(::testing::ValuesIn(schedulerNames()),

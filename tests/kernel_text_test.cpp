@@ -144,6 +144,23 @@ TEST(KernelText, ErrorsAreFatal)
         "used before definition");
     bad("kernel k 1\ngen 0 uniform\n", "missing required key");
     bad("", "missing 'kernel NAME TRIPS' header");
+    // A header with no instructions must be a typed error, not a
+    // Debug-only assert deep in KernelBuilder::build (caught by the
+    // coverage CI's Debug run of the kernel-text fuzzer).
+    bad("kernel k 1\n", "body is empty");
+    bad("kernel k 1\ngen 0 uniform addr=0\n", "body is empty");
+    // Attribute ranges the builder would otherwise assert on in Debug
+    // builds only: lanes beyond the warp width, non-positive latency.
+    bad("kernel k 1\ngen 0 uniform addr=0\n"
+        "load r0 gen=0 lanes=33\n",
+        "lanes=33 outside");
+    bad("kernel k 1\ngen 0 uniform addr=0\n"
+        "load r0 gen=0 lanes=0\n",
+        "lanes=0 outside");
+    bad("kernel k 1\ngen 0 uniform addr=0\n"
+        "load r0 gen=0\n"
+        "alu r1 r0 lat=0\n",
+        "must be a positive cycle count");
 }
 
 TEST(KernelText, ErrorsCarryLineNumbers)

@@ -12,6 +12,7 @@
 #include "sim/gpu.hpp"
 #include "sim/policy_registry.hpp"
 #include "sim/runner.hpp"
+#include "sim/timeline.hpp"
 #include "sim_error_matchers.hpp"
 #include "workloads/workload.hpp"
 
@@ -352,6 +353,59 @@ TEST(Runner, InspectHookRunsPerJob)
     const std::vector<SweepResult> results = runner.runAll();
     for (std::size_t i = 0; i < results.size(); ++i)
         EXPECT_EQ(l1_accesses[i], results[i].result.l1.demandAccesses);
+}
+
+TEST(Timeline, FinalPartialIntervalIsKept)
+{
+    // Regression: the recorder used to step the Gpu to the next full
+    // interval boundary even after the kernel drained (and straight
+    // past maxCycles when the cap fell mid-interval), so the final
+    // partial interval was diluted into dead cycles and the
+    // timeline-driven cycle count disagreed with Gpu::run().
+    const Workload wl = makeWorkload("SP", 0.05);
+    GpuConfig cfg = smallGpu();
+    const RunResult reference = simulate(cfg, wl.kernel);
+    ASSERT_TRUE(reference.completed);
+
+    // An interval that cannot divide the run evenly: prime width.
+    Gpu gpu(cfg, wl.kernel);
+    TimelineRecorder recorder(701);
+    const RunResult r = recorder.record(gpu);
+    ASSERT_TRUE(r.completed);
+    EXPECT_EQ(r.cycles, reference.cycles);
+    EXPECT_EQ(r.instructions, reference.instructions);
+    ASSERT_FALSE(recorder.samples().empty());
+    // The tail row ends exactly at the finish cycle, not at the next
+    // interval boundary.
+    EXPECT_EQ(recorder.samples().back().cycleEnd, r.cycles);
+    // Interval instruction counts (ipc x actual width) sum to the
+    // total: no instruction was lost or double-counted by the tail.
+    double sum = 0.0;
+    Cycle prev = 0;
+    for (const TimelineSample& s : recorder.samples()) {
+        ASSERT_GT(s.cycleEnd, prev);
+        sum += s.intervalIpc * static_cast<double>(s.cycleEnd - prev);
+        prev = s.cycleEnd;
+    }
+    EXPECT_NEAR(sum, static_cast<double>(r.instructions), 1e-6);
+}
+
+TEST(Timeline, MaxCyclesCapEndsMidIntervalWithoutOvershoot)
+{
+    const Workload wl = makeWorkload("KM", 0.2);
+    GpuConfig cfg = smallGpu();
+    cfg.maxCycles = 1234; // not a multiple of the interval below
+    Gpu gpu(cfg, wl.kernel);
+    TimelineRecorder recorder(500);
+    const RunResult r = recorder.record(gpu);
+    EXPECT_FALSE(r.completed);
+    EXPECT_EQ(r.cycles, 1234u);
+    ASSERT_FALSE(recorder.samples().empty());
+    // Rows at 500, 1000, then the clamped 234-cycle tail.
+    ASSERT_EQ(recorder.samples().size(), 3u);
+    EXPECT_EQ(recorder.samples()[0].cycleEnd, 500u);
+    EXPECT_EQ(recorder.samples()[1].cycleEnd, 1000u);
+    EXPECT_EQ(recorder.samples().back().cycleEnd, 1234u);
 }
 
 TEST(Sim, LargerL1ReducesMissRate)

@@ -1,0 +1,338 @@
+/**
+ * @file
+ * Tracer tests: ring-buffer mechanics, Chrome JSON shape, and the
+ * golden-trace regression suite.
+ *
+ * The golden suite pins the *event sequence* — the order of typed
+ * events (type/pc/warp) per lane, not wall timestamps — of fixed-seed
+ * KM/NW mini-kernels under GTO+none and LAWS+SAP against checked-in
+ * files in tests/golden/. The sequence is part of the simulator's
+ * contract: an engine change that reorders L1 outcomes or LAWS group
+ * moves is a behaviour change even when aggregate stats survive.
+ * Regenerate after an intentional change with
+ * scripts/regen_golden_traces.py (wraps this binary's regen mode,
+ * enabled by the APRES_REGEN_GOLDEN environment variable).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/trace.hpp"
+#include "sim/gpu.hpp"
+#include "sim/runner.hpp"
+#include "workloads/workload.hpp"
+
+namespace apres {
+namespace {
+
+/**
+ * Events pinned per lane. Mini-kernel runs stay well under the default
+ * ring capacity (the tests assert zero drops), so this prefix is a
+ * stable window from cycle 0.
+ */
+constexpr std::size_t kGoldenEventsPerLane = 250;
+
+GpuConfig
+traceGpu(const std::string& sched, const std::string& pf)
+{
+    GpuConfig cfg;
+    cfg.numSms = 2;
+    cfg.sm.warpsPerSm = 8;
+    cfg.sm.warpsPerBlock = 8;
+    cfg.sm.jobsPerWarp = 1;
+    cfg.scheduler = sched;
+    cfg.prefetcher = pf;
+    cfg.maxCycles = 2'000'000;
+    cfg.trace = true;
+    return cfg;
+}
+
+/** One golden case: a Table IV mini-kernel under one policy pair. */
+struct TraceCase
+{
+    const char* workload;
+    const char* sched;
+    const char* pf;
+};
+
+std::string
+goldenFileName(const TraceCase& c)
+{
+    return std::string("trace_") + c.workload + "_" + c.sched + "_" +
+           c.pf + ".txt";
+}
+
+/** Run the case and return the truncated event summary. */
+std::string
+runTraceCase(const TraceCase& c)
+{
+    const Workload wl = makeWorkload(c.workload, 0.02);
+    const GpuConfig cfg = traceGpu(c.sched, c.pf);
+    Gpu gpu(cfg, wl.kernel);
+    const RunResult r = gpu.run();
+    EXPECT_TRUE(r.completed) << c.workload;
+    const Tracer* t = gpu.tracer();
+    EXPECT_NE(t, nullptr);
+    if (t == nullptr)
+        return {};
+    // A drop would shift the retained window and invalidate the golden
+    // prefix; mini-kernels must fit the default ring.
+    EXPECT_EQ(t->dropped(), 0u) << c.workload;
+    EXPECT_GT(t->recorded(), 0u) << c.workload;
+    return t->eventSummary(kGoldenEventsPerLane);
+}
+
+class GoldenTrace : public ::testing::TestWithParam<TraceCase>
+{
+};
+
+TEST_P(GoldenTrace, EventSequenceMatchesGoldenFile)
+{
+    const TraceCase c = GetParam();
+    const std::string path =
+        std::string(APRES_TRACE_GOLDEN_DIR) + "/" + goldenFileName(c);
+    const std::string summary = runTraceCase(c);
+    ASSERT_FALSE(summary.empty());
+
+    if (std::getenv("APRES_REGEN_GOLDEN") != nullptr) {
+        std::ofstream out(path);
+        ASSERT_TRUE(out) << "cannot write " << path;
+        out << summary;
+        GTEST_LOG_(INFO) << "regenerated " << path;
+        return;
+    }
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in) << "missing golden file " << path
+                    << " — run scripts/regen_golden_traces.py";
+    std::ostringstream golden;
+    golden << in.rdbuf();
+
+    if (summary == golden.str()) {
+        SUCCEED();
+        return;
+    }
+    // Point at the first diverging line; dumping both full summaries
+    // would drown the signal.
+    std::istringstream a(golden.str());
+    std::istringstream b(summary);
+    std::string la;
+    std::string lb;
+    std::size_t line = 0;
+    while (true) {
+        ++line;
+        const bool ga = static_cast<bool>(std::getline(a, la));
+        const bool gb = static_cast<bool>(std::getline(b, lb));
+        if (!ga && !gb)
+            break;
+        if (!ga || !gb || la != lb) {
+            FAIL() << goldenFileName(c) << " diverges at line " << line
+                   << ":\n  golden: " << (ga ? la : "<eof>")
+                   << "\n  actual: " << (gb ? lb : "<eof>")
+                   << "\nIf the change is intentional, rerun "
+                      "scripts/regen_golden_traces.py";
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KmNwMiniKernels, GoldenTrace,
+    ::testing::Values(TraceCase{"KM", "gto", "none"},
+                      TraceCase{"KM", "laws", "sap"},
+                      TraceCase{"NW", "gto", "none"},
+                      TraceCase{"NW", "laws", "sap"}),
+    [](const ::testing::TestParamInfo<TraceCase>& info) {
+        return std::string(info.param.workload) + "_" +
+               info.param.sched + "_" + info.param.pf;
+    });
+
+// ---------------------------------------------------------------------
+// Tracer mechanics
+// ---------------------------------------------------------------------
+
+TEST(Tracer, RingKeepsNewestAndCountsDrops)
+{
+    Tracer t(/*num_sms=*/1, /*capacity_per_lane=*/4);
+    for (std::uint64_t i = 0; i < 6; ++i) {
+        t.record(0, TraceEventType::kWarpIssue, /*cycle=*/i,
+                 /*pc=*/static_cast<Pc>(i), /*warp=*/0);
+    }
+    EXPECT_EQ(t.recorded(), 6u);
+    EXPECT_EQ(t.retained(), 4u);
+    EXPECT_EQ(t.dropped(), 2u);
+    // Oldest-first within the lane, and the two oldest are gone.
+    EXPECT_EQ(t.eventSummary(), "sm0 warp-issue pc=2 warp=0\n"
+                                "sm0 warp-issue pc=3 warp=0\n"
+                                "sm0 warp-issue pc=4 warp=0\n"
+                                "sm0 warp-issue pc=5 warp=0\n");
+}
+
+TEST(Tracer, SummaryTruncatesPerLaneAndSkipsEngine)
+{
+    Tracer t(1, 16);
+    for (std::uint64_t i = 0; i < 8; ++i)
+        t.record(0, TraceEventType::kL1Hit, i, 4, 1);
+    t.record(t.engineLane(), TraceEventType::kFfIdleSpan, 100,
+             kInvalidPc, kInvalidWarp, 50);
+    t.record(t.memLane(), TraceEventType::kDramService, 101, 8, 2);
+    const std::string s = t.eventSummary(/*max_per_lane=*/2);
+    EXPECT_EQ(s, "sm0 l1-hit pc=4 warp=1\n"
+                 "sm0 l1-hit pc=4 warp=1\n"
+                 "mem dram-service pc=8 warp=2\n");
+    EXPECT_EQ(t.laneLabel(0), "sm0");
+    EXPECT_EQ(t.laneLabel(t.memLane()), "mem");
+    EXPECT_EQ(t.laneLabel(t.engineLane()), "engine");
+}
+
+TEST(Tracer, EveryEventTypeHasAStableName)
+{
+    // The golden files spell these names; renaming one is a contract
+    // change and must show up here, not only as a golden-file diff.
+    EXPECT_STREQ(traceEventTypeName(TraceEventType::kWarpIssue),
+                 "warp-issue");
+    EXPECT_STREQ(traceEventTypeName(TraceEventType::kSchedulerIdle),
+                 "scheduler-idle");
+    EXPECT_STREQ(traceEventTypeName(TraceEventType::kL1Hit), "l1-hit");
+    EXPECT_STREQ(traceEventTypeName(TraceEventType::kL1Miss), "l1-miss");
+    EXPECT_STREQ(traceEventTypeName(TraceEventType::kL1Bypass),
+                 "l1-bypass");
+    EXPECT_STREQ(traceEventTypeName(TraceEventType::kMshrMerge),
+                 "mshr-merge");
+    EXPECT_STREQ(traceEventTypeName(TraceEventType::kDramService),
+                 "dram-service");
+    EXPECT_STREQ(traceEventTypeName(TraceEventType::kLawsGroupPromote),
+                 "laws-group-promote");
+    EXPECT_STREQ(traceEventTypeName(TraceEventType::kLawsGroupDemote),
+                 "laws-group-demote");
+    EXPECT_STREQ(traceEventTypeName(TraceEventType::kSapPtTrain),
+                 "sap-pt-train");
+    EXPECT_STREQ(traceEventTypeName(TraceEventType::kSapStrideMatch),
+                 "sap-stride-match");
+    EXPECT_STREQ(traceEventTypeName(TraceEventType::kSapPrefetchIssue),
+                 "sap-prefetch-issue");
+    EXPECT_STREQ(traceEventTypeName(TraceEventType::kSapWqDrain),
+                 "sap-wq-drain");
+    EXPECT_STREQ(traceEventTypeName(TraceEventType::kFfIdleSpan),
+                 "ff-idle-span");
+}
+
+// ---------------------------------------------------------------------
+// End-to-end behaviour
+// ---------------------------------------------------------------------
+
+TEST(Trace, OffByDefault)
+{
+    const Workload wl = makeWorkload("KM", 0.02);
+    GpuConfig cfg = traceGpu("gto", "none");
+    cfg.trace = false;
+    Gpu gpu(cfg, wl.kernel);
+    gpu.run();
+    EXPECT_EQ(gpu.tracer(), nullptr);
+    EXPECT_EQ(gpu.metrics(), nullptr);
+}
+
+TEST(Trace, ChromeJsonHasLanesEventsAndStats)
+{
+    const Workload wl = makeWorkload("KM", 0.02);
+    Gpu gpu(traceGpu("laws", "sap"), wl.kernel);
+    gpu.run();
+    std::ostringstream os;
+    gpu.writeTrace(os);
+    const std::string json = os.str();
+    // Structural validity is checked by `python -m json.tool` in CI;
+    // here pin the document's shape and lane naming.
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_EQ(json.find_last_not_of(" \n"),
+              json.rfind('}')); // document closes cleanly
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+    for (const char* lane : {"sm0", "sm1", "mem", "engine"})
+        EXPECT_NE(json.find("\"name\": \"" + std::string(lane) + "\""),
+                  std::string::npos)
+            << lane;
+    EXPECT_NE(json.find("\"warp-issue\""), std::string::npos);
+    EXPECT_NE(json.find("\"recorded\""), std::string::npos);
+}
+
+TEST(Trace, TraceFileIsWrittenOnRunCompletion)
+{
+    const Workload wl = makeWorkload("NW", 0.02);
+    GpuConfig cfg = traceGpu("gto", "none");
+    cfg.traceFile = ::testing::TempDir() + "apres_trace_test.json";
+    {
+        Gpu gpu(cfg, wl.kernel);
+        gpu.run();
+    }
+    std::ifstream in(cfg.traceFile);
+    ASSERT_TRUE(in) << cfg.traceFile;
+    std::ostringstream os;
+    os << in.rdbuf();
+    EXPECT_FALSE(os.str().empty());
+    EXPECT_EQ(os.str().front(), '{');
+}
+
+TEST(Trace, FastForwardEmitsSameEventSequenceAsNaive)
+{
+    // The ff engine only skips provably issue-free cycles, so the
+    // machine-behaviour lanes (the engine lane is excluded from the
+    // summary) must be identical event-for-event, not merely
+    // stat-equivalent.
+    const Workload wl = makeWorkload("KM", 0.02);
+    GpuConfig ff = traceGpu("laws", "sap");
+    ff.fastForward = true;
+    GpuConfig naive = ff;
+    naive.fastForward = false;
+
+    Gpu a(ff, wl.kernel);
+    a.run();
+    Gpu b(naive, wl.kernel);
+    b.run();
+    ASSERT_NE(a.tracer(), nullptr);
+    ASSERT_NE(b.tracer(), nullptr);
+    EXPECT_EQ(a.tracer()->eventSummary(), b.tracer()->eventSummary());
+}
+
+TEST(Trace, IdenticalAcrossParallelSweepJobs)
+{
+    // The acceptance bar for golden traces: a --jobs parallel sweep
+    // yields byte-identical traces to the sequential sweep, per job
+    // (derived per-job seeds are a pure function of the job index, so
+    // slot i is comparable across thread counts).
+    const auto kernel =
+        std::make_shared<const Kernel>(makeWorkload("KM", 0.02).kernel);
+
+    const auto sweepSummaries = [&](int threads) {
+        RunnerOptions opts;
+        opts.threads = threads;
+        SweepRunner runner(opts);
+        std::vector<std::string> summaries(3);
+        for (std::size_t i = 0; i < summaries.size(); ++i) {
+            SweepJob job;
+            job.label = "job" + std::to_string(i);
+            job.config = traceGpu("laws", "sap");
+            job.kernel = kernel;
+            job.inspect = [&summaries, i](const Gpu& gpu, RunResult&) {
+                summaries[i] = gpu.tracer()->eventSummary();
+            };
+            runner.submit(std::move(job));
+        }
+        runner.runAll();
+        return summaries;
+    };
+
+    const std::vector<std::string> sequential = sweepSummaries(1);
+    const std::vector<std::string> parallel = sweepSummaries(3);
+    ASSERT_EQ(sequential.size(), parallel.size());
+    for (std::size_t i = 0; i < sequential.size(); ++i) {
+        EXPECT_FALSE(sequential[i].empty()) << i;
+        EXPECT_EQ(sequential[i], parallel[i]) << "job " << i;
+    }
+}
+
+} // namespace
+} // namespace apres
