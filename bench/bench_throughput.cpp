@@ -216,6 +216,7 @@ writeJson(const std::string& path, double scale,
     }
     json.endArray();
     json.endObject();
+    json.finish();
     out << "\n";
 }
 

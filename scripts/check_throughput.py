@@ -15,6 +15,20 @@ import sys
 
 TOLERANCE = 0.30  # fail when >30% below the baseline floor
 
+# Non-finite doubles serialize as tagged string sentinels rather than
+# null (see src/common/json.hpp), so a NaN throughput arrives here as
+# the string "NaN" — report it as a failure instead of crashing on a
+# str/float comparison.
+NON_FINITE = {"NaN", "Infinity", "-Infinity"}
+
+
+def as_finite(value):
+    """Return value as a finite float, or None when it is a non-finite
+    sentinel (or anything else numbers.json should never contain)."""
+    if isinstance(value, (int, float)):
+        return float(value)
+    return None
+
 
 def main() -> int:
     if len(sys.argv) != 3:
@@ -30,19 +44,28 @@ def main() -> int:
     for scenario in results["scenarios"]:
         name = scenario["name"]
         seen.add(name)
-        measured = scenario["ffCyclesPerSec"]
+        measured = as_finite(scenario["ffCyclesPerSec"])
         if not scenario["statsIdentical"]:
             print(f"FAIL {name}: fast-forward stats diverged from the "
                   "naive loop")
             failed = True
+        if measured is None:
+            raw = scenario["ffCyclesPerSec"]
+            tag = "non-finite" if raw in NON_FINITE else "non-numeric"
+            print(f"FAIL {name}: ffCyclesPerSec is {tag} ({raw!r})")
+            failed = True
+            continue
         if name not in baseline:
             print(f"WARN {name}: no baseline entry, skipping")
             continue
         floor = baseline[name] * (1.0 - TOLERANCE)
         verdict = "ok" if measured >= floor else "FAIL"
+        speedup = as_finite(scenario["speedup"])
+        speedup_text = (f"{speedup:.2f}x" if speedup is not None
+                        else repr(scenario["speedup"]))
         print(f"{verdict} {name}: {measured:,.0f} cycles/sec "
               f"(floor {floor:,.0f}, baseline {baseline[name]:,.0f}, "
-              f"speedup {scenario['speedup']:.2f}x)")
+              f"speedup {speedup_text})")
         failed = failed or measured < floor
 
     missing = set(baseline) - seen

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Content hasher implementation.
+ */
+
+#include "hash.hpp"
+
+#include <cstdio>
+
+namespace apres {
+
+namespace {
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+} // namespace
+
+void
+ContentHasher::updateByte(std::uint8_t byte)
+{
+    lo_ = (lo_ ^ byte) * kFnvPrime;
+    // The second lane sees a rotated byte so the lanes never agree.
+    hi_ = (hi_ ^ static_cast<std::uint8_t>((byte << 3) | (byte >> 5))) *
+        kFnvPrime;
+}
+
+ContentHasher&
+ContentHasher::update(const std::string& text)
+{
+    // Length prefix: update("ab").update("c") must differ from
+    // update("a").update("bc").
+    update(static_cast<std::uint64_t>(text.size()));
+    for (const char c : text)
+        updateByte(static_cast<std::uint8_t>(c));
+    return *this;
+}
+
+ContentHasher&
+ContentHasher::update(std::uint64_t value)
+{
+    for (int i = 0; i < 8; ++i)
+        updateByte(static_cast<std::uint8_t>(value >> (8 * i)));
+    return *this;
+}
+
+std::string
+ContentHasher::hexDigest() const
+{
+    char buf[33];
+    std::snprintf(buf, sizeof buf, "%016llx%016llx",
+                  static_cast<unsigned long long>(hi_),
+                  static_cast<unsigned long long>(lo_));
+    return std::string(buf, 32);
+}
+
+std::string
+contentHash(const std::string& text)
+{
+    return ContentHasher().update(text).hexDigest();
+}
+
+} // namespace apres

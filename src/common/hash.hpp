@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Stable content hashing for the content-addressed result cache.
+ *
+ * Cache keys must be identical across hosts, builds and runs for the
+ * same semantic input, so the hash is defined purely over bytes — no
+ * pointers, no std::hash (whose value is unspecified per
+ * implementation). Two independent 64-bit FNV-1a lanes (different
+ * offset bases, the second lane salted) give a 128-bit digest:
+ * collisions at cache scale (millions of entries) are vanishingly
+ * unlikely, and the implementation stays dependency-free.
+ */
+
+#ifndef APRES_COMMON_HASH_HPP
+#define APRES_COMMON_HASH_HPP
+
+#include <cstdint>
+#include <string>
+
+namespace apres {
+
+/** Streaming 128-bit content hasher (two independent FNV-1a lanes). */
+class ContentHasher
+{
+  public:
+    /** Fold @p text's bytes (plus a length prefix) into the digest. */
+    ContentHasher& update(const std::string& text);
+
+    /** Fold one 64-bit value (little-endian bytes) into the digest. */
+    ContentHasher& update(std::uint64_t value);
+
+    /** 32 lowercase hex chars; the hasher may keep being updated. */
+    std::string hexDigest() const;
+
+  private:
+    void updateByte(std::uint8_t byte);
+
+    std::uint64_t lo_ = 0xcbf29ce484222325ull; ///< FNV-1a offset basis
+    std::uint64_t hi_ = 0x6c62272e07bb0142ull; ///< salted second lane
+};
+
+/** One-shot convenience: hexDigest of @p text. */
+std::string contentHash(const std::string& text);
+
+} // namespace apres
+
+#endif // APRES_COMMON_HASH_HPP

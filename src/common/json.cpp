@@ -5,11 +5,13 @@
 
 #include "json.hpp"
 
-#include <cassert>
 #include <cmath>
 #include <cstdio>
+#include <exception>
 
+#include "common/log.hpp"
 #include "common/parse.hpp"
+#include "common/sim_error.hpp"
 
 namespace apres {
 
@@ -46,7 +48,37 @@ JsonWriter::JsonWriter(std::ostream& os) : os_(os) {}
 
 JsonWriter::~JsonWriter()
 {
-    assert(scopeHasEntries.empty() && "unclosed JSON scope");
+    if (scopeHasEntries.empty())
+        return;
+    // An exception is already unwinding the stack: the document is
+    // lost anyway, and throwing here would terminate. Warn and let the
+    // original error propagate.
+    if (std::uncaught_exceptions() > 0) {
+        logWarn("JsonWriter destroyed with ",
+                scopeHasEntries.size(),
+                " unclosed scope(s) during exception unwinding; "
+                "the JSON document is truncated");
+        return;
+    }
+    // No exception in flight: the driver simply forgot to close the
+    // document. Silently emitting truncated JSON (the old Release
+    // behavior of the assert) corrupts persisted cache entries, so
+    // this is unrecoverable driver misuse.
+    fatal("JsonWriter destroyed with " +
+          std::to_string(scopeHasEntries.size()) +
+          " unclosed JSON scope(s) — the document would be truncated; "
+          "close every scope and call finish()");
+}
+
+void
+JsonWriter::finish()
+{
+    if (!scopeHasEntries.empty()) {
+        throwSerializationError(
+            "JSON document incomplete: " +
+            std::to_string(scopeHasEntries.size()) +
+            " scope(s) still open at finish()");
+    }
 }
 
 void
@@ -94,7 +126,8 @@ JsonWriter::beginObject(const std::string& key)
 void
 JsonWriter::endObject()
 {
-    assert(!scopeHasEntries.empty());
+    if (scopeHasEntries.empty())
+        throwSerializationError("endObject without a matching begin");
     const bool had_entries = scopeHasEntries.back();
     scopeHasEntries.pop_back();
     if (had_entries) {
@@ -117,7 +150,8 @@ JsonWriter::beginArray(const std::string& key)
 void
 JsonWriter::endArray()
 {
-    assert(!scopeHasEntries.empty());
+    if (scopeHasEntries.empty())
+        throwSerializationError("endArray without a matching begin");
     const bool had_entries = scopeHasEntries.back();
     scopeHasEntries.pop_back();
     if (had_entries) {
@@ -144,10 +178,13 @@ void
 JsonWriter::field(const std::string& key, double value)
 {
     keyPrefix(key);
-    // JSON has no Inf/NaN literals; emit null so the document stays
-    // parseable when a ratio degenerates.
-    if (!std::isfinite(value))
-        os_ << "null";
+    // JSON has no Inf/NaN literals; a tagged string sentinel keeps the
+    // document parseable *and* distinguishes a degenerate ratio from a
+    // missing value (null), which strict consumers need.
+    if (std::isnan(value))
+        os_ << "\"NaN\"";
+    else if (std::isinf(value))
+        os_ << (value > 0 ? "\"Infinity\"" : "\"-Infinity\"");
     else
         os_ << formatDouble(value);
 }
@@ -164,6 +201,15 @@ JsonWriter::field(const std::string& key, std::uint64_t value)
 {
     keyPrefix(key);
     os_ << value;
+}
+
+void
+JsonWriter::raw(const std::string& key, const std::string& json_text)
+{
+    if (json_text.empty())
+        throwSerializationError("raw(\"" + key + "\"): empty JSON value");
+    keyPrefix(key);
+    os_ << json_text;
 }
 
 } // namespace apres

@@ -8,6 +8,24 @@
  * deliberately tiny: objects, arrays, string/number/bool fields,
  * two-space indentation, correct escaping. Values are emitted in
  * call order; keys within one level are the caller's responsibility.
+ *
+ * Correctness contract (documents become persistent cache entries in
+ * apres_serve, so truncation is data corruption, not a cosmetic bug):
+ *
+ *  - scope misuse (endObject/endArray without a matching begin) throws
+ *    SimError(kSerialization) immediately, in every build type;
+ *  - finish() verifies the document closed every scope it opened and
+ *    throws SimError(kSerialization) otherwise — call it before
+ *    trusting the output stream;
+ *  - destroying a writer with open scopes outside of stack unwinding
+ *    is fail-loud driver misuse (fatal()), never a silently truncated
+ *    document;
+ *  - doubles are canonical: shortest round-trip, locale-independent
+ *    (std::to_chars via formatDouble), so serialized results reparse
+ *    bitwise-equal and content hashes are stable across hosts;
+ *  - non-finite doubles become the tagged string sentinels "NaN",
+ *    "Infinity" and "-Infinity" (JSON has no non-finite literals;
+ *    null would be indistinguishable from a missing measurement).
  */
 
 #ifndef APRES_COMMON_JSON_HPP
@@ -24,8 +42,8 @@ namespace apres {
 std::string jsonEscape(const std::string& text);
 
 /**
- * Streaming JSON emitter. Scopes must be closed in LIFO order; the
- * destructor asserts the document was completed.
+ * Streaming JSON emitter. Scopes must be closed in LIFO order;
+ * finish() (and, loudly, the destructor) verifies completion.
  */
 class JsonWriter
 {
@@ -56,6 +74,21 @@ class JsonWriter
 
     /** 64-bit integers exceed double precision: emit them verbatim. */
     void field(const std::string& key, std::uint64_t value);
+
+    /**
+     * Splice @p json_text — which must itself be a complete JSON
+     * value — verbatim as the value of @p key. apres_serve uses this
+     * to return cached result payloads bitwise-identical to the run
+     * that produced them.
+     */
+    void raw(const std::string& key, const std::string& json_text);
+
+    /**
+     * Assert the document is structurally complete (every opened
+     * scope closed); throws SimError(kSerialization) otherwise.
+     * Idempotent — every writer should end with a finish() call.
+     */
+    void finish();
 
   private:
     void separator();

@@ -1,0 +1,430 @@
+/**
+ * @file
+ * Recursive-descent JSON parser implementation.
+ */
+
+#include "json_value.hpp"
+
+#include <cstdio>
+
+#include "common/parse.hpp"
+#include "common/sim_error.hpp"
+
+namespace apres {
+
+namespace {
+
+const char*
+typeName(JsonValue::Type type)
+{
+    switch (type) {
+      case JsonValue::Type::kNull:   return "null";
+      case JsonValue::Type::kBool:   return "bool";
+      case JsonValue::Type::kNumber: return "number";
+      case JsonValue::Type::kString: return "string";
+      case JsonValue::Type::kArray:  return "array";
+      case JsonValue::Type::kObject: return "object";
+    }
+    return "value";
+}
+
+} // namespace
+
+/** Single-pass parser over the whole document. */
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string& text) : text_(text) {}
+
+    JsonValue
+    document()
+    {
+        JsonValue v = value();
+        skipWhitespace();
+        if (pos_ != text_.size())
+            fail("trailing garbage after the JSON document");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string& what) const
+    {
+        throwSerializationError("JSON parse error at byte " +
+                                std::to_string(pos_) + ": " + what);
+    }
+
+    void
+    skipWhitespace()
+    {
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c != ' ' && c != '\t' && c != '\n' && c != '\r')
+                break;
+            ++pos_;
+        }
+    }
+
+    char
+    peek()
+    {
+        if (pos_ >= text_.size())
+            fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "', got '" + peek() +
+                 "'");
+        ++pos_;
+    }
+
+    bool
+    consumeKeyword(const char* word)
+    {
+        const std::size_t n = std::char_traits<char>::length(word);
+        if (text_.compare(pos_, n, word) != 0)
+            return false;
+        pos_ += n;
+        return true;
+    }
+
+    JsonValue
+    value()
+    {
+        skipWhitespace();
+        const char c = peek();
+        switch (c) {
+          case '{': return object();
+          case '[': return array();
+          case '"': return stringValue();
+          case 't':
+          case 'f': return boolValue();
+          case 'n': return nullValue();
+          default:  return numberValue();
+        }
+    }
+
+    JsonValue
+    object()
+    {
+        expect('{');
+        JsonValue v;
+        v.type_ = JsonValue::Type::kObject;
+        skipWhitespace();
+        if (peek() == '}') {
+            ++pos_;
+            return v;
+        }
+        for (;;) {
+            skipWhitespace();
+            if (peek() != '"')
+                fail("object keys must be quoted strings");
+            std::string key = parseString();
+            skipWhitespace();
+            expect(':');
+            v.object_.emplace_back(std::move(key), value());
+            skipWhitespace();
+            const char next = peek();
+            ++pos_;
+            if (next == '}')
+                return v;
+            if (next != ',')
+                fail("expected ',' or '}' in object");
+        }
+    }
+
+    JsonValue
+    array()
+    {
+        expect('[');
+        JsonValue v;
+        v.type_ = JsonValue::Type::kArray;
+        skipWhitespace();
+        if (peek() == ']') {
+            ++pos_;
+            return v;
+        }
+        for (;;) {
+            v.array_.push_back(value());
+            skipWhitespace();
+            const char next = peek();
+            ++pos_;
+            if (next == ']')
+                return v;
+            if (next != ',')
+                fail("expected ',' or ']' in array");
+        }
+    }
+
+    JsonValue
+    stringValue()
+    {
+        JsonValue v;
+        v.type_ = JsonValue::Type::kString;
+        v.string_ = parseString();
+        return v;
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        for (;;) {
+            if (pos_ >= text_.size())
+                fail("unterminated string");
+            const char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (static_cast<unsigned char>(c) < 0x20)
+                fail("unescaped control character in string");
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                fail("unterminated escape sequence");
+            const char esc = text_[pos_++];
+            switch (esc) {
+              case '"':  out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/':  out += '/'; break;
+              case 'b':  out += '\b'; break;
+              case 'f':  out += '\f'; break;
+              case 'n':  out += '\n'; break;
+              case 'r':  out += '\r'; break;
+              case 't':  out += '\t'; break;
+              case 'u':  out += parseUnicodeEscape(); break;
+              default:   fail("unknown escape sequence");
+            }
+        }
+    }
+
+    std::string
+    parseUnicodeEscape()
+    {
+        if (pos_ + 4 > text_.size())
+            fail("truncated \\u escape");
+        unsigned code = 0;
+        for (int i = 0; i < 4; ++i) {
+            const char c = text_[pos_++];
+            code <<= 4;
+            if (c >= '0' && c <= '9')
+                code |= static_cast<unsigned>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                code |= static_cast<unsigned>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                code |= static_cast<unsigned>(c - 'A' + 10);
+            else
+                fail("non-hex digit in \\u escape");
+        }
+        // UTF-8 encode the code point. Surrogate pairs are not
+        // reassembled — the writer only ever escapes control bytes,
+        // so this covers everything the protocol emits.
+        std::string out;
+        if (code < 0x80) {
+            out += static_cast<char>(code);
+        } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+        } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+        }
+        return out;
+    }
+
+    JsonValue
+    boolValue()
+    {
+        JsonValue v;
+        v.type_ = JsonValue::Type::kBool;
+        if (consumeKeyword("true"))
+            v.bool_ = true;
+        else if (consumeKeyword("false"))
+            v.bool_ = false;
+        else
+            fail("expected 'true' or 'false'");
+        return v;
+    }
+
+    JsonValue
+    nullValue()
+    {
+        if (!consumeKeyword("null"))
+            fail("expected 'null'");
+        return JsonValue{};
+    }
+
+    JsonValue
+    numberValue()
+    {
+        const std::size_t start = pos_;
+        // JSON numbers start with '-' or a digit — never '+'.
+        if (peek() != '-' && (peek() < '0' || peek() > '9'))
+            fail("unexpected character");
+        if (peek() == '-')
+            ++pos_;
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if ((c >= '0' && c <= '9') || c == '.' || c == 'e' ||
+                c == 'E' || c == '+' || c == '-') {
+                ++pos_;
+            } else {
+                break;
+            }
+        }
+        JsonValue v;
+        v.type_ = JsonValue::Type::kNumber;
+        v.lexeme_ = text_.substr(start, pos_ - start);
+        // RFC 8259: no leading zeros ("01" is two tokens, i.e. a
+        // syntax error, not the number 1).
+        const std::size_t first =
+            v.lexeme_.size() > 0 && v.lexeme_[0] == '-' ? 1 : 0;
+        if (v.lexeme_.size() > first + 1 && v.lexeme_[first] == '0' &&
+            v.lexeme_[first + 1] >= '0' && v.lexeme_[first + 1] <= '9') {
+            pos_ = start;
+            fail("leading zero in number \"" + v.lexeme_ + "\"");
+        }
+        if (!parseDoubleStrict(v.lexeme_, &v.number_)) {
+            pos_ = start;
+            fail("malformed number \"" + v.lexeme_ + "\"");
+        }
+        return v;
+    }
+
+    const std::string& text_;
+    std::size_t pos_ = 0;
+};
+
+JsonValue
+JsonValue::parse(const std::string& text)
+{
+    return JsonParser(text).document();
+}
+
+bool
+JsonValue::asBool() const
+{
+    if (type_ != Type::kBool)
+        throwSerializationError(std::string("expected a bool, got ") +
+                                typeName(type_));
+    return bool_;
+}
+
+double
+JsonValue::asDouble() const
+{
+    if (type_ != Type::kNumber)
+        throwSerializationError(std::string("expected a number, got ") +
+                                typeName(type_));
+    return number_;
+}
+
+std::uint64_t
+JsonValue::asUint64() const
+{
+    if (type_ != Type::kNumber)
+        throwSerializationError(std::string("expected a number, got ") +
+                                typeName(type_));
+    std::uint64_t out = 0;
+    if (!parseUint64Strict(lexeme_, &out))
+        throwSerializationError("number \"" + lexeme_ +
+                                "\" is not an unsigned 64-bit integer");
+    return out;
+}
+
+const std::string&
+JsonValue::numberLexeme() const
+{
+    if (type_ != Type::kNumber)
+        throwSerializationError(std::string("expected a number, got ") +
+                                typeName(type_));
+    return lexeme_;
+}
+
+const std::string&
+JsonValue::asString() const
+{
+    if (type_ != Type::kString)
+        throwSerializationError(std::string("expected a string, got ") +
+                                typeName(type_));
+    return string_;
+}
+
+std::size_t
+JsonValue::size() const
+{
+    if (type_ == Type::kArray)
+        return array_.size();
+    if (type_ == Type::kObject)
+        return object_.size();
+    throwSerializationError(std::string("expected array/object, got ") +
+                            typeName(type_));
+}
+
+const JsonValue&
+JsonValue::at(std::size_t index) const
+{
+    if (type_ != Type::kArray)
+        throwSerializationError(std::string("expected an array, got ") +
+                                typeName(type_));
+    if (index >= array_.size())
+        throwSerializationError("array index " + std::to_string(index) +
+                                " out of range (size " +
+                                std::to_string(array_.size()) + ")");
+    return array_[index];
+}
+
+bool
+JsonValue::has(const std::string& key) const
+{
+    return find(key) != nullptr;
+}
+
+const JsonValue&
+JsonValue::at(const std::string& key) const
+{
+    const JsonValue* v = find(key);
+    if (!v)
+        throwSerializationError("missing object member \"" + key + "\"");
+    return *v;
+}
+
+const JsonValue*
+JsonValue::find(const std::string& key) const
+{
+    if (type_ != Type::kObject)
+        throwSerializationError(std::string("expected an object, got ") +
+                                typeName(type_));
+    for (const auto& [name, value] : object_) {
+        if (name == key)
+            return &value;
+    }
+    return nullptr;
+}
+
+const std::vector<std::pair<std::string, JsonValue>>&
+JsonValue::members() const
+{
+    if (type_ != Type::kObject)
+        throwSerializationError(std::string("expected an object, got ") +
+                                typeName(type_));
+    return object_;
+}
+
+const std::vector<JsonValue>&
+JsonValue::elements() const
+{
+    if (type_ != Type::kArray)
+        throwSerializationError(std::string("expected an array, got ") +
+                                typeName(type_));
+    return array_;
+}
+
+} // namespace apres

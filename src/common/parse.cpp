@@ -6,9 +6,9 @@
 #include "parse.hpp"
 
 #include <cerrno>
+#include <charconv>
 #include <cmath>
 #include <cstdlib>
-#include <sstream>
 
 #include "common/log.hpp"
 
@@ -47,13 +47,18 @@ parseDoubleStrict(const std::string& text, double* out)
 {
     if (text.empty())
         return false;
-    errno = 0;
-    char* end = nullptr;
-    const double parsed = std::strtod(text.c_str(), &end);
-    if (end == text.c_str() || *end != '\0' || errno == ERANGE ||
-        !std::isfinite(parsed)) {
+    // std::from_chars is locale-independent (the decimal separator is
+    // always '.'), unlike strtod, so config files and serialized
+    // results parse identically on every host. It rejects the leading
+    // '+' strtod accepted; keep accepting it for config compatibility.
+    const char* first = text.data();
+    const char* last = text.data() + text.size();
+    if (*first == '+')
+        ++first;
+    double parsed = 0.0;
+    const auto [ptr, ec] = std::from_chars(first, last, parsed);
+    if (ec != std::errc{} || ptr != last || !std::isfinite(parsed))
         return false;
-    }
     *out = parsed;
     return true;
 }
@@ -105,20 +110,14 @@ parsePositiveDoubleOption(const std::string& option, const std::string& text)
 std::string
 formatDouble(double value)
 {
-    // Try increasing precision until the representation round-trips;
-    // 17 significant digits always do for IEEE doubles.
-    for (int precision = 1; precision <= 17; ++precision) {
-        std::ostringstream oss;
-        oss.precision(precision);
-        oss << value;
-        double back = 0.0;
-        if (parseDoubleStrict(oss.str(), &back) && back == value)
-            return oss.str();
-    }
-    std::ostringstream oss;
-    oss.precision(17);
-    oss << value;
-    return oss.str();
+    // std::to_chars emits the shortest decimal form that parses back
+    // to exactly this double, independent of the global locale — the
+    // canonical representation content-addressed caching hashes.
+    char buf[64];
+    const auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, value);
+    if (ec != std::errc{})
+        fatal("formatDouble: std::to_chars failed"); // 64 bytes suffice
+    return std::string(buf, ptr);
 }
 
 } // namespace apres

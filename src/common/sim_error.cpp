@@ -15,6 +15,7 @@ simErrorKindName(SimErrorKind kind)
       case SimErrorKind::kKernel:    return "KernelError";
       case SimErrorKind::kDeadlock:  return "DeadlockError";
       case SimErrorKind::kInvariant: return "InvariantViolation";
+      case SimErrorKind::kSerialization: return "SerializationError";
     }
     return "SimError";
 }
@@ -48,6 +49,12 @@ void
 throwInvariantViolation(const std::string& detail)
 {
     throw SimError(SimErrorKind::kInvariant, detail);
+}
+
+void
+throwSerializationError(const std::string& detail)
+{
+    throw SimError(SimErrorKind::kSerialization, detail);
 }
 
 } // namespace apres

@@ -9,12 +9,14 @@
  * fatal() (log.hpp) remains for unrecoverable *driver* misuse only
  * (malformed command lines, API contract violations).
  *
- * The four kinds form the error taxonomy (DESIGN.md "Hardening"):
+ * The five kinds form the error taxonomy (DESIGN.md "Hardening"):
  *  - ConfigError:        rejected configuration (unknown key, out of
  *                        bounds, invalid policy combination)
  *  - KernelError:        malformed kernel IR or kernel text
  *  - DeadlockError:      forward progress lost (watchdog, job timeout)
  *  - InvariantViolation: a runtime audit found corrupted state
+ *  - SerializationError: malformed JSON input, or a writer asked to
+ *                        finish a structurally incomplete document
  */
 
 #ifndef APRES_COMMON_SIM_ERROR_HPP
@@ -31,6 +33,7 @@ enum class SimErrorKind {
     kKernel,
     kDeadlock,
     kInvariant,
+    kSerialization,
 };
 
 /** Stable machine-readable name ("ConfigError", "KernelError", ...). */
@@ -63,6 +66,7 @@ class SimError : public std::runtime_error
 [[noreturn]] void throwKernelError(const std::string& detail);
 [[noreturn]] void throwDeadlockError(const std::string& detail);
 [[noreturn]] void throwInvariantViolation(const std::string& detail);
+[[noreturn]] void throwSerializationError(const std::string& detail);
 
 } // namespace apres
 

@@ -171,6 +171,7 @@ Tracer::writeChromeTrace(std::ostream& os) const
     json.field("dropped", dropped());
     json.endObject();
     json.endObject();
+    json.finish();
 }
 
 std::string

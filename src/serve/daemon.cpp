@@ -1,0 +1,427 @@
+/**
+ * @file
+ * Daemon implementation: socket loop + batch handling over the
+ * result cache and the sweep worker pool.
+ */
+
+#include "daemon.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+#include <vector>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/json.hpp"
+#include "common/log.hpp"
+#include "common/sim_error.hpp"
+#include "isa/kernel_text.hpp"
+#include "sim/config_registry.hpp"
+#include "sim/runner.hpp"
+#include "workloads/workload.hpp"
+
+namespace apres {
+
+namespace {
+
+/** Wrap errno into a config-kind SimError with a prefix. */
+[[noreturn]] void
+throwErrno(const std::string& what)
+{
+    throwConfigError(what + ": " + std::strerror(errno));
+}
+
+sockaddr_un
+socketAddress(const std::string& path)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof addr.sun_path)
+        throwConfigError("socket path too long (max " +
+                         std::to_string(sizeof addr.sun_path - 1) +
+                         " bytes): " + path);
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    return addr;
+}
+
+/** Read until EOF (the peer shut down its write side). */
+std::string
+readAll(int fd)
+{
+    std::string out;
+    char buf[16384];
+    for (;;) {
+        const ssize_t n = ::read(fd, buf, sizeof buf);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            throwErrno("read");
+        }
+        if (n == 0)
+            return out;
+        out.append(buf, static_cast<std::size_t>(n));
+    }
+}
+
+void
+writeAll(int fd, const std::string& text)
+{
+    std::size_t off = 0;
+    while (off < text.size()) {
+        const ssize_t n =
+            ::write(fd, text.data() + off, text.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            throwErrno("write");
+        }
+        off += static_cast<std::size_t>(n);
+    }
+}
+
+/** {"type":"error","kind":...,"detail":...} */
+std::string
+errorResponse(const std::string& kind, const std::string& detail)
+{
+    std::ostringstream os;
+    JsonWriter json(os);
+    json.beginObject();
+    json.field("type", "error");
+    json.field("kind", kind);
+    json.field("detail", detail);
+    json.endObject();
+    json.finish();
+    return os.str();
+}
+
+bool
+knownWorkload(const std::string& name)
+{
+    const auto& names = allWorkloadNames();
+    return std::find(names.begin(), names.end(), name) != names.end();
+}
+
+/** Per-job batch bookkeeping. */
+struct BatchEntry
+{
+    std::string key;      ///< cache key; empty when the job is invalid
+    std::string payload;  ///< serialized result (hit or fresh)
+    bool cached = false;
+    std::size_t runIndex = static_cast<std::size_t>(-1); ///< miss slot
+};
+
+} // namespace
+
+ServeDaemon::ServeDaemon(ServeOptions options)
+    : opts_(std::move(options)),
+      fingerprint_(opts_.fingerprint.empty() ? serveFingerprint()
+                                             : opts_.fingerprint),
+      cache_(opts_.cacheDir)
+{
+}
+
+ServeDaemon::~ServeDaemon()
+{
+    stop();
+}
+
+void
+ServeDaemon::start()
+{
+    if (running_.load())
+        fatal("ServeDaemon::start called twice");
+    if (opts_.socketPath.empty())
+        throwConfigError("apres_serve: no socket path configured");
+
+    const sockaddr_un addr = socketAddress(opts_.socketPath);
+    listenFd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listenFd_ < 0)
+        throwErrno("socket");
+    // A stale socket file from a dead daemon would make bind fail;
+    // unlink first (a live daemon on the path will still conflict at
+    // connect time, which is the better failure mode).
+    ::unlink(opts_.socketPath.c_str());
+    if (::bind(listenFd_, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof addr) != 0) {
+        const int saved = errno;
+        ::close(listenFd_);
+        listenFd_ = -1;
+        errno = saved;
+        throwErrno("bind " + opts_.socketPath);
+    }
+    if (::listen(listenFd_, 64) != 0) {
+        const int saved = errno;
+        ::close(listenFd_);
+        listenFd_ = -1;
+        errno = saved;
+        throwErrno("listen " + opts_.socketPath);
+    }
+
+    stopRequested_.store(false);
+    running_.store(true);
+    loop_ = std::thread([this] { acceptLoop(); });
+}
+
+void
+ServeDaemon::stop()
+{
+    stopRequested_.store(true);
+    if (loop_.joinable())
+        loop_.join();
+    if (listenFd_ >= 0) {
+        ::close(listenFd_);
+        listenFd_ = -1;
+        ::unlink(opts_.socketPath.c_str());
+    }
+    running_.store(false);
+}
+
+void
+ServeDaemon::wait()
+{
+    if (loop_.joinable())
+        loop_.join();
+}
+
+void
+ServeDaemon::acceptLoop()
+{
+    while (!stopRequested_.load()) {
+        // Poll with a timeout so a stop()/shutdown request is noticed
+        // even when no client ever connects.
+        pollfd pfd{listenFd_, POLLIN, 0};
+        const int ready = ::poll(&pfd, 1, 200 /* ms */);
+        if (ready < 0) {
+            if (errno == EINTR)
+                continue;
+            logWarn("apres_serve: poll failed: ", std::strerror(errno));
+            break;
+        }
+        if (ready == 0)
+            continue;
+        const int fd = ::accept(listenFd_, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR)
+                continue;
+            logWarn("apres_serve: accept failed: ", std::strerror(errno));
+            continue;
+        }
+        handleConnection(fd);
+        ::close(fd);
+    }
+    running_.store(false);
+}
+
+void
+ServeDaemon::handleConnection(int fd)
+{
+    std::string response;
+    try {
+        const std::string request = readAll(fd);
+        response = handleRequest(request);
+    } catch (const SimError& e) {
+        response = errorResponse(e.kindName(), e.detail());
+    } catch (const std::exception& e) {
+        response = errorResponse("InternalError", e.what());
+    }
+    try {
+        writeAll(fd, response);
+    } catch (const SimError& e) {
+        logWarn("apres_serve: client went away mid-response: ",
+                e.detail());
+    }
+}
+
+std::string
+ServeDaemon::handleRequest(const std::string& request_json)
+{
+    ServeRequest request;
+    try {
+        request = parseServeRequest(request_json);
+    } catch (const SimError& e) {
+        return errorResponse(e.kindName(), e.detail());
+    }
+
+    std::ostringstream os;
+    JsonWriter json(os);
+    switch (request.type) {
+      case ServeRequest::Type::kPing:
+        json.beginObject();
+        json.field("type", "pong");
+        json.field("fingerprint", fingerprint_);
+        json.endObject();
+        json.finish();
+        return os.str();
+
+      case ServeRequest::Type::kStats: {
+        const ResultCacheStats stats = cache_.stats();
+        json.beginObject();
+        json.field("type", "stats");
+        json.field("fingerprint", fingerprint_);
+        json.beginObject("cache");
+        json.field("memoryHits", stats.memoryHits);
+        json.field("diskHits", stats.diskHits);
+        json.field("misses", stats.misses);
+        json.field("stores", stats.stores);
+        json.field("invalidDiskEntries", stats.invalidDiskEntries);
+        json.field("memoryEntries",
+                   static_cast<std::uint64_t>(cache_.memoryEntries()));
+        json.endObject();
+        json.field("simulations", simulationsRun());
+        json.endObject();
+        json.finish();
+        return os.str();
+      }
+
+      case ServeRequest::Type::kShutdown:
+        stopRequested_.store(true);
+        json.beginObject();
+        json.field("type", "bye");
+        json.endObject();
+        json.finish();
+        return os.str();
+
+      case ServeRequest::Type::kRun:
+        return handleRun(request);
+    }
+    return errorResponse("InternalError", "unreachable request type");
+}
+
+std::string
+ServeDaemon::handleRun(const ServeRequest& request)
+{
+    std::vector<BatchEntry> entries(request.jobs.size());
+
+    // Phase 1: resolve each job to a cache key and try the cache.
+    // Invalid jobs (bad override, unknown workload, malformed kernel
+    // text) become error payloads immediately — they are never keyed,
+    // cached or executed.
+    RunnerOptions runner_opts;
+    runner_opts.threads = opts_.threads;
+    runner_opts.seedMode = SeedMode::kUseConfigSeed;
+    runner_opts.keepGoing = true; // errors become rows, batch completes
+    runner_opts.retries = request.retries;
+    runner_opts.jobTimeoutSeconds = request.timeoutSeconds;
+    SweepRunner runner(runner_opts);
+    std::vector<std::size_t> missEntry; // runner index -> entry index
+
+    for (std::size_t i = 0; i < request.jobs.size(); ++i) {
+        const ServeJobSpec& spec = request.jobs[i];
+        BatchEntry& entry = entries[i];
+        try {
+            SweepJob job;
+            job.label = spec.label;
+            ConfigRegistry registry(job.config);
+            for (const auto& [key, value] : spec.overrides)
+                registry.set(key, value);
+
+            std::shared_ptr<const Kernel> kernel;
+            if (!spec.kernelText.empty()) {
+                kernel = std::make_shared<const Kernel>(
+                    parseKernelText(spec.kernelText));
+            } else {
+                if (!knownWorkload(spec.workload))
+                    throwConfigError("unknown workload \"" +
+                                     spec.workload + "\"");
+                kernel = std::make_shared<const Kernel>(
+                    makeWorkload(spec.workload, spec.scale).kernel);
+            }
+            job.kernel = std::move(kernel);
+
+            entry.key = computeCacheKey(fingerprint_,
+                                        kernelFingerprint(spec),
+                                        registry.semanticSnapshot());
+            if (std::optional<std::string> hit = cache_.lookup(entry.key)) {
+                entry.cached = true;
+                entry.payload = std::move(*hit);
+            } else {
+                entry.runIndex = runner.submit(std::move(job));
+                missEntry.push_back(i);
+            }
+        } catch (const SimError& e) {
+            RunResult r;
+            r.status = "error";
+            r.errorKind = e.kindName();
+            r.errorDetail = e.detail();
+            entry.payload = serializeRunResult(r);
+        }
+    }
+
+    // Phase 2: simulate the misses across the worker pool.
+    if (runner.size() > 0) {
+        simulations_.fetch_add(runner.size(), std::memory_order_relaxed);
+        const std::vector<SweepResult> results = runner.runAll();
+        for (std::size_t m = 0; m < missEntry.size(); ++m) {
+            BatchEntry& entry = entries[missEntry[m]];
+            const RunResult& r = results[entry.runIndex].result;
+            entry.payload = serializeRunResult(r);
+            // Only clean results are memoized: an error or timeout is
+            // environmental/diagnostic and must re-run next time.
+            if (r.status == "ok")
+                cache_.store(entry.key, entry.payload);
+        }
+    }
+
+    // Phase 3: assemble the response; cached payloads are spliced
+    // verbatim so repeated requests stay bitwise identical.
+    const ResultCacheStats stats = cache_.stats();
+    std::ostringstream os;
+    JsonWriter json(os);
+    json.beginObject();
+    json.field("type", "result");
+    json.field("fingerprint", fingerprint_);
+    json.beginObject("cache");
+    json.field("memoryHits", stats.memoryHits);
+    json.field("diskHits", stats.diskHits);
+    json.field("misses", stats.misses);
+    json.endObject();
+    json.field("simulations", simulationsRun());
+    json.beginArray("runs");
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        json.beginObject();
+        json.field("label", request.jobs[i].label);
+        if (!entries[i].key.empty())
+            json.field("key", entries[i].key);
+        json.field("cached", entries[i].cached);
+        json.raw("result", entries[i].payload);
+        json.endObject();
+    }
+    json.endArray();
+    json.endObject();
+    json.finish();
+    return os.str();
+}
+
+std::string
+serveRoundTrip(const std::string& socket_path,
+               const std::string& request_json)
+{
+    const sockaddr_un addr = socketAddress(socket_path);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        throwErrno("socket");
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof addr) != 0) {
+        const int saved = errno;
+        ::close(fd);
+        errno = saved;
+        throwErrno("connect " + socket_path);
+    }
+    try {
+        writeAll(fd, request_json);
+        if (::shutdown(fd, SHUT_WR) != 0)
+            throwErrno("shutdown");
+        std::string response = readAll(fd);
+        ::close(fd);
+        return response;
+    } catch (...) {
+        ::close(fd);
+        throw;
+    }
+}
+
+} // namespace apres

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * apres_serve wire protocol: batched run requests and results as
+ * JSON, plus the canonical serialization and cache-key anatomy the
+ * content-addressed result cache is built on.
+ *
+ * A request is one JSON object:
+ *
+ *   {"type": "ping"}                     -> {"type": "pong"}
+ *   {"type": "stats"}                    -> cache/executor counters
+ *   {"type": "shutdown"}                 -> ack, then the daemon stops
+ *   {"type": "run",
+ *    "options": {"timeoutSeconds": 5.0, "retries": 1},   (optional)
+ *    "jobs": [
+ *      {"label": "km-64k",                               (optional)
+ *       "workload": "KM", "scale": 1.0,    (or "kernelText": "...")
+ *       "overrides": {"l1.sizeBytes": 65536,             (optional)
+ *                     "scheduler": "laws"}}, ...]}
+ *
+ * The run response carries one entry per job, in request order:
+ *
+ *   {"type": "result",
+ *    "fingerprint": "<schema fingerprint>",
+ *    "cache": {"memoryHits": 3, "diskHits": 1, "misses": 4, ...},
+ *    "simulations": 4,
+ *    "runs": [{"label": "km-64k", "key": "<32 hex>", "cached": true,
+ *              "result": { ...RunResult document... }}, ...]}
+ *
+ * Cache-key anatomy — the "result" payload of a job is memoized under
+ * contentHash over, in order:
+ *
+ *   1. the schema fingerprint (serveFingerprint()): stats-schema
+ *      version + protocol version; bumping either orphan-invalidates
+ *      every existing entry, so results can never leak across
+ *      code changes that alter what a RunResult means;
+ *   2. the kernel fingerprint: "workload:<name>@<scale>" for named
+ *      workloads, "text:<contentHash(kernel text)>" for inline
+ *      kernels — kernel identity, not kernel pointer;
+ *   3. the *semantic* ConfigRegistry snapshot (sorted key=value
+ *      lines). Observation-only keys (sim.trace*, sim.metrics,
+ *      sim.audit*, ...) are excluded; see ConfigKeyKind.
+ *
+ * Only status=="ok" results are cached: errors and timeouts are
+ * environmental or diagnostic, and re-running them is the point.
+ */
+
+#ifndef APRES_SERVE_PROTOCOL_HPP
+#define APRES_SERVE_PROTOCOL_HPP
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/json_value.hpp"
+#include "sim/gpu.hpp"
+
+namespace apres {
+
+/**
+ * Version of the RunResult stats schema + wire protocol. Bump
+ * whenever serialized results change meaning (new/renamed stats,
+ * changed config keys, changed serialization): the fingerprint is
+ * part of every cache key, so a bump invalidates all cached entries
+ * at once instead of serving stale documents.
+ */
+inline constexpr const char* kStatsSchemaVersion = "apres-results-v1";
+
+/**
+ * The fingerprint cache keys embed: kStatsSchemaVersion, unless the
+ * APRES_SERVE_FINGERPRINT environment variable overrides it (tests
+ * and operators use the override to force whole-cache invalidation).
+ */
+std::string serveFingerprint();
+
+/** One job of a batched run request. */
+struct ServeJobSpec
+{
+    std::string label;      ///< defaults to the workload name
+    std::string workload;   ///< Table IV abbreviation; empty for text
+    double scale = 1.0;     ///< workload trip-count multiplier
+    std::string kernelText; ///< declarative .kt text; empty for named
+
+    /** Dotted config keys -> value strings, applied over defaults. */
+    std::vector<std::pair<std::string, std::string>> overrides;
+};
+
+/** A parsed request. */
+struct ServeRequest
+{
+    enum class Type { kPing, kStats, kShutdown, kRun };
+    Type type = Type::kPing;
+
+    std::vector<ServeJobSpec> jobs; ///< kRun only
+    double timeoutSeconds = 0.0;    ///< kRun option
+    int retries = 0;                ///< kRun option
+};
+
+/**
+ * Parse one request document. Throws SimError(kSerialization) on
+ * malformed JSON or protocol shape, SimError(kConfig) on bad option
+ * values — either way the daemon answers with an error response
+ * instead of running anything.
+ */
+ServeRequest parseServeRequest(const std::string& text);
+
+/** Serialize @p job back to its request JSON (client side). */
+void writeServeJob(class JsonWriter& json, const ServeJobSpec& job);
+
+/**
+ * Kernel identity for cache keys: "workload:<name>@<scale>" or
+ * "text:<contentHash(kernel text)>".
+ */
+std::string kernelFingerprint(const ServeJobSpec& job);
+
+/**
+ * The content-addressed cache key of one job: contentHash over the
+ * schema fingerprint, the kernel fingerprint and the semantic config
+ * snapshot (see the anatomy above). 32 lowercase hex chars.
+ */
+std::string computeCacheKey(
+    const std::string& fingerprint, const std::string& kernel_fp,
+    const std::map<std::string, std::string>& semantic_config);
+
+/**
+ * Canonical serialization of one RunResult: a complete JSON object
+ * (completed/status/error, echoed config, flattened stats) with
+ * canonical doubles, suitable both as a response payload and as the
+ * bitwise-stable cached document.
+ */
+std::string serializeRunResult(const RunResult& result);
+
+} // namespace apres
+
+#endif // APRES_SERVE_PROTOCOL_HPP

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Result-cache implementation.
+ */
+
+#include "result_cache.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+
+#include <unistd.h>
+
+#include "common/json_value.hpp"
+#include "common/log.hpp"
+#include "common/sim_error.hpp"
+
+namespace apres {
+
+namespace fs = std::filesystem;
+
+ResultCache::ResultCache(std::string disk_dir)
+    : diskDir_(std::move(disk_dir))
+{
+    if (diskDir_.empty())
+        return;
+    std::error_code ec;
+    fs::create_directories(diskDir_, ec);
+    if (ec) {
+        throwConfigError("result cache: cannot create directory \"" +
+                         diskDir_ + "\": " + ec.message());
+    }
+}
+
+std::string
+ResultCache::diskPath(const std::string& key) const
+{
+    return diskDir_ + "/" + key + ".json";
+}
+
+std::optional<std::string>
+ResultCache::lookup(const std::string& key)
+{
+    const std::lock_guard<std::mutex> lock(mu_);
+
+    const auto it = memory_.find(key);
+    if (it != memory_.end()) {
+        ++stats_.memoryHits;
+        return it->second;
+    }
+
+    if (!diskDir_.empty()) {
+        std::ifstream in(diskPath(key), std::ios::binary);
+        if (in) {
+            std::ostringstream buf;
+            buf << in.rdbuf();
+            std::string payload = buf.str();
+            // Validate before serving: a truncated or corrupted file
+            // spliced verbatim into a response would poison the whole
+            // batch document.
+            bool valid = !payload.empty();
+            if (valid) {
+                try {
+                    (void)JsonValue::parse(payload);
+                } catch (const SimError&) {
+                    valid = false;
+                }
+            }
+            if (valid) {
+                ++stats_.diskHits;
+                memory_.emplace(key, payload);
+                return payload;
+            }
+            ++stats_.invalidDiskEntries;
+            logWarn("result cache: discarding corrupt entry ", key);
+            std::error_code ec;
+            fs::remove(diskPath(key), ec);
+        }
+    }
+
+    ++stats_.misses;
+    return std::nullopt;
+}
+
+void
+ResultCache::store(const std::string& key, const std::string& payload)
+{
+    const std::lock_guard<std::mutex> lock(mu_);
+    memory_[key] = payload;
+    ++stats_.stores;
+
+    if (diskDir_.empty())
+        return;
+    // Atomic publish: write a process-unique temp file, then rename.
+    // Readers either see the complete entry or none at all.
+    const std::string final_path = diskPath(key);
+    const std::string tmp_path =
+        final_path + ".tmp." + std::to_string(::getpid());
+    {
+        std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+        if (!out) {
+            logWarn("result cache: cannot write ", tmp_path,
+                    "; entry stays memory-only");
+            return;
+        }
+        out << payload;
+        out.flush();
+        if (!out) {
+            logWarn("result cache: short write to ", tmp_path,
+                    "; entry stays memory-only");
+            std::error_code ec;
+            fs::remove(tmp_path, ec);
+            return;
+        }
+    }
+    std::error_code ec;
+    fs::rename(tmp_path, final_path, ec);
+    if (ec) {
+        logWarn("result cache: cannot publish ", final_path, ": ",
+                ec.message());
+        fs::remove(tmp_path, ec);
+    }
+}
+
+ResultCacheStats
+ResultCache::stats() const
+{
+    const std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+}
+
+std::size_t
+ResultCache::memoryEntries() const
+{
+    const std::lock_guard<std::mutex> lock(mu_);
+    return memory_.size();
+}
+
+} // namespace apres

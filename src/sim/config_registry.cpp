@@ -364,6 +364,36 @@ ConfigRegistry::ConfigRegistry(GpuConfig& c)
     addDouble("energy.dramAccess", c.energy.dramAccess, 0.0, inf);
     addDouble("energy.structureAccess", c.energy.structureAccess, 0.0, inf);
     addDouble("energy.smCyclePipeline", c.energy.smCyclePipeline, 0.0, inf);
+
+    // Everything registered above defaults to kSemantic; list the
+    // exceptions explicitly. sim.fastForward qualifies because the
+    // ff-equivalence suite pins its stats bitwise-identical to the
+    // naive loop; sim.watchdogCycles because it can only turn a hang
+    // into an error, and errors are never cached.
+    markObservation({"sim.audit", "sim.auditInterval", "sim.fastForward",
+                     "sim.metrics", "sim.trace", "sim.traceBufferEvents",
+                     "sim.traceFile", "sim.watchdogCycles"});
+}
+
+void
+ConfigRegistry::markObservation(std::initializer_list<const char*> keys)
+{
+    for (const char* key : keys) {
+        const auto it = entries_.find(key);
+        if (it == entries_.end())
+            fatal(std::string("markObservation: unknown config key \"") +
+                  key + "\"");
+        it->second.kind = ConfigKeyKind::kObservation;
+    }
+}
+
+ConfigKeyKind
+ConfigRegistry::keyKind(const std::string& key) const
+{
+    const auto it = entries_.find(key);
+    if (it == entries_.end())
+        throwConfigError("unknown config key \"" + key + "\"");
+    return it->second.kind;
 }
 
 bool
@@ -463,6 +493,17 @@ ConfigRegistry::snapshot() const
     std::map<std::string, std::string> out;
     for (const auto& [key, entry] : entries_)
         out.emplace(key, entry.get());
+    return out;
+}
+
+std::map<std::string, std::string>
+ConfigRegistry::semanticSnapshot() const
+{
+    std::map<std::string, std::string> out;
+    for (const auto& [key, entry] : entries_) {
+        if (entry.kind == ConfigKeyKind::kSemantic)
+            out.emplace(key, entry.get());
+    }
     return out;
 }
 

@@ -41,6 +41,30 @@
 namespace apres {
 
 /**
+ * How a config key affects a simulation's outcome.
+ *
+ * The split is what makes content-addressed result caching sound:
+ * the cache key hashes only the semantic keys, so flipping a purely
+ * observational knob (tracing, metrics, auditing) still hits the
+ * cache. Observation purity is not an assumption — it is pinned by
+ * FfEquivalence.ObservationIsPure and the ff-equivalence matrix,
+ * which prove stats are bitwise identical with these knobs on or off.
+ */
+enum class ConfigKeyKind {
+    /** Changes the simulated machine or workload: part of results. */
+    kSemantic,
+
+    /**
+     * Pure observation or engine selection: never changes a single
+     * statistic (sim.trace*, sim.metrics, sim.audit*, the proven
+     * bitwise-equivalent sim.fastForward, and sim.watchdogCycles,
+     * which only converts a hang into an error — and errors are
+     * never cached).
+     */
+    kObservation,
+};
+
+/**
  * String-keyed view over one GpuConfig.
  */
 class ConfigRegistry
@@ -90,12 +114,30 @@ class ConfigRegistry
     /** Every key with its current value, sorted by key. */
     std::map<std::string, std::string> snapshot() const;
 
+    /**
+     * Only the semantic keys with their current values, sorted by
+     * key: the canonical input of a result-cache key. See
+     * ConfigKeyKind for why observation keys are excluded.
+     */
+    std::map<std::string, std::string> semanticSnapshot() const;
+
+    /** Classification of @p key; throws SimError(kConfig) if unknown. */
+    ConfigKeyKind keyKind(const std::string& key) const;
+
   private:
     struct Entry
     {
         std::function<bool(const std::string&, std::string*)> set;
         std::function<std::string()> get;
+        ConfigKeyKind kind = ConfigKeyKind::kSemantic;
     };
+
+    /**
+     * Mark @p keys observation-only (they must already be
+     * registered; a typo is fatal so the list can never drift from
+     * the real key namespace).
+     */
+    void markObservation(std::initializer_list<const char*> keys);
 
     void addEntry(const std::string& key, Entry entry);
     void addInt(const std::string& key, int& field, int min_value,

@@ -7,19 +7,16 @@
 
 #include <algorithm>
 #include <atomic>
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
 #include <mutex>
 #include <sstream>
-#include <stdexcept>
 #include <thread>
 
 #include <unistd.h>
 
 #include "common/log.hpp"
-#include "common/sim_error.hpp"
 #include "isa/address_gen.hpp" // mix64
 
 namespace apres {
@@ -80,11 +77,6 @@ SweepRunner::threadCount() const
 }
 
 namespace {
-
-/** Thrown by the interrupt hook when a job's deadline expires. */
-struct JobTimeout
-{
-};
 
 /** Progress reporting shared by the workers (serialized by a mutex). */
 class ProgressLine
@@ -149,7 +141,8 @@ SweepRunner::runAll()
     std::vector<char> started(jobs.size(), 0);
     std::mutex failure_mu;
     std::exception_ptr first_failure;
-    const int attempts = 1 + std::max(0, opts.retries);
+    const JobExecutor executor(
+        JobExecutionPolicy{opts.retries, opts.jobTimeoutSeconds});
 
     const auto work = [&] {
         for (;;) {
@@ -160,83 +153,23 @@ SweepRunner::runAll()
                 return;
             started[i] = 1;
             const SweepJob& job = jobs[i];
-            GpuConfig cfg = job.config;
-            cfg.seed = deriveJobSeed(opts.baseSeed, i);
+            const std::uint64_t seed =
+                opts.seedMode == SeedMode::kUseConfigSeed
+                ? job.config.seed
+                : deriveJobSeed(opts.baseSeed, i);
 
             SweepResult& slot = results[i];
             slot.label = job.label;
-            slot.seed = cfg.seed;
+            slot.seed = seed;
 
-            // Fault isolation: every attempt (same derived seed) runs
-            // under try/catch plus an optional cooperative wall-clock
-            // deadline. A failure becomes a machine-readable error row
-            // instead of tearing the process down.
-            const auto job_start = std::chrono::steady_clock::now();
-            std::exception_ptr failure;
-            for (int attempt = 0; attempt < attempts; ++attempt) {
-                failure = nullptr;
-                RunResult r;
-                try {
-                    Gpu gpu(cfg, *job.kernel);
-                    if (opts.jobTimeoutSeconds > 0.0) {
-                        const auto deadline =
-                            std::chrono::steady_clock::now() +
-                            std::chrono::duration<double>(
-                                opts.jobTimeoutSeconds);
-                        gpu.setInterruptCheck([deadline] {
-                            if (std::chrono::steady_clock::now() >= deadline)
-                                throw JobTimeout{};
-                        });
-                    }
-                    r = gpu.run();
-                    if (job.inspect)
-                        job.inspect(gpu, r);
-                    r.status = "ok";
-                } catch (const JobTimeout&) {
-                    r = RunResult{};
-                    r.status = "timeout";
-                    r.errorKind = "Timeout";
-                    {
-                        std::ostringstream msg;
-                        msg << "job \"" << job.label
-                            << "\" exceeded the per-job deadline of "
-                            << opts.jobTimeoutSeconds << " s (attempt "
-                            << attempt + 1 << "/" << attempts << ")";
-                        r.errorDetail = msg.str();
-                    }
-                    failure = std::make_exception_ptr(
-                        SimError(SimErrorKind::kDeadlock, r.errorDetail));
-                } catch (const SimError& e) {
-                    r = RunResult{};
-                    r.status = "error";
-                    r.errorKind = e.kindName();
-                    r.errorDetail = e.detail();
-                    failure = std::make_exception_ptr(e);
-                } catch (const std::exception& e) {
-                    r = RunResult{};
-                    r.status = "error";
-                    r.errorKind = "InternalError";
-                    r.errorDetail = e.what();
-                    failure = std::make_exception_ptr(
-                        std::runtime_error(r.errorDetail));
-                }
-                slot.result = std::move(r);
-                if (!failure)
-                    break;
-                if (attempt + 1 < attempts) {
-                    logWarn("sweep job \"", job.label, "\" failed (",
-                            slot.result.errorKind, "); retrying (attempt ",
-                            attempt + 2, "/", attempts, ")");
-                }
-            }
-            const std::chrono::duration<double> wall =
-                std::chrono::steady_clock::now() - job_start;
-            slot.wallSeconds = wall.count();
+            JobOutcome outcome = executor.execute(job, seed);
+            slot.result = std::move(outcome.result);
+            slot.wallSeconds = outcome.wallSeconds;
 
-            if (failure && !opts.keepGoing) {
+            if (outcome.failure && !opts.keepGoing) {
                 const std::lock_guard<std::mutex> lock(failure_mu);
                 if (!first_failure)
-                    first_failure = failure;
+                    first_failure = outcome.failure;
                 abort.store(true, std::memory_order_relaxed);
             }
             progress.jobDone(slot.label);
@@ -261,7 +194,9 @@ SweepRunner::runAll()
             continue;
         SweepResult& slot = results[i];
         slot.label = jobs[i].label;
-        slot.seed = deriveJobSeed(opts.baseSeed, i);
+        slot.seed = opts.seedMode == SeedMode::kUseConfigSeed
+            ? jobs[i].config.seed
+            : deriveJobSeed(opts.baseSeed, i);
         slot.result.status = "skipped";
         slot.result.errorDetail =
             "not run: the sweep aborted after an earlier job failed";

@@ -22,6 +22,12 @@
  * Thread count comes from RunnerOptions::threads, the APRES_BENCH_JOBS
  * environment variable, or std::thread::hardware_concurrency(), in
  * that order of precedence (see defaultJobCount()).
+ *
+ * The runner is a *frontend*: per-job execution (fault isolation,
+ * timeouts, retries) lives in the pure JobExecutor core
+ * (job_executor.hpp), which the apres_serve daemon shares. The runner
+ * adds the thread pool, seed derivation, progress reporting and the
+ * keep-going/abort sweep semantics.
  */
 
 #ifndef APRES_SIM_RUNNER_HPP
@@ -34,11 +40,29 @@
 #include <vector>
 
 #include "sim/gpu.hpp"
+#include "sim/job_executor.hpp"
 
 namespace apres {
 
 /** Default base seed of a sweep (job seeds derive from it). */
 inline constexpr std::uint64_t kDefaultSweepSeed = 0xA5E5'1CAF'FE15'CA16ull;
+
+/** Where a job's Rng seed comes from. */
+enum class SeedMode {
+    /**
+     * deriveJobSeed(baseSeed, index): every sweep job gets its own
+     * deterministic stream (the CLI/bench default).
+     */
+    kDeriveFromBase,
+
+    /**
+     * The job's GpuConfig::seed is used untouched. The apres_serve
+     * daemon runs in this mode: the seed is part of the semantic
+     * configuration, so the cache key covers it and a job's identity
+     * never depends on its position in a batch.
+     */
+    kUseConfigSeed,
+};
 
 /** How a sweep executes. */
 struct RunnerOptions
@@ -48,6 +72,9 @@ struct RunnerOptions
 
     /** Base seed; job i runs with deriveJobSeed(baseSeed, i). */
     std::uint64_t baseSeed = kDefaultSweepSeed;
+
+    /** Seed policy; see SeedMode. */
+    SeedMode seedMode = SeedMode::kDeriveFromBase;
 
     /** Emit a progress line to stderr while the sweep runs. */
     bool progress = false;
@@ -80,22 +107,9 @@ struct RunnerOptions
     bool keepGoing = false;
 };
 
-/** One simulation to run: a config over a (shared, immutable) kernel. */
-struct SweepJob
-{
-    std::string label;                     ///< for reports and progress
-    GpuConfig config;                      ///< copied; seed is overwritten
-    std::shared_ptr<const Kernel> kernel;  ///< must be non-null
-
-    /**
-     * Optional post-run hook, called on the worker thread with the
-     * finished Gpu before it is destroyed. Lets drivers harvest
-     * statistics RunResult does not carry (per-PC LSU stats, DRAM row
-     * hits) without serializing the sweep. The hook must only touch
-     * this job's own state.
-     */
-    std::function<void(const Gpu&, RunResult&)> inspect;
-};
+// SweepJob (one config over a shared, immutable kernel) lives in
+// job_executor.hpp now: the execution core owns the job shape, and
+// the runner is one of its frontends.
 
 /** One finished job, in submission order. */
 struct SweepResult

@@ -29,10 +29,13 @@
 
 #include "common/csv.hpp"
 #include "common/json.hpp"
+#include "common/json_value.hpp"
 #include "common/log.hpp"
 #include "common/parse.hpp"
 #include "common/sim_error.hpp"
 #include "isa/kernel_text.hpp"
+#include "serve/daemon.hpp"
+#include "serve/protocol.hpp"
 #include "sim/config_registry.hpp"
 #include "sim/gpu.hpp"
 #include "sim/policy_registry.hpp"
@@ -72,6 +75,12 @@ printHelp()
         "  --dram-rows       enable the bank/row-buffer DRAM model\n"
         "  --bypass          enable adaptive L1 bypass for streams\n"
         "  --max-cycles N    simulation cap (default 50000000)\n\n"
+        "service mode:\n"
+        "  --connect SOCKET  submit the batch to a running apres_serve\n"
+        "                    daemon instead of simulating locally; the\n"
+        "                    raw JSON response is printed to stdout and\n"
+        "                    repeated configurations are answered from\n"
+        "                    its content-addressed result cache\n\n"
         "output:\n"
         "  --trace FILE      write a Chrome trace_event JSON of the run\n"
         "                    (open in chrome://tracing or Perfetto;\n"
@@ -114,6 +123,80 @@ writeRunJson(JsonWriter& json, const std::string& workload,
     json.endObject();
 }
 
+/**
+ * Service-mode client: ship the already-resolved batch to a running
+ * apres_serve daemon and print its raw JSON response. The local
+ * configuration is diffed against the defaults, so only explicit
+ * settings travel as overrides; a kernel file travels as inline text.
+ * Returns the process exit code (non-zero when any run is not "ok").
+ */
+int
+runConnected(const std::string& socket_path, const ConfigRegistry& registry,
+             const std::string& workload, const std::string& kernel_file,
+             double scale)
+{
+    GpuConfig defaults;
+    const ConfigRegistry default_registry(defaults);
+    const auto base = default_registry.snapshot();
+    std::vector<std::pair<std::string, std::string>> overrides;
+    for (const auto& [key, value] : registry.snapshot()) {
+        const auto it = base.find(key);
+        if (it == base.end() || it->second != value)
+            overrides.emplace_back(key, value);
+    }
+
+    std::vector<ServeJobSpec> specs;
+    const auto addWorkload = [&](const std::string& name) {
+        ServeJobSpec spec;
+        spec.label = name;
+        spec.workload = name;
+        spec.scale = scale;
+        spec.overrides = overrides;
+        specs.push_back(std::move(spec));
+    };
+    if (!kernel_file.empty()) {
+        std::ifstream in(kernel_file);
+        if (!in)
+            fatal("cannot open " + kernel_file);
+        std::ostringstream text;
+        text << in.rdbuf();
+        ServeJobSpec spec;
+        spec.label = kernel_file;
+        spec.kernelText = text.str();
+        spec.overrides = overrides;
+        specs.push_back(std::move(spec));
+    } else if (workload == "all") {
+        for (const std::string& name : allWorkloadNames())
+            addWorkload(name);
+    } else {
+        addWorkload(workload);
+    }
+
+    std::ostringstream os;
+    JsonWriter json(os);
+    json.beginObject();
+    json.field("type", "run");
+    json.beginArray("jobs");
+    for (const ServeJobSpec& spec : specs)
+        writeServeJob(json, spec);
+    json.endArray();
+    json.endObject();
+    json.finish();
+
+    const std::string response = serveRoundTrip(socket_path, os.str());
+    std::cout << response << '\n';
+
+    const JsonValue doc = JsonValue::parse(response);
+    if (!doc.isObject() || doc.at("type").asString() != "result")
+        return 1;
+    const JsonValue& runs = doc.at("runs");
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        if (runs.at(i).at("result").at("status").asString() != "ok")
+            return 1;
+    }
+    return 0;
+}
+
 int run(int argc, char** argv);
 
 } // namespace
@@ -138,6 +221,7 @@ run(int argc, char** argv)
 {
     std::string workload = "KM";
     std::string kernel_file;
+    std::string connect_path;
     double scale = 1.0;
     std::string csv_path;
     std::string timeline_path;
@@ -164,6 +248,8 @@ run(int argc, char** argv)
             workload = next();
         } else if (arg == "--kernel-file") {
             kernel_file = next();
+        } else if (arg == "--connect") {
+            connect_path = next();
         } else if (arg == "--scale") {
             scale = parsePositiveDoubleOption(arg, next());
         } else if (arg == "--set") {
@@ -234,6 +320,10 @@ run(int argc, char** argv)
             std::cout << key << " = " << value << '\n';
         return 0;
     }
+
+    if (!connect_path.empty())
+        return runConnected(connect_path, registry, workload, kernel_file,
+                            scale);
 
     struct Job
     {
@@ -306,6 +396,7 @@ run(int argc, char** argv)
     if (json_output) {
         json->endArray();
         json->endObject();
+        json->finish();
         json.reset();
     }
 

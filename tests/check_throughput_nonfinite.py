@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Regression test for scripts/check_throughput.py.
+
+Non-finite doubles serialize as tagged string sentinels ("NaN",
+"Infinity", "-Infinity") since the JSON-writer fix; the gate script
+must fail such scenarios with a clear message instead of crashing on a
+str/float comparison, and must keep passing healthy numbers.
+
+usage: check_throughput_nonfinite.py PATH_TO_CHECK_THROUGHPUT
+"""
+
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+
+def run_gate(script, results, baseline):
+    with tempfile.TemporaryDirectory() as tmp:
+        results_path = Path(tmp) / "results.json"
+        baseline_path = Path(tmp) / "baseline.json"
+        results_path.write_text(json.dumps(results))
+        baseline_path.write_text(json.dumps(baseline))
+        return subprocess.run(
+            [sys.executable, script, str(results_path), str(baseline_path)],
+            capture_output=True, text=True)
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    script = sys.argv[1]
+    baseline = {"scenarios": {"small": 1000.0, "large": 2000.0}}
+
+    # Healthy numbers pass.
+    ok = run_gate(script, {"scenarios": [
+        {"name": "small", "ffCyclesPerSec": 990.0, "speedup": 3.0,
+         "statsIdentical": True},
+        {"name": "large", "ffCyclesPerSec": 2500.0, "speedup": 4.0,
+         "statsIdentical": True},
+    ]}, baseline)
+    if ok.returncode != 0:
+        print("FAIL: healthy results were rejected:\n" + ok.stdout)
+        return 1
+
+    # A NaN sentinel fails loudly, without a traceback.
+    nan = run_gate(script, {"scenarios": [
+        {"name": "small", "ffCyclesPerSec": "NaN", "speedup": "NaN",
+         "statsIdentical": True},
+        {"name": "large", "ffCyclesPerSec": 2500.0, "speedup": 4.0,
+         "statsIdentical": True},
+    ]}, baseline)
+    if nan.returncode != 1:
+        print(f"FAIL: NaN sentinel exited {nan.returncode}, wanted 1:\n"
+              + nan.stdout + nan.stderr)
+        return 1
+    if "Traceback" in nan.stderr:
+        print("FAIL: NaN sentinel crashed the gate:\n" + nan.stderr)
+        return 1
+    if "non-finite" not in nan.stdout:
+        print("FAIL: NaN failure message is unclear:\n" + nan.stdout)
+        return 1
+
+    # An Infinity speedup next to a healthy throughput must not crash
+    # the report formatting either.
+    inf = run_gate(script, {"scenarios": [
+        {"name": "small", "ffCyclesPerSec": 990.0, "speedup": "Infinity",
+         "statsIdentical": True},
+        {"name": "large", "ffCyclesPerSec": 2500.0, "speedup": 4.0,
+         "statsIdentical": True},
+    ]}, baseline)
+    if inf.returncode != 0 or "Traceback" in inf.stderr:
+        print("FAIL: Infinity speedup broke the gate:\n"
+              + inf.stdout + inf.stderr)
+        return 1
+
+    print("ok: non-finite sentinels are rejected gracefully")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

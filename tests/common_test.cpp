@@ -6,14 +6,18 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 #include <limits>
 #include <sstream>
 
 #include "common/bitutils.hpp"
 #include "common/csv.hpp"
 #include "common/json.hpp"
+#include "common/json_value.hpp"
 #include "common/parse.hpp"
 #include "common/rng.hpp"
+#include "common/sim_error.hpp"
 #include "common/stats.hpp"
 
 namespace apres {
@@ -278,6 +282,48 @@ TEST(Parse, FormatDoubleRoundTrips)
     }
 }
 
+TEST(Parse, FormatDoubleRoundTripsEdgeValues)
+{
+    // The shortest-round-trip contract must hold bit-exactly even at
+    // the awkward corners: denormals, the extremes of the exponent
+    // range, negative zero, and integers near 2^64 that a double can
+    // only represent approximately.
+    const double cases[] = {
+        -0.0,
+        std::numeric_limits<double>::denorm_min(),
+        -std::numeric_limits<double>::denorm_min(),
+        std::numeric_limits<double>::min(),
+        std::numeric_limits<double>::max(),
+        -std::numeric_limits<double>::max(),
+        std::numeric_limits<double>::epsilon(),
+        1.0 + std::numeric_limits<double>::epsilon(),
+        static_cast<double>(UINT64_MAX),
+        static_cast<double>(UINT64_MAX - 1024),
+        9007199254740993.0, // 2^53 + 1, rounds to 2^53
+        1e-323,             // deep denormal
+        5e-324,             // the smallest positive double
+        123456789.123456789,
+        2.5e-3,
+    };
+    for (const double v : cases) {
+        const std::string text = formatDouble(v);
+        double back = 0.0;
+        ASSERT_TRUE(parseDoubleStrict(text, &back)) << text;
+        EXPECT_EQ(std::memcmp(&back, &v, sizeof v), 0)
+            << text << " reparsed as " << formatDouble(back);
+    }
+}
+
+TEST(Parse, FormatDoubleIsCanonical)
+{
+    // Exact integers print without an exponent or trailing ".0", and
+    // the output never depends on the global locale.
+    EXPECT_EQ(formatDouble(1.0), "1");
+    EXPECT_EQ(formatDouble(-0.0), "-0");
+    EXPECT_EQ(formatDouble(0.5), "0.5");
+    EXPECT_EQ(formatDouble(1e100), "1e+100");
+}
+
 TEST(Csv, EscapesFieldsPerRfc4180)
 {
     EXPECT_EQ(csvEscapeField("plain"), "plain");
@@ -322,16 +368,152 @@ TEST(Json, WriterEscapesAndNests)
     EXPECT_NE(text.find("\"ipc\": 1.5"), std::string::npos);
 }
 
-TEST(Json, NonFiniteDoublesBecomeNull)
+TEST(Json, NonFiniteDoublesBecomeTaggedSentinels)
+{
+    // null would erase the distinction between "stat was NaN" and
+    // "stat was absent"; the writer emits tagged string sentinels so
+    // consumers can tell (and scripts can skip them explicitly).
+    std::ostringstream os;
+    {
+        JsonWriter json(os);
+        json.beginObject();
+        json.field("nan", std::numeric_limits<double>::quiet_NaN());
+        json.field("inf", std::numeric_limits<double>::infinity());
+        json.field("ninf", -std::numeric_limits<double>::infinity());
+        json.endObject();
+        json.finish();
+    }
+    const std::string text = os.str();
+    EXPECT_NE(text.find("\"nan\": \"NaN\""), std::string::npos);
+    EXPECT_NE(text.find("\"inf\": \"Infinity\""), std::string::npos);
+    EXPECT_NE(text.find("\"ninf\": \"-Infinity\""), std::string::npos);
+}
+
+TEST(Json, FinishThrowsOnUnclosedScopes)
+{
+    std::ostringstream os;
+    JsonWriter json(os);
+    json.beginObject();
+    json.beginArray("runs");
+    try {
+        json.finish();
+        FAIL() << "finish() accepted a truncated document";
+    } catch (const SimError& e) {
+        EXPECT_EQ(e.kind(), SimErrorKind::kSerialization);
+    }
+    // Recover so the destructor sees a closed document.
+    json.endArray();
+    json.endObject();
+    json.finish();
+}
+
+TEST(Json, EndWithoutBeginThrows)
+{
+    std::ostringstream os;
+    JsonWriter json(os);
+    EXPECT_THROW(json.endObject(), SimError);
+    EXPECT_THROW(json.endArray(), SimError);
+}
+
+TEST(Json, RawSplicesVerbatim)
+{
+    std::ostringstream os;
+    JsonWriter json(os);
+    json.beginObject();
+    json.raw("result", "{\"ipc\": 1.5}");
+    json.endObject();
+    json.finish();
+    EXPECT_NE(os.str().find("\"result\": {\"ipc\": 1.5}"),
+              std::string::npos);
+}
+
+TEST(JsonValue, ParsesScalarsAndContainers)
+{
+    const JsonValue doc = JsonValue::parse(
+        "{\"b\": true, \"n\": null, \"x\": -2.5e3,"
+        " \"s\": \"a\\\"b\\\\c\\n\\u0041\","
+        " \"arr\": [1, 2, 3], \"nested\": {\"k\": \"v\"}}");
+    ASSERT_TRUE(doc.isObject());
+    EXPECT_TRUE(doc.at("b").asBool());
+    EXPECT_TRUE(doc.at("n").isNull());
+    EXPECT_DOUBLE_EQ(doc.at("x").asDouble(), -2500.0);
+    EXPECT_EQ(doc.at("s").asString(), "a\"b\\c\nA");
+    ASSERT_EQ(doc.at("arr").size(), 3u);
+    EXPECT_DOUBLE_EQ(doc.at("arr").at(1).asDouble(), 2.0);
+    EXPECT_EQ(doc.at("nested").at("k").asString(), "v");
+    EXPECT_TRUE(doc.has("b"));
+    EXPECT_FALSE(doc.has("zzz"));
+    EXPECT_EQ(doc.find("zzz"), nullptr);
+}
+
+TEST(JsonValue, Uint64SurvivesViaLexeme)
+{
+    // 2^64-1 is not representable as a double; the exact value must
+    // round-trip through the preserved source lexeme.
+    const JsonValue doc =
+        JsonValue::parse("{\"seed\": 18446744073709551615}");
+    EXPECT_EQ(doc.at("seed").asUint64(), ~0ull);
+    EXPECT_EQ(doc.at("seed").numberLexeme(), "18446744073709551615");
+}
+
+TEST(JsonValue, WriterOutputReparses)
 {
     std::ostringstream os;
     {
         JsonWriter json(os);
         json.beginObject();
-        json.field("bad", std::numeric_limits<double>::infinity());
+        json.field("name", "a\"b\\c\n");
+        json.field("count", std::uint64_t{18446744073709551615ull});
+        json.beginArray("runs");
+        json.beginObject();
+        json.field("ipc", 1.5);
         json.endObject();
+        json.endArray();
+        json.endObject();
+        json.finish();
     }
-    EXPECT_NE(os.str().find("\"bad\": null"), std::string::npos);
+    const JsonValue doc = JsonValue::parse(os.str());
+    EXPECT_EQ(doc.at("name").asString(), "a\"b\\c\n");
+    EXPECT_EQ(doc.at("count").asUint64(), ~0ull);
+    EXPECT_DOUBLE_EQ(doc.at("runs").at(0).at("ipc").asDouble(), 1.5);
+}
+
+TEST(JsonValue, RejectsMalformedDocuments)
+{
+    const char* bad[] = {
+        "",
+        "{",
+        "{\"a\": }",
+        "{\"a\": 1,}",       // trailing comma
+        "[1 2]",
+        "{'a': 1}",          // unquoted/single-quoted keys
+        "{\"a\": 1} extra",  // trailing garbage
+        "{\"a\": 01}",       // leading zero
+        "\"unterminated",
+        "{\"a\": tru}",
+    };
+    for (const char* text : bad) {
+        try {
+            JsonValue::parse(text);
+            FAIL() << "accepted: " << text;
+        } catch (const SimError& e) {
+            EXPECT_EQ(e.kind(), SimErrorKind::kSerialization) << text;
+            // Every parse error carries a byte offset.
+            EXPECT_NE(std::string(e.detail()).find("at byte"),
+                      std::string::npos)
+                << text << " -> " << e.detail();
+        }
+    }
+}
+
+TEST(JsonValue, TypeMismatchesThrow)
+{
+    const JsonValue doc = JsonValue::parse("{\"x\": 1.5}");
+    EXPECT_THROW(doc.at("x").asString(), SimError);
+    EXPECT_THROW(doc.at("x").asBool(), SimError);
+    EXPECT_THROW(doc.at("missing"), SimError);
+    EXPECT_THROW(doc.at("x").asUint64(), SimError); // 1.5 is not a uint
+    EXPECT_THROW(doc.at(std::size_t{0}), SimError); // not an array
 }
 
 } // namespace

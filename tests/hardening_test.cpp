@@ -295,6 +295,102 @@ TEST(Runner, RetriesRerunDeterministicFailures)
     EXPECT_EQ(results[0].result.errorKind, "DeadlockError");
 }
 
+TEST(Runner, TimeoutRowsSurviveRetriesUnderKeepGoing)
+{
+    // The remaining cell of the timeout x retries x keep-going matrix
+    // through this frontend: a job that exceeds its deadline on every
+    // attempt still lands as a timeout row (not an exception) when
+    // retries are in play.
+    registerWedgeScheduler();
+    const auto kernel = smallKernel();
+    GpuConfig wedged = auditedGpu();
+    wedged.audit = false;
+    wedged.scheduler = "wedge";
+    wedged.prefetcher = "none";
+    wedged.watchdogCycles = 0;
+    wedged.maxCycles = Cycle{1} << 40;
+
+    RunnerOptions opts;
+    opts.threads = 1;
+    opts.keepGoing = true;
+    opts.retries = 1;
+    opts.jobTimeoutSeconds = 0.1;
+    SweepRunner runner(opts);
+    runner.submit("wedged-job", wedged, kernel);
+    const std::vector<SweepResult> results = runner.runAll();
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_EQ(results[0].result.status, "timeout");
+    EXPECT_EQ(results[0].result.errorKind, "Timeout");
+}
+
+TEST(JobExecutor, CountsEveryAttempt)
+{
+    registerWedgeScheduler();
+    const auto kernel = smallKernel();
+    GpuConfig wedged = auditedGpu();
+    wedged.audit = false;
+    wedged.scheduler = "wedge";
+    wedged.prefetcher = "none";
+    wedged.watchdogCycles = 5'000;
+
+    SweepJob job;
+    job.label = "wedged";
+    job.config = wedged;
+    job.kernel = kernel;
+    const JobExecutor executor(JobExecutionPolicy{/*retries=*/2, 0.0});
+    const JobOutcome outcome = executor.execute(job, /*seed=*/1);
+    EXPECT_FALSE(outcome.ok());
+    EXPECT_EQ(outcome.result.status, "error");
+    // 1 try + 2 retries, each counted: the executions() counter is
+    // what the service's zero-re-simulation guarantee leans on.
+    EXPECT_EQ(executor.executions(), 3u);
+
+    GpuConfig fine = auditedGpu();
+    fine.audit = false;
+    SweepJob good;
+    good.label = "good";
+    good.config = fine;
+    good.kernel = kernel;
+    const JobOutcome ok = executor.execute(good, /*seed=*/1);
+    EXPECT_TRUE(ok.ok());
+    EXPECT_EQ(ok.result.status, "ok");
+    EXPECT_GT(ok.wallSeconds, 0.0);
+    EXPECT_EQ(executor.executions(), 4u);
+}
+
+TEST(Runner, ConfigSeedModeMakesResultsPositionIndependent)
+{
+    // In kUseConfigSeed mode a job's result is a pure function of its
+    // configuration — the property the service's content-addressed
+    // cache is built on. Run the same config at slot 0 and slot 2 of
+    // different batches and require identical stats.
+    const auto kernel = smallKernel();
+    GpuConfig cfg = auditedGpu();
+    cfg.audit = false;
+
+    GpuConfig other = cfg;
+    other.sm.l1.sizeBytes = 65536;
+
+    RunnerOptions opts;
+    opts.threads = 2;
+    opts.seedMode = SeedMode::kUseConfigSeed;
+
+    SweepRunner first(opts);
+    first.submit("probe", cfg, kernel);
+    first.submit("fill-a", other, kernel);
+    const std::vector<SweepResult> a = first.runAll();
+
+    SweepRunner second(opts);
+    second.submit("fill-a", other, kernel);
+    second.submit("fill-b", other, kernel);
+    second.submit("probe", cfg, kernel);
+    const std::vector<SweepResult> b = second.runAll();
+
+    const StatSet probe_first = a[0].result.toStatSet();
+    const StatSet probe_second = b[2].result.toStatSet();
+    EXPECT_EQ(probe_first.entries(), probe_second.entries());
+}
+
 TEST(Runner, FailureSummaryEmptyOnCleanSweep)
 {
     const auto kernel = smallKernel();

@@ -1,0 +1,597 @@
+/**
+ * @file
+ * Tests for the simulation service: cache-key anatomy (semantic vs
+ * observation keys, kernel identity, schema fingerprint), the
+ * two-tier ResultCache, protocol parsing, and the daemon end to end —
+ * including the headline guarantee that a repeated batch is answered
+ * bitwise-identically from cache with zero re-simulation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "common/json.hpp"
+#include "common/json_value.hpp"
+#include "serve/daemon.hpp"
+#include "serve/protocol.hpp"
+#include "serve/result_cache.hpp"
+#include "sim/config_registry.hpp"
+#include "sim_error_matchers.hpp"
+
+namespace apres {
+namespace {
+
+namespace fs = std::filesystem;
+
+/** A fresh, empty scratch directory unique to @p tag and this process. */
+std::string
+scratchDir(const std::string& tag)
+{
+    const fs::path dir = fs::temp_directory_path() /
+        ("apres_serve_test_" + std::to_string(::getpid()) + "_" + tag);
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    return dir.string();
+}
+
+std::map<std::string, std::string>
+semanticSnapshot(const std::vector<std::pair<std::string, std::string>>&
+                     overrides = {})
+{
+    GpuConfig cfg;
+    ConfigRegistry registry(cfg);
+    for (const auto& [key, value] : overrides)
+        registry.set(key, value);
+    return registry.semanticSnapshot();
+}
+
+/** Build a run-request document from job specs. */
+std::string
+runRequest(const std::vector<ServeJobSpec>& jobs,
+           double timeout_seconds = 0.0, int retries = 0)
+{
+    std::ostringstream os;
+    JsonWriter json(os);
+    json.beginObject();
+    json.field("type", "run");
+    if (timeout_seconds > 0.0 || retries > 0) {
+        json.beginObject("options");
+        if (timeout_seconds > 0.0)
+            json.field("timeoutSeconds", timeout_seconds);
+        if (retries > 0)
+            json.field("retries", static_cast<std::uint64_t>(retries));
+        json.endObject();
+    }
+    json.beginArray("jobs");
+    for (const ServeJobSpec& job : jobs)
+        writeServeJob(json, job);
+    json.endArray();
+    json.endObject();
+    json.finish();
+    return os.str();
+}
+
+/** A cheap KM job with the given L1 size (the semantic knob we vary). */
+ServeJobSpec
+kmJob(std::uint64_t l1_bytes, double scale = 0.05)
+{
+    ServeJobSpec job;
+    job.workload = "KM";
+    job.scale = scale;
+    job.label = "km-l1-" + std::to_string(l1_bytes);
+    job.overrides.emplace_back("l1.sizeBytes", std::to_string(l1_bytes));
+    job.overrides.emplace_back("maxCycles", "2000000");
+    return job;
+}
+
+/**
+ * Extract the raw text of the "result" value of runs[index] from a
+ * response document — string-aware brace matching, so the comparison
+ * between two responses is genuinely bitwise, not parse-and-compare.
+ */
+std::string
+rawResultText(const std::string& response, std::size_t index)
+{
+    const std::string marker = "\"result\": {";
+    std::size_t pos = 0;
+    for (std::size_t skipped = 0; skipped <= index; ++skipped) {
+        pos = response.find(marker, pos);
+        if (pos == std::string::npos)
+            ADD_FAILURE() << "runs[" << index << "] has no result object";
+        if (pos == std::string::npos)
+            return "";
+        pos += marker.size();
+    }
+    const std::size_t start = pos - 1; // at the '{'
+    int depth = 0;
+    bool in_string = false;
+    for (std::size_t i = start; i < response.size(); ++i) {
+        const char c = response[i];
+        if (in_string) {
+            if (c == '\\')
+                ++i;
+            else if (c == '"')
+                in_string = false;
+        } else if (c == '"') {
+            in_string = true;
+        } else if (c == '{') {
+            ++depth;
+        } else if (c == '}') {
+            if (--depth == 0)
+                return response.substr(start, i - start + 1);
+        }
+    }
+    ADD_FAILURE() << "unbalanced result object";
+    return "";
+}
+
+// --------------------------------------------------------------------
+// Cache-key anatomy.
+// --------------------------------------------------------------------
+
+TEST(CacheKey, SemanticOverrideChangesKey)
+{
+    ServeJobSpec job;
+    job.workload = "KM";
+    const std::string kfp = kernelFingerprint(job);
+    const std::string base =
+        computeCacheKey("fp", kfp, semanticSnapshot());
+    const std::string bigger_l1 = computeCacheKey(
+        "fp", kfp, semanticSnapshot({{"l1.sizeBytes", "65536"}}));
+    const std::string other_seed = computeCacheKey(
+        "fp", kfp, semanticSnapshot({{"seed", "12345"}}));
+    EXPECT_NE(base, bigger_l1);
+    EXPECT_NE(base, other_seed);
+    EXPECT_NE(bigger_l1, other_seed);
+    EXPECT_EQ(base.size(), 32u);
+}
+
+TEST(CacheKey, ObservationKeysDoNotChangeKey)
+{
+    ServeJobSpec job;
+    job.workload = "KM";
+    const std::string kfp = kernelFingerprint(job);
+    const std::string base =
+        computeCacheKey("fp", kfp, semanticSnapshot());
+    // Tracing, metrics, auditing and fast-forward are observation-only:
+    // they never change what a run computes (proven by the
+    // ff-equivalence and observation-purity suites), so they must not
+    // fragment the cache.
+    const std::vector<std::pair<std::string, std::string>> observation = {
+        {"sim.trace", "true"},
+        {"sim.traceFile", "/tmp/t.json"},
+        {"sim.traceBufferEvents", "1234"},
+        {"sim.metrics", "true"},
+        {"sim.audit", "true"},
+        {"sim.auditInterval", "77"},
+        {"sim.fastForward", "false"},
+        {"sim.watchdogCycles", "123456"},
+    };
+    for (const auto& kv : observation) {
+        EXPECT_EQ(base, computeCacheKey("fp", kfp, semanticSnapshot({kv})))
+            << kv.first;
+    }
+}
+
+TEST(CacheKey, FingerprintAndKernelIdentityChangeKey)
+{
+    ServeJobSpec km;
+    km.workload = "KM";
+    ServeJobSpec km2 = km;
+    km2.scale = 2.0;
+    ServeJobSpec text;
+    text.kernelText = "kernel t 4\ngen 0 uniform addr=4096\n"
+                      "load r0 gen=0\n";
+
+    const auto snapshot = semanticSnapshot();
+    const std::string a =
+        computeCacheKey("fp-a", kernelFingerprint(km), snapshot);
+    EXPECT_NE(a, computeCacheKey("fp-b", kernelFingerprint(km), snapshot));
+    EXPECT_NE(a, computeCacheKey("fp-a", kernelFingerprint(km2), snapshot));
+    EXPECT_NE(a, computeCacheKey("fp-a", kernelFingerprint(text), snapshot));
+
+    EXPECT_EQ(kernelFingerprint(km), "workload:KM@1");
+    EXPECT_EQ(kernelFingerprint(km2), "workload:KM@2");
+    EXPECT_EQ(kernelFingerprint(text).rfind("text:", 0), 0u);
+}
+
+// --------------------------------------------------------------------
+// ResultCache tiers.
+// --------------------------------------------------------------------
+
+TEST(ResultCache, MemoryTierHitsAndMisses)
+{
+    ResultCache cache; // memory-only
+    EXPECT_FALSE(cache.lookup("k1").has_value());
+    cache.store("k1", "{\"x\": 1}");
+    const auto hit = cache.lookup("k1");
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(*hit, "{\"x\": 1}");
+    const ResultCacheStats stats = cache.stats();
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_EQ(stats.memoryHits, 1u);
+    EXPECT_EQ(stats.diskHits, 0u);
+    EXPECT_EQ(stats.stores, 1u);
+    EXPECT_EQ(cache.memoryEntries(), 1u);
+}
+
+TEST(ResultCache, DiskTierPersistsAcrossInstances)
+{
+    const std::string dir = scratchDir("disk_persist");
+    {
+        ResultCache cache(dir);
+        cache.store("deadbeef", "{\"ipc\": 1.5}");
+    }
+    ResultCache warm(dir);
+    EXPECT_EQ(warm.memoryEntries(), 0u);
+    const auto hit = warm.lookup("deadbeef");
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(*hit, "{\"ipc\": 1.5}");
+    EXPECT_EQ(warm.stats().diskHits, 1u);
+    // The disk hit was promoted: the second lookup is a memory hit.
+    ASSERT_TRUE(warm.lookup("deadbeef").has_value());
+    EXPECT_EQ(warm.stats().memoryHits, 1u);
+}
+
+TEST(ResultCache, CorruptDiskEntryIsDiscardedNotServed)
+{
+    const std::string dir = scratchDir("disk_corrupt");
+    const fs::path bad = fs::path(dir) / "0123456789abcdef.json";
+    std::ofstream(bad) << "{\"truncated\": ";
+    ResultCache cache(dir);
+    EXPECT_FALSE(cache.lookup("0123456789abcdef").has_value());
+    EXPECT_EQ(cache.stats().invalidDiskEntries, 1u);
+    EXPECT_EQ(cache.stats().misses, 1u);
+    // The poisoned file is gone; a later store works normally.
+    EXPECT_FALSE(fs::exists(bad));
+    cache.store("0123456789abcdef", "{\"ok\": true}");
+    EXPECT_TRUE(cache.lookup("0123456789abcdef").has_value());
+}
+
+// --------------------------------------------------------------------
+// Protocol parsing.
+// --------------------------------------------------------------------
+
+TEST(Protocol, ParsesControlRequests)
+{
+    EXPECT_EQ(parseServeRequest("{\"type\": \"ping\"}").type,
+              ServeRequest::Type::kPing);
+    EXPECT_EQ(parseServeRequest("{\"type\": \"stats\"}").type,
+              ServeRequest::Type::kStats);
+    EXPECT_EQ(parseServeRequest("{\"type\": \"shutdown\"}").type,
+              ServeRequest::Type::kShutdown);
+}
+
+TEST(Protocol, ParsesRunRequestWithOptionsAndOverrides)
+{
+    const ServeRequest req = parseServeRequest(
+        "{\"type\": \"run\","
+        " \"options\": {\"timeoutSeconds\": 2.5, \"retries\": 3},"
+        " \"jobs\": [{\"workload\": \"KM\", \"scale\": 0.5,"
+        "   \"overrides\": {\"l1.sizeBytes\": 65536,"
+        "                   \"scheduler\": \"laws\","
+        "                   \"dram.rowBufferModel\": true,"
+        "                   \"seed\": 18446744073709551615}}]}");
+    EXPECT_EQ(req.type, ServeRequest::Type::kRun);
+    EXPECT_DOUBLE_EQ(req.timeoutSeconds, 2.5);
+    EXPECT_EQ(req.retries, 3);
+    ASSERT_EQ(req.jobs.size(), 1u);
+    const ServeJobSpec& job = req.jobs[0];
+    EXPECT_EQ(job.workload, "KM");
+    EXPECT_EQ(job.label, "KM"); // defaults to the workload
+    EXPECT_DOUBLE_EQ(job.scale, 0.5);
+    ASSERT_EQ(job.overrides.size(), 4u);
+    // Number lexemes survive untouched: a 64-bit seed must not go
+    // through a double.
+    EXPECT_EQ(job.overrides[3].first, "seed");
+    EXPECT_EQ(job.overrides[3].second, "18446744073709551615");
+    EXPECT_EQ(job.overrides[2].second, "true");
+}
+
+TEST(Protocol, RejectsMalformedRequests)
+{
+    expectSimError(SimErrorKind::kSerialization, "",
+                   [] { parseServeRequest("not json"); });
+    expectSimError(SimErrorKind::kSerialization, "",
+                   [] { parseServeRequest("{\"type\": \"dance\"}"); });
+    expectSimError(SimErrorKind::kSerialization, "non-empty",
+                   [] {
+                       parseServeRequest(
+                           "{\"type\": \"run\", \"jobs\": []}");
+                   });
+    // A job must carry exactly one kernel identity.
+    expectSimError(SimErrorKind::kSerialization, "exactly one",
+                   [] {
+                       parseServeRequest(
+                           "{\"type\": \"run\", \"jobs\": [{"
+                           "\"workload\": \"KM\","
+                           " \"kernelText\": \"k\"}]}");
+                   });
+    expectSimError(SimErrorKind::kSerialization, "exactly one",
+                   [] {
+                       parseServeRequest(
+                           "{\"type\": \"run\", \"jobs\": [{}]}");
+                   });
+    expectSimError(SimErrorKind::kConfig, "timeoutSeconds",
+                   [] {
+                       parseServeRequest(
+                           "{\"type\": \"run\","
+                           " \"options\": {\"timeoutSeconds\": -1},"
+                           " \"jobs\": [{\"workload\": \"KM\"}]}");
+                   });
+}
+
+// --------------------------------------------------------------------
+// Daemon behavior through the transport-free handler.
+// --------------------------------------------------------------------
+
+TEST(ServeDaemon, WarmBatchIsBitwiseIdenticalWithZeroSimulation)
+{
+    ServeOptions opts;
+    opts.cacheDir = scratchDir("warm_batch");
+    ServeDaemon daemon(opts);
+
+    // Eight distinct semantic configurations.
+    std::vector<ServeJobSpec> jobs;
+    for (int i = 0; i < 8; ++i)
+        jobs.push_back(kmJob(8192u << i));
+    const std::string request = runRequest(jobs);
+
+    const std::string cold = daemon.handleRequest(request);
+    EXPECT_EQ(daemon.simulationsRun(), 8u);
+
+    const std::string warm = daemon.handleRequest(request);
+    // The headline guarantee: zero re-simulation on the warm batch...
+    EXPECT_EQ(daemon.simulationsRun(), 8u);
+    EXPECT_EQ(daemon.cache().stats().hits(), 8u);
+
+    const JsonValue warm_doc = JsonValue::parse(warm);
+    const JsonValue& runs = warm_doc.at("runs");
+    ASSERT_EQ(runs.size(), 8u);
+    for (std::size_t i = 0; i < 8; ++i) {
+        EXPECT_TRUE(runs.at(i).at("cached").asBool()) << i;
+        EXPECT_EQ(runs.at(i).at("result").at("status").asString(), "ok");
+        // ...and every cached payload is byte-for-byte the one the
+        // cold run produced.
+        EXPECT_EQ(rawResultText(cold, i), rawResultText(warm, i)) << i;
+        EXPECT_FALSE(rawResultText(cold, i).empty()) << i;
+    }
+}
+
+TEST(ServeDaemon, DiskCacheSurvivesRestartAndFingerprintFlipInvalidates)
+{
+    const std::string dir = scratchDir("restart");
+    const std::string request = runRequest({kmJob(32768), kmJob(65536)});
+
+    ServeOptions opts;
+    opts.cacheDir = dir;
+    opts.fingerprint = "fp-one";
+    {
+        ServeDaemon daemon(opts);
+        daemon.handleRequest(request);
+        EXPECT_EQ(daemon.simulationsRun(), 2u);
+    }
+    {
+        // Same fingerprint, fresh process: everything comes off disk.
+        ServeDaemon daemon(opts);
+        const std::string warm = daemon.handleRequest(request);
+        EXPECT_EQ(daemon.simulationsRun(), 0u);
+        EXPECT_EQ(daemon.cache().stats().diskHits, 2u);
+        const JsonValue doc = JsonValue::parse(warm);
+        for (std::size_t i = 0; i < 2; ++i)
+            EXPECT_TRUE(doc.at("runs").at(i).at("cached").asBool());
+    }
+    {
+        // Flipping the schema fingerprint orphans every entry: the
+        // same requests miss and re-simulate.
+        ServeOptions flipped = opts;
+        flipped.fingerprint = "fp-two";
+        ServeDaemon daemon(flipped);
+        const std::string response = daemon.handleRequest(request);
+        EXPECT_EQ(daemon.simulationsRun(), 2u);
+        EXPECT_EQ(daemon.cache().stats().hits(), 0u);
+        const JsonValue doc = JsonValue::parse(response);
+        for (std::size_t i = 0; i < 2; ++i)
+            EXPECT_FALSE(doc.at("runs").at(i).at("cached").asBool());
+    }
+}
+
+TEST(ServeDaemon, ObservationOverridesHitTheSemanticEntry)
+{
+    ServeOptions opts;
+    ServeDaemon daemon(opts);
+    daemon.handleRequest(runRequest({kmJob(32768)}));
+    ASSERT_EQ(daemon.simulationsRun(), 1u);
+
+    // The same semantic config with metrics/audit observation toggled
+    // must be answered from cache.
+    ServeJobSpec observed = kmJob(32768);
+    observed.overrides.emplace_back("sim.metrics", "true");
+    observed.overrides.emplace_back("sim.audit", "true");
+    const std::string response =
+        daemon.handleRequest(runRequest({observed}));
+    EXPECT_EQ(daemon.simulationsRun(), 1u);
+    const JsonValue doc = JsonValue::parse(response);
+    EXPECT_TRUE(doc.at("runs").at(0).at("cached").asBool());
+}
+
+TEST(ServeDaemon, FailuresBecomeRowsAndAreNeverCached)
+{
+    ServeOptions opts;
+    ServeDaemon daemon(opts);
+
+    // One good job, one invalid workload, one config that fails inside
+    // simulate() — keep-going semantics must deliver all three rows.
+    ServeJobSpec good = kmJob(32768);
+    ServeJobSpec unknown;
+    unknown.workload = "NOPE";
+    unknown.label = "unknown";
+    ServeJobSpec broken = kmJob(32768);
+    broken.label = "broken";
+    broken.overrides.emplace_back("scheduler", "gto");
+    broken.overrides.emplace_back("prefetcher", "sap");
+
+    const std::string request = runRequest({good, unknown, broken});
+    const std::string first = daemon.handleRequest(request);
+    const JsonValue doc = JsonValue::parse(first);
+    const JsonValue& runs = doc.at("runs");
+    ASSERT_EQ(runs.size(), 3u);
+    EXPECT_EQ(runs.at(0).at("result").at("status").asString(), "ok");
+    EXPECT_EQ(runs.at(1).at("result").at("status").asString(), "error");
+    EXPECT_EQ(runs.at(1).at("result").at("error").at("kind").asString(),
+              "ConfigError");
+    EXPECT_FALSE(runs.at(1).has("key")); // never keyed
+    EXPECT_EQ(runs.at(2).at("result").at("status").asString(), "error");
+
+    // Only the clean result was memoized: the repeat serves the good
+    // job from cache and re-runs the broken one.
+    const std::uint64_t after_first = daemon.simulationsRun();
+    const std::string second = daemon.handleRequest(request);
+    const JsonValue doc2 = JsonValue::parse(second);
+    EXPECT_TRUE(doc2.at("runs").at(0).at("cached").asBool());
+    EXPECT_FALSE(doc2.at("runs").at(2).at("cached").asBool());
+    EXPECT_GT(daemon.simulationsRun(), after_first);
+}
+
+TEST(ServeDaemon, TimeoutWithRetriesThroughServicePath)
+{
+    ServeOptions opts;
+    opts.threads = 2;
+    ServeDaemon daemon(opts);
+
+    // KM at 5x scale runs ~8 s; a 1.5 s deadline forces the timeout
+    // path (twice, because of the retry) while the ~20 ms job in the
+    // same batch still completes — the service always runs with
+    // keep-going semantics. The margins are wide on both sides so
+    // sanitizer-instrumented builds (~10x slower) stay on the same
+    // side of the deadline.
+    ServeJobSpec slow;
+    slow.workload = "KM";
+    slow.scale = 5.0;
+    slow.label = "slow";
+    ServeJobSpec quick = kmJob(32768, /*scale=*/0.01);
+    const std::string response = daemon.handleRequest(
+        runRequest({slow, quick}, /*timeout_seconds=*/1.5,
+                   /*retries=*/1));
+
+    const JsonValue doc = JsonValue::parse(response);
+    const JsonValue& runs = doc.at("runs");
+    ASSERT_EQ(runs.size(), 2u);
+    EXPECT_EQ(runs.at(0).at("result").at("status").asString(), "timeout");
+    EXPECT_EQ(runs.at(0).at("result").at("error").at("kind").asString(),
+              "Timeout");
+    EXPECT_EQ(runs.at(1).at("result").at("status").asString(), "ok");
+
+    // Timeouts are environmental; the repeat re-runs the slow job.
+    const std::string again = daemon.handleRequest(
+        runRequest({slow, quick}, 1.5, 0));
+    const JsonValue doc2 = JsonValue::parse(again);
+    EXPECT_FALSE(doc2.at("runs").at(0).at("cached").asBool());
+    EXPECT_TRUE(doc2.at("runs").at(1).at("cached").asBool());
+}
+
+TEST(ServeDaemon, InlineKernelTextJobsAreCached)
+{
+    ServeOptions opts;
+    ServeDaemon daemon(opts);
+    ServeJobSpec job;
+    job.label = "inline";
+    job.kernelText =
+        "kernel inline_k 64\n"
+        "gen 0 strided base=4096 warp=2048 iter=98304 sm=0\n"
+        "load r0 gen=0\n"
+        "alu r1 r0\n";
+    const std::string request = runRequest({job});
+    daemon.handleRequest(request);
+    EXPECT_EQ(daemon.simulationsRun(), 1u);
+    const std::string warm = daemon.handleRequest(request);
+    EXPECT_EQ(daemon.simulationsRun(), 1u);
+    const JsonValue doc = JsonValue::parse(warm);
+    EXPECT_TRUE(doc.at("runs").at(0).at("cached").asBool());
+    EXPECT_EQ(doc.at("runs").at(0).at("result").at("status").asString(),
+              "ok");
+}
+
+TEST(ServeDaemon, MalformedRequestBecomesErrorResponse)
+{
+    ServeOptions opts;
+    ServeDaemon daemon(opts);
+    const JsonValue doc =
+        JsonValue::parse(daemon.handleRequest("{\"type\": \"run\"}"));
+    EXPECT_EQ(doc.at("type").asString(), "error");
+    EXPECT_EQ(doc.at("kind").asString(), "SerializationError");
+}
+
+// --------------------------------------------------------------------
+// End to end over a real socket.
+// --------------------------------------------------------------------
+
+TEST(ServeSocket, RoundTripPingRunShutdown)
+{
+    const std::string dir = scratchDir("socket");
+    ServeOptions opts;
+    opts.socketPath = dir + "/apres.sock";
+    opts.cacheDir = dir + "/cache";
+    ServeDaemon daemon(opts);
+    daemon.start();
+
+    const JsonValue pong = JsonValue::parse(
+        serveRoundTrip(opts.socketPath, "{\"type\": \"ping\"}"));
+    EXPECT_EQ(pong.at("type").asString(), "pong");
+
+    // Cold batch over the wire, then warm: the warm hit must be at
+    // least 100x faster than simulating (KM at full scale runs for
+    // seconds; a cache hit is a map lookup plus one round trip).
+    ServeJobSpec job;
+    job.workload = "KM";
+    job.label = "km-full";
+    const std::string request = runRequest({job});
+
+    using clock = std::chrono::steady_clock;
+    const auto t0 = clock::now();
+    const std::string cold = serveRoundTrip(opts.socketPath, request);
+    const auto t1 = clock::now();
+    const std::string warm = serveRoundTrip(opts.socketPath, request);
+    const auto t2 = clock::now();
+
+    const JsonValue cold_doc = JsonValue::parse(cold);
+    const JsonValue warm_doc = JsonValue::parse(warm);
+    EXPECT_FALSE(cold_doc.at("runs").at(0).at("cached").asBool());
+    EXPECT_TRUE(warm_doc.at("runs").at(0).at("cached").asBool());
+    EXPECT_EQ(rawResultText(cold, 0), rawResultText(warm, 0));
+
+    const double cold_s =
+        std::chrono::duration<double>(t1 - t0).count();
+    const double warm_s =
+        std::chrono::duration<double>(t2 - t1).count();
+    // Only meaningful when the simulation was actually slow (CI
+    // machines vary); KM at scale 1 comfortably is.
+    ASSERT_GT(cold_s, 0.2) << "KM ran suspiciously fast; "
+                              "speedup assertion would be vacuous";
+    EXPECT_GE(cold_s / warm_s, 100.0)
+        << "cold " << cold_s << " s vs warm " << warm_s << " s";
+
+    const JsonValue stats = JsonValue::parse(
+        serveRoundTrip(opts.socketPath, "{\"type\": \"stats\"}"));
+    EXPECT_EQ(stats.at("type").asString(), "stats");
+    EXPECT_EQ(stats.at("simulations").asUint64(), 1u);
+
+    const JsonValue bye = JsonValue::parse(
+        serveRoundTrip(opts.socketPath, "{\"type\": \"shutdown\"}"));
+    EXPECT_EQ(bye.at("type").asString(), "bye");
+    daemon.wait();
+    EXPECT_FALSE(daemon.running());
+    daemon.stop();
+    EXPECT_FALSE(fs::exists(opts.socketPath));
+}
+
+} // namespace
+} // namespace apres
