@@ -1,14 +1,15 @@
 /**
  * @file
- * Simulator-throughput bench: simulated cycles per wall-second with
- * the event-driven fast-forward engine on vs off (BENCH_throughput).
+ * Simulator-throughput bench: simulated cycles per wall-second across
+ * the three engines (BENCH_throughput) — the naive cycle-by-cycle
+ * loop (sim.fastForward=false, the oracle), the event-driven
+ * fast-forward engine, and the sharded parallel epoch engine
+ * (sim.shards, --shards column).
  *
- * Each scenario runs twice on one thread — once with the naive
- * cycle-by-cycle loop (sim.fastForward=false, the oracle) and once
- * with fast-forward — and reports cycles/sec for both plus the
- * speedup. The two runs' full RunResult::toStatSet() dumps are
- * compared entry-by-entry as a built-in equivalence check: any
- * divergence fails the bench, because fast-forward is only a win if
+ * Each scenario's runs report cycles/sec plus the ff-over-naive and
+ * parallel-over-ff speedups. All runs' full RunResult::toStatSet()
+ * dumps are compared entry-by-entry as a built-in equivalence check:
+ * any divergence fails the bench, because an engine is only a win if
  * it is *free* in simulation semantics.
  *
  * Scenarios cover the two regimes the engine sees:
@@ -21,6 +22,10 @@
  *  - "KM" / "NW" at full Table III occupancy (48 warps/SM) —
  *    bandwidth-saturated; skips are short, the win is smaller and
  *    comes mostly from the per-SM ready-scan cache.
+ *  - "KM-fullchip" — 80 SMs x 64 warps/SM (2048 threads/SM), the
+ *    machine size the parallel engine targets; the naive run is
+ *    skipped (it adds minutes and no information) and the headline
+ *    number is the parallel-over-ff speedup.
  *
  * Output: a table on stdout and a JSON document (default
  * BENCH_throughput.json) for the CI regression gate.
@@ -28,6 +33,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -51,16 +57,26 @@ struct Scenario
     GpuConfig config;
     std::shared_ptr<const Kernel> kernel;
     std::shared_ptr<const Workload> workload; // keeps kernel alive
+
+    /**
+     * Skip the naive cycle-by-cycle run (full-chip scenarios: the
+     * naive loop is 10-100x slower there and adds nothing — the
+     * ff-vs-naive equivalence is already measured on the small
+     * scenarios and pinned by the test suite).
+     */
+    bool skipNaive = false;
 };
 
-/** Result of the naive-vs-fast-forward pair for one scenario. */
+/** Result of the serial / fast-forward / parallel runs of a scenario. */
 struct Measurement
 {
     std::string name;
     Cycle cycles = 0;
-    double naiveSeconds = 0.0;
+    double naiveSeconds = 0.0; ///< 0 when the naive run was skipped
     double ffSeconds = 0.0;
-    bool identical = false;
+    double parSeconds = 0.0;   ///< sharded epoch engine (ff on)
+    int shards = 1;
+    bool identical = false;    ///< naive == ff == parallel, bitwise
 
     double naiveCyclesPerSec() const
     {
@@ -73,9 +89,19 @@ struct Measurement
         return ffSeconds > 0.0 ? static_cast<double>(cycles) / ffSeconds
                                : 0.0;
     }
+    double parCyclesPerSec() const
+    {
+        return parSeconds > 0.0 ? static_cast<double>(cycles) / parSeconds
+                                : 0.0;
+    }
     double speedup() const
     {
         return ffSeconds > 0.0 ? naiveSeconds / ffSeconds : 0.0;
+    }
+    /** Parallel-engine speedup over the serial fast-forward engine. */
+    double parSpeedup() const
+    {
+        return parSeconds > 0.0 ? ffSeconds / parSeconds : 0.0;
     }
 };
 
@@ -124,6 +150,22 @@ makeScenarios(double scale)
         s.kernel = kernelOf(s.workload);
         scenarios.push_back(std::move(s));
     }
+    {
+        // Full-chip scale: 80 SMs x 64 warps (2048 threads/SM) — the
+        // machine size the parallel epoch engine exists for. Serial
+        // engines crawl here, so the naive run is skipped and the
+        // headline number is the parallel-over-ff speedup.
+        Scenario s;
+        s.name = "KM-fullchip";
+        s.config = baselineConfig();
+        s.config.numSms = 80;
+        s.config.sm.warpsPerSm = 64;
+        s.config.sm.warpsPerBlock = 64;
+        s.workload = loadWorkload("KM", scale);
+        s.kernel = kernelOf(s.workload);
+        s.skipNaive = true;
+        scenarios.push_back(std::move(s));
+    }
     return scenarios;
 }
 
@@ -168,23 +210,35 @@ statSetsIdentical(const std::string& name, const RunResult& naive,
 }
 
 Measurement
-measure(const Scenario& scenario)
+measure(const Scenario& scenario, int shards)
 {
     Measurement m;
     m.name = scenario.name;
+    m.shards = shards;
 
-    GpuConfig naive_cfg = scenario.config;
-    naive_cfg.fastForward = false;
     GpuConfig ff_cfg = scenario.config;
     ff_cfg.fastForward = true;
+    GpuConfig par_cfg = ff_cfg;
+    par_cfg.shards = shards;
 
-    auto [naive_result, naive_s] = timedRun(naive_cfg, *scenario.kernel);
     auto [ff_result, ff_s] = timedRun(ff_cfg, *scenario.kernel);
+    auto [par_result, par_s] = timedRun(par_cfg, *scenario.kernel);
 
     m.cycles = ff_result.cycles;
-    m.naiveSeconds = naive_s;
     m.ffSeconds = ff_s;
-    m.identical = statSetsIdentical(scenario.name, naive_result, ff_result);
+    m.parSeconds = par_s;
+    m.identical = statSetsIdentical(scenario.name + " (parallel)",
+                                    ff_result, par_result);
+    if (!scenario.skipNaive) {
+        GpuConfig naive_cfg = scenario.config;
+        naive_cfg.fastForward = false;
+        auto [naive_result, naive_s] =
+            timedRun(naive_cfg, *scenario.kernel);
+        m.naiveSeconds = naive_s;
+        m.identical = statSetsIdentical(scenario.name, naive_result,
+                                        ff_result) &&
+                      m.identical;
+    }
     return m;
 }
 
@@ -208,9 +262,14 @@ writeJson(const std::string& path, double scale,
         json.field("cycles", static_cast<std::uint64_t>(m.cycles));
         json.field("naiveSeconds", m.naiveSeconds);
         json.field("ffSeconds", m.ffSeconds);
+        json.field("parSeconds", m.parSeconds);
+        json.field("shards", static_cast<std::uint64_t>(
+                                 m.shards < 0 ? 0 : m.shards));
         json.field("naiveCyclesPerSec", m.naiveCyclesPerSec());
         json.field("ffCyclesPerSec", m.ffCyclesPerSec());
+        json.field("parCyclesPerSec", m.parCyclesPerSec());
         json.field("speedup", m.speedup());
+        json.field("parSpeedup", m.parSpeedup());
         json.field("statsIdentical", m.identical);
         json.endObject();
     }
@@ -225,14 +284,24 @@ run(int argc, char** argv)
 {
     double scale = benchScale();
     std::string out_path = "BENCH_throughput.json";
+    int shards = 0; // 0 = one shard per hardware core
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--scale" && i + 1 < argc) {
             scale = parseBenchScale(argv[++i], scale);
         } else if (arg == "--out" && i + 1 < argc) {
             out_path = argv[++i];
+        } else if (arg == "--shards" && i + 1 < argc) {
+            shards = std::atoi(argv[++i]);
+            if (shards < 0) {
+                std::cerr << "--shards must be >= 0\n";
+                return 1;
+            }
         } else if (arg == "--help") {
-            std::cout << "usage: bench_throughput [--scale F] [--out FILE]\n";
+            std::cout << "usage: bench_throughput [--scale F] [--out FILE]"
+                         " [--shards N]\n"
+                         "  --shards N  worker threads for the parallel "
+                         "column (0 = hw cores, default)\n";
             return 0;
         } else {
             std::cerr << "unknown argument: " << arg << "\n";
@@ -241,13 +310,15 @@ run(int argc, char** argv)
     }
 
     std::vector<Measurement> measurements;
-    printHeader("scenario", {"Mcycles", "naive c/s", "ff c/s", "speedup"});
+    printHeader("scenario", {"Mcycles", "naive c/s", "ff c/s", "ff x",
+                             "par c/s", "par x"});
     bool all_identical = true;
     for (const Scenario& scenario : makeScenarios(scale)) {
-        const Measurement m = measure(scenario);
+        const Measurement m = measure(scenario, shards);
         printRow(m.name,
                  {static_cast<double>(m.cycles) / 1e6,
-                  m.naiveCyclesPerSec(), m.ffCyclesPerSec(), m.speedup()},
+                  m.naiveCyclesPerSec(), m.ffCyclesPerSec(), m.speedup(),
+                  m.parCyclesPerSec(), m.parSpeedup()},
                  /*precision=*/2);
         all_identical = all_identical && m.identical;
         measurements.push_back(m);
@@ -256,8 +327,8 @@ run(int argc, char** argv)
     std::cout << "wrote " << out_path << "\n";
 
     if (!all_identical) {
-        std::cerr << "FAIL: fast-forward stats diverged from the naive "
-                     "loop\n";
+        std::cerr << "FAIL: engine stats diverged (naive vs ff vs "
+                     "parallel must be bitwise identical)\n";
         return 1;
     }
     return 0;

@@ -4,8 +4,13 @@
 Compares the ffCyclesPerSec of every scenario in a freshly generated
 BENCH_throughput.json against the committed baseline floor and fails
 (exit 1) when any scenario runs more than TOLERANCE below it, or when
-the fast-forward run's statistics diverged from the naive loop
-(statsIdentical false — bitwise equivalence is part of the contract).
+any engine's statistics diverged (statsIdentical false — naive, ff
+and parallel must stay bitwise identical; that equivalence is part of
+the contract).
+
+When the baseline carries a "parallelScenarios" map, the same check
+runs against parCyclesPerSec — the sharded epoch engine's throughput
+— so losing the parallel engine (or its scaling) also trips CI.
 
 usage: check_throughput.py RESULTS_JSON BASELINE_JSON
 """
@@ -37,38 +42,44 @@ def main() -> int:
     with open(sys.argv[1]) as f:
         results = json.load(f)
     with open(sys.argv[2]) as f:
-        baseline = json.load(f)["scenarios"]
+        baseline_doc = json.load(f)
+    baseline = baseline_doc["scenarios"]
+    par_baseline = baseline_doc.get("parallelScenarios", {})
 
     failed = False
     seen = set()
     for scenario in results["scenarios"]:
         name = scenario["name"]
         seen.add(name)
-        measured = as_finite(scenario["ffCyclesPerSec"])
         if not scenario["statsIdentical"]:
-            print(f"FAIL {name}: fast-forward stats diverged from the "
-                  "naive loop")
+            print(f"FAIL {name}: engine stats diverged (naive / ff / "
+                  "parallel must be bitwise identical)")
             failed = True
-        if measured is None:
-            raw = scenario["ffCyclesPerSec"]
-            tag = "non-finite" if raw in NON_FINITE else "non-numeric"
-            print(f"FAIL {name}: ffCyclesPerSec is {tag} ({raw!r})")
-            failed = True
-            continue
-        if name not in baseline:
-            print(f"WARN {name}: no baseline entry, skipping")
-            continue
-        floor = baseline[name] * (1.0 - TOLERANCE)
-        verdict = "ok" if measured >= floor else "FAIL"
-        speedup = as_finite(scenario["speedup"])
-        speedup_text = (f"{speedup:.2f}x" if speedup is not None
-                        else repr(scenario["speedup"]))
-        print(f"{verdict} {name}: {measured:,.0f} cycles/sec "
-              f"(floor {floor:,.0f}, baseline {baseline[name]:,.0f}, "
-              f"speedup {speedup_text})")
-        failed = failed or measured < floor
+        for metric, floors, speedup_key in (
+                ("ffCyclesPerSec", baseline, "speedup"),
+                ("parCyclesPerSec", par_baseline, "parSpeedup")):
+            if name not in floors:
+                if metric == "ffCyclesPerSec":
+                    print(f"WARN {name}: no baseline entry, skipping")
+                continue
+            measured = as_finite(scenario.get(metric))
+            if measured is None:
+                raw = scenario.get(metric)
+                tag = "non-finite" if raw in NON_FINITE else "non-numeric"
+                print(f"FAIL {name}: {metric} is {tag} ({raw!r})")
+                failed = True
+                continue
+            floor = floors[name] * (1.0 - TOLERANCE)
+            verdict = "ok" if measured >= floor else "FAIL"
+            speedup = as_finite(scenario.get(speedup_key))
+            speedup_text = (f"{speedup:.2f}x" if speedup is not None
+                            else repr(scenario.get(speedup_key)))
+            print(f"{verdict} {name} [{metric}]: {measured:,.0f} "
+                  f"cycles/sec (floor {floor:,.0f}, baseline "
+                  f"{floors[name]:,.0f}, speedup {speedup_text})")
+            failed = failed or measured < floor
 
-    missing = set(baseline) - seen
+    missing = (set(baseline) | set(par_baseline)) - seen
     if missing:
         print(f"FAIL: baseline scenarios missing from results: "
               f"{sorted(missing)}")

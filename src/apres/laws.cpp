@@ -6,8 +6,8 @@
 #include "laws.hpp"
 
 #include <algorithm>
-#include <bit>
 #include <cassert>
+#include <utility>
 
 #include "common/metrics.hpp"
 #include "common/stats.hpp"
@@ -46,22 +46,22 @@ LawsScheduler::notifyLoadIssued(WarpId warp, Pc pc, Cycle now)
     // Group every warp whose LLPC matches the issuing warp's previous
     // load (Section IV-A / Fig. 8); then advance the warp's LLPC.
     const Pc llpc = llt.get(warp);
-    std::uint64_t members = llt.matchMask(llpc);
-    members |= std::uint64_t{1} << warp; // the issuing warp belongs too
+    WarpMask members = llt.matchMask(llpc);
+    members.set(warp); // the issuing warp belongs too
     // Optional group-size cap (Section IV argues ~8 leading warps
     // bound the working set; the default keeps the paper's uncapped
     // grouping).
     const int num_warps = sm != nullptr ? sm->numWarps() : 64;
-    if (cfg.groupCap < num_warps) {
+    if (cfg.groupCap < num_warps && members.count() > cfg.groupCap) {
+        WarpMask trimmed;
         int kept = 0;
-        for (int w = 0; w < num_warps; ++w) {
-            if (!(members & (std::uint64_t{1} << w)))
-                continue;
-            if (kept >= cfg.groupCap)
-                members &= ~(std::uint64_t{1} << w);
-            else
+        members.forEachSet([&](WarpId w) {
+            if (kept < cfg.groupCap) {
+                trimmed.set(w);
                 ++kept;
-        }
+            }
+        });
+        members = std::move(trimmed);
     }
     wgt.insert(warp, pc, members);
     ++stats_.groupsFormed;
@@ -71,21 +71,21 @@ LawsScheduler::notifyLoadIssued(WarpId warp, Pc pc, Cycle now)
 }
 
 void
-LawsScheduler::moveToHead(std::uint64_t member_mask)
+LawsScheduler::moveToHead(const WarpMask& member_mask)
 {
-    if (member_mask == 0)
+    if (member_mask.none())
         return;
     // Skip the reshuffle when the group already leads: for loads that
     // hit on every execution the same group would otherwise be
     // re-promoted at every access, and the constant reordering only
     // perturbs the pipeline without changing which warps lead.
-    const int member_count = std::popcount(member_mask);
+    const int member_count = member_mask.count();
     int position = 0;
     int found_in_head = 0;
     for (const WarpId w : queue) {
         if (position >= 2 * member_count)
             break;
-        if (member_mask & (std::uint64_t{1} << w))
+        if (member_mask.test(w))
             ++found_in_head;
         ++position;
     }
@@ -93,9 +93,9 @@ LawsScheduler::moveToHead(std::uint64_t member_mask)
         return;
 
     std::vector<WarpId> promoted;
-    promoted.reserve(static_cast<std::size_t>(std::popcount(member_mask)));
+    promoted.reserve(static_cast<std::size_t>(member_count));
     for (auto it = queue.begin(); it != queue.end();) {
-        if (member_mask & (std::uint64_t{1} << *it)) {
+        if (member_mask.test(*it)) {
             promoted.push_back(*it);
             it = queue.erase(it);
         } else {
@@ -107,14 +107,14 @@ LawsScheduler::moveToHead(std::uint64_t member_mask)
 }
 
 void
-LawsScheduler::moveToTail(std::uint64_t member_mask)
+LawsScheduler::moveToTail(const WarpMask& member_mask)
 {
-    if (member_mask == 0)
+    if (member_mask.none())
         return;
     std::vector<WarpId> demoted;
-    demoted.reserve(static_cast<std::size_t>(std::popcount(member_mask)));
+    demoted.reserve(static_cast<std::size_t>(member_mask.count()));
     for (auto it = queue.begin(); it != queue.end();) {
-        if (member_mask & (std::uint64_t{1} << *it)) {
+        if (member_mask.test(*it)) {
             demoted.push_back(*it);
             it = queue.erase(it);
         } else {
@@ -127,8 +127,8 @@ LawsScheduler::moveToTail(std::uint64_t member_mask)
 void
 LawsScheduler::notifyAccessResult(const LoadAccessInfo& info)
 {
-    const std::uint64_t members = wgt.take(info.warp, info.pc);
-    if (members == 0)
+    const WarpMask members = wgt.take(info.warp, info.pc);
+    if (members.none())
         return; // group replaced before the outcome arrived
 
     // Lifetime of the group: formation (owner's load issue) to the
@@ -146,8 +146,7 @@ LawsScheduler::notifyAccessResult(const LoadAccessInfo& info)
         if (tracer_) {
             tracer_->record(info.sm, TraceEventType::kLawsGroupPromote,
                             info.now, info.pc, info.warp,
-                            static_cast<std::uint64_t>(
-                                std::popcount(members)));
+                            static_cast<std::uint64_t>(members.count()));
         }
         if (cfg.promoteOnHit)
             moveToHead(members);
@@ -161,14 +160,15 @@ LawsScheduler::notifyAccessResult(const LoadAccessInfo& info)
     if (tracer_) {
         tracer_->record(info.sm, TraceEventType::kLawsGroupDemote, info.now,
                         info.pc, info.warp,
-                        static_cast<std::uint64_t>(std::popcount(members)));
+                        static_cast<std::uint64_t>(members.count()));
     }
     if (cfg.demoteOnMiss)
         moveToTail(members);
     pendingMiss.valid = true;
     pendingMiss.owner = info.warp;
     pendingMiss.pc = info.pc;
-    pendingMiss.members = members & ~(std::uint64_t{1} << info.warp);
+    pendingMiss.members = members;
+    pendingMiss.members.reset(info.warp);
 }
 
 LawsScheduler::PendingGroupMiss
@@ -188,9 +188,9 @@ LawsScheduler::prioritizeWarps(const std::vector<WarpId>& warps)
 {
     if (!cfg.promotePrefetchTargets)
         return;
-    std::uint64_t mask = 0;
+    WarpMask mask;
     for (const WarpId w : warps)
-        mask |= std::uint64_t{1} << w;
+        mask.set(w);
     stats_.prefetchTargetPromotions += warps.size();
     moveToHead(mask);
 }

@@ -29,6 +29,7 @@
 
 #include "apres/llt.hpp"
 #include "apres/wgt.hpp"
+#include "common/warp_mask.hpp"
 #include "core/scheduler.hpp"
 #include "core/sm.hpp"
 
@@ -67,7 +68,7 @@ class LawsScheduler final : public Scheduler
         bool valid = false;
         WarpId owner = kInvalidWarp;
         Pc pc = kInvalidPc;
-        std::uint64_t members = 0; ///< excluding the owner
+        WarpMask members; ///< excluding the owner
     };
 
     void attach(SmContext& sm) override;
@@ -117,8 +118,8 @@ class LawsScheduler final : public Scheduler
     WarpGroupTable& wgtForTest() { return wgt; }
 
   private:
-    void moveToHead(std::uint64_t member_mask);
-    void moveToTail(std::uint64_t member_mask);
+    void moveToHead(const WarpMask& member_mask);
+    void moveToTail(const WarpMask& member_mask);
 
     LawsConfig cfg;
     SmContext* sm = nullptr;

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "common/warp_mask.hpp"
 
 namespace apres {
 
@@ -42,18 +43,19 @@ class LastLoadTable
     }
 
     /**
-     * All warps whose LLPC equals @p pc, as a bitmask (bit w = warp
-     * w). Returns 0 when @p pc is kInvalidPc.
+     * All warps whose LLPC equals @p pc, as a WarpMask (bit w = warp
+     * w). Covers every configured warp — the table is no longer capped
+     * at 64 entries. Returns an empty mask when @p pc is kInvalidPc.
      */
-    std::uint64_t
+    WarpMask
     matchMask(Pc pc) const
     {
+        WarpMask mask;
         if (pc == kInvalidPc)
-            return 0;
-        std::uint64_t mask = 0;
-        for (std::size_t w = 0; w < llpc.size() && w < 64; ++w) {
+            return mask;
+        for (std::size_t w = 0; w < llpc.size(); ++w) {
             if (llpc[w] == pc)
-                mask |= std::uint64_t{1} << w;
+                mask.set(static_cast<WarpId>(w));
         }
         return mask;
     }

@@ -8,7 +8,6 @@
 #include <algorithm>
 #include <cassert>
 
-#include "common/log.hpp"
 #include "common/stats.hpp"
 #include "common/trace.hpp"
 
@@ -24,11 +23,6 @@ SapPrefetcher::SapPrefetcher(LawsScheduler& laws_ref, const SapConfig& config)
 void
 SapPrefetcher::attach(SmContext& sm)
 {
-    // Group bit-vectors are 64-bit; the Gpu constructor rejects wider
-    // machines, but guard here too for hand-wired test rigs.
-    if (sm.numWarps() > 64)
-        fatal("SAP: numWarps=" + std::to_string(sm.numWarps()) +
-              " exceeds the 64-warp group mask width");
     numWarps_ = sm.numWarps();
     smId_ = sm.id();
 }
@@ -113,7 +107,7 @@ SapPrefetcher::onAccess(const LoadAccessInfo& info, PrefetchIssuer& issuer)
             if (tracer_) {
                 tracer_->record(smId_, TraceEventType::kSapStrideMatch,
                                 info.now, info.pc, info.warp,
-                                group.members);
+                                group.members.lowWord());
             }
             // DRQ holds one address; WQ holds the member warps. Issue
             // one prefetch per member, capped by the WQ capacity. A
@@ -132,7 +126,7 @@ SapPrefetcher::onAccess(const LoadAccessInfo& info, PrefetchIssuer& issuer)
             std::vector<WarpId> targets;
             int enqueued = 0;
             for (int w = 0; w < numWarps_ && enqueued < cfg.wqEntries; ++w) {
-                if (!(group.members & (std::uint64_t{1} << w)))
+                if (!group.members.test(w))
                     continue;
                 ++enqueued;
                 targets.push_back(w);

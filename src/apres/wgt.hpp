@@ -16,8 +16,10 @@
 
 #include <array>
 #include <cstdint>
+#include <utility>
 
 #include "common/types.hpp"
+#include "common/warp_mask.hpp"
 
 namespace apres {
 
@@ -36,7 +38,7 @@ class WarpGroupTable
         bool valid = false;
         WarpId owner = kInvalidWarp; ///< warp that issued the load
         Pc pc = kInvalidPc;          ///< PC of the issued load
-        std::uint64_t members = 0;   ///< bit w set = warp w in group
+        WarpMask members;            ///< bit w set = warp w in group
         std::uint64_t allocTick = 0; ///< age for replacement
     };
 
@@ -45,7 +47,7 @@ class WarpGroupTable
      * entry with the same (owner, pc) is overwritten in place.
      */
     void
-    insert(WarpId owner, Pc pc, std::uint64_t members)
+    insert(WarpId owner, Pc pc, WarpMask members)
     {
         Entry* slot = &entries[0];
         for (Entry& e : entries) {
@@ -62,16 +64,17 @@ class WarpGroupTable
         slot->valid = true;
         slot->owner = owner;
         slot->pc = pc;
-        slot->members = members;
+        slot->members = std::move(members);
         slot->allocTick = ++tick;
     }
 
     /**
      * Find and invalidate the group of (owner, pc).
-     * @return the member mask, or 0 when no entry matched (e.g. the
-     *         entry was replaced before the load's outcome arrived)
+     * @return the member mask, or an empty mask when no entry matched
+     *         (e.g. the entry was replaced before the load's outcome
+     *         arrived)
      */
-    std::uint64_t
+    WarpMask
     take(WarpId owner, Pc pc)
     {
         for (Entry& e : entries) {
@@ -80,7 +83,7 @@ class WarpGroupTable
                 return e.members;
             }
         }
-        return 0;
+        return {};
     }
 
     /** Number of valid entries (for tests). */

@@ -135,14 +135,6 @@ Cache::victimLine(std::uint32_t set)
     return *victim;
 }
 
-std::uint64_t
-Cache::warpBit(WarpId warp)
-{
-    if (warp < 0 || warp >= 64)
-        return 0;
-    return std::uint64_t{1} << warp;
-}
-
 void
 Cache::recordDemandHit(Line& line, const MemRequest& req)
 {
@@ -154,7 +146,7 @@ Cache::recordDemandHit(Line& line, const MemRequest& req)
     lastDemandWasHit = true;
     if (cfg.replacement != ReplacementPolicy::kFifo)
         line.lastUse = ++useClock;
-    line.toucherMask |= warpBit(req.warp);
+    line.toucherMask.set(req.warp);
     if (line.prefetched && !line.demandTouched) {
         ++stats_.usefulPrefetches;
         // Timeliness: the prefetch landed this many cycles before its
@@ -333,9 +325,9 @@ Cache::fill(Addr line_addr)
     victim.demandTouched = !result.prefetchOnly;
     victim.prefetchIssuedAt = result.prefetchOnly ? pf_issued : 0;
     victim.lastUse = ++useClock;
-    victim.toucherMask = 0;
+    victim.toucherMask.clear();
     for (const MemRequest& waiter : result.waiters)
-        victim.toucherMask |= warpBit(waiter.warp);
+        victim.toucherMask.set(waiter.warp);
     if (result.prefetchOnly)
         ++stats_.prefetchFills;
     everResident.insert(line_addr);

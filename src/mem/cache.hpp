@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "common/warp_mask.hpp"
 #include "mem/request.hpp"
 
 namespace apres {
@@ -182,11 +183,11 @@ class Cache
 
     /**
      * Observer invoked on every eviction with the victim's line
-     * address and the bitmask of warps (bit w = warp w) that touched
-     * the line while resident. CCWS feeds its victim tag arrays from
-     * this (lost intra-warp locality detection).
+     * address and the mask of warps (bit w = warp w) that touched the
+     * line while resident. CCWS feeds its victim tag arrays from this
+     * (lost intra-warp locality detection).
      */
-    using EvictionListener = std::function<void(Addr, std::uint64_t)>;
+    using EvictionListener = std::function<void(Addr, const WarpMask&)>;
 
     /** Install (or clear, with nullptr) the eviction observer. */
     void setEvictionListener(EvictionListener listener);
@@ -222,8 +223,8 @@ class Cache
         bool prefetched = false;
         bool demandTouched = false;
         std::uint64_t lastUse = 0;
-        std::uint64_t toucherMask = 0; ///< warps that touched the line
-        Cycle prefetchIssuedAt = 0;    ///< issue cycle when prefetched
+        WarpMask toucherMask;       ///< warps that touched the line
+        Cycle prefetchIssuedAt = 0; ///< issue cycle when prefetched
     };
 
     struct MshrEntry
@@ -240,7 +241,6 @@ class Cache
     void recordDemandHit(Line& line, const MemRequest& req);
     void classifyMiss(Addr line_addr);
     void evict(Line& line);
-    static std::uint64_t warpBit(WarpId warp);
 
     std::string name_;
     CacheConfig cfg;

@@ -5,6 +5,7 @@
 
 #include "memory_system.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <limits>
 #include <string>
@@ -40,6 +41,11 @@ MemorySystem::registerClient(SmId sm, MemClient* client)
     if (static_cast<std::size_t>(sm) >= clients.size())
         clients.resize(static_cast<std::size_t>(sm) + 1, nullptr);
     clients[static_cast<std::size_t>(sm)] = client;
+    // Presize the staging queues here, before any worker thread runs:
+    // each inner vector is then written by exactly one shard and the
+    // outer vector never reallocates under concurrent submission.
+    if (static_cast<std::size_t>(sm) >= staged_.size())
+        staged_.resize(static_cast<std::size_t>(sm) + 1);
 }
 
 int
@@ -57,8 +63,71 @@ MemorySystem::scheduleEvent(Cycle ready, const MemRequest& req, bool fills_l2)
     events.push(Event{ready, seqCounter++, req, fills_l2});
 }
 
+std::vector<MemorySystem::StagedRequest>&
+MemorySystem::stagedQueueOf(SmId sm)
+{
+    assert(sm >= 0 && static_cast<std::size_t>(sm) < staged_.size() &&
+           "staged submit from an SM that never registered a client");
+    return staged_[static_cast<std::size_t>(sm)];
+}
+
 void
 MemorySystem::submitRead(const MemRequest& req, Cycle now)
+{
+    if (staging_) {
+        stagedQueueOf(req.sm).push_back(
+            StagedRequest{now, req, /*isWrite=*/false});
+        return;
+    }
+    processRead(req, now);
+}
+
+void
+MemorySystem::submitWrite(const MemRequest& req, Cycle now)
+{
+    if (staging_) {
+        stagedQueueOf(req.sm).push_back(
+            StagedRequest{now, req, /*isWrite=*/true});
+        return;
+    }
+    processWrite(req, now);
+}
+
+void
+MemorySystem::drainStaged()
+{
+    // Merge the per-SM queues into canonical order: cycle ascending,
+    // then SM ascending, then per-SM program order. Concatenating in
+    // SM order and stable-sorting on the cycle alone yields exactly
+    // that (each SM's queue is already cycle-ordered, so equal-cycle
+    // entries keep SM-then-program order).
+    drainScratch_.clear();
+    for (std::vector<StagedRequest>& queue : staged_) {
+        drainScratch_.insert(drainScratch_.end(), queue.begin(),
+                             queue.end());
+        queue.clear();
+    }
+    std::stable_sort(drainScratch_.begin(), drainScratch_.end(),
+                     [](const StagedRequest& a, const StagedRequest& b) {
+                         return a.at < b.at;
+                     });
+    for (const StagedRequest& s : drainScratch_) {
+        if (s.isWrite)
+            processWrite(s.req, s.at);
+        else
+            processRead(s.req, s.at);
+    }
+    drainScratch_.clear();
+}
+
+Cycle
+MemorySystem::minResponseLatency() const
+{
+    return std::min(cfg.l2HitLatency, cfg.dram.baseLatency);
+}
+
+void
+MemorySystem::processRead(const MemRequest& req, Cycle now)
 {
     if (static_cast<std::size_t>(req.sm) >= outstandingReads_.size())
         outstandingReads_.resize(static_cast<std::size_t>(req.sm) + 1, 0);
@@ -112,7 +181,7 @@ MemorySystem::submitRead(const MemRequest& req, Cycle now)
 }
 
 void
-MemorySystem::submitWrite(const MemRequest& req, Cycle now)
+MemorySystem::processWrite(const MemRequest& req, Cycle now)
 {
     assert(req.isWrite);
     const int p = partitionOf(req.lineAddr);
@@ -197,6 +266,9 @@ MemorySystem::reset()
     traffic_ = TrafficStats{};
     outstandingReads_.assign(outstandingReads_.size(), 0);
     responsesDelivered_ = 0;
+    staging_ = false;
+    for (std::vector<StagedRequest>& queue : staged_)
+        queue.clear();
 }
 
 } // namespace apres

@@ -85,11 +85,45 @@ class MemorySystem
     /**
      * Submit an L1 read miss (demand or prefetch).
      * A response is delivered to the owning SM's client later.
+     *
+     * In staging mode (see setStaging) the request is only appended to
+     * the submitting SM's staging queue — a single-writer, allocation-
+     * amortised vector — and the L2/DRAM state transition is deferred
+     * to drainStaged().
      */
     void submitRead(const MemRequest& req, Cycle now);
 
-    /** Submit a write-through store (no response). */
+    /** Submit a write-through store (no response). Stages like reads. */
     void submitWrite(const MemRequest& req, Cycle now);
+
+    /**
+     * Enter or leave epoch-staging mode (the parallel engine's memory
+     * boundary). While staging, submitRead/submitWrite only record the
+     * request in a per-SM queue; each queue is written by exactly one
+     * shard thread, so concurrent submission is race-free. All shared
+     * state (L2 partitions, DRAM channels, MSHRs, counters) mutates
+     * only inside drainStaged(), on the coordinating thread.
+     */
+    void setStaging(bool on) { staging_ = on; }
+
+    /**
+     * Replay every staged request into the memory system in canonical
+     * order — submission cycle ascending, then SM id ascending, then
+     * per-SM program order — using the original submission cycles.
+     * This is exactly the order the serial engine would have issued
+     * them in, so every L2/DRAM state transition (and therefore every
+     * statistic) is bitwise identical to a serial run. Coordinator-
+     * thread only.
+     */
+    void drainStaged();
+
+    /**
+     * Lower bound on cycles between a submitRead and its response
+     * delivery: min(L2 hit latency, DRAM base latency). The parallel
+     * engine uses it to bound epoch length — no request submitted
+     * inside an epoch can mature before the epoch ends.
+     */
+    Cycle minResponseLatency() const;
 
     /** Deliver all responses with ready cycle <= @p now. */
     void tick(Cycle now);
@@ -157,8 +191,19 @@ class MemorySystem
         }
     };
 
+    /** One deferred submit captured while staging. */
+    struct StagedRequest
+    {
+        Cycle at = 0;
+        MemRequest req;
+        bool isWrite = false;
+    };
+
     void scheduleEvent(Cycle ready, const MemRequest& req, bool fills_l2);
     void deliver(const MemRequest& req, Cycle now);
+    void processRead(const MemRequest& req, Cycle now);
+    void processWrite(const MemRequest& req, Cycle now);
+    std::vector<StagedRequest>& stagedQueueOf(SmId sm);
 
     MemSystemConfig cfg;
     std::vector<std::unique_ptr<Cache>> l2s;
@@ -170,6 +215,9 @@ class MemorySystem
     std::vector<std::uint64_t> outstandingReads_; ///< per SM, in flight
     std::uint64_t responsesDelivered_ = 0;
     Tracer* tracer_ = nullptr;
+    bool staging_ = false;
+    std::vector<std::vector<StagedRequest>> staged_; ///< one queue per SM
+    std::vector<StagedRequest> drainScratch_; ///< reused merge buffer
 };
 
 } // namespace apres

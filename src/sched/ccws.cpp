@@ -26,23 +26,23 @@ CcwsScheduler::attach(SmContext& sm_ref)
     vtas.assign(static_cast<std::size_t>(sm->numWarps()), {});
     scores.assign(static_cast<std::size_t>(sm->numWarps()), 0);
     sm->l1Mutable().setEvictionListener(
-        [this](Addr line, std::uint64_t mask) { onEviction(line, mask); });
+        [this](Addr line, const WarpMask& mask) { onEviction(line, mask); });
 }
 
 void
-CcwsScheduler::onEviction(Addr line_addr, std::uint64_t toucher_mask)
+CcwsScheduler::onEviction(Addr line_addr, const WarpMask& toucher_mask)
 {
     // Record the victim tag in the VTA of every warp that touched the
     // line: if that warp re-references it soon, locality was lost.
-    for (std::size_t w = 0; w < vtas.size() && w < 64; ++w) {
-        if (!(toucher_mask & (std::uint64_t{1} << w)))
-            continue;
-        std::deque<Addr>& vta = vtas[w];
+    toucher_mask.forEachSet([&](WarpId w) {
+        if (static_cast<std::size_t>(w) >= vtas.size())
+            return;
+        std::deque<Addr>& vta = vtas[static_cast<std::size_t>(w)];
         vta.push_back(line_addr);
         if (static_cast<int>(vta.size()) > cfg.vtaEntries)
             vta.pop_front();
-    }
-    if (cfg.sharedVta && toucher_mask != 0 &&
+    });
+    if (cfg.sharedVta && toucher_mask.any() &&
         sharedVtaSet.insert(line_addr).second) {
         sharedVtaFifo.push_back(line_addr);
         if (static_cast<int>(sharedVtaFifo.size()) > cfg.sharedVtaEntries) {

@@ -23,6 +23,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/warp_mask.hpp"
 #include "core/scheduler.hpp"
 #include "core/sm.hpp"
 
@@ -83,7 +84,7 @@ class CcwsScheduler final : public Scheduler
     std::uint64_t lostLocalityEvents() const { return events; }
 
   private:
-    void onEviction(Addr line_addr, std::uint64_t toucher_mask);
+    void onEviction(Addr line_addr, const WarpMask& toucher_mask);
     void bump(WarpId warp);
     void decay(Cycle now);
 

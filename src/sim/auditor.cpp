@@ -16,18 +16,6 @@
 
 namespace apres {
 
-namespace {
-
-/** Bit mask of the configured warp IDs (warpsPerSm <= 64, enforced). */
-std::uint64_t
-configuredWarpMask(int warps_per_sm)
-{
-    return warps_per_sm >= 64 ? ~std::uint64_t{0}
-                              : (std::uint64_t{1} << warps_per_sm) - 1;
-}
-
-} // namespace
-
 Auditor::Auditor(const GpuConfig& config, const Kernel& kernel_ref,
                  const std::vector<std::unique_ptr<Sm>>& sms_ref,
                  const std::vector<std::unique_ptr<Scheduler>>& schedulers_ref,
@@ -43,7 +31,6 @@ std::string
 Auditor::checkPolicyStructures() const
 {
     std::ostringstream out;
-    const std::uint64_t warp_mask = configuredWarpMask(cfg.sm.warpsPerSm);
 
     // Static load PCs: the only values PC-keyed hardware tables (LLT,
     // SAP PT) may legitimately hold.
@@ -81,11 +68,11 @@ Auditor::checkPolicyStructures() const
                         << entry.owner << " outside [0, "
                         << cfg.sm.warpsPerSm << ")\n";
                 }
-                if (entry.members & ~warp_mask) {
+                if (entry.members.anyAtOrAbove(cfg.sm.warpsPerSm)) {
                     out << "sm" << s << " WGT entry " << e
-                        << " member mask 0x" << std::hex << entry.members
-                        << std::dec << " sets bits outside the "
-                        << cfg.sm.warpsPerSm << " configured warps\n";
+                        << " member mask 0x" << entry.members.toHex()
+                        << " sets bits outside the " << cfg.sm.warpsPerSm
+                        << " configured warps\n";
                 }
                 if (load_pcs.count(entry.pc) == 0) {
                     out << "sm" << s << " WGT entry " << e << " pc 0x"

@@ -73,6 +73,19 @@ struct GpuConfig
     bool fastForward = true;
 
     /**
+     * Worker shards for one run ("sim.shards"): Gpu::run() splits the
+     * SMs across this many threads and steps them in deterministic
+     * epochs bounded by the minimum memory response latency, staging
+     * all memory-system traffic per epoch and draining it in canonical
+     * (cycle, SM, program) order. Statistics are bitwise identical to
+     * the serial engine for every shard count (the equivalence suite
+     * pins this), so the key is classified as observation — it never
+     * enters a result-cache key. 1 (the default) runs the serial
+     * engine; 0 picks one shard per hardware core.
+     */
+    int shards = 1;
+
+    /**
      * Runtime invariant auditing ("sim.audit", off by default): every
      * auditInterval cycles — and after every fast-forward skip — the
      * Auditor walks the live structures (WGT/LLT, SAP PT/WQ/DRQ

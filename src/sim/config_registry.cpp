@@ -259,6 +259,7 @@ ConfigRegistry::ConfigRegistry(GpuConfig& c)
     addU64("maxCycles", c.maxCycles, 1);
     addU64("seed", c.seed, 0);
     addBool("sim.fastForward", c.fastForward);
+    addInt("sim.shards", c.shards, 0, 4096); // 0 = one per hardware core
     addBool("sim.audit", c.audit);
     addU64("sim.auditInterval", c.auditInterval, 1, 1'000'000'000);
     addU64("sim.watchdogCycles", c.watchdogCycles, 0, // 0 = disabled
@@ -273,10 +274,12 @@ ConfigRegistry::ConfigRegistry(GpuConfig& c)
     addPolicyName("prefetcher", c.prefetcher, &knownPrefetcher,
                   &prefetcherNames);
 
-    // Warp sets are 64-bit masks (LAWS groups, per-line consumer
-    // tracking), so >64 warps per SM is rejected here as well as in
-    // the Gpu constructor.
-    addInt("sm.warpsPerSm", c.sm.warpsPerSm, 1, 64);
+    // Warp sets (LAWS groups, per-line consumer tracking) are
+    // dynamically sized WarpMasks, so warpsPerSm goes up to the same
+    // sanity ceiling as numSms — full-chip configs (2048 threads/SM =
+    // 64 warps) and beyond are expressible. warpsPerBlock stays at 64:
+    // barrier participant masks are per-block 64-bit lane masks.
+    addInt("sm.warpsPerSm", c.sm.warpsPerSm, 1, 4096);
     addInt("sm.warpsPerBlock", c.sm.warpsPerBlock, 1, 64);
     addInt("sm.jobsPerWarp", c.sm.jobsPerWarp, 1, 1'000'000);
     addDouble("sm.prefetchMshrGate", c.sm.prefetchMshrGate, 0.0, 1.0);
@@ -368,11 +371,15 @@ ConfigRegistry::ConfigRegistry(GpuConfig& c)
     // Everything registered above defaults to kSemantic; list the
     // exceptions explicitly. sim.fastForward qualifies because the
     // ff-equivalence suite pins its stats bitwise-identical to the
-    // naive loop; sim.watchdogCycles because it can only turn a hang
-    // into an error, and errors are never cached.
+    // naive loop; sim.shards because the parallel epoch engine is
+    // pinned bitwise-identical to the serial one by the same suite
+    // (a cached result is valid for any shard count);
+    // sim.watchdogCycles because it can only turn a hang into an
+    // error, and errors are never cached.
     markObservation({"sim.audit", "sim.auditInterval", "sim.fastForward",
-                     "sim.metrics", "sim.trace", "sim.traceBufferEvents",
-                     "sim.traceFile", "sim.watchdogCycles"});
+                     "sim.metrics", "sim.shards", "sim.trace",
+                     "sim.traceBufferEvents", "sim.traceFile",
+                     "sim.watchdogCycles"});
 }
 
 void

@@ -11,10 +11,13 @@
 #include "gpu.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
+#include <exception>
 #include <fstream>
 #include <limits>
 #include <sstream>
+#include <thread>
 
 #include "common/log.hpp"
 #include "common/sim_error.hpp"
@@ -63,13 +66,16 @@ Gpu::Gpu(const GpuConfig& config, const Kernel& kernel_ref)
         throwConfigError("warpsPerSm must be >= 1 (got " +
                          std::to_string(cfg.sm.warpsPerSm) + ")");
     // Warp sets (LAWS/WGT groups, the cache's per-line consumer
-    // tracking) are 64-bit masks indexed by warp ID: a wider machine
-    // would silently drop warps 64+, so reject it outright.
-    if (cfg.sm.warpsPerSm > 64)
+    // tracking) are dynamically sized WarpMasks, so warpsPerSm itself
+    // is unbounded here. Barrier participant masks, however, are
+    // per-block 64-bit lane masks baked into Instruction, so a block
+    // wider than 64 warps is unrepresentable (real GPUs cap blocks at
+    // 32 warps anyway).
+    if (cfg.sm.warpsPerBlock > 64)
         throwConfigError(
-            "warpsPerSm=" + std::to_string(cfg.sm.warpsPerSm) +
-            " exceeds the 64-warp group bit-mask width; configure at "
-            "most 64 warps per SM");
+            "warpsPerBlock=" + std::to_string(cfg.sm.warpsPerBlock) +
+            " exceeds the 64-lane barrier participant mask width; "
+            "configure at most 64 warps per block");
     memsys = std::make_unique<MemorySystem>(cfg.mem);
     for (int s = 0; s < cfg.numSms; ++s) {
         schedulers.push_back(makeScheduler(cfg));
@@ -92,17 +98,28 @@ Gpu::Gpu(const GpuConfig& config, const Kernel& kernel_ref)
         tracer_ = std::make_unique<Tracer>(
             cfg.numSms, static_cast<std::size_t>(cfg.traceBufferEvents));
     }
-    if (cfg.metrics)
-        metrics_ = std::make_unique<MetricsRegistry>();
-    if (tracer_ || metrics_) {
+    if (cfg.metrics) {
+        // Under the parallel engine every SM samples into a private
+        // registry (no cross-thread contention); the serial engine
+        // keeps the single shared one. Merged sums are identical
+        // either way (integral samples, exact in double).
+        if (resolveShardCount() > 1) {
+            smMetrics_.reserve(sms.size());
+            for (std::size_t i = 0; i < sms.size(); ++i)
+                smMetrics_.push_back(std::make_unique<MetricsRegistry>());
+        } else {
+            metrics_ = std::make_unique<MetricsRegistry>();
+        }
+    }
+    if (tracer_ || metrics_ || !smMetrics_.empty()) {
         memsys->setTracer(tracer_.get());
         for (std::size_t i = 0; i < sms.size(); ++i) {
-            sms[i]->setObservability(tracer_.get(), metrics_.get());
-            schedulers[i]->setObservability(tracer_.get(), metrics_.get());
-            if (prefetchers[i]) {
-                prefetchers[i]->setObservability(tracer_.get(),
-                                                 metrics_.get());
-            }
+            MetricsRegistry* m =
+                smMetrics_.empty() ? metrics_.get() : smMetrics_[i].get();
+            sms[i]->setObservability(tracer_.get(), m);
+            schedulers[i]->setObservability(tracer_.get(), m);
+            if (prefetchers[i])
+                prefetchers[i]->setObservability(tracer_.get(), m);
         }
     }
 }
@@ -134,8 +151,40 @@ Gpu::step(Cycle cycles)
     }
 }
 
+int
+Gpu::resolveShardCount() const
+{
+    int shards = cfg.shards;
+    if (shards == 0) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        shards = hw == 0 ? 1 : static_cast<int>(hw);
+    }
+    shards = std::min(shards, cfg.numSms);
+    return std::max(shards, 1);
+}
+
 RunResult
 Gpu::run()
+{
+    const int shard_count = resolveShardCount();
+    if (shard_count > 1)
+        runParallelLoop(shard_count);
+    else
+        runSerialLoop();
+    if (auditor_)
+        auditor_->checkInvariants(cycle);
+    RunResult result = collect();
+    result.completed = done();
+    if (!result.completed) {
+        logWarn("simulation hit maxCycles=", cfg.maxCycles,
+                " before the kernel drained");
+    }
+    writeTraceFile();
+    return result;
+}
+
+void
+Gpu::runSerialLoop()
 {
     // Forward-progress watchdog state: "progress" is an instruction
     // issuing or a memory response arriving. Anything else (scheduler
@@ -176,6 +225,14 @@ Gpu::run()
         if (watchdog != 0 && cycle - lastProgress >= watchdog)
             reportDeadlock(lastProgress);
 
+        // Re-check done() before considering a jump: the kernel can
+        // drain *mid-iteration* without an issue (the final memory
+        // response retires the last warp), and a jump computed over
+        // all-done SMs has no wakeup to bound it — it would overshoot
+        // to the cycle cap and credit the whole gap as idle.
+        if (done())
+            break;
+
         if (!cfg.fastForward || issued)
             continue;
 
@@ -212,18 +269,305 @@ Gpu::run()
                                 kInvalidPc, kInvalidWarp, skipped);
             }
             cycle = target;
+
+            // Deadline checks fire *at the landing cycle* when a jump
+            // was clamped by one, not one tick later — the parallel
+            // engine checks at its epoch boundaries, and audits,
+            // interrupt polls and watchdog reports must happen at the
+            // same simulated cycle under every engine.
+            if (auditor_ && cycle >= nextAudit) {
+                auditor_->checkInvariants(cycle);
+                nextAudit = cycle + cfg.auditInterval;
+            }
+            if (interruptCheck_ && cycle >= nextInterrupt) {
+                interruptCheck_();
+                nextInterrupt = cycle + kInterruptCheckInterval;
+            }
+            // wake > cycle proves the tick at the landing cycle cannot
+            // issue or deliver anything, so reporting now (rather than
+            // after ticking it) loses nothing.
+            if (watchdog != 0 && cycle - lastProgress >= watchdog &&
+                wake > cycle)
+                reportDeadlock(lastProgress);
         }
     }
-    if (auditor_)
-        auditor_->checkInvariants(cycle);
-    RunResult result = collect();
-    result.completed = done();
-    if (!result.completed) {
-        logWarn("simulation hit maxCycles=", cfg.maxCycles,
-                " before the kernel drained");
+}
+
+namespace {
+
+/**
+ * Generation-counted spin barrier for the epoch engine. Epochs are a
+ * few hundred simulated cycles, so parties meet every few
+ * microseconds of wall time — yield-spinning beats a mutex+condvar
+ * sleep/wake round trip at that cadence by an order of magnitude.
+ */
+class SpinBarrier
+{
+  public:
+    explicit SpinBarrier(int parties) : parties_(parties) {}
+
+    void
+    arriveAndWait()
+    {
+        const std::uint64_t gen = generation_.load(std::memory_order_acquire);
+        if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+            parties_) {
+            arrived_.store(0, std::memory_order_relaxed);
+            generation_.fetch_add(1, std::memory_order_release);
+        } else {
+            while (generation_.load(std::memory_order_acquire) == gen)
+                std::this_thread::yield();
+        }
     }
-    writeTraceFile();
-    return result;
+
+  private:
+    const int parties_;
+    std::atomic<int> arrived_{0};
+    std::atomic<std::uint64_t> generation_{0};
+};
+
+/** One worker's slice of the machine plus its per-epoch report. */
+struct ShardState
+{
+    std::vector<Sm*> sms;        ///< owned SMs (contiguous slice)
+    std::size_t donePrefix = 0;  ///< owned SMs [0, donePrefix) drained
+    Cycle brokeAt = 0;           ///< cycle the epoch loop exited at
+    Cycle lastIssue = 0;         ///< latest owned-SM issue this epoch
+    bool issuedAny = false;      ///< any owned SM issued this epoch
+    std::exception_ptr error;    ///< captured epoch failure, if any
+};
+
+} // namespace
+
+void
+Gpu::runParallelLoop(int shard_count)
+{
+    // Contiguous SM partition: shard s owns SMs [s*n/k, (s+1)*n/k).
+    // The partition never affects results — SMs only interact through
+    // the canonical epoch drain — it only balances work.
+    std::vector<ShardState> shards(static_cast<std::size_t>(shard_count));
+    for (int i = 0; i < cfg.numSms; ++i) {
+        const int s = i * shard_count / cfg.numSms;
+        shards[static_cast<std::size_t>(s)].sms.push_back(
+            sms[static_cast<std::size_t>(i)].get());
+    }
+
+    // Epoch window, published by the coordinator before barrier A;
+    // the barrier's generation counter orders the writes for workers.
+    Cycle epochStart = 0;
+    Cycle epochEnd = 0;
+    std::atomic<bool> stop{false};
+    SpinBarrier barrier(shard_count);
+
+    // One shard's epoch: tick owned SMs over [epochStart, epochEnd),
+    // exactly as the serial loop would have — SMs share no mutable
+    // state (memory traffic is staged per SM), so the slice evolves
+    // bit-identically regardless of the other shards' pacing. The
+    // shard-local fast-forward skip is sound for the same reason:
+    // Sm::nextWakeup() bounds depend only on the SM itself, and no
+    // memory response can mature inside the epoch by construction.
+    const auto runEpoch = [this, &epochStart, &epochEnd](ShardState& shard) {
+        const Cycle end = epochEnd;
+        Cycle c = epochStart;
+        shard.issuedAny = false;
+        while (c < end) {
+            bool issued = false;
+            for (Sm* sm : shard.sms)
+                issued = sm->tick(c) || issued;
+            if (issued) {
+                shard.issuedAny = true;
+                shard.lastIssue = c;
+            }
+            ++c;
+            while (shard.donePrefix < shard.sms.size() &&
+                   shard.sms[shard.donePrefix]->done())
+                ++shard.donePrefix;
+            if (shard.donePrefix == shard.sms.size())
+                break; // drained; the coordinator credits [c, end)
+            if (!cfg.fastForward || issued)
+                continue;
+            Cycle wake = end;
+            for (Sm* sm : shard.sms)
+                wake = std::min(wake, sm->nextWakeup(c));
+            if (wake <= c)
+                continue;
+            const Cycle skipped = wake - c;
+            for (Sm* sm : shard.sms)
+                sm->skipIdle(skipped);
+            if (auditor_) {
+                // Shard-local skip-window audit: the memory-system
+                // half of Auditor::checkSkipWindow holds by epoch
+                // construction, and the other shards' SMs are not
+                // ours to inspect mid-epoch.
+                std::string violations;
+                for (Sm* sm : shard.sms)
+                    violations += sm->auditSkippedWindow(c, wake);
+                if (!violations.empty()) {
+                    std::ostringstream dump;
+                    dump << "fast-forward skip audit failed for window ["
+                         << c << ", " << wake << "):\n"
+                         << violations << "--- state dump ---\n";
+                    for (Sm* sm : shard.sms)
+                        dump << sm->stallReport(c);
+                    throwInvariantViolation(dump.str());
+                }
+            }
+            c = wake;
+        }
+        shard.brokeAt = c;
+    };
+
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<std::size_t>(shard_count) - 1);
+    for (int s = 1; s < shard_count; ++s) {
+        workers.emplace_back([&, s] {
+            ShardState& shard = shards[static_cast<std::size_t>(s)];
+            while (true) {
+                barrier.arriveAndWait(); // A: epoch published (or stop)
+                if (stop.load(std::memory_order_acquire))
+                    return;
+                try {
+                    runEpoch(shard);
+                } catch (...) {
+                    shard.error = std::current_exception();
+                }
+                barrier.arriveAndWait(); // B: epoch complete
+            }
+        });
+    }
+
+    // Release and join the pool exactly once, on every exit path.
+    bool stopped = false;
+    const auto shutdown = [&] {
+        if (stopped)
+            return;
+        stopped = true;
+        stop.store(true, std::memory_order_release);
+        barrier.arriveAndWait();
+        for (std::thread& t : workers)
+            t.join();
+        memsys->setStaging(false);
+    };
+
+    const std::uint64_t watchdog = cfg.watchdogCycles;
+    Cycle lastProgress = cycle;
+    std::uint64_t lastResponses = memsys->responsesDelivered();
+    Cycle nextAudit = auditor_ ? cycle + cfg.auditInterval
+                               : std::numeric_limits<Cycle>::max();
+    Cycle nextInterrupt = cycle + kInterruptCheckInterval;
+    const Cycle minRespLat =
+        std::max<Cycle>(memsys->minResponseLatency(), 1);
+
+    try {
+        while (cycle < cfg.maxCycles && !done()) {
+            // Deliveries happen only here: the epoch below is clamped
+            // to the next event cycle, so mid-epoch the serial engine
+            // would not have delivered anything either.
+            memsys->tick(cycle);
+            const std::uint64_t responses = memsys->responsesDelivered();
+            if (responses != lastResponses) {
+                lastResponses = responses;
+                lastProgress = cycle;
+            }
+
+            // Epoch bound: nothing submitted at cycle >= epochStart
+            // can mature before epochStart + minRespLat, and nothing
+            // already in flight matures before nextEventCycle(). The
+            // remaining clamps keep the watchdog, audit cadence,
+            // interrupt poll and cycle cap on their exact serial
+            // cycles.
+            Cycle end = std::min(cycle + minRespLat,
+                                 memsys->nextEventCycle());
+            end = std::min(end, static_cast<Cycle>(cfg.maxCycles));
+            if (watchdog != 0)
+                end = std::min(end, lastProgress + watchdog);
+            if (auditor_)
+                end = std::min(end, nextAudit);
+            if (interruptCheck_)
+                end = std::min(end, nextInterrupt);
+            if (end <= cycle)
+                end = cycle + 1;
+
+            epochStart = cycle;
+            epochEnd = end;
+            memsys->setStaging(true);
+            barrier.arriveAndWait(); // A: workers start the epoch
+            try {
+                runEpoch(shards[0]);
+            } catch (...) {
+                shards[0].error = std::current_exception();
+            }
+            barrier.arriveAndWait(); // B: every shard finished
+            memsys->setStaging(false);
+
+            // Deterministic failure propagation: the lowest shard's
+            // error wins regardless of wall-clock interleaving.
+            for (ShardState& shard : shards) {
+                if (shard.error) {
+                    const std::exception_ptr error = shard.error;
+                    shutdown();
+                    std::rethrow_exception(error);
+                }
+            }
+
+            // Replay the epoch's memory traffic in canonical order —
+            // identical L2/DRAM state transitions to the serial
+            // engine, at the original submission cycles.
+            memsys->drainStaged();
+
+            for (const ShardState& shard : shards) {
+                if (shard.issuedAny)
+                    lastProgress = std::max(lastProgress, shard.lastIssue);
+            }
+
+            // A shard whose SMs all drained broke out early; the
+            // serial loop would have kept ticking those SMs (pure
+            // idle) until the machine-wide end. Credit the difference,
+            // and when the whole machine is done, end the run at the
+            // latest break cycle — the serial exit cycle.
+            Cycle globalEnd = end;
+            if (done()) {
+                Cycle latest = 0;
+                for (const ShardState& shard : shards)
+                    latest = std::max(latest, shard.brokeAt);
+                globalEnd = latest;
+            }
+            for (const ShardState& shard : shards) {
+                if (shard.brokeAt >= globalEnd)
+                    continue;
+                const Cycle missing = globalEnd - shard.brokeAt;
+                for (Sm* sm : shard.sms)
+                    sm->skipIdle(missing);
+            }
+            cycle = globalEnd;
+
+            if (auditor_ && cycle >= nextAudit) {
+                auditor_->checkInvariants(cycle);
+                nextAudit = cycle + cfg.auditInterval;
+            }
+            if (interruptCheck_ && cycle >= nextInterrupt) {
+                interruptCheck_();
+                nextInterrupt = cycle + kInterruptCheckInterval;
+            }
+            if (watchdog != 0 && cycle - lastProgress >= watchdog)
+                reportDeadlock(lastProgress);
+        }
+        shutdown();
+    } catch (...) {
+        shutdown();
+        throw;
+    }
+}
+
+const MetricsRegistry*
+Gpu::metrics() const
+{
+    if (smMetrics_.empty())
+        return metrics_.get();
+    mergedMetrics_ = std::make_unique<MetricsRegistry>();
+    for (const auto& m : smMetrics_)
+        mergedMetrics_->merge(*m);
+    return mergedMetrics_.get();
 }
 
 void
@@ -328,9 +672,10 @@ Gpu::collect() const
     }
     // Opt-in metrics ride along under their own "metrics." namespace:
     // the keys exist only when metrics are on, and the base stat keys
-    // are untouched either way.
-    if (metrics_)
-        metrics_->report(r.policy);
+    // are untouched either way. Under the parallel engine this merges
+    // the per-SM registries first.
+    if (const MetricsRegistry* m = metrics())
+        m->report(r.policy);
 
     r.ipc = r.cycles ? static_cast<double>(r.instructions) /
                            static_cast<double>(r.cycles)

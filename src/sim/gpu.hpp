@@ -130,6 +130,16 @@ class Gpu
      * identical to the naive cycle-by-cycle loop, which remains
      * available as the oracle via fastForward=false.
      *
+     * With GpuConfig::shards > 1 (or 0 = one per hardware core) the
+     * SMs are split across worker threads and stepped in deterministic
+     * epochs bounded by the minimum memory response latency: inside an
+     * epoch SMs only stage memory requests, and the coordinator drains
+     * the staged traffic in canonical (cycle, SM, program) order at
+     * the epoch barrier — exactly the order the serial engine would
+     * have processed it. Statistics stay bitwise identical to the
+     * serial engine for every shard count (the equivalence suite pins
+     * this); the serial loop remains the oracle via shards=1.
+     *
      * Throws SimError(kDeadlock) when GpuConfig::watchdogCycles pass
      * with zero instructions issued and zero memory responses
      * delivered, and SimError(kInvariant) when auditing is on and a
@@ -217,8 +227,13 @@ class Gpu
     /** The event tracer (null unless GpuConfig::trace). */
     const Tracer* tracer() const { return tracer_.get(); }
 
-    /** The metrics registry (null unless GpuConfig::metrics). */
-    const MetricsRegistry* metrics() const { return metrics_.get(); }
+    /**
+     * The metrics registry (null unless GpuConfig::metrics). Under the
+     * parallel engine each SM samples into its own registry; this
+     * accessor then returns a freshly merged snapshot (rebuilt per
+     * call, owned by the Gpu).
+     */
+    const MetricsRegistry* metrics() const;
 
     /** Emit the Chrome trace JSON; no-op when tracing is off. */
     void writeTrace(std::ostream& os) const;
@@ -234,6 +249,23 @@ class Gpu
   private:
     [[noreturn]] void reportDeadlock(Cycle last_progress) const;
 
+    /**
+     * GpuConfig::shards with 0 resolved to the hardware thread count,
+     * clamped to [1, numSms].
+     */
+    int resolveShardCount() const;
+
+    /** The classic cycle loop (shards == 1): the oracle engine. */
+    void runSerialLoop();
+
+    /**
+     * The sharded epoch engine (shards > 1): SMs split across
+     * @p shard_count threads, stepped in deterministic epochs with all
+     * memory traffic staged per epoch and drained in canonical order
+     * at the barrier. Bitwise identical statistics to runSerialLoop().
+     */
+    void runParallelLoop(int shard_count);
+
     GpuConfig cfg;
     Rng rng_;
     const Kernel& kernel;
@@ -243,7 +275,21 @@ class Gpu
     std::vector<std::unique_ptr<Sm>> sms;
     std::unique_ptr<Auditor> auditor_; ///< built when cfg.audit
     std::unique_ptr<Tracer> tracer_;   ///< built when cfg.trace
-    std::unique_ptr<MetricsRegistry> metrics_; ///< built when cfg.metrics
+
+    /** Global metrics registry (cfg.metrics on, serial engine). */
+    std::unique_ptr<MetricsRegistry> metrics_;
+
+    /**
+     * Per-SM metrics registries (cfg.metrics on, shards > 1): each SM
+     * samples into its own registry so worker threads never contend;
+     * merged on demand by metrics(). Sample values are integral, so
+     * the merged double sums are exact and bitwise identical to the
+     * serial engine's interleaved accumulation.
+     */
+    std::vector<std::unique_ptr<MetricsRegistry>> smMetrics_;
+
+    /** Scratch for metrics(): the last merged per-SM snapshot. */
+    mutable std::unique_ptr<MetricsRegistry> mergedMetrics_;
     std::function<void()> interruptCheck_;
     Cycle cycle = 0;
 

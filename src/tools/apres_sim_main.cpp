@@ -20,6 +20,7 @@
  * Run `apres_sim --help` for the full option list.
  */
 
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -66,7 +67,8 @@ printHelp()
         "  --apres           shorthand for --sched laws --pf sap\n\n"
         "machine configuration (sugar for --set; Table III defaults):\n"
         "  --sms N           number of SMs (default 15)\n"
-        "  --warps N         warps per SM (default 48)\n"
+        "  --warps N         warps per SM (default 48; block size"
+        " clamps at 64)\n"
         "  --jobs N          blocks per warp slot (default 4)\n"
         "  --l1-bytes N      L1 capacity (default 32768)\n"
         "  --mshrs N         L1 MSHR entries (default 64)\n"
@@ -270,7 +272,16 @@ run(int argc, char** argv)
         } else if (arg == "--warps") {
             const std::string n = next();
             assignments.push_back("sm.warpsPerSm=" + n);
-            assignments.push_back("sm.warpsPerBlock=" + n);
+            // warpsPerSm is unbounded but blocks cap at 64 warps, so
+            // the shorthand clamps its block half; non-numeric values
+            // pass through for the registry's typed rejection.
+            char* end = nullptr;
+            const long parsed = std::strtol(n.c_str(), &end, 10);
+            const bool numeric = end != nullptr && *end == '\0' &&
+                                 !n.empty();
+            assignments.push_back(
+                "sm.warpsPerBlock=" +
+                (numeric && parsed > 64 ? std::string("64") : n));
         } else if (arg == "--jobs") {
             assignments.push_back("sm.jobsPerWarp=" + next());
         } else if (arg == "--l1-bytes") {

@@ -35,41 +35,60 @@ TEST(Llt, MatchMaskFindsPeers)
     llt.set(1, 0x20);
     llt.set(2, 0x10);
     llt.set(3, 0x10);
-    EXPECT_EQ(llt.matchMask(0x10), 0b1101u);
-    EXPECT_EQ(llt.matchMask(0x20), 0b0010u);
-    EXPECT_EQ(llt.matchMask(0x30), 0u);
-    EXPECT_EQ(llt.matchMask(kInvalidPc), 0u);
+    EXPECT_EQ(llt.matchMask(0x10), WarpMask::ofWord(0b1101));
+    EXPECT_EQ(llt.matchMask(0x20), WarpMask::ofWord(0b0010));
+    EXPECT_TRUE(llt.matchMask(0x30).none());
+    EXPECT_TRUE(llt.matchMask(kInvalidPc).none());
+}
+
+TEST(Llt, MatchMaskCoversWarpsBeyond64)
+{
+    // Regression: the raw-uint64 mask silently dropped warps 64+ (the
+    // loop bound was `w < 64`); the WarpMask migration must find peers
+    // across the whole table.
+    LastLoadTable llt(80);
+    llt.set(3, 0x10);
+    llt.set(63, 0x10);
+    llt.set(64, 0x10);
+    llt.set(79, 0x10);
+    const WarpMask mask = llt.matchMask(0x10);
+    EXPECT_EQ(mask.count(), 4);
+    EXPECT_TRUE(mask.test(3));
+    EXPECT_TRUE(mask.test(63));
+    EXPECT_TRUE(mask.test(64));
+    EXPECT_TRUE(mask.test(79));
+    EXPECT_FALSE(mask.test(65));
 }
 
 TEST(Wgt, InsertAndTake)
 {
     WarpGroupTable wgt;
-    wgt.insert(0, 0x20, 0b1101);
+    wgt.insert(0, 0x20, WarpMask::ofWord(0b1101));
     EXPECT_EQ(wgt.validCount(), 1);
-    EXPECT_EQ(wgt.take(0, 0x20), 0b1101u);
+    EXPECT_EQ(wgt.take(0, 0x20), WarpMask::ofWord(0b1101));
     // Taking invalidates.
-    EXPECT_EQ(wgt.take(0, 0x20), 0u);
+    EXPECT_TRUE(wgt.take(0, 0x20).none());
     EXPECT_EQ(wgt.validCount(), 0);
 }
 
 TEST(Wgt, ReplacesOldestWhenFull)
 {
     WarpGroupTable wgt; // 3 entries (pipeline depth, Table II)
-    wgt.insert(0, 0x10, 0b0001);
-    wgt.insert(1, 0x10, 0b0010);
-    wgt.insert(2, 0x10, 0b0100);
-    wgt.insert(3, 0x10, 0b1000); // evicts the (0, 0x10) entry
-    EXPECT_EQ(wgt.take(0, 0x10), 0u);
-    EXPECT_EQ(wgt.take(3, 0x10), 0b1000u);
+    wgt.insert(0, 0x10, WarpMask::ofWord(0b0001));
+    wgt.insert(1, 0x10, WarpMask::ofWord(0b0010));
+    wgt.insert(2, 0x10, WarpMask::ofWord(0b0100));
+    wgt.insert(3, 0x10, WarpMask::ofWord(0b1000)); // evicts (0, 0x10)
+    EXPECT_TRUE(wgt.take(0, 0x10).none());
+    EXPECT_EQ(wgt.take(3, 0x10), WarpMask::ofWord(0b1000));
 }
 
 TEST(Wgt, SameKeyOverwritesInPlace)
 {
     WarpGroupTable wgt;
-    wgt.insert(0, 0x10, 0b0001);
-    wgt.insert(0, 0x10, 0b0011);
+    wgt.insert(0, 0x10, WarpMask::ofWord(0b0001));
+    wgt.insert(0, 0x10, WarpMask::ofWord(0b0011));
     EXPECT_EQ(wgt.validCount(), 1);
-    EXPECT_EQ(wgt.take(0, 0x10), 0b0011u);
+    EXPECT_EQ(wgt.take(0, 0x10), WarpMask::ofWord(0b0011));
 }
 
 LoadAccessInfo
@@ -154,8 +173,8 @@ TEST(Laws, PendingGroupMissConsumedOnce)
 
     const auto group = laws.takePendingGroupMiss(0, 0x20);
     EXPECT_TRUE(group.valid);
-    EXPECT_NE(group.members, 0u);
-    EXPECT_FALSE((group.members >> 0) & 1); // owner excluded
+    EXPECT_TRUE(group.members.any());
+    EXPECT_FALSE(group.members.test(0)); // owner excluded
     // Second take returns nothing.
     EXPECT_FALSE(laws.takePendingGroupMiss(0, 0x20).valid);
 }
@@ -194,7 +213,7 @@ TEST(Laws, GroupCapLimitsMembership)
     laws.notifyAccessResult(result(0, 0x20, 0x5000, false));
     const auto group = laws.takePendingGroupMiss(0, 0x20);
     ASSERT_TRUE(group.valid);
-    EXPECT_LE(std::popcount(group.members), 4);
+    EXPECT_LE(group.members.count(), 4);
 }
 
 /**
@@ -367,13 +386,29 @@ TEST(Sap, LookupRefreshesRecencyBeforeEviction)
     EXPECT_EQ(std::count(resident.begin(), resident.end(), 200u), 1);
 }
 
-TEST(Sap, AttachRejectsMoreWarpsThanGroupMaskWidth)
+TEST(Sap, GroupWalkCoversWarpsBeyond64)
 {
+    // Wide machines used to be rejected at attach because group masks
+    // were 64-bit words; with WarpMask the whole LAWS->SAP pipeline
+    // must group, demote and hand over warps 64+.
     FakeSm sm(80);
-    LawsScheduler laws;
+    LawsConfig cfg;
+    cfg.groupCap = 80; // default 48 would trim the wide group
+    LawsScheduler laws(cfg);
     SapPrefetcher sap(laws);
-    EXPECT_EXIT(sap.attach(sm), testing::ExitedWithCode(1),
-                "64");
+    laws.attach(sm);
+    sap.attach(sm);
+
+    for (int w = 0; w < 80; ++w)
+        laws.notifyLoadIssued(w, 0x10, 0);
+    laws.notifyLoadIssued(70, 0x20, 10);
+    laws.notifyAccessResult(result(70, 0x20, 0x5000, false));
+    const auto group = laws.takePendingGroupMiss(70, 0x20);
+    ASSERT_TRUE(group.valid);
+    // Every other warp still has LLPC 0x10... except the 0x20 issuer.
+    EXPECT_EQ(group.members.count(), 79);
+    EXPECT_TRUE(group.members.test(79));
+    EXPECT_FALSE(group.members.test(70)); // owner excluded
 }
 
 TEST(HardwareCost, Table2Reproduced)

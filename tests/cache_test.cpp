@@ -240,8 +240,8 @@ TEST(Cache, EvictionListenerReceivesToucherMask)
 {
     Cache cache("t", tinyConfig());
     Addr evicted = kInvalidAddr;
-    std::uint64_t mask = 0;
-    cache.setEvictionListener([&](Addr line, std::uint64_t m) {
+    WarpMask mask;
+    cache.setEvictionListener([&](Addr line, const WarpMask& m) {
         evicted = line;
         mask = m;
     });
@@ -254,7 +254,29 @@ TEST(Cache, EvictionListenerReceivesToucherMask)
         cache.fill(line);
     }
     EXPECT_EQ(evicted, 0u);
-    EXPECT_EQ(mask, (1ull << 3) | (1ull << 5));
+    EXPECT_EQ(mask, WarpMask::ofWord((1ull << 3) | (1ull << 5)));
+}
+
+TEST(Cache, ToucherMaskTracksWarpsBeyond64)
+{
+    // The per-line toucher mask used to be a raw uint64 that silently
+    // dropped warps 64+; the WarpMask migration must deliver them to
+    // the eviction listener (CCWS victim-tag feeding on wide SMs).
+    Cache cache("t", tinyConfig());
+    WarpMask mask;
+    cache.setEvictionListener(
+        [&](Addr, const WarpMask& m) { mask = m; });
+    cache.access(read(0, 3));
+    cache.fill(0);
+    cache.access(read(0, 100)); // warp 100 touches the resident line
+    for (int i = 1; i <= 8; ++i) {
+        const Addr line = static_cast<Addr>(i) * 2 * 128;
+        cache.access(read(line, 0));
+        cache.fill(line);
+    }
+    EXPECT_TRUE(mask.test(3));
+    EXPECT_TRUE(mask.test(100));
+    EXPECT_EQ(mask.count(), 2);
 }
 
 TEST(Cache, SetHashSpreadsAlignedStrides)

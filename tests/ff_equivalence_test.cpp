@@ -124,6 +124,22 @@ kernelsUnderTest()
     return kernels;
 }
 
+/** EXPECT_EQ on every key and value of two StatSet dumps. */
+void
+expectBitwiseIdentical(const StatSet& want, const StatSet& got,
+                       const std::string& label)
+{
+    const std::map<std::string, double>& a = want.entries();
+    const std::map<std::string, double>& b = got.entries();
+    ASSERT_EQ(a.size(), b.size()) << label;
+    auto ib = b.begin();
+    for (auto ia = a.begin(); ia != a.end(); ++ia, ++ib) {
+        EXPECT_EQ(ia->first, ib->first) << label;
+        EXPECT_EQ(ia->second, ib->second)
+            << label << ": stat '" << ia->first << "' diverged";
+    }
+}
+
 /** One scheduler x prefetcher pair, gtest-parameterized. */
 using Combo = std::tuple<std::string, std::string>;
 
@@ -229,6 +245,50 @@ TEST_P(FfEquivalence, ObservationIsPure)
     }
 }
 
+TEST_P(FfEquivalence, ParallelEngineBitwiseIdentical)
+{
+    // The sharded epoch engine (sim.shards > 1) against the serial
+    // oracle, across the same scheduler x prefetcher x kernel matrix:
+    // the whole toStatSet() dump must be bitwise identical for every
+    // shard count. Variants cover an even split (2 shards over 4 SMs),
+    // an uneven split without fast-forward (3 shards, naive workers),
+    // and the hardware-concurrency default (shards=0, clamped to
+    // numSms), with the auditor enabled on one of them to prove epoch
+    // audits fire at the same cycles and stay pure.
+    const auto& [sched, pf] = GetParam();
+    if (pf == "sap" && sched != "laws")
+        GTEST_SKIP() << "SAP pairs only with LAWS";
+
+    for (const NamedKernel& nk : kernelsUnderTest()) {
+        GpuConfig cfg = smallGpu(sched, pf);
+        cfg.numSms = 4;
+        if (nk.warpsPerBlock > 0)
+            cfg.sm.warpsPerBlock = nk.warpsPerBlock;
+
+        const StatSet serial = simulate(cfg, *nk.kernel).toStatSet();
+
+        struct Variant
+        {
+            int shards;
+            bool fastForward;
+            bool audit;
+            const char* name;
+        };
+        for (const Variant& v :
+             {Variant{2, true, true, "shards2-ff-audit"},
+              Variant{3, false, false, "shards3-naive"},
+              Variant{0, true, false, "shards-hw"}}) {
+            GpuConfig par_cfg = cfg;
+            par_cfg.shards = v.shards;
+            par_cfg.fastForward = v.fastForward;
+            par_cfg.audit = v.audit;
+            const StatSet par = simulate(par_cfg, *nk.kernel).toStatSet();
+            expectBitwiseIdentical(serial, par,
+                                   nk.name + std::string("/") + v.name);
+        }
+    }
+}
+
 INSTANTIATE_TEST_SUITE_P(
     AllCombos, FfEquivalence,
     ::testing::Combine(::testing::ValuesIn(schedulerNames()),
@@ -236,6 +296,98 @@ INSTANTIATE_TEST_SUITE_P(
     [](const ::testing::TestParamInfo<Combo>& info) {
         return std::get<0>(info.param) + "_" + std::get<1>(info.param);
     });
+
+// --- Parallel-engine axes beyond the combo matrix -------------------
+
+/**
+ * The issue's shard axis {1, 2, 7, hw} on a 7-SM chip: 7 shards puts
+ * one SM per worker, 2 shards splits 4/3 (uneven), hw clamps to 7.
+ * APRES policies (LAWS + SAP) so the full WGT/LLT/PT machinery runs
+ * under sharding.
+ */
+TEST(ParallelEngine, ShardAxisOverSevenSms)
+{
+    GpuConfig cfg = smallGpu("laws", "sap");
+    cfg.numSms = 7;
+    const Kernel kernel = makeWorkload("KM", 0.05).kernel;
+
+    const StatSet serial = simulate(cfg, kernel).toStatSet();
+    for (int shards : {2, 7, 0}) {
+        GpuConfig par_cfg = cfg;
+        par_cfg.shards = shards;
+        const StatSet par = simulate(par_cfg, kernel).toStatSet();
+        expectBitwiseIdentical(serial, par,
+                               "shards=" + std::to_string(shards));
+    }
+}
+
+/**
+ * Observation purity under sharding: with tracing + metrics + audit
+ * on, a 3-shard run must (a) leave every simulation statistic bitwise
+ * identical to an unobserved 3-shard run, (b) produce the *same
+ * merged metrics values* as an observed serial run (per-SM registry
+ * merge is exact), and (c) emit the identical per-lane event sequence
+ * as the serial engine — the golden-trace contract is engine-blind.
+ */
+TEST(ParallelEngine, ObservationIsPureUnderSharding)
+{
+    GpuConfig cfg = smallGpu("laws", "sap");
+    cfg.numSms = 4;
+    cfg.shards = 3;
+    const Kernel kernel = makeWorkload("BFS", 0.05).kernel;
+
+    const std::map<std::string, double> base =
+        entriesWithoutMetrics(simulate(cfg, kernel).toStatSet());
+
+    GpuConfig obs_cfg = cfg;
+    obs_cfg.trace = true;
+    obs_cfg.metrics = true;
+    obs_cfg.audit = true;
+    Gpu par_gpu(obs_cfg, kernel);
+    const StatSet par = par_gpu.run().toStatSet();
+    const std::map<std::string, double> par_stripped =
+        entriesWithoutMetrics(par);
+
+    ASSERT_EQ(base.size(), par_stripped.size());
+    auto ip = par_stripped.begin();
+    for (auto ib = base.begin(); ib != base.end(); ++ib, ++ip) {
+        EXPECT_EQ(ib->first, ip->first);
+        EXPECT_EQ(ib->second, ip->second)
+            << "stat '" << ib->first << "' perturbed by observation";
+    }
+
+    GpuConfig obs_serial_cfg = obs_cfg;
+    obs_serial_cfg.shards = 1;
+    Gpu serial_gpu(obs_serial_cfg, kernel);
+    const StatSet serial = serial_gpu.run().toStatSet();
+    expectBitwiseIdentical(serial, par, "observed serial vs 3 shards");
+
+    ASSERT_NE(serial_gpu.tracer(), nullptr);
+    ASSERT_NE(par_gpu.tracer(), nullptr);
+    EXPECT_EQ(serial_gpu.tracer()->eventSummary(),
+              par_gpu.tracer()->eventSummary());
+}
+
+/**
+ * The lifted warp cap under sharding: 80 warps/SM (beyond the old
+ * 64-warp word) across 4 shards stays bitwise identical to serial —
+ * WarpMask-based scoreboard/WGT/LLT state is shard-confined.
+ */
+TEST(ParallelEngine, MoreThan64WarpsPerSmBitwiseIdentical)
+{
+    GpuConfig cfg = smallGpu("laws", "sap");
+    cfg.numSms = 4;
+    cfg.sm.warpsPerSm = 80;
+    cfg.sm.warpsPerBlock = 16;
+    cfg.sm.jobsPerWarp = 1;
+    const Kernel kernel = makeWorkload("NW", 0.05).kernel;
+
+    const StatSet serial = simulate(cfg, kernel).toStatSet();
+    GpuConfig par_cfg = cfg;
+    par_cfg.shards = 4;
+    const StatSet par = simulate(par_cfg, kernel).toStatSet();
+    expectBitwiseIdentical(serial, par, "80 warps/SM, 4 shards");
+}
 
 // The engine's hot structures get their own targeted checks in
 // lsu_structures_test.cpp; this file is end-to-end only.

@@ -75,7 +75,7 @@ TEST(Auditor, CorruptedWgtEntryIsDetected)
     e.valid = true;
     e.owner = 0;
     e.pc = 0x9999;
-    e.members = std::uint64_t{1} << 63;
+    e.members = WarpMask::ofWord(std::uint64_t{1} << 63);
 
     expectSimError(SimErrorKind::kInvariant, "invariant audit failed",
                    [&] { gpu.auditNow(); });
@@ -389,6 +389,144 @@ TEST(Runner, ConfigSeedModeMakesResultsPositionIndependent)
     const StatSet probe_first = a[0].result.toStatSet();
     const StatSet probe_second = b[2].result.toStatSet();
     EXPECT_EQ(probe_first.entries(), probe_second.entries());
+}
+
+// --------------------------------------------------------------------
+// Parallel engine: every fault path is shard-count invariant — same
+// typed SimError, same detail text, no matter how SMs are sharded.
+// --------------------------------------------------------------------
+
+/** Run @p cfg, require a SimError, return (kind, full what() text). */
+std::pair<SimErrorKind, std::string>
+captureSimError(const GpuConfig& cfg, const Kernel& kernel)
+{
+    try {
+        simulate(cfg, kernel);
+    } catch (const SimError& e) {
+        return {e.kind(), e.what()};
+    }
+    ADD_FAILURE() << "expected a SimError, but the run completed";
+    return {SimErrorKind::kConfig, ""};
+}
+
+TEST(ParallelFaults, WatchdogDeadlockTextIsShardInvariant)
+{
+    registerWedgeScheduler();
+    const auto kernel = smallKernel();
+    GpuConfig cfg = auditedGpu();
+    cfg.audit = false;
+    cfg.numSms = 4;
+    cfg.scheduler = "wedge";
+    cfg.prefetcher = "none";
+    cfg.watchdogCycles = 20'000;
+    cfg.maxCycles = 100'000'000;
+
+    const auto [kind, what] = captureSimError(cfg, *kernel);
+    EXPECT_EQ(kind, SimErrorKind::kDeadlock);
+    EXPECT_NE(what.find("no forward progress"), std::string::npos) << what;
+
+    for (int shards : {2, 3, 4}) {
+        GpuConfig par_cfg = cfg;
+        par_cfg.shards = shards;
+        const auto [par_kind, par_what] = captureSimError(par_cfg, *kernel);
+        EXPECT_EQ(par_kind, kind) << "shards=" << shards;
+        EXPECT_EQ(par_what, what) << "shards=" << shards;
+    }
+}
+
+TEST(ParallelFaults, InvariantViolationTextIsShardInvariant)
+{
+    // An auditor violation seeded in SM 3 — owned by the *last* shard
+    // in every sharding below — must produce the identical report when
+    // the periodic audit catches it, regardless of shard count: audits
+    // fire at the same cycles, on identical machine state.
+    const auto kernel = smallKernel();
+    GpuConfig cfg = auditedGpu();
+    cfg.numSms = 4;
+
+    const auto corruptAndRun = [&](int shards) {
+        GpuConfig c = cfg;
+        c.shards = shards;
+        Gpu gpu(c, *kernel);
+        auto* sap = dynamic_cast<SapPrefetcher*>(gpu.prefetcherForTest(3));
+        EXPECT_NE(sap, nullptr);
+        sap->debugOversizePtForTest(4);
+        try {
+            gpu.run();
+        } catch (const SimError& e) {
+            return std::pair<SimErrorKind, std::string>{e.kind(), e.what()};
+        }
+        ADD_FAILURE() << "expected kInvariant, shards=" << shards;
+        return std::pair<SimErrorKind, std::string>{SimErrorKind::kConfig,
+                                                    ""};
+    };
+
+    const auto [kind, what] = corruptAndRun(1);
+    EXPECT_EQ(kind, SimErrorKind::kInvariant);
+    EXPECT_NE(what.find("invariant audit failed"), std::string::npos)
+        << what;
+
+    for (int shards : {2, 4}) {
+        const auto [par_kind, par_what] = corruptAndRun(shards);
+        EXPECT_EQ(par_kind, kind) << "shards=" << shards;
+        EXPECT_EQ(par_what, what) << "shards=" << shards;
+    }
+}
+
+TEST(ParallelFaults, InterruptHookFiresAtIdenticalCycles)
+{
+    // The cooperative-interrupt poll (the sweep runner's job-deadline
+    // mechanism) must observe the same simulated cycles under any
+    // shard count, so a deterministic hook-thrown abort is also
+    // shard-invariant.
+    const auto kernel = smallKernel();
+    GpuConfig cfg = auditedGpu();
+    cfg.audit = false;
+    cfg.numSms = 4;
+
+    const auto pollCycles = [&](int shards) {
+        GpuConfig c = cfg;
+        c.shards = shards;
+        Gpu gpu(c, *kernel);
+        std::vector<Cycle> polls;
+        gpu.setInterruptCheck([&] { polls.push_back(gpu.now()); });
+        gpu.run();
+        return polls;
+    };
+
+    const std::vector<Cycle> serial = pollCycles(1);
+    for (int shards : {2, 3, 4})
+        EXPECT_EQ(pollCycles(shards), serial) << "shards=" << shards;
+}
+
+TEST(ParallelFaults, RunnerTimeoutRowUnderSharding)
+{
+    // A wedged job must still land as a timeout row when the Gpu under
+    // the executor runs the parallel engine: the interrupt hook aborts
+    // it cooperatively and the worker threads shut down cleanly.
+    registerWedgeScheduler();
+    const auto kernel = smallKernel();
+    GpuConfig wedged = auditedGpu();
+    wedged.audit = false;
+    wedged.numSms = 2;
+    wedged.shards = 2;
+    wedged.scheduler = "wedge";
+    wedged.prefetcher = "none";
+    wedged.watchdogCycles = 0;
+    wedged.maxCycles = Cycle{1} << 40;
+
+    RunnerOptions opts;
+    opts.threads = 1;
+    opts.keepGoing = true;
+    opts.jobTimeoutSeconds = 0.25;
+    SweepRunner runner(opts);
+    runner.submit("wedged-par-job", wedged, kernel);
+    const std::vector<SweepResult> results = runner.runAll();
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_EQ(results[0].result.status, "timeout");
+    EXPECT_EQ(results[0].result.errorKind, "Timeout");
+    EXPECT_NE(results[0].result.errorDetail.find("deadline"),
+              std::string::npos);
 }
 
 TEST(Runner, FailureSummaryEmptyOnCleanSweep)

@@ -174,6 +174,11 @@ TEST(CacheKey, ObservationKeysDoNotChangeKey)
         {"sim.auditInterval", "77"},
         {"sim.fastForward", "false"},
         {"sim.watchdogCycles", "123456"},
+        // The parallel engine is bitwise identical to serial for every
+        // shard count (equivalence suite), so the shard count is an
+        // execution knob, not a semantic one.
+        {"sim.shards", "4"},
+        {"sim.shards", "0"},
     };
     for (const auto& kv : observation) {
         EXPECT_EQ(base, computeCacheKey("fp", kfp, semanticSnapshot({kv})))
@@ -421,6 +426,16 @@ TEST(ServeDaemon, ObservationOverridesHitTheSemanticEntry)
     EXPECT_EQ(daemon.simulationsRun(), 1u);
     const JsonValue doc = JsonValue::parse(response);
     EXPECT_TRUE(doc.at("runs").at(0).at("cached").asBool());
+
+    // Engine selection is observational too: a serial run warms the
+    // cache for parallel requests of the same semantic config.
+    ServeJobSpec sharded = kmJob(32768);
+    sharded.overrides.emplace_back("sim.shards", "4");
+    const std::string sharded_response =
+        daemon.handleRequest(runRequest({sharded}));
+    EXPECT_EQ(daemon.simulationsRun(), 1u);
+    const JsonValue sharded_doc = JsonValue::parse(sharded_response);
+    EXPECT_TRUE(sharded_doc.at("runs").at(0).at("cached").asBool());
 }
 
 TEST(ServeDaemon, FailuresBecomeRowsAndAreNeverCached)

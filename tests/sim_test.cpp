@@ -180,15 +180,30 @@ TEST(Sim, LawsStatsExposedUnderApres)
     EXPECT_GT(r.policy.get("sap.groupMissesReceived"), 0.0);
 }
 
-TEST(Sim, RejectsMoreThan64WarpsPerSm)
+TEST(Sim, RunsMoreThan64WarpsPerSm)
 {
-    // Warp sets are 64-bit masks throughout (LAWS groups, the cache's
-    // per-line consumer tracking): wider machines must be rejected
-    // loudly instead of silently dropping warps 64+.
+    // Warp sets are dynamically sized WarpMasks now: a machine wider
+    // than 64 warps per SM must build and run (the old 64-bit masks
+    // forced a constructor rejection). APRES policies exercise the
+    // widest mask paths (WGT groups, SAP group walks).
     const Workload wl = makeWorkload("SP", 0.05);
     GpuConfig cfg = smallGpu();
     cfg.sm.warpsPerSm = 80;
-    expectSimError(SimErrorKind::kConfig, "64-warp group bit-mask",
+    cfg.useApres();
+    const RunResult r = simulate(cfg, wl.kernel);
+    EXPECT_TRUE(r.completed);
+    EXPECT_GT(r.instructions, 0u);
+}
+
+TEST(Sim, RejectsMoreThan64WarpsPerBlock)
+{
+    // Barrier participant masks are per-block 64-bit lane masks baked
+    // into Instruction, so blocks wider than 64 warps stay rejected.
+    const Workload wl = makeWorkload("SP", 0.05);
+    GpuConfig cfg = smallGpu();
+    cfg.sm.warpsPerSm = 80;
+    cfg.sm.warpsPerBlock = 80;
+    expectSimError(SimErrorKind::kConfig, "64-lane barrier participant",
                    [&] { simulate(cfg, wl.kernel); });
 }
 

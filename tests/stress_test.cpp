@@ -90,7 +90,7 @@ randomConfig(std::mt19937_64& rng)
     const auto& [sched, pf] = combos[combo(rng)];
     cfg.scheduler = sched;
     cfg.prefetcher = pf;
-    cfg.numSms = std::uniform_int_distribution<int>(1, 2)(rng);
+    cfg.numSms = std::uniform_int_distribution<int>(1, 4)(rng);
     const int wpsm = std::uniform_int_distribution<int>(1, 4)(rng) * 4;
     cfg.sm.warpsPerSm = wpsm;
     cfg.sm.warpsPerBlock =
@@ -99,6 +99,10 @@ randomConfig(std::mt19937_64& rng)
     cfg.sm.l1.sizeBytes = 1u << std::uniform_int_distribution<int>(12, 15)(rng);
     cfg.sm.l1.numMshrs = std::uniform_int_distribution<int>(4, 64)(rng);
     cfg.fastForward = std::uniform_int_distribution<int>(0, 3)(rng) != 0;
+    // Sharding axis: serial, explicit 2/3-way sharding, or the
+    // hardware default; counts above numSms clamp, so every draw is
+    // legal and the parallel epoch engine fuzzes alongside serial.
+    cfg.shards = std::uniform_int_distribution<int>(0, 3)(rng);
     cfg.audit = true;
     cfg.auditInterval = 2'000;
     cfg.watchdogCycles = 2'000'000;
