@@ -31,6 +31,7 @@
  * BENCH_throughput.json) for the CI regression gate.
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdlib>
@@ -38,10 +39,12 @@
 #include <iostream>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "common/json.hpp"
+#include "common/profile.hpp"
 #include "isa/address_gen.hpp"
 #include "isa/kernel.hpp"
 #include "sim/gpu.hpp"
@@ -67,15 +70,24 @@ struct Scenario
     bool skipNaive = false;
 };
 
+/** One shard count's timing within a scenario's sweep. */
+struct ShardPoint
+{
+    int shards = 0;
+    double parSeconds = 0.0;
+};
+
 /** Result of the serial / fast-forward / parallel runs of a scenario. */
 struct Measurement
 {
     std::string name;
     Cycle cycles = 0;
-    double naiveSeconds = 0.0; ///< 0 when the naive run was skipped
+    bool naiveSkipped = false; ///< naive run not performed (full chip)
+    double naiveSeconds = 0.0; ///< meaningless when naiveSkipped
     double ffSeconds = 0.0;
-    double parSeconds = 0.0;   ///< sharded epoch engine (ff on)
-    int shards = 1;
+    double parSeconds = 0.0;   ///< best sweep point (ff on)
+    int shards = 1;            ///< shard count of the best sweep point
+    std::vector<ShardPoint> sweep; ///< every shard count tried
     bool identical = false;    ///< naive == ff == parallel, bitwise
 
     double naiveCyclesPerSec() const
@@ -209,26 +221,57 @@ statSetsIdentical(const std::string& name, const RunResult& naive,
     return true;
 }
 
+/**
+ * Shard counts to sweep: {2, 4, hardware threads}, deduplicated and
+ * ascending. A fixed count from --shards overrides the sweep.
+ */
+std::vector<int>
+shardSweep(int forced)
+{
+    if (forced > 0)
+        return {forced};
+    // shards == 1 selects the serial loop, so 2 is the smallest count
+    // that exercises the epoch engine — even on a single-core host.
+    const int hw =
+        std::max(2, static_cast<int>(std::thread::hardware_concurrency()));
+    std::vector<int> counts{2, 4, hw};
+    std::sort(counts.begin(), counts.end());
+    counts.erase(std::unique(counts.begin(), counts.end()), counts.end());
+    return counts;
+}
+
 Measurement
-measure(const Scenario& scenario, int shards)
+measure(const Scenario& scenario, const std::vector<int>& sweep)
 {
     Measurement m;
     m.name = scenario.name;
-    m.shards = shards;
+    m.naiveSkipped = scenario.skipNaive;
 
     GpuConfig ff_cfg = scenario.config;
     ff_cfg.fastForward = true;
-    GpuConfig par_cfg = ff_cfg;
-    par_cfg.shards = shards;
 
     auto [ff_result, ff_s] = timedRun(ff_cfg, *scenario.kernel);
-    auto [par_result, par_s] = timedRun(par_cfg, *scenario.kernel);
-
     m.cycles = ff_result.cycles;
     m.ffSeconds = ff_s;
-    m.parSeconds = par_s;
-    m.identical = statSetsIdentical(scenario.name + " (parallel)",
-                                    ff_result, par_result);
+
+    // Sweep shard counts; the best wall time is the headline parallel
+    // number. Every sweep point must stay bitwise identical.
+    m.identical = true;
+    for (const int count : sweep) {
+        GpuConfig par_cfg = ff_cfg;
+        par_cfg.shards = count;
+        auto [par_result, par_s] = timedRun(par_cfg, *scenario.kernel);
+        m.identical =
+            statSetsIdentical(scenario.name + " (parallel x" +
+                                  std::to_string(count) + ")",
+                              ff_result, par_result) &&
+            m.identical;
+        m.sweep.push_back(ShardPoint{count, par_s});
+        if (m.parSeconds == 0.0 || par_s < m.parSeconds) {
+            m.parSeconds = par_s;
+            m.shards = count;
+        }
+    }
     if (!scenario.skipNaive) {
         GpuConfig naive_cfg = scenario.config;
         naive_cfg.fastForward = false;
@@ -255,22 +298,106 @@ writeJson(const std::string& path, double scale,
     json.beginObject();
     json.field("bench", "throughput");
     json.field("scale", scale);
+    json.field("hwThreads",
+               static_cast<std::uint64_t>(std::max(
+                   1u, std::thread::hardware_concurrency())));
     json.beginArray("scenarios");
     for (const Measurement& m : measurements) {
         json.beginObject();
         json.field("name", m.name);
         json.field("cycles", static_cast<std::uint64_t>(m.cycles));
-        json.field("naiveSeconds", m.naiveSeconds);
+        // A skipped naive run is flagged and its fields are omitted
+        // entirely — a 0.0 would read as "infinitely slow" to any
+        // consumer that divides by it.
+        json.field("naiveSkipped", m.naiveSkipped);
+        if (!m.naiveSkipped)
+            json.field("naiveSeconds", m.naiveSeconds);
         json.field("ffSeconds", m.ffSeconds);
         json.field("parSeconds", m.parSeconds);
         json.field("shards", static_cast<std::uint64_t>(
                                  m.shards < 0 ? 0 : m.shards));
-        json.field("naiveCyclesPerSec", m.naiveCyclesPerSec());
+        if (!m.naiveSkipped)
+            json.field("naiveCyclesPerSec", m.naiveCyclesPerSec());
         json.field("ffCyclesPerSec", m.ffCyclesPerSec());
         json.field("parCyclesPerSec", m.parCyclesPerSec());
-        json.field("speedup", m.speedup());
+        if (!m.naiveSkipped)
+            json.field("speedup", m.speedup());
         json.field("parSpeedup", m.parSpeedup());
+        json.beginArray("shardSweep");
+        for (const ShardPoint& p : m.sweep) {
+            json.beginObject();
+            json.field("shards", static_cast<std::uint64_t>(p.shards));
+            json.field("parSeconds", p.parSeconds);
+            json.field("parCyclesPerSec",
+                       p.parSeconds > 0.0
+                           ? static_cast<double>(m.cycles) / p.parSeconds
+                           : 0.0);
+            json.endObject();
+        }
+        json.endArray();
         json.field("statsIdentical", m.identical);
+        json.endObject();
+    }
+    json.endArray();
+    json.endObject();
+    json.finish();
+    out << "\n";
+}
+
+/**
+ * Re-run each scenario with the phase profiler enabled (one ff run,
+ * one parallel run at its best shard count) and dump the per-phase
+ * wall-time breakdown. Profiled runs are separate from the timed
+ * ones, so rdtsc overhead never contaminates the throughput numbers.
+ */
+void
+writeProfile(const std::string& path, double scale,
+             const std::vector<Scenario>& scenarios,
+             const std::vector<Measurement>& measurements)
+{
+    std::ofstream out(path);
+    if (!out) {
+        std::cerr << "cannot write " << path << "\n";
+        std::exit(1);
+    }
+    JsonWriter json(out);
+    json.beginObject();
+    json.field("bench", "throughput-profile");
+    json.field("scale", scale);
+    json.beginArray("scenarios");
+    for (std::size_t i = 0; i < scenarios.size(); ++i) {
+        const Scenario& scenario = scenarios[i];
+        const int best_shards = measurements[i].shards;
+        json.beginObject();
+        json.field("name", scenario.name);
+        json.beginArray("engines");
+        for (const bool parallel : {false, true}) {
+            GpuConfig cfg = scenario.config;
+            cfg.fastForward = true;
+            cfg.shards = parallel ? best_shards : 1;
+            prof::enable();
+            simulate(cfg, *scenario.kernel);
+            prof::disable();
+            const prof::Report rep = prof::report();
+            json.beginObject();
+            json.field("engine", parallel ? "parallel" : "ff");
+            if (parallel) {
+                json.field("shards",
+                           static_cast<std::uint64_t>(best_shards));
+            }
+            json.field("wallSeconds", rep.wallSeconds);
+            json.beginArray("phases");
+            for (const prof::PhaseReport& phase : rep.phases) {
+                json.beginObject();
+                json.field("name", phase.name);
+                json.field("seconds", phase.seconds);
+                json.field("calls", phase.calls);
+                json.endObject();
+            }
+            json.endArray();
+            json.endObject();
+        }
+        json.endArray();
         json.endObject();
     }
     json.endArray();
@@ -284,13 +411,16 @@ run(int argc, char** argv)
 {
     double scale = benchScale();
     std::string out_path = "BENCH_throughput.json";
-    int shards = 0; // 0 = one shard per hardware core
+    std::string profile_path;
+    int shards = 0; // 0 = sweep {2, 4, hw cores}
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--scale" && i + 1 < argc) {
             scale = parseBenchScale(argv[++i], scale);
         } else if (arg == "--out" && i + 1 < argc) {
             out_path = argv[++i];
+        } else if (arg == "--profile" && i + 1 < argc) {
+            profile_path = argv[++i];
         } else if (arg == "--shards" && i + 1 < argc) {
             shards = std::atoi(argv[++i]);
             if (shards < 0) {
@@ -299,9 +429,11 @@ run(int argc, char** argv)
             }
         } else if (arg == "--help") {
             std::cout << "usage: bench_throughput [--scale F] [--out FILE]"
-                         " [--shards N]\n"
-                         "  --shards N  worker threads for the parallel "
-                         "column (0 = hw cores, default)\n";
+                         " [--shards N] [--profile FILE]\n"
+                         "  --shards N      fix the parallel column's "
+                         "shard count (0 = sweep {2,4,hw}, default)\n"
+                         "  --profile FILE  re-run scenarios with phase "
+                         "timers on; write per-phase JSON to FILE\n";
             return 0;
         } else {
             std::cerr << "unknown argument: " << arg << "\n";
@@ -309,22 +441,29 @@ run(int argc, char** argv)
         }
     }
 
+    const std::vector<int> sweep = shardSweep(shards);
+    const std::vector<Scenario> scenarios = makeScenarios(scale);
     std::vector<Measurement> measurements;
     printHeader("scenario", {"Mcycles", "naive c/s", "ff c/s", "ff x",
-                             "par c/s", "par x"});
+                             "par c/s", "par x", "shards"});
     bool all_identical = true;
-    for (const Scenario& scenario : makeScenarios(scale)) {
-        const Measurement m = measure(scenario, shards);
+    for (const Scenario& scenario : scenarios) {
+        const Measurement m = measure(scenario, sweep);
         printRow(m.name,
                  {static_cast<double>(m.cycles) / 1e6,
                   m.naiveCyclesPerSec(), m.ffCyclesPerSec(), m.speedup(),
-                  m.parCyclesPerSec(), m.parSpeedup()},
+                  m.parCyclesPerSec(), m.parSpeedup(),
+                  static_cast<double>(m.shards)},
                  /*precision=*/2);
         all_identical = all_identical && m.identical;
         measurements.push_back(m);
     }
     writeJson(out_path, scale, measurements);
     std::cout << "wrote " << out_path << "\n";
+    if (!profile_path.empty()) {
+        writeProfile(profile_path, scale, scenarios, measurements);
+        std::cout << "wrote " << profile_path << "\n";
+    }
 
     if (!all_identical) {
         std::cerr << "FAIL: engine stats diverged (naive vs ff vs "

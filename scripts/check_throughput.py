@@ -12,6 +12,16 @@ When the baseline carries a "parallelScenarios" map, the same check
 runs against parCyclesPerSec — the sharded epoch engine's throughput
 — so losing the parallel engine (or its scaling) also trips CI.
 
+A "parSpeedupFloors" map in the baseline additionally gates the
+parallel-over-ff speedup ratio itself (e.g. KM-fullchip must reach
+1.0x). Ratio floors are skipped when the results report fewer than
+two hardware threads — a single-core host cannot demonstrate a
+parallel speedup, only absolute throughput.
+
+Scenarios that skip the naive run carry "naiveSkipped": true and omit
+the naive-derived fields entirely; that is reported as "naive skipped"
+and is not a failure, unlike a measured-but-zero throughput.
+
 usage: check_throughput.py RESULTS_JSON BASELINE_JSON
 """
 
@@ -45,6 +55,8 @@ def main() -> int:
         baseline_doc = json.load(f)
     baseline = baseline_doc["scenarios"]
     par_baseline = baseline_doc.get("parallelScenarios", {})
+    speedup_floors = baseline_doc.get("parSpeedupFloors", {})
+    hw_threads = results.get("hwThreads", 0)
 
     failed = False
     seen = set()
@@ -71,15 +83,38 @@ def main() -> int:
                 continue
             floor = floors[name] * (1.0 - TOLERANCE)
             verdict = "ok" if measured >= floor else "FAIL"
-            speedup = as_finite(scenario.get(speedup_key))
-            speedup_text = (f"{speedup:.2f}x" if speedup is not None
-                            else repr(scenario.get(speedup_key)))
+            if speedup_key == "speedup" and scenario.get("naiveSkipped"):
+                speedup_text = "naive skipped"
+            else:
+                speedup = as_finite(scenario.get(speedup_key))
+                speedup_text = (f"{speedup:.2f}x" if speedup is not None
+                                else repr(scenario.get(speedup_key)))
             print(f"{verdict} {name} [{metric}]: {measured:,.0f} "
                   f"cycles/sec (floor {floor:,.0f}, baseline "
                   f"{floors[name]:,.0f}, speedup {speedup_text})")
             failed = failed or measured < floor
 
-    missing = (set(baseline) | set(par_baseline)) - seen
+        if name in speedup_floors:
+            ratio_floor = speedup_floors[name]
+            ratio = as_finite(scenario.get("parSpeedup"))
+            if hw_threads < 2:
+                print(f"SKIP {name} [parSpeedup]: host reports "
+                      f"{hw_threads} hardware thread(s); a parallel "
+                      "speedup floor needs at least 2")
+            elif ratio is None:
+                print(f"FAIL {name}: parSpeedup is non-numeric "
+                      f"({scenario.get('parSpeedup')!r})")
+                failed = True
+            else:
+                verdict = "ok" if ratio >= ratio_floor else "FAIL"
+                shards = scenario.get("shards")
+                print(f"{verdict} {name} [parSpeedup]: {ratio:.2f}x "
+                      f"over ff at {shards} shards "
+                      f"(floor {ratio_floor:.2f}x)")
+                failed = failed or ratio < ratio_floor
+
+    missing = (set(baseline) | set(par_baseline) |
+               set(speedup_floors)) - seen
     if missing:
         print(f"FAIL: baseline scenarios missing from results: "
               f"{sorted(missing)}")

@@ -1,0 +1,270 @@
+/**
+ * @file
+ * Self-profiling harness: rdtsc-backed phase timers for the engines.
+ *
+ * The simulator's hot loops are too fine-grained for an external
+ * profiler to attribute cheaply (gprof's call counting alone costs
+ * 2-3x), so the engines carry their own section timers. A handful of
+ * `prof::Scope` guards mark the interesting phases:
+ *
+ *   issue    SM-side work: ready scan, scheduler pick, operand fetch
+ *   cache    L1/L2 tag probes and fills
+ *   dram     DRAM channel scheduling
+ *   barrier  epoch-barrier waits (parallel engine only)
+ *   drain    canonical replay of staged memory traffic
+ *   other    everything between instrumented sections
+ *
+ * Attribution is *exclusive*: each thread keeps a current-phase
+ * register, and entering a nested scope banks the elapsed cycles into
+ * the enclosing phase before switching. drain time therefore does NOT
+ * double-count the cache/dram work it triggers — the per-phase
+ * seconds sum to wall time spent inside the instrumented region.
+ *
+ * Off by default and observation-pure: a disabled Scope is one
+ * relaxed atomic load and a predictable branch; no timer ever feeds
+ * back into simulation state, so enabling the profiler cannot perturb
+ * a single statistic. Per-thread counters are plain (single-writer)
+ * and only aggregated by report() after worker threads have joined.
+ *
+ * Timestamps use rdtsc on x86 (a serializing fence would distort the
+ * short sections being measured; monotonic-enough on any host this
+ * project targets) and steady_clock elsewhere. tsc-to-seconds
+ * calibration happens over the enable()..report() interval itself.
+ */
+
+#ifndef APRES_COMMON_PROFILE_HPP
+#define APRES_COMMON_PROFILE_HPP
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace apres::prof {
+
+enum class Phase : int
+{
+    kIssue = 0,
+    kCache,
+    kDram,
+    kBarrier,
+    kDrain,
+    kOther,
+    kCount,
+};
+
+inline constexpr std::array<const char*,
+                            static_cast<std::size_t>(Phase::kCount)>
+    kPhaseNames{"issue", "cache", "dram", "barrier", "drain", "other"};
+
+namespace detail {
+
+inline std::uint64_t
+timestamp()
+{
+#if defined(__x86_64__) || defined(__i386__)
+    return __builtin_ia32_rdtsc();
+#else
+    return static_cast<std::uint64_t>(
+        std::chrono::steady_clock::now().time_since_epoch().count());
+#endif
+}
+
+/** Per-thread phase accumulators (single-writer; read after join). */
+struct Counters
+{
+    std::array<std::uint64_t, static_cast<std::size_t>(Phase::kCount)>
+        ticks{};
+    std::array<std::uint64_t, static_cast<std::size_t>(Phase::kCount)>
+        calls{};
+    Phase current = Phase::kOther;
+    std::uint64_t lastStamp = 0;
+    bool touched = false;
+};
+
+struct Registry
+{
+    std::mutex mutex;
+    // Counters outlive their threads so report() after join is safe.
+    std::vector<std::unique_ptr<Counters>> all;
+};
+
+inline Registry&
+registry()
+{
+    static Registry r;
+    return r;
+}
+
+inline Counters&
+threadCounters()
+{
+    thread_local Counters* tls = [] {
+        auto owned = std::make_unique<Counters>();
+        Counters* raw = owned.get();
+        Registry& r = registry();
+        std::lock_guard<std::mutex> lock(r.mutex);
+        r.all.push_back(std::move(owned));
+        return raw;
+    }();
+    return *tls;
+}
+
+struct State
+{
+    std::atomic<bool> enabled{false};
+    std::uint64_t enableStamp = 0;
+    std::chrono::steady_clock::time_point enableTime{};
+};
+
+inline State&
+state()
+{
+    static State s;
+    return s;
+}
+
+} // namespace detail
+
+inline bool
+enabled()
+{
+    return detail::state().enabled.load(std::memory_order_relaxed);
+}
+
+/**
+ * Bank elapsed ticks into the thread's current phase and switch to
+ * @p next. The first touch per thread starts the clock (time before
+ * it is not attributed to anything).
+ */
+inline void
+switchPhase(detail::Counters& c, Phase next, std::uint64_t now)
+{
+    if (c.touched) {
+        c.ticks[static_cast<std::size_t>(c.current)] += now - c.lastStamp;
+    } else {
+        c.touched = true;
+    }
+    c.lastStamp = now;
+    c.current = next;
+}
+
+/**
+ * Marks a phase for the duration of a C++ scope. Nesting banks the
+ * elapsed time into the enclosing phase and restores it on exit
+ * (exclusive attribution).
+ */
+class Scope
+{
+  public:
+    explicit Scope(Phase phase)
+    {
+        if (!enabled())
+            return;
+        on_ = true;
+        detail::Counters& c = detail::threadCounters();
+        prev_ = c.touched ? c.current : Phase::kOther;
+        switchPhase(c, phase, detail::timestamp());
+        ++c.calls[static_cast<std::size_t>(phase)];
+    }
+
+    ~Scope()
+    {
+        if (!on_)
+            return;
+        switchPhase(detail::threadCounters(), prev_, detail::timestamp());
+    }
+
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+  private:
+    Phase prev_ = Phase::kOther;
+    bool on_ = false;
+};
+
+/** Zero all counters and start profiling. */
+inline void
+enable()
+{
+    detail::Registry& r = detail::registry();
+    {
+        std::lock_guard<std::mutex> lock(r.mutex);
+        for (auto& c : r.all)
+            *c = detail::Counters{};
+    }
+    detail::State& s = detail::state();
+    s.enableStamp = detail::timestamp();
+    s.enableTime = std::chrono::steady_clock::now();
+    s.enabled.store(true, std::memory_order_release);
+}
+
+inline void
+disable()
+{
+    detail::state().enabled.store(false, std::memory_order_release);
+}
+
+/** One phase's aggregated totals across threads. */
+struct PhaseReport
+{
+    std::string name;
+    double seconds = 0.0;
+    std::uint64_t calls = 0;
+};
+
+struct Report
+{
+    std::vector<PhaseReport> phases; ///< indexed by Phase order
+    double wallSeconds = 0.0;        ///< enable() .. report() interval
+};
+
+/**
+ * Aggregate all threads' counters. Call only after worker threads
+ * have joined (their counters are plain loads/stores).
+ */
+inline Report
+report()
+{
+    detail::State& s = detail::state();
+    const std::uint64_t now_stamp = detail::timestamp();
+    const auto now_time = std::chrono::steady_clock::now();
+    const double wall =
+        std::chrono::duration<double>(now_time - s.enableTime).count();
+    const double ticks_elapsed =
+        static_cast<double>(now_stamp - s.enableStamp);
+    // tsc Hz measured over the profiled interval itself; the fallback
+    // clock path makes timestamp() nanoseconds, which this calibration
+    // converts just the same.
+    const double secs_per_tick =
+        ticks_elapsed > 0.0 ? wall / ticks_elapsed : 0.0;
+
+    Report rep;
+    rep.wallSeconds = wall;
+    constexpr auto n = static_cast<std::size_t>(Phase::kCount);
+    std::array<std::uint64_t, n> ticks{};
+    std::array<std::uint64_t, n> calls{};
+    detail::Registry& r = detail::registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    for (const auto& c : r.all) {
+        for (std::size_t i = 0; i < n; ++i) {
+            ticks[i] += c->ticks[i];
+            calls[i] += c->calls[i];
+        }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        rep.phases.push_back(
+            PhaseReport{kPhaseNames[i],
+                        static_cast<double>(ticks[i]) * secs_per_tick,
+                        calls[i]});
+    }
+    return rep;
+}
+
+} // namespace apres::prof
+
+#endif // APRES_COMMON_PROFILE_HPP

@@ -17,7 +17,9 @@ namespace apres {
 Lsu::Lsu(SmId sm, const LsuConfig& config, LsuOwner& owner_ref, Cache& l1_ref,
          MemorySystem& memsys_ref)
     : smId(sm), cfg(config), owner(owner_ref), l1(l1_ref),
-      memsys(memsys_ref), coalescer(l1_ref.config().lineSize)
+      memsys(memsys_ref), coalescer(l1_ref.config().lineSize),
+      envTrace_(std::getenv("APRES_TRACE") != nullptr),
+      observing_(envTrace_)
 {
     assert(cfg.queueCapacity >= 1);
     assert(cfg.linesPerCycle >= 1);
@@ -78,6 +80,7 @@ Lsu::completeOne(std::uint64_t token, Cycle now)
     }
 }
 
+template <bool kObserve>
 bool
 Lsu::processLine(Op& op, Cycle now)
 {
@@ -119,7 +122,7 @@ Lsu::processLine(Op& op, Cycle now)
         pc_stat->missRate() >= cfg.bypassMissRate) {
         req.bypassL1 = true;
         ++stats_.bypassedLines;
-        if (tracer_) {
+        if (kObserve && tracer_) {
             tracer_->record(smId, TraceEventType::kL1Bypass, now, op.pc,
                             op.warp, line);
         }
@@ -141,7 +144,7 @@ Lsu::processLine(Op& op, Cycle now)
 
     // Sample MSHR occupancy as seen by the access about to probe the
     // L1 (one sample per warp load, on its first line).
-    if (metrics_ && op.next == 0)
+    if (kObserve && metrics_ && op.next == 0)
         metrics_->mshrOccupancy.add(l1.mshrsInUse());
 
     const AccessOutcome outcome = l1.access(req);
@@ -150,7 +153,7 @@ Lsu::processLine(Op& op, Cycle now)
         return false; // replay this line next cycle
     }
 
-    if (tracer_) {
+    if (kObserve && tracer_) {
         if (op.next == 0) {
             tracer_->record(smId,
                             outcome == AccessOutcome::kHit
@@ -165,8 +168,7 @@ Lsu::processLine(Op& op, Cycle now)
     }
 
     // Optional access trace for debugging (APRES_TRACE=1, SM 0 only).
-    static const bool trace = std::getenv("APRES_TRACE") != nullptr;
-    if (trace && op.next == 0 && smId == 0) {
+    if (kObserve && envTrace_ && op.next == 0 && smId == 0) {
         std::fprintf(stderr, "%llu pc=%x w=%d addr=%llx %s\n",
                      static_cast<unsigned long long>(now), op.pc, op.warp,
                      static_cast<unsigned long long>(op.baseAddr),
@@ -208,6 +210,26 @@ Lsu::processLine(Op& op, Cycle now)
     return true;
 }
 
+template <bool kObserve>
+void
+Lsu::tickOps(Cycle now)
+{
+    // Walk the front op's remaining lines at the configured rate.
+    int budget = cfg.linesPerCycle;
+    while (budget > 0 && !ops.empty()) {
+        Op& op = ops.front();
+        if (op.next >= op.lines.size()) {
+            ops.pop_front();
+            continue;
+        }
+        if (!processLine<kObserve>(op, now))
+            break; // MSHR full: retry next cycle
+        --budget;
+        if (op.next >= op.lines.size())
+            ops.pop_front();
+    }
+}
+
 void
 Lsu::tick(Cycle now)
 {
@@ -218,20 +240,10 @@ Lsu::tick(Cycle now)
         completeOne(token, now);
     }
 
-    // Walk the front op's remaining lines at the configured rate.
-    int budget = cfg.linesPerCycle;
-    while (budget > 0 && !ops.empty()) {
-        Op& op = ops.front();
-        if (op.next >= op.lines.size()) {
-            ops.pop_front();
-            continue;
-        }
-        if (!processLine(op, now))
-            break; // MSHR full: retry next cycle
-        --budget;
-        if (op.next >= op.lines.size())
-            ops.pop_front();
-    }
+    if (observing_)
+        tickOps<true>(now);
+    else
+        tickOps<false>(now);
 }
 
 void

@@ -162,6 +162,8 @@ class Lsu
     {
         tracer_ = tracer;
         metrics_ = metrics;
+        observing_ = tracer_ != nullptr || metrics_ != nullptr ||
+            envTrace_;
     }
 
     /** Counters. */
@@ -191,7 +193,15 @@ class Lsu
     };
 
     void completeOne(std::uint64_t token, Cycle now);
-    bool processLine(Op& op, Cycle now);
+    /**
+     * Access the next line of @p op. Templating on the observation
+     * sinks compiles every tracer/metrics/env-trace branch out of the
+     * <false> instantiation — the one the hot measurement path runs —
+     * instead of re-testing three null guards per line access.
+     */
+    template <bool kObserve> bool processLine(Op& op, Cycle now);
+    /** The op-walk half of tick(), dispatched once per call. */
+    template <bool kObserve> void tickOps(Cycle now);
 
     SmId smId;
     LsuConfig cfg;
@@ -215,6 +225,8 @@ class Lsu
     LsuStats stats_;
     Tracer* tracer_ = nullptr;
     MetricsRegistry* metrics_ = nullptr;
+    bool envTrace_ = false;  ///< APRES_TRACE debug stream requested
+    bool observing_ = false; ///< any sink above is active
 };
 
 } // namespace apres

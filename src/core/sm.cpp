@@ -11,6 +11,7 @@
 #include <string>
 
 #include "common/bitutils.hpp"
+#include "common/profile.hpp"
 #include "common/trace.hpp"
 #include "core/shared_memory.hpp"
 
@@ -57,6 +58,12 @@ Sm::Sm(SmId sm_id, const SmConfig& config, const Kernel& kernel,
         warp.jobsRemaining = cfg.jobsPerWarp;
         warp.ageStamp = ++jobSeq;
     }
+    readyMemo_.assign(static_cast<std::size_t>(cfg.warpsPerSm),
+                      WarpReadyMemo{});
+    scanMask_.assign((static_cast<std::size_t>(cfg.warpsPerSm) + 63) / 64,
+                     0);
+    for (int w = 0; w < cfg.warpsPerSm; ++w)
+        setScanBit(w);
     unfinishedWarps_ = cfg.warpsPerSm;
     barrierArrivals.assign(
         static_cast<std::size_t>(divCeil(cfg.warpsPerSm, cfg.warpsPerBlock)),
@@ -103,41 +110,66 @@ Sm::warpReady(const WarpRuntime& warp, Cycle now) const
 }
 
 void
+Sm::refreshReadyMemo(const WarpRuntime& warp, WarpReadyMemo& memo) const
+{
+    const Instruction& instr =
+        kernel_.at(static_cast<std::size_t>(warp.pcIndex));
+    Cycle regs_ready = 0;
+    bool waits_on_load = false;
+    const auto consider = [&](int reg) {
+        if (reg < 0)
+            return;
+        const Cycle r = warp.regReadyAt[static_cast<std::size_t>(reg)];
+        if (r == kNeverReady)
+            waits_on_load = true;
+        else if (r > regs_ready)
+            regs_ready = r;
+    };
+    for (const int src : instr.src)
+        consider(src);
+    consider(instr.dst); // WAW: outstanding producer blocks re-issue
+    memo.regsReady = regs_ready;
+    memo.waitsOnLoad = waits_on_load;
+    memo.isMemory = instr.isMemory();
+    memo.valid = true;
+}
+
+void
 Sm::collectReady(Cycle now, std::vector<WarpId>& out)
 {
     out.clear();
     // One walk computes both the ready set and — for the empty case —
     // the earliest cycle a stalled warp's registers mature, which
-    // seeds the ready-scan cache and the fast-forward wakeup.
+    // seeds the ready-scan cache and the fast-forward wakeup. The walk
+    // reads the 16-byte per-warp memo (see WarpReadyMemo) and only
+    // falls back to the kernel-and-scoreboard scan for warps whose
+    // state changed since their last refresh — readiness is a pure
+    // function of that state, so the memo cannot drift from the
+    // from-scratch scan this replaces.
     Cycle wake = kNeverReady;
     const bool can_accept = lsu_.canAccept();
-    for (const WarpRuntime& warp : warps) {
-        if (warp.finished || warp.atBarrier)
-            continue;
-        const Instruction& instr =
-            kernel_.at(static_cast<std::size_t>(warp.pcIndex));
-        Cycle regs_ready = 0;
-        bool waits_on_load = false;
-        const auto consider = [&](int reg) {
-            if (reg < 0)
-                return;
-            const Cycle r = warp.regReadyAt[static_cast<std::size_t>(reg)];
-            if (r == kNeverReady)
-                waits_on_load = true;
-            else if (r > regs_ready)
-                regs_ready = r;
-        };
-        for (const int src : instr.src)
-            consider(src);
-        consider(instr.dst); // WAW: outstanding producer blocks re-issue
-        if (waits_on_load)
-            continue; // woken by a load completion, not by time
-        if (regs_ready <= now) {
-            if (instr.isMemory() && !can_accept)
-                continue; // woken by the LSU draining below capacity
-            out.push_back(warp.id);
-        } else if (regs_ready < wake) {
-            wake = regs_ready;
+    for (std::size_t word = 0; word < scanMask_.size(); ++word) {
+        std::uint64_t bits = scanMask_[word];
+        while (bits != 0) {
+            const int w = static_cast<int>(word * 64) +
+                std::countr_zero(bits);
+            bits &= bits - 1;
+            WarpReadyMemo& memo = readyMemo_[static_cast<std::size_t>(w)];
+            if (!memo.valid)
+                refreshReadyMemo(warps[static_cast<std::size_t>(w)], memo);
+            if (memo.waitsOnLoad) {
+                // Only a load completion can wake this warp, and that
+                // re-sets the bit: drop it from future scans.
+                clearScanBit(w);
+                continue;
+            }
+            if (memo.regsReady <= now) {
+                if (memo.isMemory && !can_accept)
+                    continue; // woken by the LSU draining below capacity
+                out.push_back(w);
+            } else if (memo.regsReady < wake) {
+                wake = memo.regsReady;
+            }
         }
     }
     readyWakeAt_ = wake;
@@ -170,8 +202,17 @@ Sm::releaseBarrierIfComplete(std::size_t block)
     }
     if (barrierArrivals[block] > 0 && barrierArrivals[block] >= live) {
         barrierArrivals[block] = 0;
-        for (int w = first; w < last; ++w)
-            warps[static_cast<std::size_t>(w)].atBarrier = false;
+        for (int w = first; w < last; ++w) {
+            WarpRuntime& warp = warps[static_cast<std::size_t>(w)];
+            warp.atBarrier = false;
+            WarpReadyMemo& memo = readyMemo_[static_cast<std::size_t>(w)];
+            memo.inactive = warp.finished;
+            memo.valid = false;
+            if (memo.inactive)
+                clearScanBit(w);
+            else
+                setScanBit(w);
+        }
         readyClean_ = false; // released warps are issueable again
     }
 }
@@ -277,11 +318,25 @@ Sm::issue(WarpId warp_id, Cycle now)
         }
         break;
     }
+
+    // The issue changed this warp's pc and possibly its scoreboard:
+    // its readiness memo must be re-derived on the next scan.
+    // `inactive` reads the post-issue state — a kBarrier issue parks
+    // the warp (unless its own arrival completed the barrier), a final
+    // kExit retires it.
+    WarpReadyMemo& memo = readyMemo_[static_cast<std::size_t>(warp_id)];
+    memo.valid = false;
+    memo.inactive = warp.finished || warp.atBarrier;
+    if (memo.inactive)
+        clearScanBit(warp_id);
+    else
+        setScanBit(warp_id);
 }
 
 bool
 Sm::tick(Cycle now)
 {
+    prof::Scope profile(prof::Phase::kIssue);
     now_ = now;
     ++stats_.cycles;
 
@@ -372,6 +427,8 @@ Sm::onLoadComplete(WarpId warp_id, int dst_reg, Cycle now)
     warp.regReadyAt[static_cast<std::size_t>(dst_reg)] = now;
     assert(warp.outstandingLoads > 0);
     --warp.outstandingLoads;
+    readyMemo_[static_cast<std::size_t>(warp_id)].valid = false;
+    setScanBit(warp_id); // the load wait (if any) just resolved
     readyClean_ = false; // the warp may be issueable again
 }
 
@@ -445,6 +502,45 @@ Sm::auditInvariants(Cycle now) const
                 << " live) but not released\n";
         }
     }
+
+    // Per-warp readiness memo: every valid entry must re-derive to the
+    // same value from the kernel and scoreboard, and `inactive` must
+    // mirror finished/atBarrier exactly (an over-eager inactive flag
+    // would silently stop a live warp from ever issuing).
+    for (int w = 0; w < cfg.warpsPerSm; ++w) {
+        const WarpRuntime& warp = warps[static_cast<std::size_t>(w)];
+        const WarpReadyMemo& memo = readyMemo_[static_cast<std::size_t>(w)];
+        if (memo.inactive != (warp.finished || warp.atBarrier)) {
+            out << "sm" << smId << " warp " << w << ": memo inactive="
+                << memo.inactive << " but finished=" << warp.finished
+                << " atBarrier=" << warp.atBarrier << "\n";
+        }
+        if (!scanBit(w) && !memo.inactive &&
+            !(memo.valid && memo.waitsOnLoad)) {
+            out << "sm" << smId << " warp " << w << ": dropped from the "
+                << "ready scan without a proof it cannot issue (valid="
+                << memo.valid << " waitsOnLoad=" << memo.waitsOnLoad
+                << ")\n";
+        }
+        if (memo.valid && !memo.inactive) {
+            WarpReadyMemo fresh;
+            refreshReadyMemo(warp, fresh);
+            if (fresh.regsReady != memo.regsReady ||
+                fresh.waitsOnLoad != memo.waitsOnLoad ||
+                fresh.isMemory != memo.isMemory) {
+                out << "sm" << smId << " warp " << w
+                    << ": stale readiness memo (regsReady "
+                    << memo.regsReady << " vs " << fresh.regsReady
+                    << ", waitsOnLoad " << memo.waitsOnLoad << " vs "
+                    << fresh.waitsOnLoad << ", isMemory " << memo.isMemory
+                    << " vs " << fresh.isMemory << ")\n";
+            }
+        }
+    }
+
+    // L1 tag array: set-index consistency, duplicate tags, and
+    // resident-while-pending violations.
+    out << l1_.auditTags();
 
     // L1 MSHRs pair one-to-one with in-flight memory-system reads;
     // adaptive-bypass requests skip the L1, so with bypass on the MSHR

@@ -301,6 +301,56 @@ class Sm final : public SmContext,
     bool readyClean_ = false;
     bool readyCanAccept_ = true; ///< lsu_.canAccept() at scan time
     Cycle readyWakeAt_ = 0;      ///< earliest finite reg-ready cycle
+
+    /**
+     * Per-warp readiness memo. A warp's readiness between state
+     * changes is a pure function of (pcIndex, the instruction's
+     * registers' regReadyAt, lsu.canAccept, now); everything except
+     * canAccept/now is frozen between the warp's own mutations, so
+     * collectReady() caches the expensive part — the kernel fetch and
+     * register scan — per warp and invalidates only at the mutation
+     * sites (issue, load completion, barrier release, finish).
+     * `inactive` mirrors finished/atBarrier so the hot scan never
+     * dereferences the fat WarpRuntime for parked or finished warps.
+     */
+    struct WarpReadyMemo
+    {
+        Cycle regsReady = 0;      ///< max reg maturity (valid w/o load wait)
+        bool valid = false;       ///< regsReady/waitsOnLoad/isMemory usable
+        bool waitsOnLoad = false; ///< some register pinned at kNeverReady
+        bool isMemory = false;    ///< instruction needs lsu.canAccept()
+        bool inactive = false;    ///< finished or parked at a barrier
+    };
+    std::vector<WarpReadyMemo> readyMemo_;
+
+    /**
+     * Scan mask over readyMemo_: bit w set = warp w must be visited by
+     * collectReady(). A clear bit is a *proof* that the warp cannot
+     * become issueable through time alone — it is finished, parked at
+     * a barrier, or waiting on a load — so the scan walks set bits
+     * only (ctz iteration). Cleared lazily when a refreshed memo shows
+     * waitsOnLoad; re-set at every event that could wake the warp
+     * (issue, load completion, barrier release).
+     */
+    std::vector<std::uint64_t> scanMask_;
+
+    void setScanBit(int w)
+    {
+        scanMask_[static_cast<std::size_t>(w) >> 6] |=
+            std::uint64_t{1} << (w & 63);
+    }
+    void clearScanBit(int w)
+    {
+        scanMask_[static_cast<std::size_t>(w) >> 6] &=
+            ~(std::uint64_t{1} << (w & 63));
+    }
+    bool scanBit(int w) const
+    {
+        return scanMask_[static_cast<std::size_t>(w) >> 6] >>
+                   (w & 63) & 1;
+    }
+
+    void refreshReadyMemo(const WarpRuntime& warp, WarpReadyMemo& memo) const;
 };
 
 } // namespace apres

@@ -6,10 +6,12 @@
 #include "cache.hpp"
 
 #include <cassert>
+#include <sstream>
 #include <utility>
 
 #include "common/bitutils.hpp"
 #include "common/metrics.hpp"
+#include "common/profile.hpp"
 
 namespace apres {
 
@@ -75,7 +77,12 @@ Cache::Cache(std::string name, const CacheConfig& config)
                                        (static_cast<std::uint64_t>(cfg.lineSize)
                                         * cfg.ways));
     assert(isPowerOfTwo(sets_) && "sets must be a power of two");
+    tags_.assign(static_cast<std::size_t>(sets_) * cfg.ways, kInvalidAddr);
     lines.resize(static_cast<std::size_t>(sets_) * cfg.ways);
+    // The MSHR file is bounded by numMshrs: preallocate so no
+    // simulation-path insert ever rehashes.
+    mshrs.reserve(cfg.numMshrs);
+    everResident.reserve(4 * static_cast<std::size_t>(sets_) * cfg.ways);
 }
 
 std::uint32_t
@@ -91,53 +98,52 @@ Cache::setIndex(Addr line_addr) const
     return static_cast<std::uint32_t>(line % sets_);
 }
 
-Cache::Line*
-Cache::findLine(Addr line_addr)
+std::size_t
+Cache::findIdx(Addr line_addr) const
 {
     const std::uint32_t set = setIndex(line_addr);
-    Line* base = &lines[static_cast<std::size_t>(set) * cfg.ways];
+    const std::size_t base = static_cast<std::size_t>(set) * cfg.ways;
+    // One contiguous run of 8-byte tags: a whole 8-way set is a single
+    // 64-byte cache line of the host.
+    const Addr* tags = &tags_[base];
     for (std::uint32_t w = 0; w < cfg.ways; ++w) {
-        if (base[w].valid && base[w].addr == line_addr)
-            return &base[w];
+        if (tags[w] == line_addr)
+            return base + w;
     }
-    return nullptr;
+    return kNoIdx;
 }
 
-const Cache::Line*
-Cache::findLine(Addr line_addr) const
+std::size_t
+Cache::victimIdx(std::uint32_t set)
 {
-    return const_cast<Cache*>(this)->findLine(line_addr);
-}
-
-Cache::Line&
-Cache::victimLine(std::uint32_t set)
-{
-    Line* base = &lines[static_cast<std::size_t>(set) * cfg.ways];
+    const std::size_t base = static_cast<std::size_t>(set) * cfg.ways;
     // Invalid ways are always preferred, for every policy.
     for (std::uint32_t w = 0; w < cfg.ways; ++w) {
-        if (!base[w].valid)
-            return base[w];
+        if (tags_[base + w] == kInvalidAddr)
+            return base + w;
     }
     if (cfg.replacement == ReplacementPolicy::kRandom) {
         // xorshift64: deterministic, seeded per cache.
         randomState ^= randomState << 13;
         randomState ^= randomState >> 7;
         randomState ^= randomState << 17;
-        return base[randomState % cfg.ways];
+        return base + randomState % cfg.ways;
     }
     // kLru and kFifo both evict the smallest timestamp; they differ in
     // whether hits refresh it (see recordDemandHit / fill).
-    Line* victim = &base[0];
+    std::size_t victim = base;
     for (std::uint32_t w = 0; w < cfg.ways; ++w) {
-        if (base[w].lastUse < victim->lastUse)
-            victim = &base[w];
+        if (lines[base + w].lastUse < lines[victim].lastUse)
+            victim = base + w;
     }
-    return *victim;
+    return victim;
 }
 
+template <bool kMetrics>
 void
-Cache::recordDemandHit(Line& line, const MemRequest& req)
+Cache::recordDemandHit(std::size_t idx, const MemRequest& req)
 {
+    Line& line = lines[idx];
     ++stats_.demandHits;
     if (lastDemandWasHit)
         ++stats_.hitAfterHit;
@@ -151,7 +157,7 @@ Cache::recordDemandHit(Line& line, const MemRequest& req)
         ++stats_.usefulPrefetches;
         // Timeliness: the prefetch landed this many cycles before its
         // first demand consumer (req.issued = demand access cycle).
-        if (metrics_ && req.issued >= line.prefetchIssuedAt) {
+        if (kMetrics && req.issued >= line.prefetchIssuedAt) {
             metrics_->prefetchTimeliness.add(req.issued -
                                              line.prefetchIssuedAt);
         }
@@ -162,36 +168,35 @@ Cache::recordDemandHit(Line& line, const MemRequest& req)
 void
 Cache::classifyMiss(Addr line_addr)
 {
-    if (everResident.count(line_addr))
+    if (everResident.contains(line_addr))
         ++stats_.capacityConflictMisses;
     else
         ++stats_.coldMisses;
     // A correctly predicted prefetch whose line was evicted before the
     // demand arrived: the paper's "early eviction" (Section III-C).
-    const auto it = earlyEvictedLines.find(line_addr);
-    if (it != earlyEvictedLines.end()) {
+    if (earlyEvictedLines.erase(line_addr)) {
         ++stats_.earlyEvictions;
         // Reclassify: the eviction was provisionally counted useless.
         --stats_.uselessPrefetchEvictions;
-        earlyEvictedLines.erase(it);
     }
 }
 
 void
-Cache::evict(Line& line)
+Cache::evict(std::size_t idx)
 {
-    if (!line.valid)
+    if (tags_[idx] == kInvalidAddr)
         return;
+    Line& line = lines[idx];
     ++stats_.evictions;
     if (line.prefetched && !line.demandTouched) {
         // Provisionally useless; reclassified as an early eviction if
         // a demand miss for this line shows up later.
         ++stats_.uselessPrefetchEvictions;
-        earlyEvictedLines.insert(line.addr);
+        earlyEvictedLines.insert(tags_[idx]);
     }
     if (evictionListener)
-        evictionListener(line.addr, line.toucherMask);
-    line.valid = false;
+        evictionListener(tags_[idx], line.toucherMask);
+    tags_[idx] = kInvalidAddr;
 }
 
 void
@@ -200,22 +205,22 @@ Cache::setEvictionListener(EvictionListener listener)
     evictionListener = std::move(listener);
 }
 
+template <bool kMetrics>
 AccessOutcome
-Cache::access(const MemRequest& req)
+Cache::accessImpl(const MemRequest& req)
 {
     assert(!req.isWrite && !req.isPrefetch);
     ++stats_.demandAccesses;
 
-    if (Line* line = findLine(req.lineAddr)) {
-        recordDemandHit(*line, req);
+    const std::size_t idx = findIdx(req.lineAddr);
+    if (idx != kNoIdx) {
+        recordDemandHit<kMetrics>(idx, req);
         return AccessOutcome::kHit;
     }
 
     // Outstanding miss for the same line: merge.
-    const auto it = mshrs.find(req.lineAddr);
-    if (it != mshrs.end()) {
-        MshrEntry& entry = it->second;
-        if (entry.waiters.size() >= cfg.maxMergesPerMshr) {
+    if (MshrEntry* entry = mshrs.find(req.lineAddr)) {
+        if (entry->waiters.size() >= cfg.maxMergesPerMshr) {
             ++stats_.mshrFullEvents;
             --stats_.demandAccesses; // the access will be replayed
             return AccessOutcome::kMshrFull;
@@ -224,17 +229,17 @@ Cache::access(const MemRequest& req)
         lastDemandWasHit = false;
         classifyMiss(req.lineAddr);
         ++stats_.mshrMerges;
-        if (entry.prefetchOnly) {
+        if (entry->prefetchOnly) {
             ++stats_.demandMergedIntoPrefetch;
             // Merged-late coverage still has a timeliness distance:
             // demand arrived while the prefetch was in flight.
-            if (metrics_ && req.issued >= entry.prefetchIssuedAt) {
+            if (kMetrics && req.issued >= entry->prefetchIssuedAt) {
                 metrics_->prefetchTimeliness.add(req.issued -
-                                                 entry.prefetchIssuedAt);
+                                                 entry->prefetchIssuedAt);
             }
-            entry.prefetchOnly = false;
+            entry->prefetchOnly = false;
         }
-        entry.waiters.push_back(req);
+        entry->waiters.push_back(req);
         return AccessOutcome::kMergedMshr;
     }
 
@@ -247,22 +252,30 @@ Cache::access(const MemRequest& req)
     ++stats_.demandMisses;
     lastDemandWasHit = false;
     classifyMiss(req.lineAddr);
-    MshrEntry entry;
-    entry.prefetchOnly = false;
-    entry.waiters.push_back(req);
-    mshrs.emplace(req.lineAddr, std::move(entry));
+    MshrEntry* entry = mshrs.insert(req.lineAddr).first;
+    entry->prefetchOnly = false;
+    entry->waiters.push_back(req);
     return AccessOutcome::kMiss;
+}
+
+AccessOutcome
+Cache::access(const MemRequest& req)
+{
+    prof::Scope profile(prof::Phase::kCache);
+    // One dispatch on the sink hoists every per-access metrics branch
+    // into dead code of the <false> instantiation.
+    return metrics_ ? accessImpl<true>(req) : accessImpl<false>(req);
 }
 
 PrefetchOutcome
 Cache::prefetch(const MemRequest& req)
 {
     assert(req.isPrefetch);
-    if (findLine(req.lineAddr) != nullptr) {
+    if (findIdx(req.lineAddr) != kNoIdx) {
         ++stats_.prefetchDropHit;
         return PrefetchOutcome::kDroppedHit;
     }
-    if (mshrs.count(req.lineAddr)) {
+    if (mshrs.contains(req.lineAddr)) {
         ++stats_.prefetchDropPending;
         return PrefetchOutcome::kDroppedPending;
     }
@@ -271,10 +284,9 @@ Cache::prefetch(const MemRequest& req)
         return PrefetchOutcome::kDroppedMshrFull;
     }
     ++stats_.prefetchesAccepted;
-    MshrEntry entry;
-    entry.prefetchOnly = true;
-    entry.prefetchIssuedAt = req.issued;
-    mshrs.emplace(req.lineAddr, std::move(entry));
+    MshrEntry* entry = mshrs.insert(req.lineAddr).first;
+    entry->prefetchOnly = true;
+    entry->prefetchIssuedAt = req.issued;
     return PrefetchOutcome::kIssued;
 }
 
@@ -283,10 +295,11 @@ Cache::storeAccess(const MemRequest& req)
 {
     assert(req.isWrite);
     ++stats_.storeAccesses;
-    if (Line* line = findLine(req.lineAddr)) {
+    const std::size_t idx = findIdx(req.lineAddr);
+    if (idx != kNoIdx) {
         // Write-through: update in place, keep resident.
-        line->lastUse = ++useClock;
-        line->demandTouched = true;
+        lines[idx].lastUse = ++useClock;
+        lines[idx].demandTouched = true;
         ++stats_.storeHits;
         return true;
     }
@@ -297,30 +310,31 @@ Cache::storeAccess(const MemRequest& req)
 Cache::FillResult
 Cache::fill(Addr line_addr)
 {
+    prof::Scope profile(prof::Phase::kCache);
     FillResult result;
     Cycle pf_issued = 0;
-    const auto it = mshrs.find(line_addr);
-    if (it != mshrs.end()) {
-        result.waiters = std::move(it->second.waiters);
-        result.prefetchOnly = it->second.prefetchOnly;
-        pf_issued = it->second.prefetchIssuedAt;
-        mshrs.erase(it);
+    if (MshrEntry* entry = mshrs.find(line_addr)) {
+        result.waiters = std::move(entry->waiters);
+        result.prefetchOnly = entry->prefetchOnly;
+        pf_issued = entry->prefetchIssuedAt;
+        mshrs.erase(line_addr);
     }
 
     // Allocate-on-fill. The line may already be resident if a fill
     // races a previous one for the same address (possible when a line
     // was filled, evicted and re-fetched); refresh it in place then.
-    if (Line* existing = findLine(line_addr)) {
-        existing->lastUse = ++useClock;
+    const std::size_t existing = findIdx(line_addr);
+    if (existing != kNoIdx) {
+        lines[existing].lastUse = ++useClock;
         return result;
     }
 
-    Line& victim = victimLine(setIndex(line_addr));
-    evict(victim);
+    const std::size_t idx = victimIdx(setIndex(line_addr));
+    evict(idx);
 
     ++stats_.fills;
-    victim.addr = line_addr;
-    victim.valid = true;
+    Line& victim = lines[idx];
+    tags_[idx] = line_addr;
     victim.prefetched = result.prefetchOnly;
     victim.demandTouched = !result.prefetchOnly;
     victim.prefetchIssuedAt = result.prefetchOnly ? pf_issued : 0;
@@ -337,18 +351,57 @@ Cache::fill(Addr line_addr)
 bool
 Cache::contains(Addr line_addr) const
 {
-    return findLine(line_addr) != nullptr;
+    return findIdx(line_addr) != kNoIdx;
 }
 
 bool
 Cache::isPending(Addr line_addr) const
 {
-    return mshrs.count(line_addr) != 0;
+    return mshrs.contains(line_addr);
+}
+
+std::string
+Cache::auditTags() const
+{
+    std::ostringstream out;
+    for (std::uint32_t set = 0; set < sets_; ++set) {
+        const std::size_t base = static_cast<std::size_t>(set) * cfg.ways;
+        for (std::uint32_t w = 0; w < cfg.ways; ++w) {
+            const Addr tag = tags_[base + w];
+            if (tag == kInvalidAddr)
+                continue;
+            if (setIndex(tag) != set) {
+                out << name_ << " set " << set << " way " << w << ": tag 0x"
+                    << std::hex << tag << std::dec
+                    << " indexes to set " << setIndex(tag) << "\n";
+            }
+            if (mshrs.contains(tag)) {
+                out << name_ << " set " << set << " way " << w << ": tag 0x"
+                    << std::hex << tag << std::dec
+                    << " is resident and has an outstanding MSHR\n";
+            }
+            for (std::uint32_t v = w + 1; v < cfg.ways; ++v) {
+                if (tags_[base + v] == tag) {
+                    out << name_ << " set " << set << ": duplicate tag 0x"
+                        << std::hex << tag << std::dec << " in ways " << w
+                        << " and " << v << "\n";
+                }
+            }
+        }
+    }
+    return out.str();
+}
+
+void
+Cache::corruptTagForTest(std::uint32_t set, std::uint32_t way, Addr tag)
+{
+    tags_[static_cast<std::size_t>(set) * cfg.ways + way] = tag;
 }
 
 void
 Cache::reset()
 {
+    tags_.assign(tags_.size(), kInvalidAddr);
     for (auto& line : lines)
         line = Line{};
     mshrs.clear();

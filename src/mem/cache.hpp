@@ -17,6 +17,13 @@
  *    merged-late (demand merged into the prefetch MSHR), early-evicted
  *    (correctly predicted line evicted before its demand arrived,
  *    Section III-C), and useless.
+ *
+ * Hot-path layout: tags live in a structure-of-arrays `tags_` vector
+ * (kInvalidAddr = invalid way) so findLine() probes one contiguous
+ * 64-byte run of tags per set instead of striding through the fat
+ * per-line payload structs; MSHRs and the miss-taxonomy residency
+ * sets are open-addressing tables (mem/addr_table.hpp) instead of
+ * node-based std hashes.
  */
 
 #ifndef APRES_MEM_CACHE_HPP
@@ -25,12 +32,11 @@
 #include <cstdint>
 #include <functional>
 #include <string>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "common/types.hpp"
 #include "common/warp_mask.hpp"
+#include "mem/addr_table.hpp"
 #include "mem/request.hpp"
 
 namespace apres {
@@ -196,7 +202,9 @@ class Cache
      * Install a metrics sink (null = off). The cache samples prefetch
      * timeliness — cycles between a prefetch's issue and the first
      * demand touching its line (on residency hit or MSHR merge); pure
-     * observation, no outcome changes.
+     * observation, no outcome changes. The demand path dispatches once
+     * on the sink's presence into a metrics-free template
+     * instantiation, so a null sink costs nothing per access.
      */
     void setMetrics(MetricsRegistry* metrics) { metrics_ = metrics; }
 
@@ -215,11 +223,25 @@ class Cache
     /** Number of sets. */
     std::uint32_t numSets() const { return sets_; }
 
+    /**
+     * Audit the SoA tag array: every valid tag must index to its set,
+     * a set must not hold duplicate tags, and a resident line must not
+     * also have an outstanding MSHR entry.
+     * @return "" when consistent, else a description of the violation.
+     */
+    std::string auditTags() const;
+
+    /**
+     * TEST HOOK: overwrite the tag of (@p set, @p way) with @p tag,
+     * bypassing every fill/evict invariant, so hardening tests can
+     * watch the auditor flag the corruption (SimError kInvariant).
+     */
+    void corruptTagForTest(std::uint32_t set, std::uint32_t way, Addr tag);
+
   private:
+    /** Per-line payload; the tag itself lives in tags_ (SoA). */
     struct Line
     {
-        Addr addr = kInvalidAddr;
-        bool valid = false;
         bool prefetched = false;
         bool demandTouched = false;
         std::uint64_t lastUse = 0;
@@ -234,21 +256,27 @@ class Cache
         std::vector<MemRequest> waiters;
     };
 
+    /** "No such line" result of findIdx. */
+    static constexpr std::size_t kNoIdx = ~static_cast<std::size_t>(0);
+
     std::uint32_t setIndex(Addr line_addr) const;
-    Line* findLine(Addr line_addr);
-    const Line* findLine(Addr line_addr) const;
-    Line& victimLine(std::uint32_t set);
-    void recordDemandHit(Line& line, const MemRequest& req);
+    std::size_t findIdx(Addr line_addr) const;
+    std::size_t victimIdx(std::uint32_t set);
+    template <bool kMetrics>
+    void recordDemandHit(std::size_t idx, const MemRequest& req);
+    template <bool kMetrics>
+    AccessOutcome accessImpl(const MemRequest& req);
     void classifyMiss(Addr line_addr);
-    void evict(Line& line);
+    void evict(std::size_t idx);
 
     std::string name_;
     CacheConfig cfg;
     std::uint32_t sets_;
-    std::vector<Line> lines;                     // sets_ * ways, row-major
-    std::unordered_map<Addr, MshrEntry> mshrs;
-    std::unordered_set<Addr> everResident;       // for cold-miss taxonomy
-    std::unordered_set<Addr> earlyEvictedLines;  // prefetched, never touched
+    std::vector<Addr> tags_;  // sets_ * ways, SoA; kInvalidAddr = invalid
+    std::vector<Line> lines;  // sets_ * ways, row-major payloads
+    AddrMap<MshrEntry> mshrs;
+    AddrSet everResident;       // for cold-miss taxonomy
+    AddrSet earlyEvictedLines;  // prefetched, never touched
     std::uint64_t useClock = 0;
     std::uint64_t randomState = 0x243F6A8885A308D3ull; // deterministic
     bool lastDemandWasHit = false;

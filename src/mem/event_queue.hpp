@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Bucketed calendar queue for memory-system completion events.
+ *
+ * The std::priority_queue it replaces pays an O(log n) sift on every
+ * push and pop and scatters events across a heap with no temporal
+ * locality. Completion events have structure a binary heap ignores:
+ *
+ *  - ready cycles are bounded a few hundred cycles ahead of the drain
+ *    point (L2 hit latency .. DRAM latency plus queueing), so a ring
+ *    of single-cycle buckets covers almost every event;
+ *  - the consumer drains strictly monotonically (tick(now) with
+ *    non-decreasing now), so a bucket can be recycled as soon as its
+ *    cycle has passed.
+ *
+ * Events whose ready cycle falls beyond the ring land in an unsorted
+ * overflow list and migrate into the ring lazily, whenever the window
+ * advances. Migration happens *eagerly on every window advance*, which
+ * guarantees that a bucket never interleaves a migrated event after a
+ * directly-pushed one with a larger sequence number — see popUntil().
+ *
+ * Delivery order is exactly the replaced heap's: (ready cycle, push
+ * sequence). The bitwise-identity contract (ff_equivalence) depends on
+ * that tie-break, and calendar_queue_test pins it.
+ */
+
+#ifndef APRES_MEM_EVENT_QUEUE_HPP
+#define APRES_MEM_EVENT_QUEUE_HPP
+
+#include <cassert>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/bitutils.hpp"
+#include "common/types.hpp"
+
+namespace apres {
+
+/** nextReady() result when no event is pending. */
+inline constexpr Cycle kNoEventReady = std::numeric_limits<Cycle>::max();
+
+template <typename T>
+class CalendarQueue
+{
+  public:
+    /** @param window ring size in cycles; rounded up to a power of 2. */
+    explicit CalendarQueue(std::size_t window = 4096)
+    {
+        std::size_t w = 64;
+        while (w < window)
+            w <<= 1;
+        buckets_.resize(w);
+        liveBits_.assign(w / 64, 0);
+        mask_ = w - 1;
+    }
+
+    /**
+     * Schedule @p value at @p ready. @pre ready >= every cycle already
+     * drained through popUntil (events are never scheduled in the
+     * past).
+     */
+    void
+    push(Cycle ready, const T& value)
+    {
+        assert(ready >= base_ && "event scheduled before the drain point");
+        const std::uint64_t seq = seq_++;
+        if (ready - base_ <= mask_) {
+            const std::size_t b = static_cast<std::size_t>(ready) & mask_;
+            buckets_[b].push_back(Item{seq, value});
+            liveBits_[b >> 6] |= std::uint64_t{1} << (b & 63);
+            ++nearCount_;
+        } else {
+            far_.push_back(FarItem{ready, seq, value});
+            if (ready < farMin_)
+                farMin_ = ready;
+        }
+        ++size_;
+        if (ready < cachedNext_)
+            cachedNext_ = ready;
+    }
+
+    /** Earliest pending ready cycle; kNoEventReady when empty. */
+    Cycle
+    nextReady() const
+    {
+        return cachedNext_;
+    }
+
+    bool empty() const { return size_ == 0; }
+    std::size_t size() const { return size_; }
+
+    /** Ring capacity in cycles (tests observe wrap behavior). */
+    std::size_t window() const { return mask_ + 1; }
+
+    /**
+     * Deliver every event with ready <= @p now, in (ready, seq) order,
+     * as fn(ready, value). fn may push() new events, provided their
+     * ready cycles are > now (true for any model with latency >= 1).
+     */
+    template <typename Fn>
+    void
+    popUntil(Cycle now, Fn&& fn)
+    {
+        if (cachedNext_ > now)
+            return;
+        while (size_ != 0) {
+            const Cycle next = nearCount_ != 0 ? scanNear() : farMin_;
+            if (next > now)
+                break;
+            if (nearCount_ == 0) {
+                // Only far events are pending and the earliest is due:
+                // jump the window to it and pull its era into the ring.
+                base_ = next;
+                migrateFar();
+                continue;
+            }
+            const std::size_t b = static_cast<std::size_t>(next) & mask_;
+            std::vector<Item>& bucket = buckets_[b];
+            // The window invariant (all near events within mask_+1
+            // cycles of base_) means this bucket holds exactly cycle
+            // `next`; push order is seq order.
+            liveBits_[b >> 6] &= ~(std::uint64_t{1} << (b & 63));
+            nearCount_ -= bucket.size();
+            size_ -= bucket.size();
+            // Swap out first: fn may push, and a new event can never
+            // land in this cycle's bucket again (its ready > now and
+            // a same-index ready differs by >= window, hence far).
+            scratch_.clear();
+            scratch_.swap(bucket);
+            base_ = next; // drained up to here
+            migrateFar();
+            for (Item& item : scratch_)
+                fn(next, item.value);
+        }
+        if (now + 1 > base_) {
+            base_ = now + 1;
+            migrateFar();
+        }
+        recomputeNext();
+    }
+
+    /** Drop every pending event. */
+    void
+    clear()
+    {
+        for (std::vector<Item>& bucket : buckets_)
+            bucket.clear();
+        liveBits_.assign(liveBits_.size(), 0);
+        far_.clear();
+        nearCount_ = 0;
+        size_ = 0;
+        seq_ = 0;
+        base_ = 0;
+        farMin_ = kNoEventReady;
+        cachedNext_ = kNoEventReady;
+    }
+
+  private:
+    struct Item
+    {
+        std::uint64_t seq = 0;
+        T value{};
+    };
+
+    struct FarItem
+    {
+        Cycle ready = 0;
+        std::uint64_t seq = 0;
+        T value{};
+    };
+
+    /** Earliest near cycle. @pre nearCount_ != 0 */
+    Cycle
+    scanNear() const
+    {
+        const std::size_t start = static_cast<std::size_t>(base_) & mask_;
+        const std::size_t bit = findLive(start);
+        return base_ + ((bit - start) & mask_);
+    }
+
+    /** First live bucket at or circularly after @p start. */
+    std::size_t
+    findLive(std::size_t start) const
+    {
+        const std::size_t words = liveBits_.size();
+        std::size_t word = start >> 6;
+        // Mask off bits before `start` in its word, then walk.
+        std::uint64_t bits = liveBits_[word] &
+            (~std::uint64_t{0} << (start & 63));
+        for (std::size_t i = 0; i <= words; ++i) {
+            if (bits != 0) {
+                return (word << 6) +
+                    static_cast<std::size_t>(std::countr_zero(bits));
+            }
+            word = word + 1 == words ? 0 : word + 1;
+            bits = liveBits_[word];
+        }
+        assert(false && "findLive with no live bucket");
+        return 0;
+    }
+
+    /** Pull far events that now fit the window into the ring. */
+    void
+    migrateFar()
+    {
+        if (farMin_ - base_ > mask_)
+            return;
+        std::size_t kept = 0;
+        Cycle new_min = kNoEventReady;
+        for (FarItem& item : far_) {
+            if (item.ready - base_ <= mask_) {
+                const std::size_t b =
+                    static_cast<std::size_t>(item.ready) & mask_;
+                buckets_[b].push_back(Item{item.seq, item.value});
+                liveBits_[b >> 6] |= std::uint64_t{1} << (b & 63);
+                ++nearCount_;
+            } else {
+                if (item.ready < new_min)
+                    new_min = item.ready;
+                far_[kept++] = std::move(item);
+            }
+        }
+        far_.resize(kept);
+        farMin_ = new_min;
+    }
+
+    void
+    recomputeNext()
+    {
+        cachedNext_ = size_ == 0 ? kNoEventReady
+            : nearCount_ != 0    ? scanNear()
+                                 : farMin_;
+    }
+
+    std::vector<std::vector<Item>> buckets_;
+    std::vector<std::uint64_t> liveBits_; ///< bit b = bucket b non-empty
+    std::vector<FarItem> far_;            ///< beyond the window, unsorted
+    std::vector<Item> scratch_;           ///< reused drain buffer
+    std::size_t mask_ = 0;
+    std::size_t nearCount_ = 0;
+    std::size_t size_ = 0;
+    std::uint64_t seq_ = 0;
+    Cycle base_ = 0;                ///< all events have ready >= base_
+    Cycle farMin_ = kNoEventReady;  ///< earliest far ready
+    Cycle cachedNext_ = kNoEventReady;
+};
+
+} // namespace apres
+
+#endif // APRES_MEM_EVENT_QUEUE_HPP

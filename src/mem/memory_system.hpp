@@ -17,12 +17,12 @@
 
 #include <cstdint>
 #include <memory>
-#include <queue>
 #include <vector>
 
 #include "common/types.hpp"
 #include "mem/cache.hpp"
 #include "mem/dram.hpp"
+#include "mem/event_queue.hpp"
 #include "mem/request.hpp"
 
 namespace apres {
@@ -175,20 +175,12 @@ class MemorySystem
     void setTracer(Tracer* tracer) { tracer_ = tracer; }
 
   private:
-    /** A scheduled completion. */
+    /** A scheduled completion (ready cycle and FIFO order live in the
+     *  calendar queue). */
     struct Event
     {
-        Cycle ready = 0;
-        std::uint64_t seq = 0;  ///< FIFO tie-break for equal cycles
         MemRequest req;
         bool fillsL2 = false;   ///< response must fill the L2 partition
-
-        bool
-        operator>(const Event& other) const
-        {
-            return ready != other.ready ? ready > other.ready
-                                        : seq > other.seq;
-        }
     };
 
     /** One deferred submit captured while staging. */
@@ -197,6 +189,14 @@ class MemorySystem
         Cycle at = 0;
         MemRequest req;
         bool isWrite = false;
+    };
+
+    /** Cursor into one SM's staged queue during the k-way drain. */
+    struct DrainHead
+    {
+        Cycle at = 0;
+        int sm = 0;
+        std::size_t idx = 0;
     };
 
     void scheduleEvent(Cycle ready, const MemRequest& req, bool fills_l2);
@@ -209,15 +209,14 @@ class MemorySystem
     std::vector<std::unique_ptr<Cache>> l2s;
     std::vector<DramPartition> drams;
     std::vector<MemClient*> clients;
-    std::priority_queue<Event, std::vector<Event>, std::greater<>> events;
-    std::uint64_t seqCounter = 0;
+    CalendarQueue<Event> events;
     TrafficStats traffic_;
     std::vector<std::uint64_t> outstandingReads_; ///< per SM, in flight
     std::uint64_t responsesDelivered_ = 0;
     Tracer* tracer_ = nullptr;
     bool staging_ = false;
     std::vector<std::vector<StagedRequest>> staged_; ///< one queue per SM
-    std::vector<StagedRequest> drainScratch_; ///< reused merge buffer
+    std::vector<DrainHead> drainHeads_; ///< reused k-way merge heap
 };
 
 } // namespace apres

@@ -20,6 +20,7 @@
 #include <thread>
 
 #include "common/log.hpp"
+#include "common/profile.hpp"
 #include "common/sim_error.hpp"
 #include "sim/auditor.hpp"
 #include "sim/config_registry.hpp"
@@ -298,30 +299,70 @@ namespace {
 /**
  * Generation-counted spin barrier for the epoch engine. Epochs are a
  * few hundred simulated cycles, so parties meet every few
- * microseconds of wall time — yield-spinning beats a mutex+condvar
+ * microseconds of wall time — spinning beats a mutex+condvar
  * sleep/wake round trip at that cadence by an order of magnitude.
+ *
+ * The wait loop spins with a CPU relax hint first (a pause keeps the
+ * waiting hyperthread from starving its sibling and cuts the
+ * speculation flush when the generation flips), and falls back to
+ * yield() once the wait has clearly outlived an epoch's useful spin
+ * window — e.g. when shards are imbalanced or the host is
+ * oversubscribed.
  */
+
+/** One idle iteration of a spin-wait loop. */
+inline void
+cpuRelax()
+{
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#elif defined(__aarch64__)
+    asm volatile("yield" ::: "memory");
+#endif
+}
+
 class SpinBarrier
 {
   public:
-    explicit SpinBarrier(int parties) : parties_(parties) {}
+    explicit SpinBarrier(int parties)
+        : parties_(parties),
+          // Pause-spinning is only safe when every party can hold a
+          // hardware thread; on an oversubscribed host the spinner
+          // would burn the very core the straggler needs, so concede
+          // it immediately.
+          spinLimit_(std::thread::hardware_concurrency() >=
+                             static_cast<unsigned>(parties)
+                         ? kSpinsBeforeYield
+                         : 0)
+    {
+    }
 
     void
     arriveAndWait()
     {
+        prof::Scope profile(prof::Phase::kBarrier);
         const std::uint64_t gen = generation_.load(std::memory_order_acquire);
         if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 ==
             parties_) {
             arrived_.store(0, std::memory_order_relaxed);
             generation_.fetch_add(1, std::memory_order_release);
-        } else {
-            while (generation_.load(std::memory_order_acquire) == gen)
+            return;
+        }
+        int spins = 0;
+        while (generation_.load(std::memory_order_acquire) == gen) {
+            if (++spins <= spinLimit_)
+                cpuRelax();
+            else
                 std::this_thread::yield();
         }
     }
 
   private:
+    /** ~1-2 us of pause-spinning before conceding the core. */
+    static constexpr int kSpinsBeforeYield = 4096;
+
     const int parties_;
+    const int spinLimit_;
     std::atomic<int> arrived_{0};
     std::atomic<std::uint64_t> generation_{0};
 };
@@ -470,14 +511,29 @@ Gpu::runParallelLoop(int shard_count)
                 lastProgress = cycle;
             }
 
-            // Epoch bound: nothing submitted at cycle >= epochStart
-            // can mature before epochStart + minRespLat, and nothing
-            // already in flight matures before nextEventCycle(). The
-            // remaining clamps keep the watchdog, audit cadence,
-            // interrupt poll and cycle cap on their exact serial
-            // cycles.
-            Cycle end = std::min(cycle + minRespLat,
-                                 memsys->nextEventCycle());
+            // Epoch bound. Deliveries must happen only at epoch
+            // start, so the epoch may run until the earliest cycle a
+            // response can mature:
+            //  - anything already in flight matures at
+            //    nextEventCycle() at the earliest;
+            //  - any request submitted *during* the epoch is submitted
+            //    by an SM at a cycle >= that SM's nextWakeup(cycle)
+            //    (deliveries at `cycle` just happened in tick() above
+            //    and dirtied their SM, so nextWakeup is conservative),
+            //    and matures >= minRespLat cycles after submission.
+            // Hence min over SMs of nextWakeup + minRespLat is a sound
+            // lookahead — typically far past the old cycle+minRespLat
+            // clamp when the machine is waiting on DRAM. The remaining
+            // clamps keep the watchdog, audit cadence, interrupt poll
+            // and cycle cap on their exact serial cycles.
+            Cycle minIssue = std::numeric_limits<Cycle>::max();
+            for (const auto& sm : sms)
+                minIssue = std::min(minIssue, sm->nextWakeup(cycle));
+            const Cycle horizon =
+                minIssue >= std::numeric_limits<Cycle>::max() - minRespLat
+                    ? std::numeric_limits<Cycle>::max()
+                    : minIssue + minRespLat;
+            Cycle end = std::min(horizon, memsys->nextEventCycle());
             end = std::min(end, static_cast<Cycle>(cfg.maxCycles));
             if (watchdog != 0)
                 end = std::min(end, lastProgress + watchdog);

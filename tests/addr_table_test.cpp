@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Tests for the open-addressing address tables (AddrMap / AddrSet)
+ * backing the cache MSHR file and residency sets.
+ *
+ * The tables use linear probing with backward-shift deletion, so the
+ * interesting cases are collision chains that wrap the table, erases
+ * in the middle of a chain (the backward shift must not strand a
+ * later key), and growth rehashes. Keys here are real line addresses
+ * (multiples of 128) — the same shape the caches store.
+ */
+
+#include "mem/addr_table.hpp"
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/types.hpp"
+
+namespace apres {
+namespace {
+
+TEST(AddrMap, InsertFindErase)
+{
+    AddrMap<int> map;
+    EXPECT_EQ(map.size(), 0u);
+    EXPECT_FALSE(map.contains(0x1000));
+
+    auto [slot, inserted] = map.insert(0x1000);
+    ASSERT_TRUE(inserted);
+    *slot = 7;
+    EXPECT_TRUE(map.contains(0x1000));
+    ASSERT_NE(map.find(0x1000), nullptr);
+    EXPECT_EQ(*map.find(0x1000), 7);
+    EXPECT_EQ(map.size(), 1u);
+
+    // Second insert of the same key merges: same slot, not inserted.
+    auto [slot2, inserted2] = map.insert(0x1000);
+    EXPECT_FALSE(inserted2);
+    EXPECT_EQ(slot2, map.find(0x1000));
+    EXPECT_EQ(map.size(), 1u);
+
+    EXPECT_TRUE(map.erase(0x1000));
+    EXPECT_FALSE(map.contains(0x1000));
+    EXPECT_FALSE(map.erase(0x1000));
+    EXPECT_EQ(map.size(), 0u);
+}
+
+TEST(AddrMap, GrowthPreservesEntries)
+{
+    AddrMap<std::uint64_t> map;
+    // Far past any initial capacity: every entry survives the
+    // rehashes and finds its own value afterwards.
+    constexpr std::uint64_t kN = 5000;
+    for (std::uint64_t i = 0; i < kN; ++i) {
+        auto [slot, inserted] = map.insert(i * 128);
+        ASSERT_TRUE(inserted) << i;
+        *slot = i;
+    }
+    EXPECT_EQ(map.size(), kN);
+    for (std::uint64_t i = 0; i < kN; ++i) {
+        auto* v = map.find(i * 128);
+        ASSERT_NE(v, nullptr) << i;
+        EXPECT_EQ(*v, i);
+    }
+}
+
+TEST(AddrMap, EraseInCollisionChain)
+{
+    // Build dense clusters so linear-probe chains form, then erase
+    // every other key; the backward shift must keep the rest
+    // findable.
+    AddrMap<int> map;
+    std::vector<Addr> keys;
+    for (Addr base : {Addr{0}, Addr{1} << 32, Addr{0x7fff'0000}}) {
+        for (Addr i = 0; i < 200; ++i)
+            keys.push_back(base + i * 128);
+    }
+    for (std::size_t i = 0; i < keys.size(); ++i)
+        *map.insert(keys[i]).first = static_cast<int>(i);
+
+    for (std::size_t i = 0; i < keys.size(); i += 2)
+        ASSERT_TRUE(map.erase(keys[i]));
+
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+        if (i % 2 == 0) {
+            EXPECT_FALSE(map.contains(keys[i])) << i;
+        } else {
+            ASSERT_NE(map.find(keys[i]), nullptr) << i;
+            EXPECT_EQ(*map.find(keys[i]), static_cast<int>(i));
+        }
+    }
+    EXPECT_EQ(map.size(), keys.size() / 2);
+}
+
+TEST(AddrMap, MatchesUnorderedMapUnderChurn)
+{
+    // Deterministic pseudo-random insert/erase churn, checked against
+    // std::unordered_map as the oracle. Small key space forces heavy
+    // slot reuse after backward-shift deletions.
+    AddrMap<std::uint32_t> map;
+    std::unordered_map<Addr, std::uint32_t> oracle;
+    std::uint64_t rng = 0x243f'6a88'85a3'08d3;
+    for (int step = 0; step < 50000; ++step) {
+        rng = rng * 6364136223846793005ULL + 1442695040888963407ULL;
+        const Addr key = ((rng >> 33) % 512) * 128;
+        if ((rng >> 20) & 1) {
+            auto [slot, inserted] = map.insert(key);
+            const bool oracle_inserted = !oracle.count(key);
+            ASSERT_EQ(inserted, oracle_inserted) << step;
+            if (inserted) {
+                *slot = static_cast<std::uint32_t>(step);
+                oracle[key] = static_cast<std::uint32_t>(step);
+            }
+        } else {
+            ASSERT_EQ(map.erase(key), oracle.erase(key) > 0) << step;
+        }
+    }
+    ASSERT_EQ(map.size(), oracle.size());
+    for (const auto& [key, value] : oracle) {
+        ASSERT_NE(map.find(key), nullptr);
+        EXPECT_EQ(*map.find(key), value);
+    }
+}
+
+TEST(AddrMap, ClearAndReserve)
+{
+    AddrMap<int> map;
+    map.reserve(256);
+    const std::size_t cap = map.capacity();
+    for (Addr i = 0; i < 256; ++i)
+        *map.insert(i * 128).first = 1;
+    EXPECT_EQ(map.capacity(), cap) << "reserve(n) must cover n inserts";
+    map.clear();
+    EXPECT_EQ(map.size(), 0u);
+    for (Addr i = 0; i < 256; ++i)
+        EXPECT_FALSE(map.contains(i * 128));
+}
+
+TEST(AddrSet, InsertEraseContains)
+{
+    AddrSet set;
+    EXPECT_TRUE(set.insert(128));
+    EXPECT_FALSE(set.insert(128));
+    EXPECT_TRUE(set.contains(128));
+    EXPECT_FALSE(set.contains(256));
+    EXPECT_TRUE(set.erase(128));
+    EXPECT_FALSE(set.erase(128));
+    EXPECT_EQ(set.size(), 0u);
+}
+
+TEST(AddrSet, MatchesUnorderedSetUnderChurn)
+{
+    AddrSet set;
+    std::unordered_set<Addr> oracle;
+    std::uint64_t rng = 0x1337;
+    for (int step = 0; step < 50000; ++step) {
+        rng = rng * 6364136223846793005ULL + 1442695040888963407ULL;
+        const Addr key = ((rng >> 33) % 1024) * 128;
+        if ((rng >> 20) & 1) {
+            ASSERT_EQ(set.insert(key), oracle.insert(key).second) << step;
+        } else {
+            ASSERT_EQ(set.erase(key), oracle.erase(key) > 0) << step;
+        }
+    }
+    ASSERT_EQ(set.size(), oracle.size());
+    for (Addr key : oracle)
+        EXPECT_TRUE(set.contains(key));
+}
+
+} // namespace
+} // namespace apres

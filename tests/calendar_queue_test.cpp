@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Tests for the bucketed calendar queue that replaced the memory
+ * system's completion-event priority_queue.
+ *
+ * The contract under test: popUntil delivers events in exactly the
+ * (ready cycle, push sequence) order of the heap it replaced — the
+ * bitwise-identity of the engines depends on that tie-break — across
+ * the window wrapping, far-future events migrating into the ring,
+ * duplicate ready cycles, and pushes from inside the drain callback.
+ */
+
+#include "mem/event_queue.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/types.hpp"
+
+namespace apres {
+namespace {
+
+/** Drain everything up to @p now as (ready, value) pairs. */
+std::vector<std::pair<Cycle, int>>
+drain(CalendarQueue<int>& q, Cycle now)
+{
+    std::vector<std::pair<Cycle, int>> out;
+    q.popUntil(now, [&](Cycle ready, int& v) {
+        out.emplace_back(ready, v);
+    });
+    return out;
+}
+
+TEST(CalendarQueue, EmptyQueue)
+{
+    CalendarQueue<int> q;
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.nextReady(), kNoEventReady);
+    EXPECT_TRUE(drain(q, 1000000).empty());
+}
+
+TEST(CalendarQueue, OrdersByReadyThenSeq)
+{
+    CalendarQueue<int> q;
+    q.push(50, 1);
+    q.push(10, 2);
+    q.push(50, 3); // same cycle as the first: seq breaks the tie
+    q.push(30, 4);
+    EXPECT_EQ(q.nextReady(), 10u);
+    EXPECT_EQ(q.size(), 4u);
+
+    const auto got = drain(q, 100);
+    const std::vector<std::pair<Cycle, int>> want{
+        {10, 2}, {30, 4}, {50, 1}, {50, 3}};
+    EXPECT_EQ(got, want);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(CalendarQueue, PartialDrainRespectsNow)
+{
+    CalendarQueue<int> q;
+    q.push(10, 1);
+    q.push(20, 2);
+    q.push(30, 3);
+    EXPECT_EQ(drain(q, 20).size(), 2u);
+    EXPECT_EQ(q.nextReady(), 30u);
+    EXPECT_EQ(drain(q, 29).size(), 0u);
+    EXPECT_EQ(drain(q, 30).size(), 1u);
+}
+
+TEST(CalendarQueue, OrderingAcrossWindowWrap)
+{
+    // Ready cycles spanning several multiples of the window land in
+    // the same buckets modulo the ring size; the queue must still
+    // deliver them strictly by cycle as the drain point advances.
+    CalendarQueue<int> q(64); // rounds up to the minimum ring
+    const std::size_t window = q.window();
+    std::vector<std::pair<Cycle, int>> want;
+    int tag = 0;
+    for (int lap = 0; lap < 5; ++lap) {
+        for (Cycle c : {Cycle{3}, Cycle{17}, Cycle{63}}) {
+            const Cycle ready = c + static_cast<Cycle>(lap) * window;
+            q.push(ready, tag);
+            want.emplace_back(ready, tag);
+            ++tag;
+        }
+    }
+    std::stable_sort(want.begin(), want.end(),
+                     [](const auto& a, const auto& b) {
+                         return a.first < b.first;
+                     });
+    // Drain incrementally, one window per step, like the engine does.
+    std::vector<std::pair<Cycle, int>> got;
+    for (Cycle now = 0; now < 6 * window; now += 7) {
+        for (auto& e : drain(q, now))
+            got.push_back(e);
+    }
+    EXPECT_EQ(got, want);
+}
+
+TEST(CalendarQueue, FarFutureEventsMigrate)
+{
+    CalendarQueue<int> q(64);
+    const Cycle far = static_cast<Cycle>(q.window()) * 100;
+    q.push(far, 1);
+    q.push(5, 2);
+    q.push(far + 1, 3);
+    EXPECT_EQ(q.nextReady(), 5u);
+
+    EXPECT_EQ(drain(q, far - 1),
+              (std::vector<std::pair<Cycle, int>>{{5, 2}}));
+    EXPECT_EQ(q.nextReady(), far);
+    EXPECT_EQ(drain(q, far + 10),
+              (std::vector<std::pair<Cycle, int>>{{far, 1},
+                                                  {far + 1, 3}}));
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(CalendarQueue, FarEventsKeepSeqOrderOnSameCycle)
+{
+    // Two pushes for one far cycle, interleaved with a near push;
+    // after migration they must still drain in push order.
+    CalendarQueue<int> q(64);
+    const Cycle far = static_cast<Cycle>(q.window()) * 3 + 9;
+    q.push(far, 1);
+    q.push(2, 2);
+    q.push(far, 3);
+    const auto got = drain(q, far);
+    const std::vector<std::pair<Cycle, int>> want{
+        {2, 2}, {far, 1}, {far, 3}};
+    EXPECT_EQ(got, want);
+}
+
+TEST(CalendarQueue, PushFromInsideDrainCallback)
+{
+    // The memory system pushes follow-up completions while tick()
+    // drains (an L2 miss schedules its DRAM fill). New events are
+    // always in the future; they must be delivered by later drains.
+    CalendarQueue<int> q(64);
+    q.push(10, 1);
+    std::vector<std::pair<Cycle, int>> got;
+    q.popUntil(10, [&](Cycle ready, int& v) {
+        got.emplace_back(ready, v);
+        if (v == 1)
+            q.push(ready + 25, 2);
+    });
+    EXPECT_EQ(got, (std::vector<std::pair<Cycle, int>>{{10, 1}}));
+    EXPECT_EQ(q.nextReady(), 35u);
+    EXPECT_EQ(drain(q, 35),
+              (std::vector<std::pair<Cycle, int>>{{35, 2}}));
+}
+
+TEST(CalendarQueue, MatchesReferenceHeapUnderChurn)
+{
+    // Pseudo-random schedule against a reference (ready, seq)-sorted
+    // model: mixed near/far, duplicate cycles, monotone drains.
+    CalendarQueue<int> q(256);
+    std::uint64_t rng = 99;
+    int tag = 0;
+    Cycle now = 0;
+    std::uint64_t seq = 0;
+    std::vector<std::tuple<Cycle, std::uint64_t, int>> model;
+    for (int step = 0; step < 2000; ++step) {
+        rng = rng * 6364136223846793005ULL + 1442695040888963407ULL;
+        const int burst = static_cast<int>((rng >> 40) % 4);
+        for (int i = 0; i < burst; ++i) {
+            rng = rng * 6364136223846793005ULL + 1442695040888963407ULL;
+            // Mix of short latencies, window-sized and far-future.
+            const Cycle delay = 1 + (rng >> 33) % 2000;
+            q.push(now + delay, tag);
+            model.emplace_back(now + delay, seq++, tag);
+            ++tag;
+        }
+        rng = rng * 6364136223846793005ULL + 1442695040888963407ULL;
+        now += (rng >> 35) % 97;
+        std::vector<std::pair<Cycle, int>> got = drain(q, now);
+        std::stable_sort(model.begin(), model.end());
+        std::vector<std::pair<Cycle, int>> want;
+        std::size_t kept = 0;
+        for (auto& [ready, s, value] : model) {
+            if (ready <= now)
+                want.emplace_back(ready, value);
+            else
+                model[kept++] = {ready, s, value};
+        }
+        model.resize(kept);
+        ASSERT_EQ(got, want) << "at step " << step << " now " << now;
+    }
+    EXPECT_EQ(q.size(), model.size());
+}
+
+TEST(CalendarQueue, ClearResets)
+{
+    CalendarQueue<int> q(64);
+    q.push(10, 1);
+    q.push(static_cast<Cycle>(q.window()) * 50, 2);
+    q.clear();
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.nextReady(), kNoEventReady);
+    // Reusable from cycle 0 again after clear.
+    q.push(3, 4);
+    EXPECT_EQ(drain(q, 3),
+              (std::vector<std::pair<Cycle, int>>{{3, 4}}));
+}
+
+} // namespace
+} // namespace apres

@@ -94,6 +94,22 @@ TEST(Auditor, OversizedSapPageTableIsDetected)
                    [&] { gpu.auditNow(); });
 }
 
+TEST(Auditor, CorruptedL1TagArrayIsDetected)
+{
+    // Smash one entry of the L1's SoA tag array: the same line
+    // address planted in two ways of one set is a state no legal
+    // access/fill/evict sequence can produce, and the tag-array
+    // audit (wired into Sm::auditInvariants) must flag it even if
+    // the bogus tag happens to index to that set.
+    const auto kernel = smallKernel();
+    Gpu gpu(auditedGpu(), *kernel);
+    const Addr bogus = Addr{0xdead} * 128;
+    gpu.smForTest(0).l1Mutable().corruptTagForTest(0, 0, bogus);
+    gpu.smForTest(0).l1Mutable().corruptTagForTest(0, 1, bogus);
+    expectSimError(SimErrorKind::kInvariant, "invariant audit failed",
+                   [&] { gpu.auditNow(); });
+}
+
 TEST(Auditor, SkippedIssueableCycleIsDetected)
 {
     // Corrupt the fast-forward ready-scan cache into claiming no warp
