@@ -1,0 +1,497 @@
+/**
+ * @file
+ * Robustness tests for the serving layer: the deterministic fault
+ * injector itself, LRU eviction and journal recovery in the bounded
+ * disk cache, the startup scrub, the degradation ladder, and — over a
+ * live socket — overload shedding, accept-backoff under fd
+ * exhaustion, oversize rejection and queue-wait deadlines.
+ *
+ * Every test arms FaultInjector and resets it on teardown; the rest
+ * of the suite (serve_test.cpp) runs with injection disarmed, which
+ * is the observation-purity proof: those bitwise-identity tests pass
+ * unmodified with the seam compiled in.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cerrno>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "common/fault_inject.hpp"
+#include "common/json.hpp"
+#include "common/json_value.hpp"
+#include "serve/daemon.hpp"
+#include "serve/protocol.hpp"
+#include "serve/result_cache.hpp"
+#include "serve/serve_config.hpp"
+#include "sim_error_matchers.hpp"
+
+namespace apres {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string
+scratchDir(const std::string& tag)
+{
+    const fs::path dir = fs::temp_directory_path() /
+        ("apres_robust_test_" + std::to_string(::getpid()) + "_" + tag);
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    return dir.string();
+}
+
+/** Sockets live in /tmp directly: sun_path is only ~108 bytes. */
+std::string
+socketPath(const std::string& tag)
+{
+    return (fs::temp_directory_path() /
+            ("apres_rb_" + std::to_string(::getpid()) + "_" + tag +
+             ".sock"))
+        .string();
+}
+
+/** A one-job KM run request; tiny scale keeps it fast. */
+std::string
+kmRunRequest(const std::string& label, double scale = 0.01)
+{
+    std::ostringstream os;
+    JsonWriter json(os);
+    json.beginObject();
+    json.field("type", "run");
+    json.beginArray("jobs");
+    ServeJobSpec job;
+    job.label = label;
+    job.workload = "KM";
+    job.scale = scale;
+    writeServeJob(json, job);
+    json.endArray();
+    json.endObject();
+    json.finish();
+    return os.str();
+}
+
+/** Every test starts and ends with the injector disarmed. */
+class FaultInjection : public ::testing::Test
+{
+  protected:
+    void SetUp() override { FaultInjector::instance().reset(); }
+    void TearDown() override { FaultInjector::instance().reset(); }
+};
+
+using ResultCacheRobustness = FaultInjection;
+using ServeOverload = FaultInjection;
+
+// --------------------------------------------------------------------
+// The injector itself.
+// --------------------------------------------------------------------
+
+TEST_F(FaultInjection, DisabledIsSilentAndCountsNothing)
+{
+    EXPECT_FALSE(FaultInjector::instance().enabled());
+    EXPECT_EQ(faultInjectAt("cache.write"), 0);
+    EXPECT_EQ(FaultInjector::instance().calls("cache.write"), 0u);
+}
+
+TEST_F(FaultInjection, OccurrenceWindowsAreDeterministic)
+{
+    FaultInjector::instance().configure(
+        "t.site=enospc@2;t.other=eio@3+");
+    EXPECT_EQ(faultInjectAt("t.site"), 0);       // call 1
+    EXPECT_EQ(faultInjectAt("t.site"), ENOSPC);  // call 2: fires
+    EXPECT_EQ(faultInjectAt("t.site"), 0);       // call 3
+    EXPECT_EQ(faultInjectAt("t.other"), 0);
+    EXPECT_EQ(faultInjectAt("t.other"), 0);
+    EXPECT_EQ(faultInjectAt("t.other"), EIO);    // 3+ fires forever
+    EXPECT_EQ(faultInjectAt("t.other"), EIO);
+    EXPECT_EQ(FaultInjector::instance().calls("t.site"), 3u);
+    EXPECT_EQ(FaultInjector::instance().fired("t.site"), 1u);
+    EXPECT_EQ(FaultInjector::instance().fired("t.other"), 2u);
+}
+
+TEST_F(FaultInjection, ThrowActionThrows)
+{
+    FaultInjector::instance().configure("t.throw=throw");
+    EXPECT_THROW(faultInjectAt("t.throw"), std::runtime_error);
+}
+
+TEST_F(FaultInjection, MalformedSpecsAreRejected)
+{
+    expectSimError(SimErrorKind::kConfig, "fault injection", [] {
+        FaultInjector::instance().configure("nonsense");
+    });
+    expectSimError(SimErrorKind::kConfig, "badaction", [] {
+        FaultInjector::instance().configure("a.b=badaction");
+    });
+    expectSimError(SimErrorKind::kConfig, "occurrence", [] {
+        FaultInjector::instance().configure("a.b=eio@0");
+    });
+    expectSimError(SimErrorKind::kConfig, "occurrence", [] {
+        FaultInjector::instance().configure("a.b=eio@5-2");
+    });
+    EXPECT_FALSE(FaultInjector::instance().enabled());
+}
+
+// --------------------------------------------------------------------
+// Bounded disk tier: LRU eviction, journal recovery, scrub.
+// --------------------------------------------------------------------
+
+TEST_F(ResultCacheRobustness, EvictsLeastRecentlyUsedAtEntryCap)
+{
+    const std::string dir = scratchDir("lru_entries");
+    ResultCache cache(dir, CacheLimits{0, 2});
+    cache.store("aaaa", "{\"n\": 1}");
+    cache.store("bbbb", "{\"n\": 2}");
+    cache.store("cccc", "{\"n\": 3}"); // evicts aaaa (oldest)
+
+    EXPECT_EQ(cache.diskEntries(), 2u);
+    EXPECT_EQ(cache.stats().evictions, 1u);
+    EXPECT_FALSE(fs::exists(fs::path(dir) / "aaaa.json"));
+    EXPECT_TRUE(fs::exists(fs::path(dir) / "bbbb.json"));
+    EXPECT_TRUE(fs::exists(fs::path(dir) / "cccc.json"));
+    // The memory tier is unbounded: the evicted key still answers.
+    EXPECT_TRUE(cache.lookup("aaaa").has_value());
+}
+
+TEST_F(ResultCacheRobustness, LookupRefreshesRecency)
+{
+    const std::string dir = scratchDir("lru_touch");
+    ResultCache cache(dir, CacheLimits{0, 2});
+    cache.store("aaaa", "{\"n\": 1}");
+    cache.store("bbbb", "{\"n\": 2}");
+    ASSERT_TRUE(cache.lookup("aaaa").has_value()); // aaaa now newest
+    cache.store("cccc", "{\"n\": 3}");             // evicts bbbb
+
+    EXPECT_FALSE(fs::exists(fs::path(dir) / "bbbb.json"));
+    EXPECT_TRUE(fs::exists(fs::path(dir) / "aaaa.json"));
+}
+
+TEST_F(ResultCacheRobustness, EvictsByBytesAndCountsReclaim)
+{
+    const std::string dir = scratchDir("lru_bytes");
+    std::string doc = "{\"pad\": \"" + std::string(89, 'x') + "\"}";
+    ASSERT_EQ(doc.size(), 100u);
+    ResultCache cache(dir, CacheLimits{250, 0});
+    cache.store("aaaa", doc);
+    cache.store("bbbb", doc);
+    cache.store("cccc", doc); // 300 bytes > 250: evicts aaaa
+
+    EXPECT_EQ(cache.diskEntries(), 2u);
+    EXPECT_EQ(cache.diskBytes(), 200u);
+    EXPECT_EQ(cache.stats().evictions, 1u);
+    EXPECT_EQ(cache.stats().evictedBytes, 100u);
+}
+
+TEST_F(ResultCacheRobustness, RecencySurvivesRestartViaJournal)
+{
+    const std::string dir = scratchDir("lru_journal");
+    {
+        ResultCache cache(dir);
+        cache.store("aaaa", "{\"n\": 1}");
+        cache.store("bbbb", "{\"n\": 2}");
+        cache.store("cccc", "{\"n\": 3}");
+        ASSERT_TRUE(cache.lookup("aaaa").has_value()); // aaaa newest
+    } // dtor persists journal.lru
+
+    ASSERT_TRUE(fs::exists(fs::path(dir) / "journal.lru"));
+    // Reopen with a cap of 2: the scrub must evict by journaled
+    // recency — bbbb is the oldest, not aaaa.
+    ResultCache warm(dir, CacheLimits{0, 2});
+    EXPECT_EQ(warm.diskEntries(), 2u);
+    EXPECT_FALSE(fs::exists(fs::path(dir) / "bbbb.json"));
+    EXPECT_TRUE(fs::exists(fs::path(dir) / "aaaa.json"));
+    EXPECT_TRUE(fs::exists(fs::path(dir) / "cccc.json"));
+}
+
+TEST_F(ResultCacheRobustness, ScrubRepairsCrashArtifacts)
+{
+    const std::string dir = scratchDir("scrub");
+    // A crashed writer's temp file, a truncated entry and an empty
+    // entry; plus one healthy survivor.
+    std::ofstream(fs::path(dir) / "aaaa.json.tmp.12345") << "{\"n\":";
+    std::ofstream(fs::path(dir) / "bbbb.json") << "{\"truncated\": ";
+    std::ofstream(fs::path(dir) / "cccc.json");
+    std::ofstream(fs::path(dir) / "dddd.json") << "{\"n\": 4}";
+
+    ResultCache cache(dir);
+    const ResultCacheStats stats = cache.stats();
+    EXPECT_EQ(stats.scrubOrphanTmps, 1u);
+    EXPECT_EQ(stats.scrubCorruptEntries, 2u);
+    EXPECT_FALSE(fs::exists(fs::path(dir) / "aaaa.json.tmp.12345"));
+    EXPECT_FALSE(fs::exists(fs::path(dir) / "bbbb.json"));
+    EXPECT_FALSE(fs::exists(fs::path(dir) / "cccc.json"));
+    EXPECT_EQ(cache.diskEntries(), 1u);
+    EXPECT_TRUE(cache.lookup("dddd").has_value());
+}
+
+// --------------------------------------------------------------------
+// Write-path failures and the degradation ladder.
+// --------------------------------------------------------------------
+
+TEST_F(ResultCacheRobustness, EnospcOnWriteDegradesToReadOnly)
+{
+    const std::string dir = scratchDir("degrade_write");
+    {
+        ResultCache seed(dir);
+        seed.store("aaaa", "{\"n\": 1}");
+    }
+    ResultCache cache(dir, CacheLimits{});
+    ASSERT_EQ(cache.diskMode(), CacheDiskMode::kReadWrite);
+
+    FaultInjector::instance().configure("cache.write=enospc");
+    cache.store("bbbb", "{\"n\": 2}");
+    EXPECT_EQ(cache.diskMode(), CacheDiskMode::kReadOnly);
+    EXPECT_EQ(cache.stats().writeFailures, 1u);
+    EXPECT_EQ(cache.stats().degradations, 1u);
+    EXPECT_FALSE(fs::exists(fs::path(dir) / "bbbb.json"));
+    // Read-only: existing disk entries still serve, new stores stay
+    // memory-only and are counted.
+    FaultInjector::instance().reset();
+    EXPECT_TRUE(cache.lookup("aaaa").has_value());
+    EXPECT_TRUE(cache.lookup("bbbb").has_value()); // memory tier
+    cache.store("cccc", "{\"n\": 3}");
+    EXPECT_EQ(cache.stats().storesSkippedDegraded, 1u);
+    EXPECT_FALSE(fs::exists(fs::path(dir) / "cccc.json"));
+}
+
+TEST_F(ResultCacheRobustness, EioOnReadDegradesToMemoryOnly)
+{
+    const std::string dir = scratchDir("degrade_read");
+    {
+        ResultCache seed(dir);
+        seed.store("aaaa", "{\"n\": 1}");
+    }
+    ResultCache cache(dir); // entry on disk, not in this memory tier
+    FaultInjector::instance().configure("cache.read=eio");
+    EXPECT_FALSE(cache.lookup("aaaa").has_value());
+    EXPECT_EQ(cache.diskMode(), CacheDiskMode::kMemoryOnly);
+    EXPECT_EQ(cache.stats().degradations, 1u);
+    // Memory-only is terminal: nothing persists, nothing reads disk.
+    FaultInjector::instance().reset();
+    cache.store("bbbb", "{\"n\": 2}");
+    EXPECT_FALSE(fs::exists(fs::path(dir) / "bbbb.json"));
+}
+
+TEST_F(ResultCacheRobustness, FsyncAndRenameFailuresAreCounted)
+{
+    {
+        const std::string dir = scratchDir("fsync_fail");
+        ResultCache cache(dir);
+        FaultInjector::instance().configure("cache.fsync=eio@1");
+        cache.store("aaaa", "{\"n\": 1}");
+        EXPECT_EQ(cache.stats().fsyncFailures, 1u);
+        EXPECT_EQ(cache.diskMode(), CacheDiskMode::kReadOnly);
+        EXPECT_FALSE(fs::exists(fs::path(dir) / "aaaa.json"));
+        // No half-written temp file survives a failed publish.
+        std::size_t files = 0;
+        for (const auto& e : fs::directory_iterator(dir)) {
+            (void)e;
+            ++files;
+        }
+        EXPECT_EQ(files, 0u);
+    }
+    FaultInjector::instance().reset();
+    {
+        const std::string dir = scratchDir("rename_fail");
+        ResultCache cache(dir);
+        FaultInjector::instance().configure("cache.rename=eio@1");
+        cache.store("aaaa", "{\"n\": 1}");
+        EXPECT_EQ(cache.stats().renameFailures, 1u);
+        EXPECT_FALSE(fs::exists(fs::path(dir) / "aaaa.json"));
+        EXPECT_TRUE(cache.lookup("aaaa").has_value()); // memory tier
+    }
+}
+
+// --------------------------------------------------------------------
+// serve.* config registry.
+// --------------------------------------------------------------------
+
+TEST(ServeConfig, RoundTripsAndRejectsGarbage)
+{
+    ServeOptions opts;
+    ServeConfigRegistry registry(opts);
+    registry.set("serve.queueDepth", "32");
+    registry.set("serve.cacheMaxBytes", "1048576");
+    EXPECT_EQ(opts.queueDepth, 32);
+    EXPECT_EQ(opts.cacheMaxBytes, 1048576u);
+    EXPECT_EQ(registry.get("serve.queueDepth"), "32");
+    expectSimError(SimErrorKind::kConfig, "serve.queueDepth",
+                   [&] { registry.set("serve.queueDepth", "0"); });
+    expectSimError(SimErrorKind::kConfig, "serve.queueDepth",
+                   [&] { registry.set("serve.queueDepth", "soon"); });
+    expectSimError(SimErrorKind::kConfig, "serve.nope",
+                   [&] { registry.set("serve.nope", "1"); });
+    EXPECT_EQ(opts.queueDepth, 32); // untouched by failed sets
+    EXPECT_EQ(registry.keys().size(), 12u);
+}
+
+// --------------------------------------------------------------------
+// Live-socket overload behavior.
+// --------------------------------------------------------------------
+
+/** Parse a response and return its "type". */
+std::string
+responseType(const std::string& response)
+{
+    return JsonValue::parse(response).at("type").asString();
+}
+
+TEST_F(ServeOverload, FullQueueShedsTypedAndRetrySucceeds)
+{
+    // One dispatcher stuck on a deterministically slow job (250 ms),
+    // queue depth 1: a burst of 6 must shed at least one connection
+    // with a typed overloaded document, and every shed client that
+    // retries with backoff must eventually be served.
+    FaultInjector::instance().configure("job.execute=sleep:250");
+    ServeOptions opts;
+    opts.socketPath = socketPath("overload");
+    opts.queueDepth = 1;
+    opts.dispatchThreads = 1;
+    opts.threads = 1;
+    opts.retryAfterMs = 50;
+    ServeDaemon daemon(opts);
+    daemon.start();
+
+    const std::string request = kmRunRequest("burst");
+    std::atomic<int> overloaded{0};
+    std::atomic<int> servedFirstTry{0};
+    std::vector<std::thread> clients;
+    for (int i = 0; i < 6; ++i) {
+        clients.emplace_back([&] {
+            const std::string response =
+                serveRoundTrip(opts.socketPath, request);
+            if (responseType(response) == "overloaded") {
+                const JsonValue doc = JsonValue::parse(response);
+                EXPECT_EQ(doc.at("reason").asString(), "queueFull");
+                EXPECT_GE(doc.at("retryAfterMs").asUint64(), 50u);
+                ++overloaded;
+            } else {
+                EXPECT_EQ(responseType(response), "result");
+                ++servedFirstTry;
+            }
+        });
+    }
+    for (std::thread& t : clients)
+        t.join();
+    EXPECT_GE(overloaded.load(), 1);
+    EXPECT_GE(servedFirstTry.load(), 1);
+    EXPECT_GE(daemon.loadStats().shedQueueFull, 1u);
+
+    // The well-behaved client rides out the same storm with retries.
+    ServeRetryPolicy policy;
+    policy.budget = 20;
+    policy.baseMs = 25;
+    policy.seed = 42;
+    int attempts = 0;
+    const std::string response = serveRoundTripWithRetry(
+        opts.socketPath, request, policy, &attempts);
+    EXPECT_EQ(responseType(response), "result");
+    EXPECT_GE(attempts, 1);
+    daemon.stop();
+}
+
+TEST_F(ServeOverload, AcceptBacksOffThroughFdExhaustion)
+{
+    // The first three accept() calls fail with injected EMFILE. The
+    // pending connection must survive the backoff episode and be
+    // served once descriptors "free up" — no crash, no shed, and the
+    // backoff is counted instead of log-spammed.
+    FaultInjector::instance().configure("socket.accept=emfile@1-3");
+    ServeOptions opts;
+    opts.socketPath = socketPath("emfile");
+    ServeDaemon daemon(opts);
+    daemon.start();
+
+    const std::string response =
+        serveRoundTrip(opts.socketPath, "{\"type\": \"ping\"}");
+    EXPECT_EQ(responseType(response), "pong");
+    EXPECT_GE(daemon.loadStats().acceptBackoffs, 3u);
+    EXPECT_EQ(FaultInjector::instance().fired("socket.accept"), 3u);
+    daemon.stop();
+}
+
+TEST_F(ServeOverload, OversizeRequestGetsTypedReject)
+{
+    ServeOptions opts;
+    opts.socketPath = socketPath("oversize");
+    opts.maxRequestBytes = 256;
+    ServeDaemon daemon(opts);
+    daemon.start();
+
+    std::string request = "{\"type\": \"ping\", \"pad\": \"";
+    request += std::string(512, 'x');
+    request += "\"}";
+    const std::string response =
+        serveRoundTrip(opts.socketPath, request);
+    const JsonValue doc = JsonValue::parse(response);
+    EXPECT_EQ(doc.at("type").asString(), "error");
+    EXPECT_EQ(doc.at("kind").asString(), "RequestTooLarge");
+    EXPECT_EQ(daemon.loadStats().rejectedOversize, 1u);
+
+    // A request under the cap still works on the same daemon.
+    EXPECT_EQ(responseType(serveRoundTrip(opts.socketPath,
+                                          "{\"type\": \"ping\"}")),
+              "pong");
+    daemon.stop();
+}
+
+TEST_F(ServeOverload, QueueWaitDeadlineSheds)
+{
+    // One dispatcher pinned on a 400 ms job and a 50 ms queue-wait
+    // deadline: a request that sat behind it must be shed with reason
+    // "deadline", never half-served.
+    FaultInjector::instance().configure("job.execute=sleep:400@1");
+    ServeOptions opts;
+    opts.socketPath = socketPath("deadline");
+    opts.queueDepth = 8;
+    opts.dispatchThreads = 1;
+    opts.threads = 1;
+    opts.requestDeadlineMs = 50;
+    ServeDaemon daemon(opts);
+    daemon.start();
+
+    std::thread slow([&] {
+        serveRoundTrip(opts.socketPath, kmRunRequest("slow"));
+    });
+    // Let the slow job reach the dispatcher before queueing behind it.
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    const std::string response =
+        serveRoundTrip(opts.socketPath, "{\"type\": \"ping\"}");
+    slow.join();
+    const JsonValue doc = JsonValue::parse(response);
+    EXPECT_EQ(doc.at("type").asString(), "overloaded");
+    EXPECT_EQ(doc.at("reason").asString(), "deadline");
+    EXPECT_EQ(daemon.loadStats().shedDeadline, 1u);
+    daemon.stop();
+}
+
+TEST_F(ServeOverload, StatsResponseCarriesRobustnessCounters)
+{
+    const std::string dir = scratchDir("stats_counters");
+    ServeOptions opts;
+    opts.socketPath = socketPath("stats");
+    opts.cacheDir = dir;
+    opts.cacheMaxBytes = 1 << 20;
+    ServeDaemon daemon(opts);
+    const std::string response =
+        daemon.handleRequest("{\"type\": \"stats\"}");
+    const JsonValue doc = JsonValue::parse(response);
+    const JsonValue& cache = doc.at("cache");
+    EXPECT_EQ(cache.at("diskMode").asString(), "readWrite");
+    EXPECT_EQ(cache.at("maxBytes").asUint64(), 1u << 20);
+    EXPECT_EQ(cache.at("evictions").asUint64(), 0u);
+    const JsonValue& server = doc.at("server");
+    EXPECT_EQ(server.at("queueDepth").asUint64(), 16u);
+    EXPECT_EQ(server.at("shedQueueFull").asUint64(), 0u);
+}
+
+} // namespace
+} // namespace apres
