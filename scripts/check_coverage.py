@@ -9,7 +9,14 @@ which changes across distro versions.
 
 Usage:
     python3 scripts/check_coverage.py coverage.info --min 80 \
-        [--match src/apres --match src/common]
+        [--match src/apres --match src/common] \
+        [--floor src/serve=80 --floor src/sim=75]
+
+--floor adds per-directory gates on top of the aggregate --min: each
+PATTERN=PCT selects the files whose path contains PATTERN and fails
+when their combined line coverage is below PCT. This keeps one
+well-covered directory from masking an untested one inside the same
+aggregate.
 """
 
 import argparse
@@ -55,7 +62,29 @@ def main() -> int:
         help="only count files whose path contains this substring "
         "(repeatable; default: all files in the tracefile)",
     )
+    parser.add_argument(
+        "--floor",
+        action="append",
+        default=[],
+        metavar="PATTERN=PCT",
+        help="additional per-directory gate: files whose path contains "
+        "PATTERN must reach PCT%% line coverage (repeatable)",
+    )
     args = parser.parse_args()
+
+    floors = []
+    for spec in args.floor:
+        pattern, sep, pct = spec.partition("=")
+        if not sep or not pattern:
+            print(f"error: bad --floor '{spec}', want PATTERN=PCT",
+                  file=sys.stderr)
+            return 2
+        try:
+            floors.append((pattern, float(pct)))
+        except ValueError:
+            print(f"error: bad --floor percentage in '{spec}'",
+                  file=sys.stderr)
+            return 2
 
     per_file = parse_tracefile(args.tracefile)
     selected = {
@@ -85,8 +114,29 @@ def main() -> int:
         f"\nTOTAL {total_covered}/{total_lines} lines = {total_pct:.2f}% "
         f"(threshold {args.min:.2f}%)"
     )
-    if total_pct < args.min:
+    failed = total_pct < args.min
+    if failed:
         print("FAIL: coverage below threshold", file=sys.stderr)
+
+    # Per-directory floors run against the full tracefile, not the
+    # --match selection, so a floor can gate a directory the aggregate
+    # does not include.
+    for pattern, floor_pct in floors:
+        group = [c for p, c in per_file.items() if pattern in p]
+        if not group:
+            print(f"FAIL: --floor {pattern}: no files matched",
+                  file=sys.stderr)
+            failed = True
+            continue
+        covered = sum(c for c, _ in group)
+        lines = sum(n for _, n in group)
+        pct = 100.0 * covered / lines if lines else 100.0
+        verdict = "OK" if pct >= floor_pct else "FAIL"
+        print(f"{verdict} floor {pattern}: {covered}/{lines} lines = "
+              f"{pct:.2f}% (floor {floor_pct:.2f}%)")
+        failed = failed or pct < floor_pct
+
+    if failed:
         return 1
     print("OK")
     return 0

@@ -1,0 +1,187 @@
+#!/usr/bin/env python3
+"""CI gate over apres_explore output.
+
+Validates the two report documents the tool emits:
+
+  explore REPORT.json   schema apres-explore-report-v1 — structural
+                        check of every field the exploration loop
+                        promises, plus the smoke assertion that the
+                        campaign made progress: >= MIN_NEW_BINS fresh
+                        coverage bins (cold corpus must discover
+                        behavior, or the coverage map is broken).
+
+  compare REPORT.json   schema apres-compare-report-v1 — every pair
+                        must carry n >= 2 paired-seed samples and a
+                        bootstrap interval with ciLow <= meanSpeedup
+                        <= ciHigh; speedups must be finite and
+                        positive (an IPC ratio of zero means a
+                        simulation silently produced nothing).
+
+usage:
+    check_explore.py explore REPORT.json [--min-new-bins 1]
+    check_explore.py compare REPORT.json [--min-seeds 2]
+
+Exit 0 when the report is well-formed and the assertions hold, 1
+otherwise.
+"""
+
+import argparse
+import json
+import math
+import sys
+
+
+def fail(msg):
+    print(f"FAIL: {msg}", file=sys.stderr)
+    return 1
+
+
+def require(doc, key, types, where):
+    if key not in doc:
+        raise ValueError(f"{where}: missing key '{key}'")
+    if not isinstance(doc[key], types):
+        raise ValueError(
+            f"{where}: '{key}' is {type(doc[key]).__name__}, "
+            f"want {types}"
+        )
+    return doc[key]
+
+
+def check_explore(doc, min_new_bins):
+    if require(doc, "schema", str, "report") != "apres-explore-report-v1":
+        raise ValueError(f"unexpected schema {doc['schema']!r}")
+    require(doc, "seed", int, "report")
+    budget = require(doc, "budget", int, "report")
+    probes = require(doc, "probes", list, "report")
+    if not probes:
+        raise ValueError("no probes in report")
+    for i, probe in enumerate(probes):
+        require(probe, "label", str, f"probes[{i}]")
+        require(probe, "overrides", dict, f"probes[{i}]")
+    initial = require(doc, "initialCoverage", int, "report")
+    final = require(doc, "finalCoverage", int, "report")
+    new_bins = require(doc, "newBins", int, "report")
+    if final != initial + new_bins:
+        raise ValueError(
+            f"coverage books don't balance: initial {initial} + new "
+            f"{new_bins} != final {final}"
+        )
+    rounds = require(doc, "rounds", list, "report")
+    if len(rounds) != budget:
+        raise ValueError(f"{len(rounds)} rounds recorded, budget {budget}")
+    for i, rnd in enumerate(rounds):
+        require(rnd, "mode", str, f"rounds[{i}]")
+        require(rnd, "name", str, f"rounds[{i}]")
+        require(rnd, "accepted", bool, f"rounds[{i}]")
+        require(rnd, "newBins", list, f"rounds[{i}]")
+    corpus = require(doc, "corpus", list, "report")
+    for i, entry in enumerate(corpus):
+        require(entry, "name", str, f"corpus[{i}]")
+        require(entry, "signature", str, f"corpus[{i}]")
+        require(entry, "kept", bool, f"corpus[{i}]")
+    coverage = require(doc, "coverage", dict, "report")
+    total = require(coverage, "total", int, "coverage")
+    if total != final:
+        raise ValueError(
+            f"coverage.total {total} != finalCoverage {final}"
+        )
+    bins = require(coverage, "bins", list, "coverage")
+    if len(bins) != total:
+        raise ValueError(f"{len(bins)} bins listed, total says {total}")
+
+    if new_bins < min_new_bins:
+        raise ValueError(
+            f"campaign found {new_bins} new bins, need >= {min_new_bins}"
+        )
+    kept = sum(1 for e in corpus if e["kept"])
+    print(
+        f"ok: explore report valid — {len(rounds)} rounds, "
+        f"{new_bins} new bins, coverage {initial} -> {final}, "
+        f"{kept}/{len(corpus)} corpus entries kept"
+    )
+
+
+def check_compare(doc, min_seeds):
+    if require(doc, "schema", str, "report") != "apres-compare-report-v1":
+        raise ValueError(f"unexpected schema {doc['schema']!r}")
+    require(doc, "seed", int, "report")
+    num_seeds = require(doc, "numSeeds", int, "report")
+    require(doc, "resamples", int, "report")
+    confidence = require(doc, "confidence", (int, float), "report")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence {confidence} outside (0, 1)")
+    policies = require(doc, "policies", list, "report")
+    if len(policies) < 2:
+        raise ValueError("need >= 2 policies for a comparison")
+    kernels = require(doc, "kernels", list, "report")
+    if not kernels:
+        raise ValueError("no kernels in report")
+    pairs = require(doc, "pairs", list, "report")
+    expected = len(kernels) * len(policies) * (len(policies) - 1) // 2
+    if len(pairs) != expected:
+        raise ValueError(
+            f"{len(pairs)} pairs reported, expected {expected} "
+            f"({len(kernels)} kernels x C({len(policies)},2) policies)"
+        )
+    for i, pair in enumerate(pairs):
+        where = f"pairs[{i}]"
+        require(pair, "kernel", str, where)
+        require(pair, "baseline", str, where)
+        require(pair, "candidate", str, where)
+        n = require(pair, "n", int, where)
+        if n < min_seeds or n != num_seeds:
+            raise ValueError(
+                f"{where}: n={n}, want numSeeds={num_seeds} >= {min_seeds}"
+            )
+        mean = require(pair, "meanSpeedup", (int, float), where)
+        lo = require(pair, "ciLow", (int, float), where)
+        hi = require(pair, "ciHigh", (int, float), where)
+        for label, v in (("meanSpeedup", mean), ("ciLow", lo),
+                         ("ciHigh", hi)):
+            if not (isinstance(v, (int, float)) and math.isfinite(v)
+                    and v > 0):
+                raise ValueError(f"{where}: {label}={v!r} not finite > 0")
+        if not lo <= mean <= hi:
+            raise ValueError(
+                f"{where}: interval [{lo}, {hi}] does not bracket "
+                f"mean {mean}"
+            )
+        samples = require(pair, "speedups", list, where)
+        if len(samples) != n:
+            raise ValueError(
+                f"{where}: {len(samples)} speedup samples, n={n}"
+            )
+    sims = require(doc, "simulations", int, "report")
+    hits = require(doc, "cacheHits", int, "report")
+    print(
+        f"ok: compare report valid — {len(pairs)} pairs over "
+        f"{num_seeds} seeds each ({sims} simulations, {hits} cache hits)"
+    )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("mode", choices=("explore", "compare"))
+    parser.add_argument("report", help="report JSON from apres_explore")
+    parser.add_argument("--min-new-bins", type=int, default=1)
+    parser.add_argument("--min-seeds", type=int, default=2)
+    args = parser.parse_args()
+
+    try:
+        with open(args.report) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return fail(f"cannot read {args.report}: {e}")
+
+    try:
+        if args.mode == "explore":
+            check_explore(doc, args.min_new_bins)
+        else:
+            check_compare(doc, args.min_seeds)
+    except ValueError as e:
+        return fail(str(e))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,9 +10,12 @@ tests use — there is no second source of truth to drift.
 
 Usage:
     python3 scripts/regen_golden_traces.py [--build-dir build]
+                                           [--golden-dir DIR]
 
 Then inspect `git diff tests/golden/` and commit the new files with the
-change that motivated them.
+change that motivated them. --golden-dir redirects the output (via the
+APRES_TRACE_GOLDEN_DIR env override the test binary honors) so smoke
+tests can verify regeneration without touching the committed files.
 """
 
 import argparse
@@ -21,7 +24,7 @@ import subprocess
 import sys
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-GOLDEN_DIR = os.path.join(REPO_ROOT, "tests", "golden")
+DEFAULT_GOLDEN_DIR = os.path.join(REPO_ROOT, "tests", "golden")
 
 
 def main() -> int:
@@ -31,7 +34,14 @@ def main() -> int:
         default=os.path.join(REPO_ROOT, "build"),
         help="CMake build directory containing tests/test_trace",
     )
+    parser.add_argument(
+        "--golden-dir",
+        default=DEFAULT_GOLDEN_DIR,
+        help="directory to (re)write golden files into "
+        "(default: the checked-in tests/golden)",
+    )
     args = parser.parse_args()
+    golden_dir = os.path.abspath(args.golden_dir)
 
     binary = os.path.join(args.build_dir, "tests", "test_trace")
     if not os.path.exists(binary):
@@ -43,13 +53,17 @@ def main() -> int:
         )
         return 1
 
-    os.makedirs(GOLDEN_DIR, exist_ok=True)
+    os.makedirs(golden_dir, exist_ok=True)
     before = {
-        name: os.path.getmtime(os.path.join(GOLDEN_DIR, name))
-        for name in os.listdir(GOLDEN_DIR)
+        name: os.path.getmtime(os.path.join(golden_dir, name))
+        for name in os.listdir(golden_dir)
     }
 
-    env = dict(os.environ, APRES_REGEN_GOLDEN="1")
+    env = dict(
+        os.environ,
+        APRES_REGEN_GOLDEN="1",
+        APRES_TRACE_GOLDEN_DIR=golden_dir,
+    )
     result = subprocess.run(
         [binary, "--gtest_filter=KmNwMiniKernels/GoldenTrace.*"],
         env=env,
@@ -61,19 +75,20 @@ def main() -> int:
 
     written = sorted(
         name
-        for name in os.listdir(GOLDEN_DIR)
+        for name in os.listdir(golden_dir)
         if name not in before
-        or os.path.getmtime(os.path.join(GOLDEN_DIR, name)) > before[name]
+        or os.path.getmtime(os.path.join(golden_dir, name)) > before[name]
     )
     if not written:
         print("error: no golden files were (re)written", file=sys.stderr)
         return 1
     for name in written:
-        path = os.path.join(GOLDEN_DIR, name)
+        path = os.path.join(golden_dir, name)
         with open(path) as f:
             lines = sum(1 for _ in f)
         print(f"wrote {os.path.relpath(path, REPO_ROOT)} ({lines} lines)")
-    print("review with: git diff tests/golden/")
+    if golden_dir == DEFAULT_GOLDEN_DIR:
+        print("review with: git diff tests/golden/")
     return 0
 
 

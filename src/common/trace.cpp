@@ -62,6 +62,28 @@ Tracer::record(int lane, TraceEventType type, Cycle cycle, Pc pc,
         l.head = (l.head + 1) % capacity_;
     }
     ++l.total;
+    if (lane != engineLane())
+        ++typeCounts_[static_cast<std::size_t>(type)];
+}
+
+std::uint64_t
+Tracer::eventTypeCount(TraceEventType type) const
+{
+    return typeCounts_[static_cast<std::size_t>(type)];
+}
+
+std::vector<std::pair<std::string, std::uint64_t>>
+Tracer::eventTypeCounts() const
+{
+    std::vector<std::pair<std::string, std::uint64_t>> counts;
+    for (std::size_t i = 0; i < kNumTraceEventTypes; ++i) {
+        if (typeCounts_[i] == 0)
+            continue;
+        counts.emplace_back(
+            traceEventTypeName(static_cast<TraceEventType>(i)),
+            typeCounts_[i]);
+    }
+    return counts;
 }
 
 std::uint64_t

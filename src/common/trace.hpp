@@ -34,9 +34,11 @@
 #ifndef APRES_COMMON_TRACE_HPP
 #define APRES_COMMON_TRACE_HPP
 
+#include <array>
 #include <cstdint>
 #include <ostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/types.hpp"
@@ -60,6 +62,10 @@ enum class TraceEventType : std::uint8_t {
     kSapWqDrain,       ///< SAP drained a WQ walk (arg = warps walked)
     kFfIdleSpan,       ///< fast-forward bulk idle skip (arg = cycles)
 };
+
+/** Number of TraceEventType values (array-sizing helper). */
+inline constexpr std::size_t kNumTraceEventTypes =
+    static_cast<std::size_t>(TraceEventType::kFfIdleSpan) + 1;
 
 /** Stable lower-case name of @p type ("warp-issue", "l1-miss", ...). */
 const char* traceEventTypeName(TraceEventType type);
@@ -111,6 +117,23 @@ class Tracer
     std::uint64_t retained() const;
 
     /**
+     * Events of @p type ever recorded on the SM and memory lanes (the
+     * engine lane is excluded, matching eventSummary()). Unlike the
+     * rings these counters survive overwrites, so they summarize the
+     * whole run — the behavioral-coverage layer (src/explore) bins on
+     * them.
+     */
+    std::uint64_t eventTypeCount(TraceEventType type) const;
+
+    /**
+     * Every event type with a non-zero recorded count, in enum order,
+     * as (stable type name, count) pairs. The machine-readable twin of
+     * eventSummary()'s per-event lines.
+     */
+    std::vector<std::pair<std::string, std::uint64_t>>
+    eventTypeCounts() const;
+
+    /**
      * Emit the retained events as one Chrome trace_event JSON
      * document (chrome://tracing / Perfetto). Lanes map to processes,
      * warps to threads; 1 simulated cycle is rendered as 1 us.
@@ -147,6 +170,9 @@ class Tracer
     int numSms_;
     std::size_t capacity_;
     std::vector<Lane> lanes_;
+
+    /** Per-type totals over SM+mem lanes; overwrite-proof. */
+    std::array<std::uint64_t, kNumTraceEventTypes> typeCounts_{};
 };
 
 } // namespace apres

@@ -1,0 +1,402 @@
+/**
+ * @file
+ * Signature serialization, kernel construction, and the quantized
+ * random-generation / mutation operators.
+ */
+
+#include "signature.hpp"
+
+#include <array>
+#include <sstream>
+
+#include "common/sim_error.hpp"
+#include "isa/kernel_text.hpp"
+
+namespace apres {
+namespace {
+
+// Quantized value tables. Every axis the explorer can touch draws
+// from one of these, so the signature space is finite, every genome
+// is buildable, and a mutation is always a legal value — the loop
+// never wastes budget on rejected kernels.
+constexpr std::array<std::int64_t, 9> kWarpStrides = {
+    0, 4, 32, 128, 256, 512, 1024, 4096, 16384};
+constexpr std::array<std::int64_t, 6> kIterStrides = {0,   4,    128,
+                                                     256, 1024, 4096};
+constexpr std::array<std::uint64_t, 6> kFootprints = {8,   32,   128,
+                                                     512, 2048, 8192};
+constexpr std::array<int, 5> kAlphaQuarters = {0, 2, 4, 6, 8};
+constexpr std::array<int, 5> kLaneStrides = {4, 8, 32, 64, 128};
+constexpr std::array<int, 6> kActiveLanes = {1, 2, 4, 8, 16, 32};
+constexpr std::array<std::uint64_t, 5> kTripCounts = {4, 8, 16, 32, 64};
+constexpr std::size_t kMaxLoads = 6;
+constexpr std::uint32_t kMaxRegion = 63;
+
+template <typename Table>
+auto
+pick(Rng& rng, const Table& table)
+{
+    return table[static_cast<std::size_t>(rng.nextBounded(table.size()))];
+}
+
+LoadKind
+pickKind(Rng& rng)
+{
+    // Strided and irregular twice: they are the Table-I classes the
+    // APRES mechanisms key on, so bias discovery toward them.
+    constexpr std::array<LoadKind, 7> kKinds = {
+        LoadKind::kUniform,   LoadKind::kWindow, LoadKind::kStrided,
+        LoadKind::kStrided,   LoadKind::kIrregular,
+        LoadKind::kIrregular, LoadKind::kZipf};
+    return pick(rng, kKinds);
+}
+
+LoadSpec
+randomLoad(Rng& rng)
+{
+    LoadSpec s;
+    s.kind = pickKind(rng);
+    s.region = 1 + static_cast<std::uint32_t>(rng.nextBounded(kMaxRegion));
+    s.warpStride = pick(rng, kWarpStrides);
+    s.iterStride = pick(rng, kIterStrides);
+    s.footprintLines = pick(rng, kFootprints);
+    s.shareWarps = 1 + static_cast<int>(rng.nextBounded(8));
+    s.shareIters = 1 + static_cast<int>(rng.nextBounded(8));
+    s.lagIters = static_cast<int>(rng.nextBounded(5));
+    s.alphaQuarters = pick(rng, kAlphaQuarters);
+    s.laneStride = pick(rng, kLaneStrides);
+    s.activeLanes = pick(rng, kActiveLanes);
+    s.dependsOnPrev = rng.nextBounded(2) != 0;
+    s.aluAfter = static_cast<int>(rng.nextBounded(5));
+    return s;
+}
+
+AddressGenPtr
+makeGen(const LoadSpec& s, std::size_t slot, std::uint64_t gen_seed)
+{
+    const Addr base = static_cast<Addr>(s.region) << 22;
+    const std::uint64_t seed = mix64(gen_seed, slot, 0xAD5E'ED);
+    switch (s.kind) {
+      case LoadKind::kUniform:
+        return std::make_unique<UniformGen>(base + 0x40);
+      case LoadKind::kWindow:
+        return std::make_unique<SharedWindowGen>(
+            base, s.footprintLines * 128, s.iterStride, s.warpStride);
+      case LoadKind::kStrided:
+        return std::make_unique<StridedGen>(base, s.warpStride,
+                                            s.iterStride);
+      case LoadKind::kIrregular:
+        return std::make_unique<IrregularGen>(
+            base, s.footprintLines * 128, s.shareWarps, s.shareIters,
+            seed, s.lagIters);
+      case LoadKind::kZipf:
+        return std::make_unique<ZipfGen>(
+            base, static_cast<std::size_t>(s.footprintLines),
+            s.alphaQuarters * 0.25, seed);
+    }
+    throwKernelError("signature: unknown load kind");
+}
+
+std::uint64_t
+parseField(const std::string& token, const std::string& key,
+           bool* matched)
+{
+    const std::string prefix = key + "=";
+    if (token.rfind(prefix, 0) != 0) {
+        *matched = false;
+        return 0;
+    }
+    *matched = true;
+    const std::string value = token.substr(prefix.size());
+    std::uint64_t out = 0;
+    std::size_t pos = 0;
+    try {
+        out = std::stoull(value, &pos, 10);
+    } catch (const std::exception&) {
+        throwSerializationError("signature: bad value in '" + token + "'");
+    }
+    if (pos != value.size())
+        throwSerializationError("signature: bad value in '" + token + "'");
+    return out;
+}
+
+std::int64_t
+parseSigned(const std::string& token, const std::string& key,
+            bool* matched)
+{
+    const std::string prefix = key + "=";
+    if (token.rfind(prefix, 0) != 0) {
+        *matched = false;
+        return 0;
+    }
+    *matched = true;
+    const std::string value = token.substr(prefix.size());
+    std::int64_t out = 0;
+    std::size_t pos = 0;
+    try {
+        out = std::stoll(value, &pos, 10);
+    } catch (const std::exception&) {
+        throwSerializationError("signature: bad value in '" + token + "'");
+    }
+    if (pos != value.size())
+        throwSerializationError("signature: bad value in '" + token + "'");
+    return out;
+}
+
+LoadKind
+parseKind(const std::string& name)
+{
+    for (LoadKind k :
+         {LoadKind::kUniform, LoadKind::kWindow, LoadKind::kStrided,
+          LoadKind::kIrregular, LoadKind::kZipf}) {
+        if (name == loadKindName(k))
+            return k;
+    }
+    throwSerializationError("signature: unknown load kind '" + name + "'");
+}
+
+} // namespace
+
+const char*
+loadKindName(LoadKind kind)
+{
+    switch (kind) {
+      case LoadKind::kUniform: return "uniform";
+      case LoadKind::kWindow: return "window";
+      case LoadKind::kStrided: return "strided";
+      case LoadKind::kIrregular: return "irregular";
+      case LoadKind::kZipf: return "zipf";
+    }
+    return "?";
+}
+
+std::string
+serializeSignature(const KernelSignature& sig)
+{
+    std::ostringstream os;
+    os << "sig v1 seed=" << sig.genSeed << " trips=" << sig.tripCount
+       << " barrier=" << sig.barrierEvery
+       << " store=" << (sig.storeAtEnd ? 1 : 0);
+    for (const LoadSpec& s : sig.loads) {
+        os << " | kind=" << loadKindName(s.kind) << " region=" << s.region
+           << " warp=" << s.warpStride << " iter=" << s.iterStride
+           << " fp=" << s.footprintLines << " sw=" << s.shareWarps
+           << " si=" << s.shareIters << " lag=" << s.lagIters
+           << " aq=" << s.alphaQuarters << " ls=" << s.laneStride
+           << " lanes=" << s.activeLanes
+           << " dep=" << (s.dependsOnPrev ? 1 : 0) << " alu=" << s.aluAfter;
+    }
+    return os.str();
+}
+
+KernelSignature
+parseSignature(const std::string& text)
+{
+    // Split on '|': segment 0 is the header, the rest are load slots.
+    std::vector<std::string> segments;
+    std::string current;
+    std::istringstream in(text);
+    std::string token;
+    segments.emplace_back();
+    while (in >> token) {
+        if (token == "|")
+            segments.emplace_back();
+        else
+            segments.back() += token + " ";
+    }
+
+    std::istringstream head(segments.front());
+    std::string word;
+    if (!(head >> word) || word != "sig")
+        throwSerializationError("signature: missing 'sig' magic");
+    if (!(head >> word) || word != "v1")
+        throwSerializationError("signature: unsupported version '" + word +
+                                "'");
+
+    KernelSignature sig;
+    sig.loads.clear();
+    while (head >> token) {
+        bool m = false;
+        if (std::uint64_t v = parseField(token, "seed", &m); m)
+            sig.genSeed = v;
+        else if (std::uint64_t v2 = parseField(token, "trips", &m); m)
+            sig.tripCount = v2;
+        else if (std::int64_t v3 = parseSigned(token, "barrier", &m); m)
+            sig.barrierEvery = static_cast<int>(v3);
+        else if (std::uint64_t v4 = parseField(token, "store", &m); m)
+            sig.storeAtEnd = v4 != 0;
+        else
+            throwSerializationError("signature: unknown header token '" +
+                                    token + "'");
+    }
+
+    for (std::size_t i = 1; i < segments.size(); ++i) {
+        std::istringstream seg(segments[i]);
+        LoadSpec s;
+        while (seg >> token) {
+            bool m = false;
+            if (token.rfind("kind=", 0) == 0) {
+                s.kind = parseKind(token.substr(5));
+                continue;
+            }
+            if (std::uint64_t v = parseField(token, "region", &m); m)
+                s.region = static_cast<std::uint32_t>(v);
+            else if (std::int64_t v2 = parseSigned(token, "warp", &m); m)
+                s.warpStride = v2;
+            else if (std::int64_t v3 = parseSigned(token, "iter", &m); m)
+                s.iterStride = v3;
+            else if (std::uint64_t v4 = parseField(token, "fp", &m); m)
+                s.footprintLines = v4;
+            else if (std::uint64_t v5 = parseField(token, "sw", &m); m)
+                s.shareWarps = static_cast<int>(v5);
+            else if (std::uint64_t v6 = parseField(token, "si", &m); m)
+                s.shareIters = static_cast<int>(v6);
+            else if (std::uint64_t v7 = parseField(token, "lag", &m); m)
+                s.lagIters = static_cast<int>(v7);
+            else if (std::uint64_t v8 = parseField(token, "aq", &m); m)
+                s.alphaQuarters = static_cast<int>(v8);
+            else if (std::uint64_t v9 = parseField(token, "ls", &m); m)
+                s.laneStride = static_cast<int>(v9);
+            else if (std::uint64_t va = parseField(token, "lanes", &m); m)
+                s.activeLanes = static_cast<int>(va);
+            else if (std::uint64_t vb = parseField(token, "dep", &m); m)
+                s.dependsOnPrev = vb != 0;
+            else if (std::uint64_t vc = parseField(token, "alu", &m); m)
+                s.aluAfter = static_cast<int>(vc);
+            else
+                throwSerializationError("signature: unknown load token '" +
+                                        token + "'");
+        }
+        sig.loads.push_back(s);
+    }
+    if (sig.loads.empty())
+        throwSerializationError("signature: no load slots");
+    if (sig.tripCount == 0)
+        throwSerializationError("signature: trips must be >= 1");
+    return sig;
+}
+
+Kernel
+buildKernel(const KernelSignature& sig, const std::string& name)
+{
+    KernelBuilder b(name);
+    int prev_reg = kNoReg;
+    int converged_slots = 0;
+    bool last_mem_full = true;
+    for (std::size_t i = 0; i < sig.loads.size(); ++i) {
+        const LoadSpec& s = sig.loads[i];
+        const int src =
+            (s.dependsOnPrev && prev_reg != kNoReg) ? prev_reg : kNoReg;
+        int r = b.load(makeGen(s, i, sig.genSeed), s.laneStride,
+                       kInvalidPc, src, s.activeLanes);
+        last_mem_full = s.activeLanes >= kWarpSize;
+        if (s.aluAfter > 0)
+            r = b.alu({r}, s.aluAfter);
+        prev_reg = r;
+        // Barriers only make sense between converged phases: the text
+        // format (and real hardware) rejects a block barrier while
+        // part of the warp is masked off, so divergent slots simply
+        // don't count toward the cadence.
+        if (last_mem_full) {
+            ++converged_slots;
+            if (sig.barrierEvery > 0 &&
+                converged_slots % sig.barrierEvery == 0 &&
+                i + 1 < sig.loads.size()) {
+                b.barrier();
+            }
+        }
+    }
+    if (sig.storeAtEnd && last_mem_full && prev_reg != kNoReg) {
+        b.store(std::make_unique<StridedGen>(
+                    static_cast<Addr>(kMaxRegion + 1) << 22, 4096, 128),
+                prev_reg);
+    }
+    return b.build(sig.tripCount);
+}
+
+std::string
+kernelTextOf(const KernelSignature& sig, const std::string& name)
+{
+    std::ostringstream os;
+    os << "# sig: " << serializeSignature(sig) << "\n";
+    writeKernelText(buildKernel(sig, name), os);
+    return os.str();
+}
+
+KernelSignature
+randomSignature(Rng& rng)
+{
+    KernelSignature sig;
+    const std::size_t n = 1 + rng.nextBounded(kMaxLoads);
+    sig.loads.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        sig.loads.push_back(randomLoad(rng));
+    sig.barrierEvery = static_cast<int>(rng.nextBounded(4));
+    sig.storeAtEnd = rng.nextBounded(2) != 0;
+    sig.tripCount = pick(rng, kTripCounts);
+    sig.genSeed = rng.next() | 1;
+    return sig;
+}
+
+KernelSignature
+mutateSignature(const KernelSignature& sig, Rng& rng)
+{
+    KernelSignature out = sig;
+    const std::uint64_t op = rng.nextBounded(10);
+    const std::size_t slot = rng.nextBounded(out.loads.size());
+    LoadSpec& s = out.loads[slot];
+    switch (op) {
+      case 0: // structural: add a fresh slot
+        if (out.loads.size() < kMaxLoads)
+            out.loads.insert(
+                out.loads.begin() +
+                    static_cast<std::ptrdiff_t>(
+                        rng.nextBounded(out.loads.size() + 1)),
+                randomLoad(rng));
+        else
+            s.kind = pickKind(rng);
+        break;
+      case 1: // structural: drop a slot
+        if (out.loads.size() > 1)
+            out.loads.erase(out.loads.begin() +
+                            static_cast<std::ptrdiff_t>(slot));
+        else
+            out.loads[0] = randomLoad(rng);
+        break;
+      case 2: s.kind = pickKind(rng); break;
+      case 3:
+        s.warpStride = pick(rng, kWarpStrides);
+        s.iterStride = pick(rng, kIterStrides);
+        break;
+      case 4:
+        s.footprintLines = pick(rng, kFootprints);
+        s.region =
+            1 + static_cast<std::uint32_t>(rng.nextBounded(kMaxRegion));
+        break;
+      case 5:
+        s.shareWarps = 1 + static_cast<int>(rng.nextBounded(8));
+        s.shareIters = 1 + static_cast<int>(rng.nextBounded(8));
+        s.lagIters = static_cast<int>(rng.nextBounded(5));
+        s.alphaQuarters = pick(rng, kAlphaQuarters);
+        break;
+      case 6:
+        s.laneStride = pick(rng, kLaneStrides);
+        s.activeLanes = pick(rng, kActiveLanes);
+        break;
+      case 7:
+        s.dependsOnPrev = !s.dependsOnPrev;
+        s.aluAfter = static_cast<int>(rng.nextBounded(5));
+        break;
+      case 8:
+        out.barrierEvery = static_cast<int>(rng.nextBounded(4));
+        out.storeAtEnd = rng.nextBounded(2) != 0;
+        break;
+      default:
+        out.tripCount = pick(rng, kTripCounts);
+        out.genSeed = rng.next() | 1;
+        break;
+    }
+    return out;
+}
+
+} // namespace apres

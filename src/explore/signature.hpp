@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Parameterized kernel signatures: the explore subsystem's genome.
+ *
+ * A KernelSignature is a compact, fully-value-typed description of one
+ * synthetic kernel over the paper's Table-I load taxonomy: a list of
+ * load slots (pattern kind, region, strides, footprint, sharing
+ * factors, divergence shape, dependence on the previous load, trailing
+ * ALU chain) plus kernel-level structure (barrier placement, trailing
+ * store, trip count, generator seed). The signature — not the built
+ * Kernel — is what the exploration loop mutates, serializes into the
+ * corpus, and replays, because a signature is trivially hashable,
+ * diffable and bounded while a Kernel is not.
+ *
+ * Everything here is deterministic: random generation and mutation
+ * draw exclusively from apres::Rng (std:: distributions are
+ * implementation-defined and would unpin the corpus across
+ * platforms), every continuous axis is quantized to a small table of
+ * values, and buildKernel() is a pure function of the signature.
+ *
+ * The emitted kernels always satisfy the kernel-text contract
+ * (kernel_text.hpp): barriers are only placed when the preceding
+ * memory op ran with full lanes, PCs are auto-assigned (no
+ * collisions), and every generator is used exactly once — so
+ * kernelText() output round-trips through parseKernelText() and can
+ * be checked into tests/corpus as a regression workload.
+ */
+
+#ifndef APRES_EXPLORE_SIGNATURE_HPP
+#define APRES_EXPLORE_SIGNATURE_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "isa/kernel.hpp"
+
+namespace apres {
+
+/** Address-pattern class of one load slot (Table-I taxonomy). */
+enum class LoadKind : std::uint8_t {
+    kUniform,   ///< one shared address (extreme locality)
+    kWindow,    ///< shared bounded window (KM-style thrasher)
+    kStrided,   ///< inter-warp strided streaming (STR/SAP food)
+    kIrregular, ///< stride-free with partial sharing (graph loads)
+    kZipf,      ///< hot-set skewed (SPMV/PA-style locality)
+};
+
+/** Stable lower-case name of @p kind ("strided", "zipf", ...). */
+const char* loadKindName(LoadKind kind);
+
+/** One static load slot of a generated kernel. */
+struct LoadSpec
+{
+    LoadKind kind = LoadKind::kStrided;
+
+    /** Region selector; the slot's base address is region << 22. */
+    std::uint32_t region = 1;
+
+    /** Inter-warp stride / window skew in bytes (strided, window). */
+    std::int64_t warpStride = 512;
+
+    /** Per-iteration step in bytes (strided, window). */
+    std::int64_t iterStride = 128;
+
+    /** Footprint in 128 B lines (window, irregular, zipf). */
+    std::uint64_t footprintLines = 512;
+
+    int shareWarps = 2;    ///< irregular: warps per sharing group
+    int shareIters = 2;    ///< irregular: iterations per shared line
+    int lagIters = 0;      ///< irregular: iteration lag between partners
+
+    /** Zipf skew in quarter units (alpha = alphaQuarters * 0.25). */
+    int alphaQuarters = 4;
+
+    int laneStride = 4;    ///< byte distance between lanes (4 = coalesced)
+    int activeLanes = 32;  ///< divergence shape (kWarpSize = converged)
+
+    /** Chain this load's address behind the previous load's value. */
+    bool dependsOnPrev = false;
+
+    /** Dependent ALU instructions consuming the loaded value (0..4). */
+    int aluAfter = 1;
+};
+
+/** A complete kernel genome. */
+struct KernelSignature
+{
+    std::vector<LoadSpec> loads;    ///< 1..6 slots
+    int barrierEvery = 0;           ///< block barrier after every k-th
+                                    ///< converged slot; 0 = none
+    bool storeAtEnd = true;         ///< trailing strided store
+    std::uint64_t tripCount = 16;   ///< loop iterations per warp
+    std::uint64_t genSeed = 1;      ///< seeds irregular/zipf hashing
+};
+
+/**
+ * Canonical one-line serialization ("sig v1 seed=.. trips=.. ... |
+ * kind=strided region=..  | ..."). parseSignature() round-trips it;
+ * corpus .kt files carry it as a leading `# sig:` comment so the
+ * exploration loop can re-adopt checked-in kernels as parents.
+ */
+std::string serializeSignature(const KernelSignature& sig);
+
+/**
+ * Parse serializeSignature() output. Throws
+ * SimError(kSerialization) on malformed input.
+ */
+KernelSignature parseSignature(const std::string& text);
+
+/**
+ * Build the kernel a signature describes. Pure; throws KernelError
+ * only on signature shapes the builder rejects (never for signatures
+ * produced by randomSignature/mutateSignature, whose value tables are
+ * chosen to keep every genome buildable).
+ */
+Kernel buildKernel(const KernelSignature& sig, const std::string& name);
+
+/**
+ * Kernel-text form of the signature's kernel: a `# sig:` header
+ * comment followed by writeKernelText() output. Parses back with
+ * parseKernelText(); this is the corpus file format (DESIGN.md §13).
+ */
+std::string kernelTextOf(const KernelSignature& sig,
+                         const std::string& name);
+
+/** Draw a uniformly random (quantized) signature. */
+KernelSignature randomSignature(Rng& rng);
+
+/**
+ * Return a copy of @p sig with one random mutation applied: a load
+ * field tweaked, a slot added/removed/rekinded, or a kernel-level
+ * knob (barrier cadence, store, trips, seed) changed. Callers stack
+ * several calls for larger steps.
+ */
+KernelSignature mutateSignature(const KernelSignature& sig, Rng& rng);
+
+} // namespace apres
+
+#endif // APRES_EXPLORE_SIGNATURE_HPP

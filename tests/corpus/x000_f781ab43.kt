@@ -1,0 +1,24 @@
+# sig: sig v1 seed=8875234207140228613 trips=8 barrier=3 store=0 | kind=irregular region=10 warp=128 iter=4096 fp=32 sw=2 si=8 lag=2 aq=6 ls=8 lanes=32 dep=0 alu=0 | kind=strided region=36 warp=1024 iter=256 fp=2048 sw=6 si=5 lag=0 aq=2 ls=4 lanes=32 dep=0 alu=2 | kind=irregular region=20 warp=0 iter=4096 fp=8192 sw=6 si=5 lag=1 aq=2 ls=32 lanes=8 dep=0 alu=3 | kind=zipf region=8 warp=0 iter=128 fp=2048 sw=1 si=2 lag=2 aq=8 ls=8 lanes=8 dep=1 alu=4 | kind=strided region=61 warp=4 iter=4 fp=32 sw=7 si=2 lag=0 aq=2 ls=8 lanes=8 dep=0 alu=3
+kernel x000_f781ab43 8
+gen 0 irregular base=41943040 lines=32 sharewarps=2 shareiters=8 seed=17664810020824229201 lag=2
+gen 1 strided base=150994944 warp=1024 iter=256 sm=0
+gen 2 irregular base=83886080 lines=8192 sharewarps=6 shareiters=5 seed=6941284836832864646 lag=1
+gen 3 zipf base=33554432 lines=2048 alpha=2 seed=2904596042622643129
+gen 4 strided base=255852544 warp=4 iter=4 sm=0
+load r0 pc=0x0 gen=0 lanestride=8 lanes=32
+load r1 pc=0x8 gen=1 lanestride=4 lanes=32
+alu r2 r1 lat=8
+alu r3 r2 lat=8
+load r4 pc=0x20 gen=2 lanestride=32 lanes=8
+alu r5 r4 lat=8
+alu r6 r5 lat=8
+alu r7 r6 lat=8
+load r8 pc=0x40 gen=3 lanestride=8 lanes=8 dep=r7
+alu r9 r8 lat=8
+alu r10 r9 lat=8
+alu r11 r10 lat=8
+alu r12 r11 lat=8
+load r13 pc=0x68 gen=4 lanestride=8 lanes=8
+alu r14 r13 lat=8
+alu r15 r14 lat=8
+alu r16 r15 lat=8

@@ -1,0 +1,24 @@
+# sig: sig v1 seed=8428266109976347033 trips=32 barrier=1 store=0 | kind=strided region=25 warp=4 iter=4096 fp=512 sw=3 si=6 lag=3 aq=6 ls=128 lanes=8 dep=1 alu=0 | kind=strided region=49 warp=1024 iter=4 fp=128 sw=4 si=6 lag=1 aq=2 ls=8 lanes=16 dep=0 alu=3 | kind=strided region=7 warp=32 iter=4 fp=32 sw=2 si=7 lag=4 aq=4 ls=8 lanes=32 dep=0 alu=4 | kind=zipf region=56 warp=4 iter=4096 fp=2048 sw=3 si=2 lag=3 aq=6 ls=128 lanes=32 dep=1 alu=1 | kind=irregular region=63 warp=4 iter=4096 fp=512 sw=7 si=7 lag=3 aq=4 ls=32 lanes=2 dep=1 alu=0 | kind=strided region=20 warp=16384 iter=4096 fp=128 sw=3 si=5 lag=0 aq=6 ls=4 lanes=1 dep=0 alu=0
+kernel x001_b3026ee9 32
+gen 0 strided base=104857600 warp=4 iter=4096 sm=0
+gen 1 strided base=205520896 warp=1024 iter=4 sm=0
+gen 2 strided base=29360128 warp=32 iter=4 sm=0
+gen 3 zipf base=234881024 lines=2048 alpha=1.5 seed=5352841309102825890
+gen 4 irregular base=264241152 lines=512 sharewarps=7 shareiters=7 seed=9237200511791438622 lag=3
+gen 5 strided base=83886080 warp=16384 iter=4096 sm=0
+load r0 pc=0x0 gen=0 lanestride=128 lanes=8
+load r1 pc=0x8 gen=1 lanestride=8 lanes=16
+alu r2 r1 lat=8
+alu r3 r2 lat=8
+alu r4 r3 lat=8
+load r5 pc=0x28 gen=2 lanestride=8 lanes=32
+alu r6 r5 lat=8
+alu r7 r6 lat=8
+alu r8 r7 lat=8
+alu r9 r8 lat=8
+barrier
+load r10 pc=0x58 gen=3 lanestride=128 lanes=32 dep=r9
+alu r11 r10 lat=8
+barrier
+load r12 pc=0x70 gen=4 lanestride=32 lanes=2 dep=r11
+load r13 pc=0x78 gen=5 lanestride=4 lanes=1

@@ -1,0 +1,27 @@
+# sig: sig v1 seed=6167099419719382015 trips=8 barrier=2 store=0 | kind=irregular region=61 warp=16384 iter=4 fp=512 sw=3 si=3 lag=1 aq=2 ls=32 lanes=8 dep=1 alu=4 | kind=irregular region=22 warp=1024 iter=0 fp=128 sw=6 si=6 lag=2 aq=4 ls=64 lanes=1 dep=0 alu=3 | kind=strided region=2 warp=256 iter=4096 fp=8192 sw=4 si=2 lag=3 aq=6 ls=64 lanes=8 dep=0 alu=3 | kind=window region=33 warp=0 iter=1024 fp=512 sw=6 si=2 lag=0 aq=2 ls=64 lanes=4 dep=1 alu=2 | kind=irregular region=55 warp=1024 iter=0 fp=8192 sw=2 si=1 lag=2 aq=6 ls=128 lanes=4 dep=1 alu=3
+kernel x003_1fc6ec7e 8
+gen 0 irregular base=255852544 lines=512 sharewarps=3 shareiters=3 seed=13475827311570541435 lag=1
+gen 1 irregular base=92274688 lines=128 sharewarps=6 shareiters=6 seed=9523641661431258407 lag=2
+gen 2 strided base=8388608 warp=256 iter=4096 sm=0
+gen 3 window base=138412032 footprint=65536 iter=1024 skew=0 sm=0
+gen 4 irregular base=230686720 lines=8192 sharewarps=2 shareiters=1 seed=5416194861937122981 lag=2
+load r0 pc=0x0 gen=0 lanestride=32 lanes=8
+alu r1 r0 lat=8
+alu r2 r1 lat=8
+alu r3 r2 lat=8
+alu r4 r3 lat=8
+load r5 pc=0x28 gen=1 lanestride=64 lanes=1
+alu r6 r5 lat=8
+alu r7 r6 lat=8
+alu r8 r7 lat=8
+load r9 pc=0x48 gen=2 lanestride=64 lanes=8
+alu r10 r9 lat=8
+alu r11 r10 lat=8
+alu r12 r11 lat=8
+load r13 pc=0x68 gen=3 lanestride=64 lanes=4 dep=r12
+alu r14 r13 lat=8
+alu r15 r14 lat=8
+load r16 pc=0x80 gen=4 lanestride=128 lanes=4 dep=r15
+alu r17 r16 lat=8
+alu r18 r17 lat=8
+alu r19 r18 lat=8

@@ -1,0 +1,23 @@
+# sig: sig v1 seed=15526212921227352873 trips=8 barrier=1 store=0 | kind=strided region=25 warp=4 iter=4096 fp=512 sw=3 si=6 lag=3 aq=6 ls=128 lanes=8 dep=1 alu=0 | kind=strided region=21 warp=1024 iter=4 fp=8192 sw=4 si=6 lag=1 aq=2 ls=8 lanes=16 dep=0 alu=3 | kind=uniform region=53 warp=4 iter=0 fp=128 sw=8 si=7 lag=2 aq=6 ls=4 lanes=8 dep=1 alu=4 | kind=zipf region=60 warp=4 iter=4096 fp=128 sw=3 si=2 lag=3 aq=6 ls=128 lanes=32 dep=1 alu=1 | kind=irregular region=63 warp=4 iter=4096 fp=512 sw=7 si=7 lag=3 aq=4 ls=32 lanes=2 dep=1 alu=0 | kind=strided region=20 warp=16384 iter=4096 fp=128 sw=3 si=5 lag=0 aq=6 ls=4 lanes=1 dep=0 alu=0
+kernel x005_7cc75fc2 8
+gen 0 strided base=104857600 warp=4 iter=4096 sm=0
+gen 1 strided base=88080384 warp=1024 iter=4 sm=0
+gen 2 uniform addr=222298176
+gen 3 zipf base=251658240 lines=128 alpha=1.5 seed=10246301504827598023
+gen 4 irregular base=264241152 lines=512 sharewarps=7 shareiters=7 seed=28396373731018747 lag=3
+gen 5 strided base=83886080 warp=16384 iter=4096 sm=0
+load r0 pc=0x0 gen=0 lanestride=128 lanes=8
+load r1 pc=0x8 gen=1 lanestride=8 lanes=16
+alu r2 r1 lat=8
+alu r3 r2 lat=8
+alu r4 r3 lat=8
+load r5 pc=0x28 gen=2 lanestride=4 lanes=8 dep=r4
+alu r6 r5 lat=8
+alu r7 r6 lat=8
+alu r8 r7 lat=8
+alu r9 r8 lat=8
+load r10 pc=0x50 gen=3 lanestride=128 lanes=32 dep=r9
+alu r11 r10 lat=8
+barrier
+load r12 pc=0x68 gen=4 lanestride=32 lanes=2 dep=r11
+load r13 pc=0x70 gen=5 lanestride=4 lanes=1

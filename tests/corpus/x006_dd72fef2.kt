@@ -1,0 +1,22 @@
+# sig: sig v1 seed=8428266109976347033 trips=32 barrier=1 store=0 | kind=strided region=49 warp=1024 iter=4 fp=128 sw=4 si=6 lag=1 aq=2 ls=8 lanes=16 dep=0 alu=3 | kind=strided region=7 warp=32 iter=4 fp=32 sw=2 si=7 lag=4 aq=4 ls=8 lanes=32 dep=0 alu=4 | kind=zipf region=56 warp=4 iter=4096 fp=2048 sw=3 si=2 lag=3 aq=6 ls=128 lanes=32 dep=1 alu=1 | kind=irregular region=63 warp=4 iter=4096 fp=512 sw=7 si=7 lag=3 aq=4 ls=32 lanes=2 dep=1 alu=0 | kind=strided region=20 warp=16384 iter=4096 fp=128 sw=3 si=5 lag=0 aq=6 ls=4 lanes=1 dep=0 alu=0
+kernel x006_dd72fef2 32
+gen 0 strided base=205520896 warp=1024 iter=4 sm=0
+gen 1 strided base=29360128 warp=32 iter=4 sm=0
+gen 2 zipf base=234881024 lines=2048 alpha=1.5 seed=401301781003808112
+gen 3 irregular base=264241152 lines=512 sharewarps=7 shareiters=7 seed=5352841309102825890 lag=3
+gen 4 strided base=83886080 warp=16384 iter=4096 sm=0
+load r0 pc=0x0 gen=0 lanestride=8 lanes=16
+alu r1 r0 lat=8
+alu r2 r1 lat=8
+alu r3 r2 lat=8
+load r4 pc=0x20 gen=1 lanestride=8 lanes=32
+alu r5 r4 lat=8
+alu r6 r5 lat=8
+alu r7 r6 lat=8
+alu r8 r7 lat=8
+barrier
+load r9 pc=0x50 gen=2 lanestride=128 lanes=32 dep=r8
+alu r10 r9 lat=8
+barrier
+load r11 pc=0x68 gen=3 lanestride=32 lanes=2 dep=r10
+load r12 pc=0x70 gen=4 lanestride=4 lanes=1

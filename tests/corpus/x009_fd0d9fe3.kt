@@ -1,0 +1,14 @@
+# sig: sig v1 seed=12692198212475801339 trips=64 barrier=1 store=0 | kind=strided region=59 warp=0 iter=4 fp=8 sw=1 si=1 lag=2 aq=4 ls=64 lanes=32 dep=0 alu=0 | kind=strided region=8 warp=128 iter=4 fp=128 sw=5 si=4 lag=2 aq=4 ls=8 lanes=8 dep=1 alu=4 | kind=irregular region=22 warp=0 iter=1024 fp=8 sw=2 si=2 lag=0 aq=8 ls=4 lanes=4 dep=1 alu=1
+kernel x009_fd0d9fe3 64
+gen 0 strided base=247463936 warp=0 iter=4 sm=0
+gen 1 strided base=33554432 warp=128 iter=4 sm=0
+gen 2 irregular base=92274688 lines=8 sharewarps=2 shareiters=2 seed=12754624082177451313 lag=0
+load r0 pc=0x0 gen=0 lanestride=64 lanes=32
+barrier
+load r1 pc=0x10 gen=1 lanestride=8 lanes=8 dep=r0
+alu r2 r1 lat=8
+alu r3 r2 lat=8
+alu r4 r3 lat=8
+alu r5 r4 lat=8
+load r6 pc=0x38 gen=2 lanestride=4 lanes=4 dep=r5
+alu r7 r6 lat=8

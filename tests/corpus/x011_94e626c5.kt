@@ -1,0 +1,7 @@
+# sig: sig v1 seed=3259728536563167507 trips=64 barrier=1 store=1 | kind=strided region=37 warp=1024 iter=0 fp=32 sw=3 si=2 lag=4 aq=6 ls=4 lanes=32 dep=1 alu=1
+kernel x011_94e626c5 64
+gen 0 strided base=155189248 warp=1024 iter=0 sm=0
+gen 1 strided base=268435456 warp=4096 iter=128 sm=0
+load r0 pc=0x0 gen=0 lanestride=4 lanes=32
+alu r1 r0 lat=8
+store gen=1 lanestride=4 lanes=32 src=r1

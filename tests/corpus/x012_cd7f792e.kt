@@ -1,0 +1,5 @@
+# sig: sig v1 seed=60604374848987633 trips=8 barrier=3 store=1 | kind=uniform region=11 warp=1024 iter=4 fp=2048 sw=3 si=5 lag=0 aq=0 ls=8 lanes=4 dep=0 alu=1
+kernel x012_cd7f792e 8
+gen 0 uniform addr=46137408
+load r0 pc=0x0 gen=0 lanestride=8 lanes=4
+alu r1 r0 lat=8

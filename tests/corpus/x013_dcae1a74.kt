@@ -1,0 +1,19 @@
+# sig: sig v1 seed=4525734764875920761 trips=16 barrier=1 store=0 | kind=irregular region=57 warp=512 iter=256 fp=2048 sw=2 si=5 lag=2 aq=0 ls=64 lanes=2 dep=1 alu=0 | kind=strided region=25 warp=4 iter=4096 fp=512 sw=3 si=6 lag=3 aq=6 ls=128 lanes=8 dep=1 alu=0 | kind=strided region=49 warp=1024 iter=4 fp=128 sw=4 si=6 lag=1 aq=2 ls=8 lanes=16 dep=0 alu=3 | kind=zipf region=56 warp=4 iter=4096 fp=2048 sw=3 si=2 lag=3 aq=6 ls=128 lanes=32 dep=1 alu=1 | kind=irregular region=63 warp=4 iter=4096 fp=512 sw=7 si=7 lag=3 aq=4 ls=32 lanes=2 dep=1 alu=0 | kind=strided region=20 warp=16384 iter=4096 fp=128 sw=3 si=5 lag=0 aq=6 ls=4 lanes=1 dep=0 alu=0
+kernel x013_dcae1a74 16
+gen 0 irregular base=239075328 lines=2048 sharewarps=2 shareiters=5 seed=5776093647272695488 lag=2
+gen 1 strided base=104857600 warp=4 iter=4096 sm=0
+gen 2 strided base=205520896 warp=1024 iter=4 sm=0
+gen 3 zipf base=234881024 lines=2048 alpha=1.5 seed=14302287604860665603
+gen 4 irregular base=264241152 lines=512 sharewarps=7 shareiters=7 seed=3515554592569033554 lag=3
+gen 5 strided base=83886080 warp=16384 iter=4096 sm=0
+load r0 pc=0x0 gen=0 lanestride=64 lanes=2
+load r1 pc=0x8 gen=1 lanestride=128 lanes=8 dep=r0
+load r2 pc=0x10 gen=2 lanestride=8 lanes=16
+alu r3 r2 lat=8
+alu r4 r3 lat=8
+alu r5 r4 lat=8
+load r6 pc=0x30 gen=3 lanestride=128 lanes=32 dep=r5
+alu r7 r6 lat=8
+barrier
+load r8 pc=0x48 gen=4 lanestride=32 lanes=2 dep=r7
+load r9 pc=0x50 gen=5 lanestride=4 lanes=1

@@ -1,0 +1,20 @@
+# sig: sig v1 seed=15526212921227352873 trips=8 barrier=1 store=0 | kind=strided region=25 warp=4 iter=4096 fp=512 sw=3 si=6 lag=3 aq=6 ls=128 lanes=8 dep=1 alu=0 | kind=strided region=49 warp=1024 iter=4 fp=128 sw=4 si=6 lag=1 aq=2 ls=8 lanes=16 dep=0 alu=3 | kind=zipf region=56 warp=4 iter=4096 fp=2048 sw=3 si=2 lag=3 aq=6 ls=128 lanes=32 dep=1 alu=1 | kind=irregular region=63 warp=4 iter=4096 fp=512 sw=7 si=7 lag=3 aq=4 ls=32 lanes=2 dep=1 alu=0 | kind=strided region=33 warp=4 iter=128 fp=8 sw=7 si=4 lag=1 aq=0 ls=128 lanes=8 dep=0 alu=1 | kind=strided region=20 warp=16384 iter=4096 fp=128 sw=3 si=5 lag=0 aq=6 ls=4 lanes=1 dep=0 alu=0
+kernel x014_80305b5f 8
+gen 0 strided base=104857600 warp=4 iter=4096 sm=0
+gen 1 strided base=205520896 warp=1024 iter=4 sm=0
+gen 2 zipf base=234881024 lines=2048 alpha=1.5 seed=14718181601343780918
+gen 3 irregular base=264241152 lines=512 sharewarps=7 shareiters=7 seed=10246301504827598023 lag=3
+gen 4 strided base=138412032 warp=4 iter=128 sm=0
+gen 5 strided base=83886080 warp=16384 iter=4096 sm=0
+load r0 pc=0x0 gen=0 lanestride=128 lanes=8
+load r1 pc=0x8 gen=1 lanestride=8 lanes=16
+alu r2 r1 lat=8
+alu r3 r2 lat=8
+alu r4 r3 lat=8
+load r5 pc=0x28 gen=2 lanestride=128 lanes=32 dep=r4
+alu r6 r5 lat=8
+barrier
+load r7 pc=0x40 gen=3 lanestride=32 lanes=2 dep=r6
+load r8 pc=0x48 gen=4 lanestride=128 lanes=8
+alu r9 r8 lat=8
+load r10 pc=0x58 gen=5 lanestride=4 lanes=1

@@ -1,0 +1,24 @@
+# sig: sig v1 seed=3038381137843885517 trips=16 barrier=1 store=0 | kind=strided region=25 warp=256 iter=1024 fp=512 sw=3 si=6 lag=3 aq=6 ls=128 lanes=8 dep=1 alu=0 | kind=strided region=49 warp=1024 iter=4 fp=128 sw=4 si=6 lag=1 aq=2 ls=8 lanes=16 dep=0 alu=3 | kind=zipf region=56 warp=4 iter=4096 fp=2048 sw=3 si=2 lag=3 aq=6 ls=8 lanes=16 dep=0 alu=4 | kind=irregular region=63 warp=4 iter=4096 fp=512 sw=7 si=7 lag=3 aq=4 ls=32 lanes=2 dep=1 alu=0 | kind=uniform region=10 warp=4096 iter=4 fp=512 sw=1 si=5 lag=4 aq=4 ls=64 lanes=8 dep=1 alu=3 | kind=strided region=20 warp=16384 iter=4096 fp=128 sw=3 si=5 lag=0 aq=6 ls=4 lanes=1 dep=0 alu=0
+kernel x016_dc9abd3d 16
+gen 0 strided base=104857600 warp=256 iter=1024 sm=0
+gen 1 strided base=205520896 warp=1024 iter=4 sm=0
+gen 2 zipf base=234881024 lines=2048 alpha=1.5 seed=8799538760248849420
+gen 3 irregular base=264241152 lines=512 sharewarps=7 shareiters=7 seed=4399365776488912003 lag=3
+gen 4 uniform addr=41943104
+gen 5 strided base=83886080 warp=16384 iter=4096 sm=0
+load r0 pc=0x0 gen=0 lanestride=128 lanes=8
+load r1 pc=0x8 gen=1 lanestride=8 lanes=16
+alu r2 r1 lat=8
+alu r3 r2 lat=8
+alu r4 r3 lat=8
+load r5 pc=0x28 gen=2 lanestride=8 lanes=16
+alu r6 r5 lat=8
+alu r7 r6 lat=8
+alu r8 r7 lat=8
+alu r9 r8 lat=8
+load r10 pc=0x50 gen=3 lanestride=32 lanes=2 dep=r9
+load r11 pc=0x58 gen=4 lanestride=64 lanes=8 dep=r10
+alu r12 r11 lat=8
+alu r13 r12 lat=8
+alu r14 r13 lat=8
+load r15 pc=0x78 gen=5 lanestride=4 lanes=1

@@ -1,0 +1,27 @@
+# sig: sig v1 seed=18183204079462787387 trips=8 barrier=0 store=0 | kind=zipf region=24 warp=4 iter=128 fp=8192 sw=5 si=2 lag=1 aq=6 ls=128 lanes=16 dep=0 alu=2 | kind=window region=14 warp=256 iter=0 fp=512 sw=4 si=4 lag=1 aq=4 ls=8 lanes=1 dep=0 alu=4 | kind=window region=27 warp=16384 iter=1024 fp=8 sw=8 si=5 lag=0 aq=4 ls=128 lanes=1 dep=0 alu=4 | kind=strided region=10 warp=128 iter=0 fp=32 sw=7 si=6 lag=4 aq=6 ls=32 lanes=8 dep=0 alu=3 | kind=strided region=21 warp=4096 iter=4096 fp=2048 sw=7 si=2 lag=1 aq=8 ls=32 lanes=16 dep=0 alu=2
+kernel x017_14b9f76c 8
+gen 0 zipf base=100663296 lines=8192 alpha=1.5 seed=5468147514376739236
+gen 1 window base=58720256 footprint=65536 iter=0 skew=256 sm=0
+gen 2 window base=113246208 footprint=1024 iter=1024 skew=16384 sm=0
+gen 3 strided base=41943040 warp=128 iter=0 sm=0
+gen 4 strided base=88080384 warp=4096 iter=4096 sm=0
+load r0 pc=0x0 gen=0 lanestride=128 lanes=16
+alu r1 r0 lat=8
+alu r2 r1 lat=8
+load r3 pc=0x18 gen=1 lanestride=8 lanes=1
+alu r4 r3 lat=8
+alu r5 r4 lat=8
+alu r6 r5 lat=8
+alu r7 r6 lat=8
+load r8 pc=0x40 gen=2 lanestride=128 lanes=1
+alu r9 r8 lat=8
+alu r10 r9 lat=8
+alu r11 r10 lat=8
+alu r12 r11 lat=8
+load r13 pc=0x68 gen=3 lanestride=32 lanes=8
+alu r14 r13 lat=8
+alu r15 r14 lat=8
+alu r16 r15 lat=8
+load r17 pc=0x88 gen=4 lanestride=32 lanes=16
+alu r18 r17 lat=8
+alu r19 r18 lat=8

@@ -1,0 +1,27 @@
+# sig: sig v1 seed=8875234207140228613 trips=8 barrier=3 store=0 | kind=irregular region=10 warp=128 iter=4096 fp=32 sw=2 si=8 lag=2 aq=6 ls=8 lanes=32 dep=0 alu=0 | kind=uniform region=18 warp=0 iter=4096 fp=512 sw=4 si=4 lag=0 aq=6 ls=4 lanes=16 dep=0 alu=1 | kind=strided region=36 warp=1024 iter=256 fp=2048 sw=6 si=5 lag=0 aq=2 ls=4 lanes=32 dep=0 alu=2 | kind=irregular region=20 warp=0 iter=4096 fp=8192 sw=6 si=5 lag=1 aq=2 ls=32 lanes=8 dep=0 alu=3 | kind=zipf region=8 warp=0 iter=128 fp=2048 sw=1 si=2 lag=2 aq=8 ls=8 lanes=8 dep=1 alu=4 | kind=strided region=61 warp=4 iter=4 fp=32 sw=7 si=2 lag=0 aq=2 ls=8 lanes=8 dep=0 alu=3
+kernel x018_42545746 8
+gen 0 irregular base=41943040 lines=32 sharewarps=2 shareiters=8 seed=17664810020824229201 lag=2
+gen 1 uniform addr=75497536
+gen 2 strided base=150994944 warp=1024 iter=256 sm=0
+gen 3 irregular base=83886080 lines=8192 sharewarps=6 shareiters=5 seed=2904596042622643129 lag=1
+gen 4 zipf base=33554432 lines=2048 alpha=2 seed=13165072522182686528
+gen 5 strided base=255852544 warp=4 iter=4 sm=0
+load r0 pc=0x0 gen=0 lanestride=8 lanes=32
+load r1 pc=0x8 gen=1 lanestride=4 lanes=16
+alu r2 r1 lat=8
+load r3 pc=0x18 gen=2 lanestride=4 lanes=32
+alu r4 r3 lat=8
+alu r5 r4 lat=8
+load r6 pc=0x30 gen=3 lanestride=32 lanes=8
+alu r7 r6 lat=8
+alu r8 r7 lat=8
+alu r9 r8 lat=8
+load r10 pc=0x50 gen=4 lanestride=8 lanes=8 dep=r9
+alu r11 r10 lat=8
+alu r12 r11 lat=8
+alu r13 r12 lat=8
+alu r14 r13 lat=8
+load r15 pc=0x78 gen=5 lanestride=8 lanes=8
+alu r16 r15 lat=8
+alu r17 r16 lat=8
+alu r18 r17 lat=8

@@ -1,0 +1,13 @@
+# sig: sig v1 seed=12378223899724390293 trips=64 barrier=3 store=1 | kind=strided region=63 warp=4 iter=4096 fp=128 sw=2 si=1 lag=4 aq=6 ls=8 lanes=4 dep=1 alu=3 | kind=uniform region=51 warp=32 iter=1024 fp=512 sw=7 si=7 lag=1 aq=6 ls=32 lanes=4 dep=1 alu=4
+kernel x021_df5c2877 64
+gen 0 strided base=264241152 warp=4 iter=4096 sm=0
+gen 1 uniform addr=213909568
+load r0 pc=0x0 gen=0 lanestride=8 lanes=4
+alu r1 r0 lat=8
+alu r2 r1 lat=8
+alu r3 r2 lat=8
+load r4 pc=0x20 gen=1 lanestride=32 lanes=4 dep=r3
+alu r5 r4 lat=8
+alu r6 r5 lat=8
+alu r7 r6 lat=8
+alu r8 r7 lat=8

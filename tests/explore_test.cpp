@@ -1,0 +1,499 @@
+/**
+ * @file
+ * Tests of the explore subsystem: signature genome round-trips,
+ * coverage-bin extraction, the campaign's determinism contract, the
+ * bootstrap statistics, and the checked-in adversarial corpus as
+ * regression workloads.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "common/sim_error.hpp"
+#include "common/trace.hpp"
+#include "explore/coverage.hpp"
+#include "explore/explorer.hpp"
+#include "explore/policy_compare.hpp"
+#include "explore/signature.hpp"
+#include "isa/kernel_text.hpp"
+#include "sim/config_registry.hpp"
+#include "sim/gpu.hpp"
+
+using namespace apres;
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/** Checked-in corpus files, sorted by name. */
+std::vector<std::string>
+corpusFiles()
+{
+    std::vector<std::string> files;
+    for (const auto& entry :
+         fs::directory_iterator(APRES_EXPLORE_CORPUS_DIR)) {
+        if (entry.path().extension() == ".kt")
+            files.push_back(entry.path().string());
+    }
+    std::sort(files.begin(), files.end());
+    return files;
+}
+
+std::string
+readFile(const std::string& path)
+{
+    std::ifstream in(path);
+    EXPECT_TRUE(in) << path;
+    std::ostringstream text;
+    text << in.rdbuf();
+    return text.str();
+}
+
+/** Fast campaign options for determinism tests. */
+ExploreOptions
+quickOptions(std::uint64_t seed, int budget)
+{
+    ExploreOptions opts;
+    opts.seed = seed;
+    opts.budget = budget;
+    opts.overrides = {{"maxCycles", "60000"}};
+    return opts;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// Signature genome
+
+TEST(Signature, SerializationRoundTrips)
+{
+    Rng rng(42);
+    for (int i = 0; i < 200; ++i) {
+        const KernelSignature sig = randomSignature(rng);
+        const std::string text = serializeSignature(sig);
+        const KernelSignature back = parseSignature(text);
+        EXPECT_EQ(text, serializeSignature(back)) << "iteration " << i;
+    }
+}
+
+TEST(Signature, MutationRoundTrips)
+{
+    Rng rng(43);
+    KernelSignature sig = randomSignature(rng);
+    for (int i = 0; i < 200; ++i) {
+        sig = mutateSignature(sig, rng);
+        const std::string text = serializeSignature(sig);
+        EXPECT_EQ(text, serializeSignature(parseSignature(text)))
+            << "iteration " << i;
+    }
+}
+
+TEST(Signature, GenerationIsDeterministic)
+{
+    Rng a(7);
+    Rng b(7);
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_EQ(serializeSignature(randomSignature(a)),
+                  serializeSignature(randomSignature(b)));
+    }
+}
+
+TEST(Signature, EveryGenomeBuildsAndKernelTextRoundTrips)
+{
+    // The value tables must keep every random/mutated genome inside
+    // the kernel-text contract: buildable, and the emitted text
+    // parses back into an identical kernel.
+    Rng rng(44);
+    KernelSignature sig = randomSignature(rng);
+    for (int i = 0; i < 100; ++i) {
+        sig = (i % 3 == 0) ? randomSignature(rng)
+                           : mutateSignature(sig, rng);
+        const std::string text = kernelTextOf(sig, "roundtrip");
+        const Kernel back = parseKernelText(text);
+        std::ostringstream re;
+        re << "# sig: " << serializeSignature(sig) << "\n";
+        writeKernelText(back, re);
+        EXPECT_EQ(text, re.str()) << "iteration " << i;
+    }
+}
+
+TEST(Signature, ParseRejectsMalformedInput)
+{
+    EXPECT_THROW(parseSignature("not a signature"), SimError);
+    EXPECT_THROW(parseSignature("sig v2 seed=1"), SimError);
+    EXPECT_THROW(parseSignature("sig v1 seed=1 trips=4 barrier=0 store=1"),
+                 SimError); // no loads
+    EXPECT_THROW(
+        parseSignature("sig v1 trips=4 | kind=strided bogus=1"),
+        SimError);
+    EXPECT_THROW(
+        parseSignature("sig v1 trips=4 | kind=wat region=1"),
+        SimError);
+}
+
+// ---------------------------------------------------------------------------
+// Coverage bins
+
+TEST(Coverage, BinsAreDeterministicSortedAndProbed)
+{
+    Rng rng(45);
+    const KernelSignature sig = randomSignature(rng);
+    GpuConfig cfg;
+    ConfigRegistry reg(cfg);
+    reg.set("numSms", "1");
+    reg.set("maxCycles", "60000");
+    reg.set("scheduler", "laws");
+    reg.set("prefetcher", "sap");
+    reg.set("sim.metrics", "true");
+    const Kernel kernel = buildKernel(sig, "cov");
+    const RunResult r = simulate(cfg, kernel);
+
+    const auto bins = coverageBins("probe", r);
+    EXPECT_FALSE(bins.empty());
+    EXPECT_TRUE(std::is_sorted(bins.begin(), bins.end()));
+    EXPECT_EQ(bins, coverageBins("probe", r));
+    for (const std::string& bin : bins)
+        EXPECT_EQ(bin.rfind("probe/", 0), 0u) << bin;
+    // The run completed, so the status bin must be the ok one.
+    EXPECT_NE(std::find(bins.begin(), bins.end(),
+                        std::string("probe/status:ok")),
+              bins.end());
+}
+
+TEST(Coverage, ErrorRowsOnlyContributeStatusBins)
+{
+    RunResult r;
+    r.status = "error";
+    r.errorKind = "DeadlockError";
+    const auto bins = coverageBins("p", r);
+    ASSERT_EQ(bins.size(), 2u);
+    EXPECT_EQ(bins[0], "p/completed:0");
+    EXPECT_EQ(bins[1], "p/status:error:DeadlockError");
+}
+
+TEST(Coverage, MapTracksNoveltyAndRarity)
+{
+    CoverageMap map;
+    const auto first = map.add({"a", "b"});
+    EXPECT_EQ(first, (std::vector<std::string>{"a", "b"}));
+    const auto second = map.add({"b", "c"});
+    EXPECT_EQ(second, (std::vector<std::string>{"c"}));
+    EXPECT_EQ(map.size(), 3u);
+    EXPECT_EQ(map.timesLit("b"), 2u);
+    EXPECT_TRUE(map.covers("a"));
+    EXPECT_FALSE(map.covers("z"));
+    // b (lit twice) contributes 1/2, a and c contribute 1 each.
+    EXPECT_DOUBLE_EQ(map.rarity({"a", "b", "c"}), 2.5);
+    EXPECT_DOUBLE_EQ(map.rarity({"z"}), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Campaign determinism
+
+TEST(Explorer, SameSeedSameReportAndCoverage)
+{
+    Explorer a(quickOptions(11, 4));
+    Explorer b(quickOptions(11, 4));
+    a.run();
+    b.run();
+    std::ostringstream ra;
+    std::ostringstream rb;
+    a.writeReport(ra);
+    b.writeReport(rb);
+    EXPECT_EQ(ra.str(), rb.str());
+    EXPECT_EQ(a.coverage().bins(), b.coverage().bins());
+    ASSERT_EQ(a.corpus().size(), b.corpus().size());
+    for (std::size_t i = 0; i < a.corpus().size(); ++i) {
+        EXPECT_EQ(serializeSignature(a.corpus()[i].signature),
+                  serializeSignature(b.corpus()[i].signature));
+    }
+}
+
+TEST(Explorer, DifferentSeedsDiverge)
+{
+    Explorer a(quickOptions(11, 4));
+    Explorer b(quickOptions(12, 4));
+    a.run();
+    b.run();
+    std::ostringstream ra;
+    std::ostringstream rb;
+    a.writeReport(ra);
+    b.writeReport(rb);
+    EXPECT_NE(ra.str(), rb.str());
+}
+
+TEST(Explorer, CampaignFindsCoverageFromColdStart)
+{
+    Explorer explorer(quickOptions(11, 4));
+    const std::size_t new_bins = explorer.run();
+    EXPECT_GT(new_bins, 0u);
+    EXPECT_FALSE(explorer.corpus().empty());
+    EXPECT_EQ(explorer.rounds().size(), 4u);
+}
+
+TEST(Explorer, WritesSelfDescribingCorpusFiles)
+{
+    const fs::path dir =
+        fs::temp_directory_path() / "apres_explore_test_corpus";
+    fs::remove_all(dir);
+    ExploreOptions opts = quickOptions(13, 3);
+    opts.corpusDir = dir.string();
+    Explorer explorer(opts);
+    explorer.run();
+
+    std::size_t kept = 0;
+    for (const CorpusEntry& entry : explorer.corpus())
+        kept += entry.kept ? 1 : 0;
+    std::size_t files = 0;
+    for (const auto& file : fs::directory_iterator(dir)) {
+        ++files;
+        const std::string text = readFile(file.path().string());
+        EXPECT_EQ(text.rfind("# sig: ", 0), 0u);
+        // Files must parse both as a signature and as kernel text.
+        const std::string first = text.substr(0, text.find('\n'));
+        parseSignature(first.substr(7));
+        parseKernelText(text);
+    }
+    EXPECT_EQ(files, kept);
+    fs::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// Checked-in corpus: regression workloads
+
+TEST(Corpus, HasAtLeastFiveKernels)
+{
+    EXPECT_GE(corpusFiles().size(), 5u);
+}
+
+TEST(Corpus, FilesRegenerateExactlyFromTheirSignatures)
+{
+    // Every corpus file must be bitwise-regenerable from its own
+    // `# sig:` header: this pins the generator (value tables, gen
+    // seeding, barrier placement) — any drift silently changes what
+    // the corpus tests, so it must fail here instead.
+    for (const std::string& path : corpusFiles()) {
+        const std::string text = readFile(path);
+        ASSERT_EQ(text.rfind("# sig: ", 0), 0u) << path;
+        const std::string header = text.substr(7, text.find('\n') - 7);
+        const KernelSignature sig = parseSignature(header);
+        const std::string name = fs::path(path).stem().string();
+        EXPECT_EQ(kernelTextOf(sig, name), text) << path;
+    }
+}
+
+TEST(Corpus, KernelsRunCleanUnderTheApresStack)
+{
+    // The adversarial kernels are regression workloads: each must
+    // still parse, simulate without faulting under the full APRES
+    // configuration, and actually execute instructions.
+    for (const std::string& path : corpusFiles()) {
+        const Kernel kernel = parseKernelText(readFile(path));
+        GpuConfig cfg;
+        ConfigRegistry reg(cfg);
+        reg.set("numSms", "2");
+        reg.set("sm.warpsPerSm", "16");
+        reg.set("sm.warpsPerBlock", "8");
+        reg.set("scheduler", "laws");
+        reg.set("prefetcher", "sap");
+        reg.set("maxCycles", "400000");
+        const RunResult r = simulate(cfg, kernel);
+        EXPECT_EQ(r.status, "ok") << path;
+        EXPECT_GT(r.instructions, 0u) << path;
+    }
+}
+
+TEST(Corpus, EveryKernelOwnsUniqueCoverage)
+{
+    // Minimization already dropped redundant members at generation
+    // time; the checked-in set must stay minimal, i.e. every kernel
+    // holds at least one bin no other corpus member lights. Uses the
+    // campaign probes, so this also re-derives each member's
+    // coverage from scratch (fixed probe seeds make that exact).
+    const auto files = corpusFiles();
+    Explorer explorer{ExploreOptions{}};
+    std::vector<std::vector<std::string>> all_bins;
+    for (const std::string& path : files) {
+        const std::string text = readFile(path);
+        const std::string header = text.substr(7, text.find('\n') - 7);
+        all_bins.push_back(
+            explorer.probeSignature(parseSignature(header),
+                                    fs::path(path).stem().string()));
+    }
+    std::map<std::string, int> owners;
+    for (const auto& bins : all_bins) {
+        for (const std::string& bin : bins)
+            ++owners[bin];
+    }
+    for (std::size_t i = 0; i < files.size(); ++i) {
+        const bool unique = std::any_of(
+            all_bins[i].begin(), all_bins[i].end(),
+            [&](const std::string& bin) { return owners[bin] == 1; });
+        EXPECT_TRUE(unique) << files[i] << " is redundant";
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Bootstrap statistics
+
+TEST(Bootstrap, DeterministicAndOrdered)
+{
+    const std::vector<double> samples = {1.0, 1.1, 0.9, 1.3, 1.05};
+    Rng a(99);
+    Rng b(99);
+    const auto ci1 = bootstrapMeanCi(samples, 500, 0.95, a);
+    const auto ci2 = bootstrapMeanCi(samples, 500, 0.95, b);
+    EXPECT_EQ(ci1, ci2);
+    EXPECT_LE(ci1.first, ci1.second);
+    // The CI must bracket the sample mean for any sane resampling.
+    const double mean = 1.07;
+    EXPECT_LE(ci1.first, mean);
+    EXPECT_GE(ci1.second, mean);
+}
+
+TEST(Bootstrap, DegenerateSamplesGiveZeroWidth)
+{
+    const std::vector<double> samples(10, 2.5);
+    Rng rng(1);
+    const auto ci = bootstrapMeanCi(samples, 100, 0.95, rng);
+    EXPECT_DOUBLE_EQ(ci.first, 2.5);
+    EXPECT_DOUBLE_EQ(ci.second, 2.5);
+}
+
+TEST(Bootstrap, WiderConfidenceGivesWiderInterval)
+{
+    std::vector<double> samples;
+    Rng gen(5);
+    for (int i = 0; i < 30; ++i)
+        samples.push_back(0.8 + 0.4 * gen.nextDouble());
+    Rng a(7);
+    Rng b(7);
+    const auto narrow = bootstrapMeanCi(samples, 1000, 0.5, a);
+    const auto wide = bootstrapMeanCi(samples, 1000, 0.99, b);
+    EXPECT_LE(wide.first, narrow.first);
+    EXPECT_GE(wide.second, narrow.second);
+}
+
+TEST(Bootstrap, RejectsBadInputs)
+{
+    Rng rng(1);
+    EXPECT_THROW(bootstrapMeanCi({}, 100, 0.95, rng), SimError);
+    EXPECT_THROW(bootstrapMeanCi({1.0}, 0, 0.95, rng), SimError);
+    EXPECT_THROW(bootstrapMeanCi({1.0}, 100, 1.5, rng), SimError);
+}
+
+// ---------------------------------------------------------------------------
+// Policy comparison harness
+
+TEST(Compare, PairedSeedsWithBootstrapCi)
+{
+    CompareOptions opts;
+    opts.seed = 3;
+    opts.numSeeds = 4;
+    opts.resamples = 200;
+    opts.policies = {{"lrr", "none"}, {"laws", "sap"}};
+    CompareKernel k;
+    k.label = "KM";
+    k.workload = "KM";
+    k.scale = 0.02;
+    opts.kernels = {k};
+    opts.overrides = {{"maxCycles", "2000000"}, {"numSms", "2"}};
+    opts.threads = 2;
+
+    const CompareReport report = runComparison(opts);
+    ASSERT_EQ(report.pairs.size(), 1u);
+    const ComparePair& pair = report.pairs[0];
+    EXPECT_EQ(pair.baseline, "lrr+none");
+    EXPECT_EQ(pair.candidate, "laws+sap");
+    EXPECT_EQ(pair.n, 4);
+    EXPECT_EQ(pair.speedups.size(), 4u);
+    EXPECT_GT(pair.meanIpcBaseline, 0.0);
+    EXPECT_GT(pair.meanSpeedup, 0.0);
+    EXPECT_LE(pair.ciLow, pair.meanSpeedup);
+    EXPECT_GE(pair.ciHigh, pair.meanSpeedup);
+    EXPECT_EQ(report.simulations, 8u);
+    EXPECT_EQ(report.cacheHits, 0u);
+
+    // Determinism: the same options produce a bitwise-identical
+    // document, thread pool and all.
+    std::ostringstream j1;
+    std::ostringstream j2;
+    report.writeJson(j1);
+    runComparison(opts).writeJson(j2);
+    EXPECT_EQ(j1.str(), j2.str());
+}
+
+TEST(Compare, WarmRerunsComeFromTheResultCache)
+{
+    const fs::path dir =
+        fs::temp_directory_path() / "apres_explore_test_cache";
+    fs::remove_all(dir);
+
+    CompareOptions opts;
+    opts.seed = 4;
+    opts.numSeeds = 2;
+    opts.resamples = 50;
+    opts.policies = {{"lrr", "none"}, {"gto", "none"}};
+    CompareKernel k;
+    k.label = "BFS";
+    k.workload = "BFS";
+    k.scale = 0.02;
+    opts.kernels = {k};
+    opts.overrides = {{"maxCycles", "2000000"}, {"numSms", "1"}};
+    opts.cacheDir = dir.string();
+
+    const CompareReport cold = runComparison(opts);
+    EXPECT_EQ(cold.simulations, 4u);
+    EXPECT_EQ(cold.cacheHits, 0u);
+
+    const CompareReport warm = runComparison(opts);
+    EXPECT_EQ(warm.simulations, 0u);
+    EXPECT_EQ(warm.cacheHits, 4u);
+    ASSERT_EQ(warm.pairs.size(), cold.pairs.size());
+    EXPECT_EQ(warm.pairs[0].speedups, cold.pairs[0].speedups);
+    EXPECT_EQ(warm.pairs[0].meanSpeedup, cold.pairs[0].meanSpeedup);
+    fs::remove_all(dir);
+}
+
+TEST(Compare, RejectsMalformedOptions)
+{
+    CompareOptions opts;
+    opts.policies = {{"lrr", "none"}};
+    EXPECT_THROW(runComparison(opts), SimError);
+    opts.policies = {{"lrr", "none"}, {"gto", "none"}};
+    EXPECT_THROW(runComparison(opts), SimError); // no kernels
+    CompareKernel k;
+    k.label = "empty";
+    opts.kernels = {k};
+    opts.numSeeds = 2;
+    EXPECT_THROW(runComparison(opts), SimError); // kernel has no source
+}
+
+// ---------------------------------------------------------------------------
+// Trace event-type totals (the explore-facing Tracer hook)
+
+TEST(TraceCounts, SurviveRingOverwritesAndExcludeEngine)
+{
+    Tracer tracer(1, 2); // 2-slot rings: overwrites guaranteed
+    for (int i = 0; i < 10; ++i)
+        tracer.record(0, TraceEventType::kL1Miss, i);
+    tracer.record(tracer.memLane(), TraceEventType::kDramService, 11);
+    tracer.record(tracer.engineLane(), TraceEventType::kFfIdleSpan, 12);
+
+    EXPECT_EQ(tracer.eventTypeCount(TraceEventType::kL1Miss), 10u);
+    EXPECT_EQ(tracer.eventTypeCount(TraceEventType::kDramService), 1u);
+    // Engine-lane events are timing artifacts, not machine behaviour.
+    EXPECT_EQ(tracer.eventTypeCount(TraceEventType::kFfIdleSpan), 0u);
+
+    const auto counts = tracer.eventTypeCounts();
+    ASSERT_EQ(counts.size(), 2u);
+    EXPECT_EQ(counts[0].first, "l1-miss");
+    EXPECT_EQ(counts[0].second, 10u);
+    EXPECT_EQ(counts[1].first, "dram-service");
+    EXPECT_EQ(counts[1].second, 1u);
+}

@@ -1,0 +1,147 @@
+#!/usr/bin/env python3
+"""ctest smoke tests for the repo's gate scripts.
+
+Two modes, registered as separate ctest entries so failures localize:
+
+  regen       scripts/regen_golden_traces.py must be idempotent: a run
+              redirected into a scratch directory (--golden-dir) exits
+              0 and reproduces the checked-in tests/golden files
+              byte-for-byte. Any mismatch means the simulator and the
+              committed goldens have drifted apart — exactly what the
+              golden suite exists to catch — or that the regen script
+              writes something other than what the tests compare.
+
+  throughput  scripts/check_throughput.py must accept a healthy
+              synthetic results/baseline pair (exit 0) and reject a
+              doctored one: a throughput regression below the floor
+              and an engine-stats divergence must both exit non-zero.
+              A gate that silently passes regressions is worse than no
+              gate.
+
+usage: script_gates_test.py REPO_ROOT BUILD_DIR {regen|throughput}
+"""
+
+import filecmp
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def run_regen(repo_root: str, build_dir: str) -> int:
+    script = os.path.join(repo_root, "scripts", "regen_golden_traces.py")
+    golden = os.path.join(repo_root, "tests", "golden")
+    committed = sorted(
+        name for name in os.listdir(golden) if name.endswith(".txt")
+    )
+    if not committed:
+        print(f"FAIL: no committed golden files under {golden}")
+        return 1
+
+    with tempfile.TemporaryDirectory(prefix="apres_regen_") as scratch:
+        for attempt in (1, 2):  # second run proves idempotence
+            result = subprocess.run(
+                [
+                    sys.executable,
+                    script,
+                    "--build-dir",
+                    build_dir,
+                    "--golden-dir",
+                    scratch,
+                ],
+                capture_output=True,
+                text=True,
+            )
+            if result.returncode != 0:
+                print(f"FAIL: regen run {attempt} exited "
+                      f"{result.returncode}\n{result.stdout}"
+                      f"{result.stderr}")
+                return 1
+            produced = sorted(os.listdir(scratch))
+            if produced != committed:
+                print(f"FAIL: run {attempt} produced {produced}, "
+                      f"committed set is {committed}")
+                return 1
+            for name in committed:
+                a = os.path.join(golden, name)
+                b = os.path.join(scratch, name)
+                if not filecmp.cmp(a, b, shallow=False):
+                    print(f"FAIL: run {attempt}: regenerated {name} "
+                          "differs from the checked-in golden — "
+                          "simulator and goldens have drifted")
+                    return 1
+            print(f"ok: run {attempt} reproduced "
+                  f"{len(committed)} golden files exactly")
+    return 0
+
+
+def run_throughput(repo_root: str) -> int:
+    script = os.path.join(repo_root, "scripts", "check_throughput.py")
+    healthy = {
+        "hwThreads": 8,
+        "scenarios": [
+            {
+                "name": "KM-fullchip",
+                "statsIdentical": True,
+                "ffCyclesPerSec": 1_000_000.0,
+                "parCyclesPerSec": 1_500_000.0,
+                "speedup": 4.0,
+                "parSpeedup": 1.5,
+                "shards": 4,
+            }
+        ],
+    }
+    baseline = {
+        "scenarios": {"KM-fullchip": 1_000_000.0},
+        "parallelScenarios": {"KM-fullchip": 1_400_000.0},
+        "parSpeedupFloors": {"KM-fullchip": 1.0},
+    }
+
+    def check(label, results, expect_failure):
+        with tempfile.TemporaryDirectory(prefix="apres_gate_") as d:
+            rpath = os.path.join(d, "results.json")
+            bpath = os.path.join(d, "baseline.json")
+            with open(rpath, "w") as f:
+                json.dump(results, f)
+            with open(bpath, "w") as f:
+                json.dump(baseline, f)
+            result = subprocess.run(
+                [sys.executable, script, rpath, bpath],
+                capture_output=True,
+                text=True,
+            )
+        failed = result.returncode != 0
+        if failed != expect_failure:
+            want = "non-zero" if expect_failure else "zero"
+            print(f"FAIL: {label}: expected {want} exit, got "
+                  f"{result.returncode}\n{result.stdout}{result.stderr}")
+            return 1
+        print(f"ok: {label}: exit {result.returncode} as expected")
+        return 0
+
+    regressed = json.loads(json.dumps(healthy))
+    regressed["scenarios"][0]["ffCyclesPerSec"] = 100_000.0  # −90%
+    diverged = json.loads(json.dumps(healthy))
+    diverged["scenarios"][0]["statsIdentical"] = False
+
+    rc = check("healthy results pass", healthy, expect_failure=False)
+    rc |= check("doctored throughput regression trips the gate",
+                regressed, expect_failure=True)
+    rc |= check("engine-stats divergence trips the gate",
+                diverged, expect_failure=True)
+    return rc
+
+
+def main() -> int:
+    if len(sys.argv) != 4 or sys.argv[3] not in ("regen", "throughput"):
+        print(__doc__, file=sys.stderr)
+        return 2
+    repo_root, build_dir, mode = sys.argv[1:4]
+    if mode == "regen":
+        return run_regen(repo_root, build_dir)
+    return run_throughput(repo_root)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -208,6 +208,45 @@ TEST(CacheKey, FingerprintAndKernelIdentityChangeKey)
     EXPECT_EQ(kernelFingerprint(text).rfind("text:", 0), 0u);
 }
 
+TEST(CacheKey, GoldenKeysArePinned)
+{
+    // Hard-coded expected keys for two known configurations. Every
+    // deployed cache is addressed by these values: if ContentHasher,
+    // the semantic snapshot (a key added, renamed or re-kinded), the
+    // kernel fingerprint format or the serialization order drifts,
+    // every existing cache entry is silently orphaned and re-simulated.
+    // This test turns that silent invalidation into a loud failure —
+    // when the change is intentional, bump kStatsSchemaVersion and
+    // regenerate these literals.
+    {
+        // Config 1: all defaults, the named KM workload at scale 1.
+        ServeJobSpec km;
+        km.workload = "KM";
+        EXPECT_EQ(computeCacheKey("apres-results-v1",
+                                  kernelFingerprint(km),
+                                  semanticSnapshot()),
+                  "96f657c080e49586628d11e1a663a0f2");
+    }
+    {
+        // Config 2: the APRES stack with a 64 KiB L1 and a pinned
+        // seed over an inline kernel (text fingerprint path).
+        ServeJobSpec text;
+        text.kernelText = "kernel t 4\ngen 0 uniform addr=0x1000\n"
+                          "load r0 gen=0\n";
+        EXPECT_EQ(kernelFingerprint(text),
+                  "text:25c5583523273acb4cb51887e8c7a1d3");
+        EXPECT_EQ(computeCacheKey("apres-results-v1",
+                                  kernelFingerprint(text),
+                                  semanticSnapshot({
+                                      {"scheduler", "laws"},
+                                      {"prefetcher", "sap"},
+                                      {"l1.sizeBytes", "65536"},
+                                      {"seed", "12345"},
+                                  })),
+                  "7086126018b80f8546648932dff9d5cf");
+    }
+}
+
 // --------------------------------------------------------------------
 // ResultCache tiers.
 // --------------------------------------------------------------------

@@ -16,6 +16,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <memory>
 #include <random>
 #include <sstream>
@@ -111,16 +112,65 @@ randomConfig(std::mt19937_64& rng)
     return cfg;
 }
 
+/**
+ * Per-iteration generator seed: each fuzz iteration draws from its
+ * own stream, so one iteration replays exactly without re-drawing its
+ * predecessors (APRES_STRESS_REPLAY below).
+ */
+std::uint64_t
+iterationSeed(int iteration)
+{
+    return kStressSeed ^
+           (0x9E3779B97F4A7C15ull * static_cast<std::uint64_t>(iteration + 1));
+}
+
+/**
+ * The full reproduction tuple of one fuzz iteration: everything the
+ * draws produced, printable, so a CI failure log alone is enough to
+ * re-run the exact case.
+ */
+std::string
+describeIteration(int iteration, const GpuConfig& cfg,
+                  const Kernel& kernel)
+{
+    std::ostringstream os;
+    os << "iteration " << iteration << " (re-run just this case with"
+       << " APRES_STRESS_REPLAY=" << iteration << "): iterationSeed=0x"
+       << std::hex << iterationSeed(iteration) << std::dec
+       << " kernel=" << kernel.name()
+       << " trips=" << kernel.tripCount()
+       << " config{" << cfg.scheduler << "+" << cfg.prefetcher
+       << " numSms=" << cfg.numSms
+       << " warpsPerSm=" << cfg.sm.warpsPerSm
+       << " warpsPerBlock=" << cfg.sm.warpsPerBlock
+       << " jobsPerWarp=" << cfg.sm.jobsPerWarp
+       << " l1.sizeBytes=" << cfg.sm.l1.sizeBytes
+       << " l1.numMshrs=" << cfg.sm.l1.numMshrs
+       << " fastForward=" << (cfg.fastForward ? 1 : 0)
+       << " shards=" << cfg.shards
+       << " seed=" << cfg.seed << "}";
+    return os.str();
+}
+
 TEST(Stress, RandomKernelsUnderAuditAndWatchdog)
 {
-    std::mt19937_64 rng(kStressSeed);
+    // APRES_STRESS_REPLAY=<index> re-runs exactly one iteration: the
+    // per-iteration seeding above makes the draws independent of
+    // every other iteration, so the replayed case is bit-identical to
+    // the full run's (the shard count and config seed included, which
+    // the fuzzer draws internally).
+    int replay = -1;
+    if (const char* env = std::getenv("APRES_STRESS_REPLAY"))
+        replay = std::atoi(env);
+
     int audited_runs = 0;
     for (int i = 0; i < 40; ++i) {
+        if (replay >= 0 && i != replay)
+            continue;
+        std::mt19937_64 rng(iterationSeed(i));
         const GpuConfig cfg = randomConfig(rng);
         const Kernel kernel = randomKernel(rng, i);
-        SCOPED_TRACE("iteration " + std::to_string(i) + ": " +
-                     cfg.scheduler + "+" + cfg.prefetcher + " on " +
-                     kernel.name());
+        SCOPED_TRACE(describeIteration(i, cfg, kernel));
         // Every run must terminate cleanly: completion or the cycle
         // cap. An InvariantViolation or DeadlockError here is a real
         // simulator bug surfaced by the fuzzer.
@@ -130,8 +180,10 @@ TEST(Stress, RandomKernelsUnderAuditAndWatchdog)
         if (gpu.auditPasses() > 0)
             ++audited_runs;
     }
-    // The audit cadence fired on a healthy majority of runs.
-    EXPECT_GT(audited_runs, 20);
+    // The audit cadence fired on a healthy majority of runs (not
+    // meaningful when replaying a single iteration).
+    if (replay < 0)
+        EXPECT_GT(audited_runs, 20);
 }
 
 TEST(Stress, KernelTextFuzzParsesOrThrowsTyped)

@@ -67,6 +67,20 @@ goldenFileName(const TraceCase& c)
            c.pf + ".txt";
 }
 
+/**
+ * Golden directory: the checked-in tests/golden by default, but
+ * overridable at run time so tooling (scripts/regen_golden_traces.py
+ * --golden-dir, and its ctest smoke test) can regenerate into a
+ * scratch directory without touching the committed files.
+ */
+std::string
+goldenDir()
+{
+    if (const char* env = std::getenv("APRES_TRACE_GOLDEN_DIR"))
+        return env;
+    return APRES_TRACE_GOLDEN_DIR;
+}
+
 /** Run the case and return the truncated event summary. */
 std::string
 runTraceCase(const TraceCase& c)
@@ -94,8 +108,7 @@ class GoldenTrace : public ::testing::TestWithParam<TraceCase>
 TEST_P(GoldenTrace, EventSequenceMatchesGoldenFile)
 {
     const TraceCase c = GetParam();
-    const std::string path =
-        std::string(APRES_TRACE_GOLDEN_DIR) + "/" + goldenFileName(c);
+    const std::string path = goldenDir() + "/" + goldenFileName(c);
     const std::string summary = runTraceCase(c);
     ASSERT_FALSE(summary.empty());
 
